@@ -1,0 +1,391 @@
+//! # moc-abcast
+//!
+//! Atomic (total-order) broadcast, the communication primitive the
+//! Section 5 protocols of Mittal & Garg (1998) build on: "we use atomic
+//! broadcast ... atomic broadcast ensures that all processes apply all
+//! update m-operations in the same order."
+//!
+//! Two from-scratch implementations are provided as pure state machines
+//! (no I/O; all sends go through an [`Outbox`], so they run unchanged on
+//! the deterministic simulator and on the live thread runtime):
+//!
+//! * [`SequencerAbcast`] — a fixed sequencer (process 0) stamps global
+//!   sequence numbers; receivers deliver gap-free in stamp order. Two
+//!   message hops per broadcast; the sequencer is the serialization point.
+//! * [`IsisAbcast`] — the ISIS/Skeen agreed-timestamp protocol: every
+//!   process proposes a Lamport timestamp, the sender fixes the maximum as
+//!   the final timestamp, and messages deliver in final-timestamp order
+//!   once no pending message can precede them. Three hops, no fixed leader.
+//!
+//! Both guarantee, over reliable reordering channels:
+//!
+//! * **validity** — a broadcast item is eventually delivered everywhere;
+//! * **integrity** — each item is delivered exactly once per process;
+//! * **total order** — all processes deliver items in the same order.
+//!
+//! These guarantees are what make the protocols' `~ww` order (P 5.13,
+//! P 5.14, P 5.23, P 5.24) well-defined.
+
+use std::fmt;
+
+use moc_core::ids::ProcessId;
+
+pub mod isis;
+pub mod sequencer;
+
+pub use isis::IsisAbcast;
+pub use sequencer::SequencerAbcast;
+
+/// Buffered outgoing messages produced by a state-machine step.
+///
+/// The hosting layer (simulator node or runtime thread) drains the outbox
+/// and performs the actual sends.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    msgs: Vec<(ProcessId, M)>,
+    n: usize,
+}
+
+impl<M> Outbox<M> {
+    /// Creates an outbox for a system of `n` processes.
+    pub fn new(n: usize) -> Self {
+        Outbox {
+            msgs: Vec::new(),
+            n,
+        }
+    }
+
+    /// Number of processes in the system.
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Queues `msg` for `to` (possibly the sender itself).
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.msgs.push((to, msg));
+    }
+
+    /// Queues a copy of `msg` for every process, including the sender.
+    pub fn send_all(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for p in 0..self.n {
+            self.msgs.push((ProcessId::new(p as u32), msg.clone()));
+        }
+    }
+
+    /// Drains the queued messages.
+    pub fn drain(&mut self) -> Vec<(ProcessId, M)> {
+        std::mem::take(&mut self.msgs)
+    }
+
+    /// Number of queued messages.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether no messages are queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+}
+
+/// One delivered broadcast item.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delivery<T> {
+    /// The process that broadcast the item.
+    pub origin: ProcessId,
+    /// Position of this item in the (agreed) global delivery order, counted
+    /// locally: the k-th delivery at every process carries `global_seq = k`.
+    pub global_seq: u64,
+    /// The broadcast payload.
+    pub item: T,
+}
+
+/// An atomic broadcast endpoint for one process.
+///
+/// Implementations are deterministic state machines; drive them with
+/// [`Abcast::broadcast`] and [`Abcast::on_message`], then collect
+/// [`Abcast::drain_delivered`] after each step.
+pub trait Abcast<T> {
+    /// Wire message type.
+    type Msg: Clone + fmt::Debug;
+
+    /// Creates the endpoint for process `me` in a system of `n` processes.
+    fn new(me: ProcessId, n: usize) -> Self;
+
+    /// Atomically broadcasts `item` to all processes (including `me`).
+    fn broadcast(&mut self, item: T, out: &mut Outbox<Self::Msg>);
+
+    /// Feeds an incoming protocol message.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+
+    /// Removes and returns items that became deliverable, in delivery
+    /// order.
+    fn drain_delivered(&mut self) -> Vec<Delivery<T>>;
+
+    /// Number of items this endpoint has delivered so far.
+    fn delivered_count(&self) -> u64;
+}
+
+/// Test support: hosts any [`Abcast`] implementation on the simulator and
+/// checks the broadcast properties (validity, integrity, total order)
+/// under randomized schedules. Public so property tests and downstream
+/// crates can reuse it; not part of the stable API surface.
+#[doc(hidden)]
+pub mod testkit {
+
+    use super::*;
+    use moc_sim::{Context, DelayModel, NetworkConfig, Node, World};
+
+    pub struct AbcastNode<A: Abcast<u64>> {
+        pub inner: A,
+        pub delivered: Vec<(ProcessId, u64)>,
+        n: usize,
+    }
+
+    impl<A: Abcast<u64>> AbcastNode<A> {
+        pub fn new(me: ProcessId, n: usize) -> Self {
+            AbcastNode {
+                inner: A::new(me, n),
+                delivered: Vec::new(),
+                n,
+            }
+        }
+
+        fn drain(&mut self) {
+            for d in self.inner.drain_delivered() {
+                self.delivered.push((d.origin, d.item));
+            }
+        }
+
+        pub fn submit(&mut self, item: u64, ctx: &mut Context<'_, A::Msg>) {
+            let mut out = Outbox::new(self.n);
+            self.inner.broadcast(item, &mut out);
+            for (to, m) in out.drain() {
+                ctx.send(to, m);
+            }
+            self.drain();
+        }
+    }
+
+    impl<A: Abcast<u64>> Node for AbcastNode<A> {
+        type Msg = A::Msg;
+        fn on_message(&mut self, from: ProcessId, msg: A::Msg, ctx: &mut Context<'_, A::Msg>) {
+            let mut out = Outbox::new(self.n);
+            self.inner.on_message(from, msg, &mut out);
+            for (to, m) in out.drain() {
+                ctx.send(to, m);
+            }
+            self.drain();
+        }
+    }
+
+    /// Runs `k` broadcasts from every one of `n` processes under the given
+    /// delay model and asserts validity, integrity and total order.
+    pub fn check_properties<A: Abcast<u64> + 'static>(
+        n: usize,
+        k: u64,
+        delay: DelayModel,
+        seed: u64,
+    ) {
+        let nodes: Vec<AbcastNode<A>> = (0..n)
+            .map(|p| AbcastNode::new(ProcessId::new(p as u32), n))
+            .collect();
+        let mut world = World::new(nodes, NetworkConfig::with_delay(delay), seed);
+        for p in 0..n {
+            for i in 0..k {
+                let item = (p as u64) * 1_000 + i;
+                // Spread submissions over time so they interleave.
+                world.schedule_call(
+                    i * 37 + p as u64,
+                    ProcessId::new(p as u32),
+                    move |node, ctx| {
+                        node.submit(item, ctx);
+                    },
+                );
+            }
+        }
+        world.run_until_quiescent(5_000_000);
+        let nodes = world.into_nodes();
+        let reference = &nodes[0].delivered;
+        // Validity + integrity: everything delivered exactly once.
+        assert_eq!(reference.len(), n * k as usize, "validity");
+        let mut items: Vec<u64> = reference.iter().map(|&(_, i)| i).collect();
+        items.sort_unstable();
+        items.dedup();
+        assert_eq!(items.len(), n * k as usize, "integrity");
+        // Total order: every process delivered the identical sequence.
+        for node in &nodes[1..] {
+            assert_eq!(&node.delivered, reference, "total order");
+        }
+    }
+
+    /// Closed-loop submission, as the Section 5 protocols use abcast: each
+    /// process broadcasts its next item only after its previous one was
+    /// delivered locally (the m-operation's response event). Under this
+    /// regime per-sender FIFO is guaranteed; assert it along with the
+    /// three broadcast properties.
+    pub fn check_closed_loop_fifo<A: Abcast<u64> + 'static>(
+        n: usize,
+        k: u64,
+        delay: DelayModel,
+        seed: u64,
+    ) {
+        struct Closed<A: Abcast<u64>> {
+            node: AbcastNode<A>,
+            submitted: u64,
+            budget: u64,
+            me: ProcessId,
+        }
+        impl<A: Abcast<u64>> Closed<A> {
+            fn maybe_submit(&mut self, ctx: &mut Context<'_, A::Msg>) {
+                let own_delivered = self
+                    .node
+                    .delivered
+                    .iter()
+                    .filter(|&&(o, _)| o == self.me)
+                    .count() as u64;
+                if self.submitted < self.budget && own_delivered == self.submitted {
+                    let item = self.me.as_u32() as u64 * 1_000 + self.submitted;
+                    self.submitted += 1;
+                    self.node.submit(item, ctx);
+                }
+            }
+        }
+        impl<A: Abcast<u64>> Node for Closed<A> {
+            type Msg = A::Msg;
+            fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+                self.maybe_submit(ctx);
+            }
+            fn on_message(&mut self, from: ProcessId, msg: A::Msg, ctx: &mut Context<'_, A::Msg>) {
+                self.node.on_message(from, msg, ctx);
+                self.maybe_submit(ctx);
+            }
+        }
+        let nodes: Vec<Closed<A>> = (0..n)
+            .map(|p| Closed {
+                node: AbcastNode::new(ProcessId::new(p as u32), n),
+                submitted: 0,
+                budget: k,
+                me: ProcessId::new(p as u32),
+            })
+            .collect();
+        let mut world = World::new(nodes, NetworkConfig::with_delay(delay), seed);
+        world.run_until_quiescent(5_000_000);
+        let nodes = world.into_nodes();
+        let reference = &nodes[0].node.delivered;
+        assert_eq!(reference.len(), n * k as usize, "validity");
+        for c in &nodes[1..] {
+            assert_eq!(&c.node.delivered, reference, "total order");
+        }
+        for p in 0..n as u64 {
+            let per: Vec<u64> = reference
+                .iter()
+                .filter(|&&(o, _)| o.index() as u64 == p)
+                .map(|&(_, i)| i)
+                .collect();
+            let mut sorted = per.clone();
+            sorted.sort_unstable();
+            assert_eq!(per, sorted, "per-sender FIFO for P{p} under closed loop");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testkit::check_properties;
+    use super::*;
+    use moc_sim::DelayModel;
+
+    #[test]
+    fn sequencer_properties_fifo_network() {
+        check_properties::<SequencerAbcast<u64>>(3, 5, DelayModel::Fixed(100), 1);
+    }
+
+    #[test]
+    fn sequencer_properties_reordering_network() {
+        for seed in 0..8 {
+            check_properties::<SequencerAbcast<u64>>(
+                4,
+                6,
+                DelayModel::Uniform { lo: 10, hi: 20_000 },
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn sequencer_properties_heavy_tail() {
+        check_properties::<SequencerAbcast<u64>>(5, 4, DelayModel::Exponential { mean: 2_000 }, 9);
+    }
+
+    #[test]
+    fn isis_properties_fifo_network() {
+        check_properties::<IsisAbcast<u64>>(3, 5, DelayModel::Fixed(100), 1);
+    }
+
+    #[test]
+    fn isis_properties_reordering_network() {
+        for seed in 0..8 {
+            check_properties::<IsisAbcast<u64>>(
+                4,
+                6,
+                DelayModel::Uniform { lo: 10, hi: 20_000 },
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn isis_properties_heavy_tail() {
+        check_properties::<IsisAbcast<u64>>(5, 4, DelayModel::Exponential { mean: 2_000 }, 9);
+    }
+
+    #[test]
+    fn isis_single_process_degenerate() {
+        check_properties::<IsisAbcast<u64>>(1, 10, DelayModel::Fixed(5), 2);
+    }
+
+    #[test]
+    fn sequencer_single_process_degenerate() {
+        check_properties::<SequencerAbcast<u64>>(1, 10, DelayModel::Fixed(5), 2);
+    }
+
+    #[test]
+    fn sequencer_closed_loop_fifo() {
+        for seed in 0..4 {
+            super::testkit::check_closed_loop_fifo::<SequencerAbcast<u64>>(
+                4,
+                5,
+                DelayModel::Uniform { lo: 10, hi: 50_000 },
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn isis_closed_loop_fifo() {
+        for seed in 0..4 {
+            super::testkit::check_closed_loop_fifo::<IsisAbcast<u64>>(
+                4,
+                5,
+                DelayModel::Uniform { lo: 10, hi: 50_000 },
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn outbox_send_all_covers_every_process() {
+        let mut out: Outbox<u8> = Outbox::new(3);
+        assert!(out.is_empty());
+        out.send_all(7);
+        assert_eq!(out.len(), 3);
+        let msgs = out.drain();
+        let tos: Vec<u32> = msgs.iter().map(|(p, _)| p.as_u32()).collect();
+        assert_eq!(tos, vec![0, 1, 2]);
+        assert!(out.is_empty());
+    }
+}

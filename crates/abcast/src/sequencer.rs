@@ -1,0 +1,194 @@
+//! Fixed-sequencer atomic broadcast.
+//!
+//! Process 0 acts as the sequencer. A broadcast is submitted to the
+//! sequencer, which stamps it with the next global sequence number and
+//! relays it to every process (including itself and the submitter). Each
+//! process buffers stamped messages and delivers them gap-free in stamp
+//! order, which yields the agreed total order even when the network
+//! reorders messages arbitrarily.
+
+use std::collections::BTreeMap;
+
+use moc_core::ids::ProcessId;
+
+use crate::{Abcast, Delivery, Outbox};
+
+/// Wire messages of the sequencer protocol.
+#[derive(Debug, Clone)]
+pub enum SequencerMsg<T> {
+    /// Submitter → sequencer: please order this item.
+    Submit {
+        /// The broadcasting process.
+        origin: ProcessId,
+        /// The item to order.
+        item: T,
+    },
+    /// Sequencer → everyone: item with its global sequence number.
+    Ordered {
+        /// Global position assigned by the sequencer.
+        seq: u64,
+        /// The broadcasting process.
+        origin: ProcessId,
+        /// The ordered item.
+        item: T,
+    },
+}
+
+/// One process's endpoint of the fixed-sequencer protocol.
+#[derive(Debug, Clone)]
+pub struct SequencerAbcast<T> {
+    me: ProcessId,
+    /// Next sequence number to assign (meaningful only at the sequencer).
+    next_to_assign: u64,
+    /// Next sequence number to deliver locally.
+    next_to_deliver: u64,
+    /// Out-of-order buffer: stamped messages waiting for their gap to fill.
+    buffer: BTreeMap<u64, (ProcessId, T)>,
+    delivered: Vec<Delivery<T>>,
+    delivered_count: u64,
+}
+
+impl<T> SequencerAbcast<T> {
+    /// The sequencer's identity (process 0 by convention).
+    pub const SEQUENCER: ProcessId = ProcessId::new(0);
+
+    /// Whether this endpoint is the sequencer.
+    pub fn is_sequencer(&self) -> bool {
+        self.me == Self::SEQUENCER
+    }
+
+    fn pump(&mut self) {
+        while let Some(entry) = self.buffer.remove(&self.next_to_deliver) {
+            let (origin, item) = entry;
+            self.delivered.push(Delivery {
+                origin,
+                global_seq: self.next_to_deliver,
+                item,
+            });
+            self.next_to_deliver += 1;
+            self.delivered_count += 1;
+        }
+    }
+}
+
+impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
+    type Msg = SequencerMsg<T>;
+
+    fn new(me: ProcessId, _n: usize) -> Self {
+        SequencerAbcast {
+            me,
+            next_to_assign: 0,
+            next_to_deliver: 0,
+            buffer: BTreeMap::new(),
+            delivered: Vec::new(),
+            delivered_count: 0,
+        }
+    }
+
+    fn broadcast(&mut self, item: T, out: &mut Outbox<Self::Msg>) {
+        out.send(
+            Self::SEQUENCER,
+            SequencerMsg::Submit {
+                origin: self.me,
+                item,
+            },
+        );
+    }
+
+    fn on_message(&mut self, _from: ProcessId, msg: Self::Msg, out: &mut Outbox<Self::Msg>) {
+        match msg {
+            SequencerMsg::Submit { origin, item } => {
+                debug_assert!(self.is_sequencer(), "Submit routed to non-sequencer");
+                let seq = self.next_to_assign;
+                self.next_to_assign += 1;
+                out.send_all(SequencerMsg::Ordered { seq, origin, item });
+            }
+            SequencerMsg::Ordered { seq, origin, item } => {
+                debug_assert!(
+                    seq >= self.next_to_deliver,
+                    "duplicate or regressed sequence number"
+                );
+                self.buffer.insert(seq, (origin, item));
+                self.pump();
+            }
+        }
+    }
+
+    fn drain_delivered(&mut self) -> Vec<Delivery<T>> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    fn delivered_count(&self) -> u64 {
+        self.delivered_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    /// Drives two endpoints by hand, delivering `Ordered` messages to the
+    /// non-sequencer out of order.
+    #[test]
+    fn out_of_order_stamps_are_buffered() {
+        let n = 2;
+        let mut seqr: SequencerAbcast<u8> = SequencerAbcast::new(pid(0), n);
+        let mut follower: SequencerAbcast<u8> = SequencerAbcast::new(pid(1), n);
+        let mut out = Outbox::new(n);
+
+        // Two submissions reach the sequencer.
+        seqr.on_message(
+            pid(1),
+            SequencerMsg::Submit {
+                origin: pid(1),
+                item: 10,
+            },
+            &mut out,
+        );
+        seqr.on_message(
+            pid(1),
+            SequencerMsg::Submit {
+                origin: pid(1),
+                item: 20,
+            },
+            &mut out,
+        );
+        let msgs: Vec<_> = out
+            .drain()
+            .into_iter()
+            .filter(|(to, _)| *to == pid(1))
+            .map(|(_, m)| m)
+            .collect();
+        assert_eq!(msgs.len(), 2);
+
+        // Deliver them to the follower in reverse.
+        let mut out2 = Outbox::new(n);
+        follower.on_message(pid(0), msgs[1].clone(), &mut out2);
+        assert!(follower.drain_delivered().is_empty(), "gap: must buffer");
+        follower.on_message(pid(0), msgs[0].clone(), &mut out2);
+        let got = follower.drain_delivered();
+        assert_eq!(
+            got.iter().map(|d| d.item).collect::<Vec<_>>(),
+            vec![10, 20],
+            "delivery order follows stamps, not arrival"
+        );
+        assert_eq!(got[0].global_seq, 0);
+        assert_eq!(got[1].global_seq, 1);
+        assert_eq!(follower.delivered_count(), 2);
+    }
+
+    #[test]
+    fn broadcast_routes_to_sequencer() {
+        let mut a: SequencerAbcast<u8> = SequencerAbcast::new(pid(2), 3);
+        let mut out = Outbox::new(3);
+        a.broadcast(5, &mut out);
+        let msgs = out.drain();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].0, pid(0));
+        assert!(!a.is_sequencer());
+    }
+}

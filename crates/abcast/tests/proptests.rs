@@ -1,0 +1,51 @@
+//! Property tests for the atomic broadcast protocols: validity, integrity
+//! and total order must hold for arbitrary cluster sizes, submission
+//! patterns, delay models and seeds.
+
+use moc_abcast::testkit::{check_closed_loop_fifo, check_properties};
+use moc_abcast::{IsisAbcast, SequencerAbcast};
+use moc_sim::DelayModel;
+use proptest::prelude::*;
+
+fn delay_strategy() -> impl Strategy<Value = DelayModel> {
+    prop_oneof![
+        (1u64..5_000).prop_map(DelayModel::Fixed),
+        (1u64..100, 100u64..50_000).prop_map(|(lo, hi)| DelayModel::Uniform { lo, hi }),
+        (10u64..10_000).prop_map(|mean| DelayModel::Exponential { mean }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sequencer_total_order(
+        n in 1usize..6,
+        k in 1u64..6,
+        delay in delay_strategy(),
+        seed in any::<u64>(),
+    ) {
+        check_properties::<SequencerAbcast<u64>>(n, k, delay, seed);
+    }
+
+    #[test]
+    fn isis_total_order(
+        n in 1usize..6,
+        k in 1u64..6,
+        delay in delay_strategy(),
+        seed in any::<u64>(),
+    ) {
+        check_properties::<IsisAbcast<u64>>(n, k, delay, seed);
+    }
+
+    #[test]
+    fn closed_loop_fifo_holds_for_both(
+        n in 1usize..5,
+        k in 1u64..5,
+        delay in delay_strategy(),
+        seed in any::<u64>(),
+    ) {
+        check_closed_loop_fifo::<SequencerAbcast<u64>>(n, k, delay, seed);
+        check_closed_loop_fifo::<IsisAbcast<u64>>(n, k, delay, seed);
+    }
+}

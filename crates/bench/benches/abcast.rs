@@ -1,0 +1,28 @@
+//! Criterion benches for the atomic broadcast substrates: simulator
+//! throughput of the sequencer vs ISIS state machines.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moc_bench::run_protocol;
+use moc_protocol::{MscOverIsis, MscOverSequencer};
+
+fn bench_broadcast_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abcast_sim_run");
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("sequencer", n), &n, |b, &n| {
+            b.iter(|| {
+                let report = run_protocol::<MscOverSequencer>(n, 10, 1.0, 3);
+                assert_eq!(report.history.len(), n * 10);
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("isis", n), &n, |b, &n| {
+            b.iter(|| {
+                let report = run_protocol::<MscOverIsis>(n, 10, 1.0, 3);
+                assert_eq!(report.history.len(), n * 10);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast_protocols);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Criterion benches for the consistency checkers (experiments E4/E5):
+//! the polynomial witness verifier and Theorem 7 fast path vs the
+//! exponential brute-force search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moc_bench::run_protocol;
+use moc_checker::admissible::{find_legal_extension, SearchLimits};
+use moc_checker::fast::check_under_constraint;
+use moc_core::constraints::Constraint;
+use moc_core::legality::sequence_witnesses_admissibility;
+use moc_core::relations::{process_order, reads_from};
+use moc_protocol::MscOverSequencer;
+use moc_workload::histories::concurrent_writers_history;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_brute_force_adversarial(c: &mut Criterion) {
+    let mut group = c.benchmark_group("brute_force/concurrent_writers");
+    for k in [3usize, 5, 7] {
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let h = concurrent_writers_history(k, 3, &mut rng);
+        let rel = process_order(&h).union(&reads_from(&h));
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let (outcome, _) = find_legal_extension(&h, &rel, SearchLimits::default());
+                assert!(outcome.is_admissible());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fast_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem7_fast_path/msc_history");
+    for ops in [10usize, 25, 50] {
+        let report = run_protocol::<MscOverSequencer>(4, ops, 0.6, 1);
+        let rel = report.ww_relation();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(report.history.len()),
+            &ops,
+            |b, _| {
+                b.iter(|| {
+                    let out = check_under_constraint(&report.history, &rel, Constraint::Ww)
+                        .expect("under WW");
+                    assert!(out.is_admissible());
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_witness_validation(c: &mut Criterion) {
+    let report = run_protocol::<MscOverSequencer>(4, 50, 0.6, 2);
+    let rel = report.ww_relation();
+    let out = check_under_constraint(&report.history, &rel, Constraint::Ww).expect("under WW");
+    let moc_checker::fast::FastOutcome::Admissible(witness) = out else {
+        panic!("admissible");
+    };
+    c.bench_function("witness_validation/200_ops", |b| {
+        b.iter(|| {
+            assert!(sequence_witnesses_admissibility(
+                &report.history,
+                &rel,
+                &witness
+            ))
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_brute_force_adversarial,
+    bench_fast_path,
+    bench_witness_validation
+);
+criterion_main!(benches);

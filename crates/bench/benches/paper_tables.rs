@@ -1,0 +1,27 @@
+//! Regenerates the EXPERIMENTS.md tables as part of `cargo bench`
+//! (harness-free bench target): every table and figure reproduction is
+//! printed, with a reduced grid to keep bench runs quick. For the full
+//! grid run `cargo run --release -p moc-bench --bin paper_experiments`.
+
+use moc_bench::{
+    experiment_abcast, experiment_baseline, experiment_checker_scaling,
+    experiment_condition_spectrum, experiment_fast_vs_brute, experiment_memo_ablation,
+    experiment_model_checking, experiment_query_cost, experiment_query_scope,
+    experiment_validation,
+};
+
+fn main() {
+    // `cargo bench` passes --bench; ignore arguments.
+    let seed = 20260706;
+    println!("paper tables (reduced grid; see paper_experiments for full)");
+    println!("{}", experiment_validation(seed));
+    println!("{}", experiment_query_cost(&[2, 4, 8], 10, seed));
+    println!("{}", experiment_baseline(&[0.1, 0.5, 0.9], 10, seed));
+    println!("{}", experiment_checker_scaling(&[2, 4, 6, 8]));
+    println!("{}", experiment_fast_vs_brute(&[5, 10, 20], seed));
+    println!("{}", experiment_query_scope(&[4, 16, 64], seed));
+    println!("{}", experiment_abcast(&[2, 4, 8], 10, seed));
+    println!("{}", experiment_memo_ablation(&[2, 4, 6]));
+    println!("{}", experiment_condition_spectrum(6));
+    println!("{}", experiment_model_checking());
+}

@@ -1,0 +1,75 @@
+//! Criterion benches for the m-operation program interpreter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use moc_core::ids::ObjectId;
+use moc_core::program::{arg, execute, imm, reg, CmpOp, ProgramBuilder, VecContext, DEFAULT_FUEL};
+
+fn oid(i: u32) -> ObjectId {
+    ObjectId::new(i)
+}
+
+fn bench_dcas(c: &mut Criterion) {
+    let mut b = ProgramBuilder::new("dcas");
+    let fail = b.fresh_label();
+    b.read(oid(0), 0)
+        .read(oid(1), 1)
+        .jump_if(reg(0), CmpOp::Ne, arg(0), fail)
+        .jump_if(reg(1), CmpOp::Ne, arg(1), fail)
+        .write(oid(0), arg(2))
+        .write(oid(1), arg(3))
+        .ret(vec![imm(1)]);
+    b.bind(fail);
+    b.ret(vec![imm(0)]);
+    let p = b.build().unwrap();
+    c.bench_function("interpreter/dcas_success", |b| {
+        b.iter(|| {
+            let mut ctx = VecContext::new(2);
+            let out = execute(&p, &[0, 0, 5, 7], &mut ctx, DEFAULT_FUEL).unwrap();
+            assert_eq!(out.outputs, vec![1]);
+        })
+    });
+}
+
+fn bench_sum16(c: &mut Criterion) {
+    let mut b = ProgramBuilder::new("sum16");
+    b.mov(0, imm(0));
+    for i in 0..16u32 {
+        b.read(oid(i), 1).add(0, reg(0), reg(1));
+    }
+    b.ret(vec![reg(0)]);
+    let p = b.build().unwrap();
+    let values: Vec<i64> = (0..16).collect();
+    c.bench_function("interpreter/sum16", |b| {
+        b.iter(|| {
+            let mut ctx = VecContext {
+                values: values.clone(),
+            };
+            let out = execute(&p, &[], &mut ctx, DEFAULT_FUEL).unwrap();
+            assert_eq!(out.outputs, vec![120]);
+        })
+    });
+}
+
+fn bench_loop(c: &mut Criterion) {
+    // Tight loop of 1000 iterations: raw instruction dispatch rate.
+    let mut b = ProgramBuilder::new("loop1000");
+    let top = b.fresh_label();
+    let done = b.fresh_label();
+    b.mov(0, imm(0));
+    b.bind(top);
+    b.jump_if(reg(0), CmpOp::Ge, imm(1_000), done)
+        .add(0, reg(0), imm(1))
+        .jump(top);
+    b.bind(done);
+    b.ret(vec![reg(0)]);
+    let p = b.build().unwrap();
+    c.bench_function("interpreter/loop1000", |b| {
+        b.iter(|| {
+            let out = execute(&p, &[], &mut VecContext::new(0), DEFAULT_FUEL).unwrap();
+            assert_eq!(out.outputs, vec![1_000]);
+        })
+    });
+}
+
+criterion_group!(benches, bench_dcas, bench_sum16, bench_loop);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion benches for full protocol simulations: wall-clock cost of one
+//! simulated workload per protocol (throughput of the whole stack —
+//! simulator, broadcast, replica, interpreter, recorder).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use moc_bench::run_protocol;
+use moc_protocol::{AggregateOverSequencer, MlinOverSequencer, MscOverSequencer};
+
+fn bench_protocol_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_sim_run/4x20ops");
+    group.bench_function(BenchmarkId::from_parameter("msc"), |b| {
+        b.iter(|| run_protocol::<MscOverSequencer>(4, 20, 0.5, 5))
+    });
+    group.bench_function(BenchmarkId::from_parameter("mlin"), |b| {
+        b.iter(|| run_protocol::<MlinOverSequencer>(4, 20, 0.5, 5))
+    });
+    group.bench_function(BenchmarkId::from_parameter("aggregate"), |b| {
+        b.iter(|| run_protocol::<AggregateOverSequencer>(4, 20, 0.5, 5))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_runs);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Regenerates every experiment table recorded in EXPERIMENTS.md.
+//!
+//! Run with: `cargo run --release -p moc-bench --bin paper_experiments`
+//!
+//! Pass `--quick` for a reduced parameter grid (used in CI and smoke runs).
+
+use moc_bench::{
+    experiment_abcast, experiment_baseline, experiment_checker_scaling,
+    experiment_condition_spectrum, experiment_fast_vs_brute, experiment_memo_ablation,
+    experiment_model_checking, experiment_query_cost, experiment_query_scope,
+    experiment_validation,
+};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let seed = 20260706;
+
+    println!("multiobj paper experiments (Mittal & Garg 1998)");
+    println!("================================================\n");
+
+    if quick {
+        println!("{}", experiment_validation(seed));
+        println!("{}", experiment_query_cost(&[2, 4], 8, seed));
+        println!("{}", experiment_baseline(&[0.1, 0.9], 8, seed));
+        println!("{}", experiment_checker_scaling(&[2, 4, 6]));
+        println!("{}", experiment_fast_vs_brute(&[4, 8], seed));
+        println!("{}", experiment_query_scope(&[4, 16], seed));
+        println!("{}", experiment_abcast(&[2, 4], 8, seed));
+        println!("{}", experiment_memo_ablation(&[2, 4, 6]));
+        println!("{}", experiment_condition_spectrum(5));
+        println!("{}", experiment_model_checking());
+    } else {
+        println!("{}", experiment_validation(seed));
+        println!("{}", experiment_query_cost(&[2, 4, 8, 16], 15, seed));
+        println!(
+            "{}",
+            experiment_baseline(&[0.1, 0.3, 0.5, 0.7, 0.9], 15, seed)
+        );
+        println!("{}", experiment_checker_scaling(&[2, 4, 6, 8, 9]));
+        println!("{}", experiment_fast_vs_brute(&[5, 10, 20, 40], seed));
+        println!("{}", experiment_query_scope(&[4, 8, 16, 32, 64], seed));
+        println!("{}", experiment_abcast(&[2, 4, 8, 16], 15, seed));
+        println!("{}", experiment_memo_ablation(&[2, 4, 6, 8]));
+        println!("{}", experiment_condition_spectrum(20));
+        println!("{}", experiment_model_checking());
+    }
+}

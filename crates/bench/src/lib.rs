@@ -1,0 +1,643 @@
+//! # moc-bench
+//!
+//! The experiment harness behind EXPERIMENTS.md: each function regenerates
+//! one of the paper-derived tables (experiments E4, E5, E10, E11 and the
+//! query-scope optimization of Section 5.2) as a formatted [`Table`].
+//!
+//! `cargo run -p moc-bench --bin paper_experiments` prints every table;
+//! the Criterion benches in `benches/` cover the wall-clock
+//! micro-benchmarks (checker, interpreter, broadcast, simulator).
+
+use std::fmt;
+use std::time::Instant;
+
+use moc_checker::admissible::{find_legal_extension, SearchLimits, SearchOutcome};
+use moc_checker::fast::check_under_constraint;
+use moc_core::constraints::Constraint;
+use moc_core::mop::MOpClass;
+use moc_core::relations::{process_order, reads_from, real_time};
+use moc_protocol::{
+    run_cluster, AggregateOverSequencer, ClusterConfig, MlinOverSequencer,
+    MlinRelevantOverSequencer, MscOverIsis, MscOverSequencer, ReplicaProtocol, RunReport,
+};
+use moc_sim::{DelayModel, NetworkConfig};
+use moc_workload::histories::concurrent_writers_history;
+use moc_workload::{scripts, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A printable experiment table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        writeln!(f, "## {}", self.title)?;
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        writeln!(f, "{}", fmt_row(&self.headers))?;
+        writeln!(
+            f,
+            "{}",
+            widths
+                .iter()
+                .map(|w| "-".repeat(*w))
+                .collect::<Vec<_>>()
+                .join("  ")
+        )?;
+        for row in &self.rows {
+            writeln!(f, "{}", fmt_row(row))?;
+        }
+        Ok(())
+    }
+}
+
+fn us(ns: f64) -> String {
+    format!("{:.1}", ns / 1_000.0)
+}
+
+/// Runs one protocol over a standard randomized workload.
+pub fn run_protocol<R: ReplicaProtocol + 'static>(
+    processes: usize,
+    ops_per_process: usize,
+    update_fraction: f64,
+    seed: u64,
+) -> RunReport {
+    let spec = WorkloadSpec {
+        processes,
+        ops_per_process,
+        num_objects: 8,
+        update_fraction,
+        max_span: 3,
+        hot_fraction: 0.5,
+        hot_objects: 2,
+        think_ns: 500,
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let s = scripts(&spec, &mut rng);
+    let config = ClusterConfig::new(spec.num_objects, seed).with_network(
+        NetworkConfig::with_delay(DelayModel::Uniform {
+            lo: 1_000,
+            hi: 10_000,
+        }),
+    );
+    run_cluster::<R>(&config, s)
+}
+
+/// E11 — per-class response time and message cost as the cluster grows.
+/// Shape to reproduce: msc queries are local (flat, ~0); mlin queries pay a
+/// round trip that grows with message delay; update latencies are similar
+/// for both (one atomic broadcast); the aggregate baseline's queries cost
+/// as much as updates.
+pub fn experiment_query_cost(ns: &[usize], ops_per_process: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        "E11: response time by class (virtual µs) and messages per op",
+        &["n", "protocol", "query µs", "update µs", "msgs/op"],
+    );
+    for &n in ns {
+        let mut add = |report: RunReport| {
+            let ops = report.history.len() as f64;
+            t.row(vec![
+                n.to_string(),
+                report.protocol.to_string(),
+                report
+                    .mean_latency(MOpClass::Query)
+                    .map(us)
+                    .unwrap_or_else(|| "-".into()),
+                report
+                    .mean_latency(MOpClass::Update)
+                    .map(us)
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.1}", report.total_messages() as f64 / ops),
+            ]);
+        };
+        add(run_protocol::<MscOverSequencer>(
+            n,
+            ops_per_process,
+            0.5,
+            seed,
+        ));
+        add(run_protocol::<MlinOverSequencer>(
+            n,
+            ops_per_process,
+            0.5,
+            seed,
+        ));
+        add(run_protocol::<AggregateOverSequencer>(
+            n,
+            ops_per_process,
+            0.5,
+            seed,
+        ));
+    }
+    t
+}
+
+/// E10 — the aggregate-object strawman vs the multi-object protocols as
+/// the query fraction grows. Shape: the query-heavier the workload, the
+/// larger aggregate's penalty (its queries still pay a broadcast), while
+/// msc's mean latency falls toward zero.
+pub fn experiment_baseline(query_fracs: &[f64], ops_per_process: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        "E10: aggregate-object baseline vs multi-object protocols (n = 4)",
+        &["query frac", "protocol", "mean op µs", "msgs/op"],
+    );
+    for &qf in query_fracs {
+        let uf = 1.0 - qf;
+        let mut add = |report: RunReport| {
+            let ops = report.history.len() as f64;
+            let mean: f64 = report.latencies.iter().map(|&(_, l)| l as f64).sum::<f64>() / ops;
+            t.row(vec![
+                format!("{qf:.1}"),
+                report.protocol.to_string(),
+                us(mean),
+                format!("{:.1}", report.total_messages() as f64 / ops),
+            ]);
+        };
+        add(run_protocol::<MscOverSequencer>(
+            4,
+            ops_per_process,
+            uf,
+            seed,
+        ));
+        add(run_protocol::<MlinOverSequencer>(
+            4,
+            ops_per_process,
+            uf,
+            seed,
+        ));
+        add(run_protocol::<AggregateOverSequencer>(
+            4,
+            ops_per_process,
+            uf,
+            seed,
+        ));
+    }
+    t
+}
+
+/// E4 — brute-force verification cost on the adversarial
+/// concurrent-writers family (Theorems 1 and 2 in action). Shape: nodes
+/// explored grow combinatorially with k; the wall time follows.
+pub fn experiment_checker_scaling(ks: &[usize]) -> Table {
+    let mut t = Table::new(
+        "E4: brute-force admissibility search on k writers + k readers",
+        &["k", "m-ops", "nodes explored", "wall ms", "admissible"],
+    );
+    for &k in ks {
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let h = concurrent_writers_history(k, 3, &mut rng);
+        let rel = process_order(&h).union(&reads_from(&h));
+        let start = Instant::now();
+        let (outcome, stats) =
+            find_legal_extension(&h, &rel, SearchLimits::with_max_nodes(20_000_000));
+        let elapsed = start.elapsed().as_secs_f64() * 1_000.0;
+        t.row(vec![
+            k.to_string(),
+            h.len().to_string(),
+            stats.nodes.to_string(),
+            format!("{elapsed:.2}"),
+            match outcome {
+                SearchOutcome::Admissible(_) => "yes".into(),
+                SearchOutcome::NotAdmissible => "no".into(),
+                SearchOutcome::LimitExceeded => "budget".into(),
+            },
+        ]);
+    }
+    t
+}
+
+/// E5 — the Theorem 7 polynomial path vs brute force on protocol-generated
+/// histories. Shape: the fast path scales smoothly with history size; the
+/// brute force (without the ~ww hint) blows up and is skipped beyond small
+/// sizes.
+pub fn experiment_fast_vs_brute(sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "E5: Theorem 7 fast path vs brute-force search (msc histories)",
+        &["m-ops", "fast ms", "brute ms", "brute nodes"],
+    );
+    for &ops_per_process in sizes {
+        let report = run_protocol::<MscOverSequencer>(4, ops_per_process, 0.6, seed);
+        let rel = report.ww_relation();
+        let start = Instant::now();
+        let fast = check_under_constraint(&report.history, &rel, Constraint::Ww)
+            .expect("protocol history is under WW");
+        let fast_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        assert!(fast.is_admissible());
+
+        // Brute force on the *plain* relation (no ~ww) — the verification
+        // problem the paper proves NP-complete. Cap the budget.
+        let plain = process_order(&report.history).union(&reads_from(&report.history));
+        let start = Instant::now();
+        let (outcome, stats) = find_legal_extension(
+            &report.history,
+            &plain,
+            SearchLimits::with_max_nodes(3_000_000),
+        );
+        let brute_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        t.row(vec![
+            report.history.len().to_string(),
+            format!("{fast_ms:.2}"),
+            match outcome {
+                SearchOutcome::LimitExceeded => format!(">{brute_ms:.0} (budget)"),
+                _ => format!("{brute_ms:.2}"),
+            },
+            stats.nodes.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Section 5.2's closing remark — query responses carrying only the
+/// relevant objects. Shape: Full ships the whole universe per response;
+/// Relevant ships only what the query reads, independent of universe size.
+pub fn experiment_query_scope(universe_sizes: &[usize], seed: u64) -> Table {
+    let mut t = Table::new(
+        "Query-scope optimization: values shipped per query response",
+        &["objects", "protocol", "values/query-response"],
+    );
+    for &num_objects in universe_sizes {
+        let spec = WorkloadSpec {
+            processes: 4,
+            ops_per_process: 12,
+            num_objects,
+            update_fraction: 0.3,
+            max_span: 2,
+            ..WorkloadSpec::default()
+        };
+        let mut add = |report: RunReport| {
+            let values: u64 = report
+                .replica_metrics
+                .iter()
+                .map(|m| m.query_values_sent)
+                .sum();
+            let queries: u64 = report
+                .replica_metrics
+                .iter()
+                .map(|m| m.queries_completed)
+                .sum();
+            let responses = queries * report.replica_metrics.len() as u64;
+            t.row(vec![
+                num_objects.to_string(),
+                report.protocol.to_string(),
+                if responses == 0 {
+                    "-".into()
+                } else {
+                    format!("{:.1}", values as f64 / responses as f64)
+                },
+            ]);
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = scripts(&spec, &mut rng);
+        let config = ClusterConfig::new(num_objects, seed);
+        add(run_cluster::<MlinOverSequencer>(&config, s.clone()));
+        add(run_cluster::<MlinRelevantOverSequencer>(&config, s));
+    }
+    t
+}
+
+/// Broadcast substrate comparison: messages per delivered update and
+/// update latency, sequencer vs ISIS. Shape: the sequencer uses ~(n+1)
+/// messages per update and two hops; ISIS uses ~3n messages and three
+/// hops, so its update latency is higher.
+pub fn experiment_abcast(ns: &[usize], ops_per_process: usize, seed: u64) -> Table {
+    let mut t = Table::new(
+        "Atomic broadcast cost under the msc protocol (updates only)",
+        &["n", "abcast", "update µs", "msgs/update"],
+    );
+    for &n in ns {
+        let mut add = |report: RunReport, name: &str| {
+            let updates = report
+                .latencies
+                .iter()
+                .filter(|(c, _)| *c == MOpClass::Update)
+                .count() as f64;
+            t.row(vec![
+                n.to_string(),
+                name.to_string(),
+                report
+                    .mean_latency(MOpClass::Update)
+                    .map(us)
+                    .unwrap_or_else(|| "-".into()),
+                format!("{:.1}", report.total_messages() as f64 / updates),
+            ]);
+        };
+        add(
+            run_protocol::<MscOverSequencer>(n, ops_per_process, 1.0, seed),
+            "sequencer",
+        );
+        add(
+            run_protocol::<MscOverIsis>(n, ops_per_process, 1.0, seed),
+            "isis",
+        );
+    }
+    t
+}
+
+/// Ablation — the searcher's configuration memoization. Shape: identical
+/// verdicts, with the memo pruning a growing share of the explored nodes
+/// as instances get harder.
+pub fn experiment_memo_ablation(ks: &[usize]) -> Table {
+    let mut t = Table::new(
+        "Ablation: configuration memoization in the brute-force search",
+        &[
+            "k",
+            "nodes (memo)",
+            "nodes (no memo)",
+            "memo hits",
+            "speedup",
+        ],
+    );
+    for &k in ks {
+        let mut rng = StdRng::seed_from_u64(k as u64 + 100);
+        let h = concurrent_writers_history(k, 3, &mut rng);
+        let rel = process_order(&h).union(&reads_from(&h));
+        let limits = SearchLimits::with_max_nodes(50_000_000);
+        let (a, s1) = find_legal_extension(&h, &rel, limits);
+        let (b, s2) = find_legal_extension(&h, &rel, limits.without_memo());
+        assert_eq!(a.is_admissible(), b.is_admissible());
+        t.row(vec![
+            k.to_string(),
+            s1.nodes.to_string(),
+            s2.nodes.to_string(),
+            s1.memo_hits.to_string(),
+            format!("{:.1}x", s2.nodes as f64 / s1.nodes.max(1) as f64),
+        ]);
+    }
+    t
+}
+
+/// The condition spectrum: over many seeds, how often do the protocols'
+/// histories satisfy each condition? Shape (the paper's separations):
+/// msc histories are always m-SC but only sometimes m-linearizable; mlin
+/// histories satisfy all three; m-normality sits between.
+pub fn experiment_condition_spectrum(seeds: u64) -> Table {
+    use moc_checker::causal::check_m_causal;
+    use moc_checker::conditions::{check, Condition, Strategy};
+    let mut t = Table::new(
+        "Condition spectrum: fraction of runs satisfying each condition",
+        &[
+            "protocol",
+            "m-causal",
+            "m-seq-consistent",
+            "m-normal",
+            "m-linearizable",
+        ],
+    );
+    let conditions = [
+        Condition::MSequentialConsistency,
+        Condition::MNormality,
+        Condition::MLinearizability,
+    ];
+    let tally = |reports: Vec<RunReport>, name: &str, t: &mut Table| {
+        let mut counts = [0u64; 3];
+        let mut causal_count = 0u64;
+        let total = reports.len() as u64;
+        for report in reports {
+            if check_m_causal(&report.history, SearchLimits::default())
+                .map(|r| r.satisfied)
+                .unwrap_or(false)
+            {
+                causal_count += 1;
+            }
+            for (i, c) in conditions.iter().enumerate() {
+                if check(&report.history, *c, Strategy::Auto)
+                    .map(|r| r.satisfied)
+                    .unwrap_or(false)
+                {
+                    counts[i] += 1;
+                }
+            }
+        }
+        t.row(vec![
+            name.to_string(),
+            format!("{causal_count}/{total}"),
+            format!("{}/{}", counts[0], total),
+            format!("{}/{}", counts[1], total),
+            format!("{}/{}", counts[2], total),
+        ]);
+    };
+    tally(
+        (0..seeds)
+            .map(|s| run_protocol::<MscOverSequencer>(3, 5, 0.4, s))
+            .collect(),
+        "msc",
+        &mut t,
+    );
+    tally(
+        (0..seeds)
+            .map(|s| run_protocol::<MlinOverSequencer>(3, 5, 0.4, s))
+            .collect(),
+        "mlin",
+        &mut t,
+    );
+    t
+}
+
+/// Exhaustive verification: every message interleaving of small
+/// configurations, checked against the protocol's condition (and against
+/// the stronger condition for msc, where counterexamples are expected).
+pub fn experiment_model_checking() -> Table {
+    use moc_checker::conditions::Condition;
+    use moc_core::ids::ObjectId;
+    use moc_core::program::{imm, reg, ProgramBuilder};
+    use moc_mc::{explore, ExploreLimits};
+    use moc_protocol::OpSpec;
+    use std::sync::Arc;
+
+    let wx = |v: i64| {
+        let mut b = ProgramBuilder::new(format!("w{v}"));
+        b.write(ObjectId::new(0), imm(v)).ret(vec![]);
+        OpSpec::new(Arc::new(b.build().expect("valid")), vec![])
+    };
+    let rx = || {
+        let mut b = ProgramBuilder::new("rx");
+        b.read(ObjectId::new(0), 0).ret(vec![reg(0)]);
+        OpSpec::new(Arc::new(b.build().expect("valid")), vec![])
+    };
+
+    let mut t = Table::new(
+        "Exhaustive schedule exploration (all interleavings, small configs)",
+        &[
+            "protocol",
+            "condition",
+            "schedules",
+            "violations",
+            "expected",
+        ],
+    );
+    let mut add = |name: &str,
+                   condition: Condition,
+                   expected_violations: bool,
+                   result: moc_mc::ExploreResult| {
+        t.row(vec![
+            name.to_string(),
+            condition.to_string(),
+            format!(
+                "{}{}",
+                result.schedules,
+                if result.truncated { "+ (cap)" } else { "" }
+            ),
+            result.violations.len().to_string(),
+            if expected_violations {
+                "violations (protocol too weak)".into()
+            } else {
+                "none".into()
+            },
+        ]);
+    };
+    add(
+        "msc",
+        Condition::MSequentialConsistency,
+        false,
+        explore::<MscOverSequencer>(
+            1,
+            vec![vec![wx(1), rx()], vec![wx(2), rx()]],
+            Condition::MSequentialConsistency,
+            ExploreLimits::default(),
+        ),
+    );
+    add(
+        "msc",
+        Condition::MLinearizability,
+        true,
+        explore::<MscOverSequencer>(
+            1,
+            vec![vec![wx(1)], vec![rx()]],
+            Condition::MLinearizability,
+            ExploreLimits::default(),
+        ),
+    );
+    add(
+        "mlin",
+        Condition::MLinearizability,
+        false,
+        explore::<MlinOverSequencer>(
+            1,
+            vec![vec![wx(1)], vec![rx(), rx()]],
+            Condition::MLinearizability,
+            ExploreLimits::default(),
+        ),
+    );
+    t
+}
+
+/// End-to-end verification that every experiment's protocol runs satisfy
+/// their conditions — printed as a PASS table so the experiment output is
+/// self-validating.
+pub fn experiment_validation(seed: u64) -> Table {
+    use moc_checker::conditions::Condition;
+    let mut t = Table::new(
+        "Validation: protocol executions vs their consistency conditions",
+        &["protocol", "condition", "m-ops", "verdict"],
+    );
+    let mut add = |report: RunReport, condition: Condition, with_rt: bool| {
+        let mut rel = report.ww_relation();
+        if with_rt {
+            rel = rel.union(&real_time(&report.history));
+        }
+        let verdict = check_under_constraint(&report.history, &rel, Constraint::Ww)
+            .map(|o| if o.is_admissible() { "PASS" } else { "FAIL" })
+            .unwrap_or("ERROR");
+        t.row(vec![
+            report.protocol.to_string(),
+            condition.to_string(),
+            report.history.len().to_string(),
+            verdict.to_string(),
+        ]);
+    };
+    add(
+        run_protocol::<MscOverSequencer>(4, 12, 0.5, seed),
+        moc_checker::Condition::MSequentialConsistency,
+        false,
+    );
+    add(
+        run_protocol::<MlinOverSequencer>(4, 12, 0.5, seed),
+        moc_checker::Condition::MLinearizability,
+        true,
+    );
+    add(
+        run_protocol::<AggregateOverSequencer>(4, 12, 0.5, seed),
+        moc_checker::Condition::MLinearizability,
+        true,
+    );
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_render() {
+        let mut t = Table::new("demo", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.to_string();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("a  bb"));
+    }
+
+    #[test]
+    fn small_experiments_run() {
+        let t = experiment_query_cost(&[2], 3, 1);
+        assert_eq!(t.rows.len(), 3);
+        let t = experiment_checker_scaling(&[2, 3]);
+        assert_eq!(t.rows.len(), 2);
+        let t = experiment_query_scope(&[4], 1);
+        assert_eq!(t.rows.len(), 2);
+        let t = experiment_validation(1);
+        assert!(t.rows.iter().all(|r| r[3] == "PASS"));
+        let t = experiment_memo_ablation(&[2, 3]);
+        assert_eq!(t.rows.len(), 2);
+        let t = experiment_condition_spectrum(2);
+        assert_eq!(t.rows.len(), 2);
+        let t = experiment_model_checking();
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.rows[0][3], "0");
+        assert_ne!(t.rows[1][3], "0");
+        assert_eq!(t.rows[2][3], "0");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn mismatched_rows_rejected() {
+        let mut t = Table::new("demo", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,23 @@
+//! Thin entry point for the `moc` tool; all logic lives in `moc_cli`.
+
+use std::io::Read;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    // Read stdin only when a command actually references it.
+    let needs_stdin = raw.iter().any(|a| a == "-");
+    let mut stdin = String::new();
+    if needs_stdin {
+        if let Err(e) = std::io::stdin().read_to_string(&mut stdin) {
+            eprintln!("error: cannot read stdin: {e}");
+            std::process::exit(2);
+        }
+    }
+    match moc_cli::dispatch(&raw, &stdin) {
+        Ok(out) => print!("{out}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,374 @@
+//! A line-based text format for histories, so executions can be saved,
+//! diffed, shipped in bug reports, and re-checked by the `moc` CLI.
+//!
+//! ```text
+//! history v1
+//! objects 2
+//! mop P0#0 inv=0 resp=10 class=update label=wx
+//!   w o0 1 @1
+//! mop P1#0 inv=20 resp=30 class=query label=rx
+//!   r o0 1 from=P0#0 @1
+//! end
+//! ```
+//!
+//! * one `mop` header per m-operation, indented operation lines below it;
+//! * objects are `o<index>`; writers are `P<process>#<seq>` or `init`;
+//! * `@<version>` is the object version read/established.
+//!
+//! [`to_text`] and [`from_text`] round-trip exactly ([`History`] equality
+//! up to record order is preserved because order is kept verbatim).
+
+use std::fmt::Write as _;
+
+use crate::error::CoreError;
+use crate::history::History;
+use crate::ids::{MOpId, ObjectId, ProcessId};
+use crate::mop::{EventTime, MOpClass, MOpRecord};
+use crate::op::{CompletedOp, OpKind};
+
+/// Errors produced while parsing the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The header line is missing or names an unsupported version.
+    BadHeader(String),
+    /// A line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The reconstructed history failed validation.
+    Invalid(CoreError),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadHeader(h) => write!(f, "bad header: {h:?}"),
+            CodecError::BadLine { line, reason } => write!(f, "line {line}: {reason}"),
+            CodecError::Invalid(e) => write!(f, "invalid history: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Serializes a history to the text format.
+pub fn to_text(h: &History) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "history v1");
+    let _ = writeln!(out, "objects {}", h.num_objects());
+    for rec in h.records() {
+        let _ = writeln!(
+            out,
+            "mop {} inv={} resp={} class={} label={}",
+            rec.id,
+            rec.invoked_at.as_nanos(),
+            rec.responded_at.as_nanos(),
+            rec.treated_as,
+            escape(&rec.label),
+        );
+        for op in &rec.ops {
+            match op.kind {
+                OpKind::Write => {
+                    let _ = writeln!(
+                        out,
+                        "  w o{} {} @{}",
+                        op.object.index(),
+                        op.value,
+                        op.version
+                    );
+                }
+                OpKind::Read => {
+                    let _ = writeln!(
+                        out,
+                        "  r o{} {} from={} @{}",
+                        op.object.index(),
+                        op.value,
+                        op.writer,
+                        op.version
+                    );
+                }
+            }
+        }
+        if !rec.outputs.is_empty() {
+            let outputs: Vec<String> = rec.outputs.iter().map(|v| v.to_string()).collect();
+            let _ = writeln!(out, "  outputs {}", outputs.join(" "));
+        }
+    }
+    let _ = writeln!(out, "end");
+    out
+}
+
+fn escape(s: &str) -> String {
+    if s.is_empty() {
+        "-".to_string()
+    } else {
+        s.replace(' ', "_")
+    }
+}
+
+fn unescape(s: &str) -> String {
+    if s == "-" {
+        String::new()
+    } else {
+        s.replace('_', " ")
+    }
+}
+
+fn parse_mop_id(s: &str, line: usize) -> Result<MOpId, CodecError> {
+    if s == "init" {
+        return Ok(MOpId::INITIAL);
+    }
+    let bad = || CodecError::BadLine {
+        line,
+        reason: format!("bad m-operation id {s:?}"),
+    };
+    let rest = s.strip_prefix('P').ok_or_else(bad)?;
+    let (p, q) = rest.split_once('#').ok_or_else(bad)?;
+    Ok(MOpId::new(
+        ProcessId::new(p.parse().map_err(|_| bad())?),
+        q.parse().map_err(|_| bad())?,
+    ))
+}
+
+fn parse_object(s: &str, line: usize) -> Result<ObjectId, CodecError> {
+    let bad = || CodecError::BadLine {
+        line,
+        reason: format!("bad object {s:?}"),
+    };
+    let idx = s.strip_prefix('o').ok_or_else(bad)?;
+    Ok(ObjectId::new(idx.parse().map_err(|_| bad())?))
+}
+
+fn parse_kv<'a>(tok: &'a str, key: &str, line: usize) -> Result<&'a str, CodecError> {
+    tok.strip_prefix(key)
+        .and_then(|t| t.strip_prefix('='))
+        .ok_or(CodecError::BadLine {
+            line,
+            reason: format!("expected {key}=…, got {tok:?}"),
+        })
+}
+
+/// Parses a history from the text format.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] on malformed input or if the reconstructed
+/// history fails [`History::new`] validation.
+pub fn from_text(text: &str) -> Result<History, CodecError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(CodecError::BadHeader("empty".into()))?;
+    if header.trim() != "history v1" {
+        return Err(CodecError::BadHeader(header.to_string()));
+    }
+    let (ln, objects_line) = lines
+        .next()
+        .ok_or(CodecError::BadHeader("missing objects line".into()))?;
+    let num_objects: usize = objects_line
+        .trim()
+        .strip_prefix("objects ")
+        .and_then(|s| s.parse().ok())
+        .ok_or(CodecError::BadLine {
+            line: ln + 1,
+            reason: "expected `objects <n>`".into(),
+        })?;
+
+    let mut records: Vec<MOpRecord> = Vec::new();
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        let line = raw.trim_end();
+        let trimmed = line.trim_start();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "end" {
+            break;
+        }
+        let toks: Vec<&str> = trimmed.split_whitespace().collect();
+        match toks[0] {
+            "mop" => {
+                if toks.len() != 6 {
+                    return Err(CodecError::BadLine {
+                        line: line_no,
+                        reason: "mop header needs 6 tokens".into(),
+                    });
+                }
+                let id = parse_mop_id(toks[1], line_no)?;
+                let inv: u64 = parse_kv(toks[2], "inv", line_no)?.parse().map_err(|_| {
+                    CodecError::BadLine {
+                        line: line_no,
+                        reason: "bad inv time".into(),
+                    }
+                })?;
+                let resp: u64 = parse_kv(toks[3], "resp", line_no)?.parse().map_err(|_| {
+                    CodecError::BadLine {
+                        line: line_no,
+                        reason: "bad resp time".into(),
+                    }
+                })?;
+                let class = match parse_kv(toks[4], "class", line_no)? {
+                    "update" => MOpClass::Update,
+                    "query" => MOpClass::Query,
+                    other => {
+                        return Err(CodecError::BadLine {
+                            line: line_no,
+                            reason: format!("bad class {other:?}"),
+                        })
+                    }
+                };
+                let label = unescape(parse_kv(toks[5], "label", line_no)?);
+                records.push(MOpRecord {
+                    id,
+                    invoked_at: EventTime::from_nanos(inv),
+                    responded_at: EventTime::from_nanos(resp),
+                    ops: Vec::new(),
+                    outputs: Vec::new(),
+                    treated_as: class,
+                    label,
+                });
+            }
+            "w" | "r" => {
+                let rec = records.last_mut().ok_or(CodecError::BadLine {
+                    line: line_no,
+                    reason: "operation before any mop header".into(),
+                })?;
+                let object = parse_object(toks[1], line_no)?;
+                let value: i64 =
+                    toks.get(2)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or(CodecError::BadLine {
+                            line: line_no,
+                            reason: "bad value".into(),
+                        })?;
+                if toks[0] == "w" {
+                    let version = parse_version(toks.get(3), line_no)?;
+                    rec.ops
+                        .push(CompletedOp::write(object, value, rec.id, version));
+                } else {
+                    let writer = parse_mop_id(parse_kv(toks[3], "from", line_no)?, line_no)?;
+                    let version = parse_version(toks.get(4), line_no)?;
+                    rec.ops
+                        .push(CompletedOp::read(object, value, writer, version));
+                }
+            }
+            "outputs" => {
+                let rec = records.last_mut().ok_or(CodecError::BadLine {
+                    line: line_no,
+                    reason: "outputs before any mop header".into(),
+                })?;
+                rec.outputs = toks[1..]
+                    .iter()
+                    .map(|s| s.parse())
+                    .collect::<Result<_, _>>()
+                    .map_err(|_| CodecError::BadLine {
+                        line: line_no,
+                        reason: "bad output value".into(),
+                    })?;
+            }
+            other => {
+                return Err(CodecError::BadLine {
+                    line: line_no,
+                    reason: format!("unknown directive {other:?}"),
+                })
+            }
+        }
+    }
+    History::new(num_objects, records).map_err(CodecError::Invalid)
+}
+
+fn parse_version(tok: Option<&&str>, line: usize) -> Result<u64, CodecError> {
+    let tok = tok.ok_or(CodecError::BadLine {
+        line,
+        reason: "missing @version".into(),
+    })?;
+    tok.strip_prefix('@')
+        .and_then(|v| v.parse().ok())
+        .ok_or(CodecError::BadLine {
+            line,
+            reason: format!("bad version {tok:?}"),
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+
+    fn sample() -> History {
+        let x = ObjectId::new(0);
+        let y = ObjectId::new(1);
+        let mut b = HistoryBuilder::new(2);
+        let w = b
+            .mop(ProcessId::new(0))
+            .at(0, 10)
+            .write(x, 1)
+            .write(y, 2)
+            .label("with space")
+            .outputs(vec![7, -3])
+            .finish();
+        b.mop(ProcessId::new(1))
+            .at(20, 30)
+            .read_from(x, 1, w)
+            .read_init(y)
+            .finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let h = sample();
+        let text = to_text(&h);
+        let h2 = from_text(&text).unwrap();
+        assert_eq!(h.records(), h2.records());
+        assert_eq!(h.num_objects(), h2.num_objects());
+        // And the text is stable.
+        assert_eq!(text, to_text(&h2));
+    }
+
+    #[test]
+    fn format_looks_as_documented() {
+        let text = to_text(&sample());
+        assert!(text.starts_with("history v1\nobjects 2\n"));
+        assert!(text.contains("mop P0#0 inv=0 resp=10 class=update label=with_space"));
+        assert!(text.contains("  w o0 1 @0"));
+        assert!(text.contains("  r o1 0 from=init @0"));
+        assert!(text.contains("  outputs 7 -3"));
+        assert!(text.trim_end().ends_with("end"));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(from_text(""), Err(CodecError::BadHeader(_))));
+        assert!(matches!(
+            from_text("history v9\nobjects 1\nend\n"),
+            Err(CodecError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let bad = "history v1\nobjects 1\nmop nonsense\nend\n";
+        assert!(matches!(from_text(bad), Err(CodecError::BadLine { .. })));
+        let bad = "history v1\nobjects 1\n  w o0 1 @1\nend\n";
+        assert!(matches!(from_text(bad), Err(CodecError::BadLine { .. })));
+        let bad = "history v1\nobjects 1\nwhat o0\nend\n";
+        assert!(matches!(from_text(bad), Err(CodecError::BadLine { .. })));
+    }
+
+    #[test]
+    fn rejects_semantically_invalid_histories() {
+        // Reads from a writer that does not exist.
+        let bad = "history v1\nobjects 1\nmop P0#0 inv=0 resp=10 class=query label=-\n  r o0 1 from=P9#9 @1\nend\n";
+        assert!(matches!(from_text(bad), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn empty_history_round_trips() {
+        let h = HistoryBuilder::new(3).build().unwrap();
+        let h2 = from_text(&to_text(&h)).unwrap();
+        assert_eq!(h2.len(), 0);
+        assert_eq!(h2.num_objects(), 3);
+    }
+}

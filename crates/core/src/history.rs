@@ -1,0 +1,585 @@
+//! Execution histories.
+//!
+//! A history models an execution of the concurrent system: a set of executed
+//! m-operations together with the real-time placement of their invocation
+//! and response events (Section 2.2). All histories are *well-formed*: each
+//! process subhistory is sequential (P 4.2). [`History::new`] validates
+//! this, along with referential integrity of the recorded reads-from
+//! provenance.
+
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::CoreError;
+use crate::ids::{MOpId, ObjectId, ProcessId};
+use crate::mop::{EventTime, MOpRecord, MOpRecordBuilder};
+use crate::op::CompletedOp;
+use crate::value::Value;
+
+/// Dense index of an m-operation within a [`History`].
+///
+/// All relation machinery ([`crate::relations::Relation`]) works over these
+/// indices rather than [`MOpId`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MOpIdx(pub usize);
+
+impl MOpIdx {
+    /// The underlying index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MOpIdx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Cached per-record derived data.
+#[derive(Debug, Clone)]
+struct RecordMeta {
+    objects: BTreeSet<ObjectId>,
+    wobjects: BTreeSet<ObjectId>,
+    /// External reads resolved to history indices: `(object, writer)` where
+    /// `writer = None` denotes the imaginary initial m-operation.
+    read_sources: Vec<(ObjectId, Option<MOpIdx>)>,
+}
+
+/// A validated, well-formed execution history.
+#[derive(Debug, Clone)]
+pub struct History {
+    num_objects: usize,
+    records: Vec<MOpRecord>,
+    by_id: HashMap<MOpId, MOpIdx>,
+    meta: Vec<RecordMeta>,
+    /// For each object, the m-operations that write it (final writes).
+    writers: Vec<Vec<MOpIdx>>,
+    by_process: HashMap<ProcessId, Vec<MOpIdx>>,
+}
+
+impl History {
+    /// Validates `records` and builds a history over `num_objects` objects.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CoreError`] if any record references an out-of-range
+    /// object, ids collide, a process subhistory is not sequential, a
+    /// response precedes its invocation, or a read's recorded writer does
+    /// not exist / never writes the object read.
+    pub fn new(num_objects: usize, records: Vec<MOpRecord>) -> Result<Self, CoreError> {
+        let mut by_id = HashMap::with_capacity(records.len());
+        for (i, rec) in records.iter().enumerate() {
+            if by_id.insert(rec.id, MOpIdx(i)).is_some() {
+                return Err(CoreError::DuplicateMOpId(rec.id));
+            }
+            if rec.responded_at < rec.invoked_at {
+                return Err(CoreError::ResponseBeforeInvocation(rec.id));
+            }
+            for op in &rec.ops {
+                if op.object.index() >= num_objects {
+                    return Err(CoreError::ObjectOutOfRange {
+                        object: op.object,
+                        num_objects,
+                    });
+                }
+            }
+        }
+
+        // Per-process sequentiality: order by per-process sequence number
+        // and require response-before-next-invocation.
+        let mut by_process: HashMap<ProcessId, Vec<MOpIdx>> = HashMap::new();
+        for (i, rec) in records.iter().enumerate() {
+            by_process.entry(rec.process()).or_default().push(MOpIdx(i));
+        }
+        for (process, idxs) in by_process.iter_mut() {
+            idxs.sort_by_key(|&MOpIdx(i)| records[i].id.seq);
+            for pair in idxs.windows(2) {
+                let (a, b) = (&records[pair[0].0], &records[pair[1].0]);
+                if b.invoked_at < a.responded_at {
+                    return Err(CoreError::OverlappingProcessOps {
+                        process: *process,
+                        earlier: a.id,
+                        later: b.id,
+                    });
+                }
+            }
+        }
+
+        // Resolve read provenance and validate it.
+        let mut meta = Vec::with_capacity(records.len());
+        for rec in &records {
+            let mut read_sources = Vec::new();
+            for op in rec.external_reads() {
+                let writer = if op.writer.is_initial() {
+                    None
+                } else {
+                    let widx = *by_id.get(&op.writer).ok_or(CoreError::UnknownWriter {
+                        reader: rec.id,
+                        writer: op.writer,
+                        object: op.object,
+                    })?;
+                    let wrec = &records[widx.0];
+                    if !wrec
+                        .ops
+                        .iter()
+                        .any(|w| w.is_write() && w.object == op.object)
+                    {
+                        return Err(CoreError::ReaderWriterObjectMismatch {
+                            reader: rec.id,
+                            writer: op.writer,
+                            object: op.object,
+                        });
+                    }
+                    Some(widx)
+                };
+                read_sources.push((op.object, writer));
+            }
+            meta.push(RecordMeta {
+                objects: rec.objects(),
+                wobjects: rec.wobjects(),
+                read_sources,
+            });
+        }
+
+        let mut writers = vec![Vec::new(); num_objects];
+        for (i, m) in meta.iter().enumerate() {
+            for &obj in &m.wobjects {
+                writers[obj.index()].push(MOpIdx(i));
+            }
+        }
+
+        Ok(History {
+            num_objects,
+            records,
+            by_id,
+            meta,
+            writers,
+            by_process,
+        })
+    }
+
+    /// Number of m-operations in the history.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Returns `true` if the history contains no m-operations.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Size of the object universe.
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// All records, in construction order.
+    pub fn records(&self) -> &[MOpRecord] {
+        &self.records
+    }
+
+    /// The record at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn record(&self, idx: MOpIdx) -> &MOpRecord {
+        &self.records[idx.0]
+    }
+
+    /// Looks up the index of an m-operation by id.
+    pub fn idx_of(&self, id: MOpId) -> Option<MOpIdx> {
+        self.by_id.get(&id).copied()
+    }
+
+    /// Iterates over `(index, record)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (MOpIdx, &MOpRecord)> {
+        self.records.iter().enumerate().map(|(i, r)| (MOpIdx(i), r))
+    }
+
+    /// The set of processes appearing in the history.
+    pub fn processes(&self) -> BTreeSet<ProcessId> {
+        self.by_process.keys().copied().collect()
+    }
+
+    /// The process subhistory `H|P`, in process order.
+    pub fn by_process(&self, process: ProcessId) -> &[MOpIdx] {
+        self.by_process
+            .get(&process)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// `objects(α)` for the m-operation at `idx`.
+    pub fn objects(&self, idx: MOpIdx) -> &BTreeSet<ObjectId> {
+        &self.meta[idx.0].objects
+    }
+
+    /// `wobjects(α)` for the m-operation at `idx`.
+    pub fn wobjects(&self, idx: MOpIdx) -> &BTreeSet<ObjectId> {
+        &self.meta[idx.0].wobjects
+    }
+
+    /// The external reads of `idx` resolved to history indices:
+    /// `(object, writer)` pairs with `None` for the initial m-operation.
+    pub fn read_sources(&self, idx: MOpIdx) -> &[(ObjectId, Option<MOpIdx>)] {
+        &self.meta[idx.0].read_sources
+    }
+
+    /// `rfobjects(H, α, β)`: the objects that `alpha` reads from `beta`
+    /// (D 4.3 context). `beta = None` denotes the initial m-operation.
+    pub fn rfobjects(&self, alpha: MOpIdx, beta: Option<MOpIdx>) -> BTreeSet<ObjectId> {
+        self.meta[alpha.0]
+            .read_sources
+            .iter()
+            .filter(|(_, w)| *w == beta)
+            .map(|(o, _)| *o)
+            .collect()
+    }
+
+    /// The m-operations that write `object`.
+    pub fn writers_of(&self, object: ObjectId) -> &[MOpIdx] {
+        &self.writers[object.index()]
+    }
+
+    /// `conflict(α, β)` (D 4.1): distinct m-operations that share an object
+    /// at least one of them writes.
+    pub fn conflict(&self, a: MOpIdx, b: MOpIdx) -> bool {
+        if a == b {
+            return false;
+        }
+        let (ma, mb) = (&self.meta[a.0], &self.meta[b.0]);
+        ma.wobjects.iter().any(|o| mb.objects.contains(o))
+            || mb.wobjects.iter().any(|o| ma.objects.contains(o))
+    }
+
+    /// `interfere(H, α, β, γ)` (D 4.2): distinct m-operations such that
+    /// `gamma` writes some object that `alpha` reads from `beta`.
+    pub fn interfere(&self, alpha: MOpIdx, beta: MOpIdx, gamma: MOpIdx) -> bool {
+        if alpha == beta || beta == gamma || alpha == gamma {
+            return false;
+        }
+        let wg = &self.meta[gamma.0].wobjects;
+        self.meta[alpha.0]
+            .read_sources
+            .iter()
+            .any(|&(o, w)| w == Some(beta) && wg.contains(&o))
+    }
+
+    /// All interfering triples `(alpha, beta, gamma)` in the history, i.e.
+    /// triples for which `gamma` writes an object `alpha` reads from `beta`.
+    ///
+    /// The initial m-operation also participates as a `beta`; those triples
+    /// are reported with `beta = None`.
+    pub fn interference_triples(&self) -> Vec<(MOpIdx, Option<MOpIdx>, MOpIdx)> {
+        let mut out = Vec::new();
+        for (i, m) in self.meta.iter().enumerate() {
+            let alpha = MOpIdx(i);
+            for &(obj, writer) in &m.read_sources {
+                for &gamma in &self.writers[obj.index()] {
+                    if gamma == alpha || Some(gamma) == writer {
+                        continue;
+                    }
+                    out.push((alpha, writer, gamma));
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Whether two histories are *equivalent* (Section 2.2): same process
+    /// subhistories and same reads-from relation. Records are matched by id.
+    pub fn equivalent(&self, other: &History) -> bool {
+        if self.len() != other.len() || self.num_objects != other.num_objects {
+            return false;
+        }
+        for rec in &self.records {
+            let Some(oidx) = other.idx_of(rec.id) else {
+                return false;
+            };
+            let orec = other.record(oidx);
+            if rec.ops != orec.ops || rec.process() != orec.process() {
+                return false;
+            }
+        }
+        // Same per-process ordering.
+        for (p, idxs) in &self.by_process {
+            let ours: Vec<MOpId> = idxs.iter().map(|&i| self.records[i.0].id).collect();
+            let theirs: Vec<MOpId> = other
+                .by_process(*p)
+                .iter()
+                .map(|&i| other.records[i.0].id)
+                .collect();
+            if ours != theirs {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Incrementally constructs a [`History`], assigning per-process sequence
+/// numbers automatically. Intended for tests, examples and the paper's
+/// worked figures.
+///
+/// See the crate-level documentation for an example.
+#[derive(Debug)]
+pub struct HistoryBuilder {
+    num_objects: usize,
+    records: Vec<MOpRecord>,
+    next_seq: HashMap<ProcessId, u32>,
+}
+
+impl HistoryBuilder {
+    /// Starts a builder over `num_objects` objects.
+    pub fn new(num_objects: usize) -> Self {
+        HistoryBuilder {
+            num_objects,
+            records: Vec::new(),
+            next_seq: HashMap::new(),
+        }
+    }
+
+    /// Begins a new m-operation on `process`.
+    pub fn mop(&mut self, process: ProcessId) -> MOpBuilder<'_> {
+        let seq = self.next_seq.entry(process).or_insert(0);
+        let id = MOpId::new(process, *seq);
+        *seq += 1;
+        MOpBuilder {
+            parent: self,
+            inner: MOpRecordBuilder::new(id),
+            id,
+        }
+    }
+
+    /// Finishes the history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates validation failures from [`History::new`].
+    pub fn build(self) -> Result<History, CoreError> {
+        History::new(self.num_objects, self.records)
+    }
+}
+
+/// Builder for a single m-operation within a [`HistoryBuilder`].
+#[derive(Debug)]
+pub struct MOpBuilder<'a> {
+    parent: &'a mut HistoryBuilder,
+    inner: MOpRecordBuilder,
+    id: MOpId,
+}
+
+impl<'a> MOpBuilder<'a> {
+    /// Sets invocation and response times (raw nanoseconds).
+    pub fn at(mut self, invoked: u64, responded: u64) -> Self {
+        self.inner = self.inner.at(invoked, responded);
+        self
+    }
+
+    /// Appends a write `w(object)value`.
+    pub fn write(mut self, object: ObjectId, value: Value) -> Self {
+        self.inner = self.inner.op(CompletedOp::write(object, value, self.id, 0));
+        self
+    }
+
+    /// Appends a read `r(object)value` that reads from `writer`'s write.
+    pub fn read_from(mut self, object: ObjectId, value: Value, writer: MOpId) -> Self {
+        self.inner = self.inner.op(CompletedOp::read(object, value, writer, 0));
+        self
+    }
+
+    /// Appends a read of the initial value `r(object)0`.
+    pub fn read_init(mut self, object: ObjectId) -> Self {
+        self.inner = self
+            .inner
+            .op(CompletedOp::read(object, 0, MOpId::INITIAL, 0));
+        self
+    }
+
+    /// Sets a diagnostic label.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.inner = self.inner.label(label);
+        self
+    }
+
+    /// Sets output values.
+    pub fn outputs(mut self, outputs: Vec<Value>) -> Self {
+        self.inner = self.inner.outputs(outputs);
+        self
+    }
+
+    /// Completes the m-operation and returns its id (usable as a `writer`
+    /// for later `read_from` calls).
+    pub fn finish(self) -> MOpId {
+        self.parent.records.push(self.inner.build());
+        self.id
+    }
+}
+
+/// Extends a builder with invocation events placed strictly after all prior
+/// events, useful for quickly writing sequential scenarios.
+impl HistoryBuilder {
+    /// Latest event time used so far.
+    pub fn horizon(&self) -> EventTime {
+        self.records
+            .iter()
+            .map(|r| r.responded_at)
+            .max()
+            .unwrap_or(EventTime::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ObjectId, ProcessId};
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    /// Figure 1 of the paper (relations exercised in relations.rs tests).
+    fn figure1() -> History {
+        let x = oid(0);
+        let y = oid(1);
+        let z = oid(2);
+        let mut b = HistoryBuilder::new(3);
+        // P2: η = w(x)1 (early), then μ later.
+        let eta = b.mop(pid(2)).at(0, 10).write(x, 1).finish();
+        // P1: α = r(x).. w(y).. w(z).. then β.
+        let alpha = b
+            .mop(pid(1))
+            .at(5, 25)
+            .read_from(x, 1, eta)
+            .write(y, 2)
+            .write(z, 3)
+            .finish();
+        let _beta = b.mop(pid(1)).at(30, 40).read_init(x).finish();
+        // P3: δ reads from α and η.
+        let _delta = b
+            .mop(pid(3))
+            .at(30, 50)
+            .read_from(y, 2, alpha)
+            .read_from(x, 1, eta)
+            .finish();
+        let _mu = b.mop(pid(2)).at(45, 55).write(x, 9).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_and_indexes() {
+        let h = figure1();
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.num_objects(), 3);
+        assert_eq!(h.processes().len(), 3);
+        assert_eq!(h.by_process(pid(1)).len(), 2);
+        let eta = h.idx_of(MOpId::new(pid(2), 0)).unwrap();
+        assert_eq!(h.record(eta).notation(), "P2#0 = w(x)1");
+    }
+
+    #[test]
+    fn reads_from_resolution() {
+        let h = figure1();
+        let alpha = h.idx_of(MOpId::new(pid(1), 0)).unwrap();
+        let eta = h.idx_of(MOpId::new(pid(2), 0)).unwrap();
+        let sources = h.read_sources(alpha);
+        assert_eq!(sources, &[(oid(0), Some(eta))]);
+        assert_eq!(h.rfobjects(alpha, Some(eta)), [oid(0)].into());
+    }
+
+    #[test]
+    fn conflict_and_interfere() {
+        let h = figure1();
+        let alpha = h.idx_of(MOpId::new(pid(1), 0)).unwrap();
+        let eta = h.idx_of(MOpId::new(pid(2), 0)).unwrap();
+        let delta = h.idx_of(MOpId::new(pid(3), 0)).unwrap();
+        let mu = h.idx_of(MOpId::new(pid(2), 1)).unwrap();
+        // α conflicts with η (α reads x, η writes x).
+        assert!(h.conflict(alpha, eta));
+        assert!(!h.conflict(alpha, alpha));
+        // δ, η and μ interfere: δ reads x from η, μ writes x.
+        assert!(h.interfere(delta, eta, mu));
+        assert!(!h.interfere(delta, eta, alpha)); // α does not write x
+        let triples = h.interference_triples();
+        assert!(triples.contains(&(delta, Some(eta), mu)));
+    }
+
+    #[test]
+    fn rejects_overlapping_process_ops() {
+        let mut b = HistoryBuilder::new(1);
+        b.mop(pid(0)).at(0, 10).write(oid(0), 1).finish();
+        b.mop(pid(0)).at(5, 15).write(oid(0), 2).finish();
+        assert!(matches!(
+            b.build(),
+            Err(CoreError::OverlappingProcessOps { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_read_provenance() {
+        let mut b = HistoryBuilder::new(2);
+        let w = b.mop(pid(0)).at(0, 10).write(oid(0), 1).finish();
+        // Claims to read object y from an op that only writes x.
+        b.mop(pid(1)).at(20, 30).read_from(oid(1), 1, w).finish();
+        assert!(matches!(
+            b.build(),
+            Err(CoreError::ReaderWriterObjectMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_writer() {
+        let mut b = HistoryBuilder::new(1);
+        b.mop(pid(0))
+            .at(0, 10)
+            .read_from(oid(0), 1, MOpId::new(pid(9), 7))
+            .finish();
+        assert!(matches!(b.build(), Err(CoreError::UnknownWriter { .. })));
+    }
+
+    #[test]
+    fn rejects_out_of_range_object() {
+        let mut b = HistoryBuilder::new(1);
+        b.mop(pid(0)).at(0, 10).write(oid(3), 1).finish();
+        assert!(matches!(b.build(), Err(CoreError::ObjectOutOfRange { .. })));
+    }
+
+    #[test]
+    fn rejects_response_before_invocation() {
+        let mut b = HistoryBuilder::new(1);
+        b.mop(pid(0)).at(10, 5).write(oid(0), 1).finish();
+        assert!(matches!(
+            b.build(),
+            Err(CoreError::ResponseBeforeInvocation(_))
+        ));
+    }
+
+    #[test]
+    fn equivalence_is_reflexive_and_detects_reorder() {
+        let h = figure1();
+        assert!(h.equivalent(&h));
+        // A history with one record dropped is not equivalent.
+        let mut recs = h.records().to_vec();
+        recs.pop();
+        // Removing μ invalidates nothing structurally; rebuild.
+        let h2 = History::new(3, recs).unwrap();
+        assert!(!h.equivalent(&h2));
+    }
+
+    #[test]
+    fn horizon_tracks_latest_response() {
+        let mut b = HistoryBuilder::new(1);
+        assert_eq!(b.horizon(), EventTime::ZERO);
+        b.mop(pid(0)).at(0, 42).write(oid(0), 1).finish();
+        assert_eq!(b.horizon(), EventTime::from_nanos(42));
+    }
+}

@@ -1,0 +1,462 @@
+//! Relations over the m-operations of a history.
+//!
+//! A history `H = (op(H), ~H)` pairs the set of m-operations with an
+//! irreflexive transitive relation that includes the process orders and the
+//! reads-from relation (Section 2.2) — and, depending on the consistency
+//! condition under consideration, the real-time order `~t` or the object
+//! order `~x` (Section 2.3). [`Relation`] is a dense bitset digraph over
+//! history indices with the closure, acyclicity and linear-extension
+//! operations the checker needs.
+
+use std::fmt;
+
+use crate::history::{History, MOpIdx};
+
+/// A binary relation over `n` m-operations, stored as a dense bit matrix.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    n: usize,
+    words_per_row: usize,
+    bits: Vec<u64>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `n` elements.
+    pub fn new(n: usize) -> Self {
+        let words_per_row = n.div_ceil(64);
+        Relation {
+            n,
+            words_per_row,
+            bits: vec![0; n * words_per_row],
+        }
+    }
+
+    /// Number of elements the relation ranges over.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the relation ranges over zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the pair `(i, j)` — "i is ordered before j".
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn add(&mut self, i: MOpIdx, j: MOpIdx) {
+        assert!(i.0 < self.n && j.0 < self.n, "relation index out of range");
+        let base = i.0 * self.words_per_row;
+        self.bits[base + j.0 / 64] |= 1u64 << (j.0 % 64);
+    }
+
+    /// Whether the pair `(i, j)` is in the relation.
+    pub fn contains(&self, i: MOpIdx, j: MOpIdx) -> bool {
+        let base = i.0 * self.words_per_row;
+        self.bits[base + j.0 / 64] & (1u64 << (j.0 % 64)) != 0
+    }
+
+    /// Whether `i` and `j` are ordered one way or the other.
+    pub fn ordered(&self, i: MOpIdx, j: MOpIdx) -> bool {
+        self.contains(i, j) || self.contains(j, i)
+    }
+
+    /// Union with another relation over the same elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the relations range over different numbers of elements.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.n, other.n, "relation size mismatch");
+        let mut out = self.clone();
+        for (a, b) in out.bits.iter_mut().zip(&other.bits) {
+            *a |= *b;
+        }
+        out
+    }
+
+    /// Merges `other` into `self`.
+    pub fn union_in_place(&mut self, other: &Relation) {
+        assert_eq!(self.n, other.n, "relation size mismatch");
+        for (a, b) in self.bits.iter_mut().zip(&other.bits) {
+            *a |= *b;
+        }
+    }
+
+    /// Number of pairs in the relation.
+    pub fn edge_count(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over all pairs `(i, j)` in the relation.
+    pub fn edges(&self) -> impl Iterator<Item = (MOpIdx, MOpIdx)> + '_ {
+        (0..self.n).flat_map(move |i| self.successors(MOpIdx(i)).map(move |j| (MOpIdx(i), j)))
+    }
+
+    /// Iterates over the successors of `i`.
+    pub fn successors(&self, i: MOpIdx) -> impl Iterator<Item = MOpIdx> + '_ {
+        let base = i.0 * self.words_per_row;
+        let row = &self.bits[base..base + self.words_per_row];
+        row.iter().enumerate().flat_map(|(w, &word)| {
+            BitIter {
+                word,
+                offset: w * 64,
+            }
+            .map(MOpIdx)
+        })
+    }
+
+    /// The predecessors of `j` (linear scan over rows).
+    pub fn predecessors(&self, j: MOpIdx) -> Vec<MOpIdx> {
+        (0..self.n)
+            .map(MOpIdx)
+            .filter(|&i| self.contains(i, j))
+            .collect()
+    }
+
+    /// Reflexive-free transitive closure (Warshall over bit rows).
+    ///
+    /// Note that the closure of a cyclic relation is *not* irreflexive; use
+    /// [`Relation::is_irreflexive`] afterwards to detect that case.
+    pub fn transitive_closure(&self) -> Relation {
+        let mut out = self.clone();
+        let wpr = out.words_per_row;
+        for k in 0..out.n {
+            let kbase = k * wpr;
+            for i in 0..out.n {
+                if i == k {
+                    continue;
+                }
+                let ibase = i * wpr;
+                if out.bits[ibase + k / 64] & (1u64 << (k % 64)) != 0 {
+                    // row_i |= row_k (split borrows via split_at_mut).
+                    let (lo, hi) = if ibase < kbase {
+                        let (a, b) = out.bits.split_at_mut(kbase);
+                        (&mut a[ibase..ibase + wpr], &b[..wpr])
+                    } else {
+                        let (a, b) = out.bits.split_at_mut(ibase);
+                        (&mut b[..wpr], &a[kbase..kbase + wpr])
+                    };
+                    for (x, y) in lo.iter_mut().zip(hi) {
+                        *x |= *y;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether no element is related to itself.
+    pub fn is_irreflexive(&self) -> bool {
+        (0..self.n).all(|i| !self.contains(MOpIdx(i), MOpIdx(i)))
+    }
+
+    /// Whether the relation, viewed as a digraph, contains a cycle
+    /// (Kahn's algorithm; self-loops count as cycles).
+    pub fn has_cycle(&self) -> bool {
+        self.topological_sort().is_none()
+    }
+
+    /// A topological order of the digraph, or `None` if it is cyclic.
+    /// Deterministic: among ready elements, the smallest index goes first.
+    pub fn topological_sort(&self) -> Option<Vec<MOpIdx>> {
+        let mut indegree = vec![0usize; self.n];
+        for (_, j) in self.edges() {
+            indegree[j.0] += 1;
+        }
+        let mut ready: std::collections::BinaryHeap<std::cmp::Reverse<usize>> = (0..self.n)
+            .filter(|&i| indegree[i] == 0)
+            .map(std::cmp::Reverse)
+            .collect();
+        let mut order = Vec::with_capacity(self.n);
+        while let Some(std::cmp::Reverse(i)) = ready.pop() {
+            order.push(MOpIdx(i));
+            for j in self.successors(MOpIdx(i)) {
+                indegree[j.0] -= 1;
+                if indegree[j.0] == 0 {
+                    ready.push(std::cmp::Reverse(j.0));
+                }
+            }
+        }
+        (order.len() == self.n).then_some(order)
+    }
+
+    /// Whether this relation is a strict total order (every distinct pair
+    /// ordered, irreflexive, acyclic).
+    pub fn is_total_order(&self) -> bool {
+        if !self.is_irreflexive() || self.has_cycle() {
+            return false;
+        }
+        for i in 0..self.n {
+            for j in (i + 1)..self.n {
+                if !self.ordered(MOpIdx(i), MOpIdx(j)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Builds the total order induced by a sequence (each element before all
+    /// later ones).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sequence` is not a permutation of `0..n`.
+    pub fn from_sequence(n: usize, sequence: &[MOpIdx]) -> Relation {
+        assert_eq!(sequence.len(), n, "sequence must cover all elements");
+        let mut seen = vec![false; n];
+        for &i in sequence {
+            assert!(!seen[i.0], "sequence repeats an element");
+            seen[i.0] = true;
+        }
+        let mut rel = Relation::new(n);
+        for (a, &i) in sequence.iter().enumerate() {
+            for &j in &sequence[a + 1..] {
+                rel.add(i, j);
+            }
+        }
+        rel
+    }
+
+    /// Whether `other ⊆ self` as sets of pairs.
+    pub fn includes(&self, other: &Relation) -> bool {
+        assert_eq!(self.n, other.n, "relation size mismatch");
+        self.bits.iter().zip(&other.bits).all(|(a, b)| b & !a == 0)
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Relation({} elems, {} edges: ",
+            self.n,
+            self.edge_count()
+        )?;
+        let mut first = true;
+        for (i, j) in self.edges() {
+            if !first {
+                f.write_str(", ")?;
+            }
+            first = false;
+            write!(f, "{}<{}", i.0, j.0)?;
+        }
+        f.write_str(")")
+    }
+}
+
+struct BitIter {
+    word: u64,
+    offset: usize,
+}
+
+impl Iterator for BitIter {
+    type Item = usize;
+    fn next(&mut self) -> Option<usize> {
+        if self.word == 0 {
+            return None;
+        }
+        let tz = self.word.trailing_zeros() as usize;
+        self.word &= self.word - 1;
+        Some(self.offset + tz)
+    }
+}
+
+/// Process order `~p`: α before β iff both are issued by the same process
+/// and α's per-process sequence number is smaller (Section 2.1).
+pub fn process_order(h: &History) -> Relation {
+    let mut rel = Relation::new(h.len());
+    for p in h.processes() {
+        let idxs = h.by_process(p);
+        for (a, &i) in idxs.iter().enumerate() {
+            for &j in &idxs[a + 1..] {
+                rel.add(i, j);
+            }
+        }
+    }
+    rel
+}
+
+/// Reads-from `~rf`: β before α iff some read of α reads from some write of
+/// β (Section 2.1). Reads from the imaginary initial m-operation contribute
+/// no pair.
+pub fn reads_from(h: &History) -> Relation {
+    let mut rel = Relation::new(h.len());
+    for (alpha, _) in h.iter() {
+        for &(_, writer) in h.read_sources(alpha) {
+            if let Some(beta) = writer {
+                if beta != alpha {
+                    rel.add(beta, alpha);
+                }
+            }
+        }
+    }
+    rel
+}
+
+/// Real-time order `~t`: α before β iff `resp(α) < inv(β)` (Section 2.3).
+pub fn real_time(h: &History) -> Relation {
+    let mut rel = Relation::new(h.len());
+    for (a, ra) in h.iter() {
+        for (b, rb) in h.iter() {
+            if a != b && ra.responded_at < rb.invoked_at {
+                rel.add(a, b);
+            }
+        }
+    }
+    rel
+}
+
+/// Object order `~x`: α before β iff they share an object *and*
+/// `resp(α) < inv(β)` (Section 2.3; used by m-normality).
+pub fn object_order(h: &History) -> Relation {
+    let mut rel = Relation::new(h.len());
+    for (a, ra) in h.iter() {
+        for (b, rb) in h.iter() {
+            if a != b
+                && ra.responded_at < rb.invoked_at
+                && h.objects(a).iter().any(|o| h.objects(b).contains(o))
+            {
+                rel.add(a, b);
+            }
+        }
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::HistoryBuilder;
+    use crate::ids::{ObjectId, ProcessId};
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn m(i: usize) -> MOpIdx {
+        MOpIdx(i)
+    }
+
+    #[test]
+    fn add_contains_union() {
+        let mut a = Relation::new(3);
+        a.add(m(0), m(1));
+        let mut b = Relation::new(3);
+        b.add(m(1), m(2));
+        assert!(a.contains(m(0), m(1)));
+        assert!(!a.contains(m(1), m(0)));
+        let u = a.union(&b);
+        assert!(u.contains(m(0), m(1)) && u.contains(m(1), m(2)));
+        assert_eq!(u.edge_count(), 2);
+        assert!(u.includes(&a) && u.includes(&b));
+        assert!(!a.includes(&b));
+    }
+
+    #[test]
+    fn closure_chains() {
+        let mut r = Relation::new(4);
+        r.add(m(0), m(1));
+        r.add(m(1), m(2));
+        r.add(m(2), m(3));
+        let c = r.transitive_closure();
+        assert!(c.contains(m(0), m(3)));
+        assert!(c.is_irreflexive());
+        assert!(!c.contains(m(3), m(0)));
+    }
+
+    #[test]
+    fn closure_exposes_cycles_as_self_loops() {
+        let mut r = Relation::new(2);
+        r.add(m(0), m(1));
+        r.add(m(1), m(0));
+        let c = r.transitive_closure();
+        assert!(!c.is_irreflexive());
+        assert!(r.has_cycle());
+    }
+
+    #[test]
+    fn topological_sort_deterministic() {
+        let mut r = Relation::new(4);
+        r.add(m(2), m(0));
+        r.add(m(2), m(1));
+        let order = r.topological_sort().unwrap();
+        assert_eq!(order, vec![m(2), m(0), m(1), m(3)]);
+    }
+
+    #[test]
+    fn total_order_checks() {
+        let seq = [m(2), m(0), m(1)];
+        let r = Relation::from_sequence(3, &seq);
+        assert!(r.is_total_order());
+        let mut partial = Relation::new(3);
+        partial.add(m(0), m(1));
+        assert!(!partial.is_total_order());
+    }
+
+    #[test]
+    #[should_panic(expected = "sequence repeats")]
+    fn from_sequence_rejects_duplicates() {
+        let _ = Relation::from_sequence(2, &[m(0), m(0)]);
+    }
+
+    #[test]
+    fn successors_across_word_boundaries() {
+        let mut r = Relation::new(130);
+        r.add(m(0), m(1));
+        r.add(m(0), m(64));
+        r.add(m(0), m(129));
+        let succ: Vec<usize> = r.successors(m(0)).map(|x| x.0).collect();
+        assert_eq!(succ, vec![1, 64, 129]);
+        assert_eq!(r.predecessors(m(129)), vec![m(0)]);
+    }
+
+    fn two_process_history() -> crate::history::History {
+        // P0: α=w(x)1 [0..10], β=r(y)2 [40..50]
+        // P1: γ=w(y)2 [20..30] reading x from α.
+        let x = oid(0);
+        let y = oid(1);
+        let mut b = HistoryBuilder::new(2);
+        let alpha = b.mop(pid(0)).at(0, 10).write(x, 1).finish();
+        let gamma = b
+            .mop(pid(1))
+            .at(20, 30)
+            .read_from(x, 1, alpha)
+            .write(y, 2)
+            .finish();
+        b.mop(pid(0)).at(40, 50).read_from(y, 2, gamma).finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builders_produce_expected_orders() {
+        let h = two_process_history();
+        let alpha = m(0);
+        let gamma = m(1);
+        let beta = m(2);
+
+        let po = process_order(&h);
+        assert!(po.contains(alpha, beta));
+        assert!(!po.contains(alpha, gamma));
+
+        let rf = reads_from(&h);
+        assert!(rf.contains(alpha, gamma)); // γ reads x from α
+        assert!(rf.contains(gamma, beta)); // β reads y from γ
+        assert!(!rf.contains(beta, gamma));
+
+        let rt = real_time(&h);
+        assert!(rt.contains(alpha, gamma));
+        assert!(rt.contains(gamma, beta));
+        assert!(rt.contains(alpha, beta));
+
+        let oo = object_order(&h);
+        assert!(oo.contains(alpha, gamma)); // share x
+        assert!(oo.contains(gamma, beta)); // share y
+        assert!(!oo.contains(alpha, beta)); // α on x, β on y: no shared object
+    }
+}

@@ -1,0 +1,240 @@
+//! Model-based property tests for the DSM API: on a single process the DSM
+//! must behave exactly like a plain sequential store (linearizability
+//! degenerates to sequential execution); on multiple processes every
+//! recorded execution must satisfy the configured condition.
+
+use moc_core::ids::{ObjectId, ProcessId};
+use moc_dsm::{Consistency, Dsm, DsmBuilder};
+use proptest::prelude::*;
+
+const OBJECTS: usize = 3;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write(u8, i64),
+    Read(u8),
+    Cas(u8, i64, i64),
+    FetchAdd(u8, i64),
+    Dcas(u8, u8, i64, i64, i64, i64),
+    Kcas3(i64, i64, i64, i64, i64, i64),
+    Snapshot,
+    Sum,
+    Swap(u8, u8),
+    Transfer(u8, u8, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    let o = 0u8..OBJECTS as u8;
+    let v = -20i64..20;
+    prop_oneof![
+        (o.clone(), v.clone()).prop_map(|(a, x)| Op::Write(a, x)),
+        o.clone().prop_map(Op::Read),
+        (o.clone(), v.clone(), v.clone()).prop_map(|(a, x, y)| Op::Cas(a, x, y)),
+        (o.clone(), v.clone()).prop_map(|(a, x)| Op::FetchAdd(a, x)),
+        (
+            o.clone(),
+            o.clone(),
+            v.clone(),
+            v.clone(),
+            v.clone(),
+            v.clone()
+        )
+            .prop_map(|(a, b, x, y, z, w)| Op::Dcas(a, b, x, y, z, w)),
+        (
+            v.clone(),
+            v.clone(),
+            v.clone(),
+            v.clone(),
+            v.clone(),
+            v.clone()
+        )
+            .prop_map(|(a, b, c, d, e, f)| Op::Kcas3(a, b, c, d, e, f)),
+        Just(Op::Snapshot),
+        Just(Op::Sum),
+        (o.clone(), o.clone()).prop_map(|(a, b)| Op::Swap(a, b)),
+        (o.clone(), o, 0i64..30).prop_map(|(a, b, x)| Op::Transfer(a, b, x)),
+    ]
+}
+
+/// The sequential reference model.
+#[derive(Debug, Default)]
+struct Model {
+    vals: [i64; OBJECTS],
+}
+
+impl Model {
+    fn apply(&mut self, op: &Op) -> Vec<i64> {
+        let g = |m: &Model, i: u8| m.vals[i as usize];
+        match *op {
+            Op::Write(a, x) => {
+                self.vals[a as usize] = x;
+                vec![]
+            }
+            Op::Read(a) => vec![g(self, a)],
+            Op::Cas(a, old, new) => {
+                let seen = g(self, a);
+                if seen == old {
+                    self.vals[a as usize] = new;
+                    vec![1, seen]
+                } else {
+                    vec![0, seen]
+                }
+            }
+            Op::FetchAdd(a, d) => {
+                let old = g(self, a);
+                self.vals[a as usize] = old.wrapping_add(d);
+                vec![old]
+            }
+            Op::Dcas(a, b, oa, ob, na, nb) => {
+                if a == b {
+                    // The DSM's dcas on identical objects degenerates; the
+                    // strategy filters this case out instead.
+                    unreachable!("strategy never emits a == b");
+                }
+                if g(self, a) == oa && g(self, b) == ob {
+                    self.vals[a as usize] = na;
+                    self.vals[b as usize] = nb;
+                    vec![1]
+                } else {
+                    vec![0]
+                }
+            }
+            Op::Kcas3(o0, o1, o2, n0, n1, n2) => {
+                if self.vals == [o0, o1, o2] {
+                    self.vals = [n0, n1, n2];
+                    vec![1]
+                } else {
+                    vec![0]
+                }
+            }
+            Op::Snapshot => self.vals.to_vec(),
+            Op::Sum => vec![self.vals.iter().sum()],
+            Op::Swap(a, b) => {
+                self.vals.swap(a as usize, b as usize);
+                vec![]
+            }
+            Op::Transfer(a, b, amt) => {
+                if a != b && g(self, a) >= amt {
+                    self.vals[a as usize] -= amt;
+                    self.vals[b as usize] += amt;
+                    vec![1]
+                } else if a == b {
+                    unreachable!("strategy never emits a == b");
+                } else {
+                    vec![0]
+                }
+            }
+        }
+    }
+}
+
+fn apply_dsm(dsm: &Dsm, p: ProcessId, op: &Op) -> Vec<i64> {
+    let o = |i: u8| ObjectId::new(i as u32);
+    let all = [o(0), o(1), o(2)];
+    match *op {
+        Op::Write(a, x) => {
+            dsm.write(p, o(a), x);
+            vec![]
+        }
+        Op::Read(a) => vec![dsm.read(p, o(a))],
+        Op::Cas(a, old, new) => {
+            let (ok, seen) = dsm.cas(p, o(a), old, new);
+            vec![ok as i64, seen]
+        }
+        Op::FetchAdd(a, d) => vec![dsm.fetch_add(p, o(a), d)],
+        Op::Dcas(a, b, oa, ob, na, nb) => {
+            vec![dsm.dcas(p, (o(a), oa, na), (o(b), ob, nb)) as i64]
+        }
+        Op::Kcas3(o0, o1, o2, n0, n1, n2) => {
+            vec![dsm.kcas(p, &[(o(0), o0, n0), (o(1), o1, n1), (o(2), o2, n2)]) as i64]
+        }
+        Op::Snapshot => dsm.snapshot(p, &all),
+        Op::Sum => vec![dsm.sum(p, &all)],
+        Op::Swap(a, b) => {
+            dsm.swap_objects(p, o(a), o(b));
+            vec![]
+        }
+        Op::Transfer(a, b, amt) => vec![dsm.transfer(p, o(a), o(b), amt) as i64],
+    }
+}
+
+fn distinct_pair(op: &Op) -> bool {
+    match *op {
+        Op::Dcas(a, b, ..) | Op::Swap(a, b) | Op::Transfer(a, b, _) => a != b,
+        _ => true,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Single-process clusters match the sequential model exactly, for
+    /// every protocol.
+    #[test]
+    fn single_process_matches_sequential_model(
+        ops in proptest::collection::vec(op_strategy().prop_filter("distinct", distinct_pair), 1..15),
+        which in 0u8..3,
+    ) {
+        let consistency = match which {
+            0 => Consistency::MSequential,
+            1 => Consistency::MLinearizable,
+            _ => Consistency::Aggregate,
+        };
+        let dsm = DsmBuilder::new()
+            .processes(1)
+            .objects(OBJECTS)
+            .consistency(consistency)
+            .build();
+        let mut model = Model::default();
+        let p = ProcessId::new(0);
+        for op in &ops {
+            let expected = model.apply(op);
+            let got = apply_dsm(&dsm, p, op);
+            prop_assert_eq!(&got, &expected, "op {:?} diverged", op);
+        }
+        let report = dsm.finish();
+        prop_assert!(report.check(consistency.guaranteed_condition()).satisfied);
+    }
+
+    /// Multi-process random operations: the recorded execution satisfies
+    /// the configured condition.
+    #[test]
+    fn multi_process_history_satisfies_condition(
+        per_proc in proptest::collection::vec(
+            proptest::collection::vec(
+                op_strategy().prop_filter("distinct", distinct_pair), 1..5),
+            2..4),
+        linearizable in any::<bool>(),
+    ) {
+        let consistency = if linearizable {
+            Consistency::MLinearizable
+        } else {
+            Consistency::MSequential
+        };
+        let dsm = std::sync::Arc::new(
+            DsmBuilder::new()
+                .processes(per_proc.len())
+                .objects(OBJECTS)
+                .consistency(consistency)
+                .build(),
+        );
+        let mut joins = Vec::new();
+        for (p, ops) in per_proc.into_iter().enumerate() {
+            let dsm = std::sync::Arc::clone(&dsm);
+            joins.push(std::thread::spawn(move || {
+                let me = ProcessId::new(p as u32);
+                for op in &ops {
+                    apply_dsm(&dsm, me, op);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().expect("worker");
+        }
+        let dsm = std::sync::Arc::try_unwrap(dsm)
+            .unwrap_or_else(|_| panic!("threads done"));
+        let report = dsm.finish();
+        let verdict = report.check(consistency.guaranteed_condition());
+        prop_assert!(verdict.satisfied, "{:?}", verdict.reason);
+    }
+}

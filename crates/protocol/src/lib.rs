@@ -1,0 +1,245 @@
+//! # moc-protocol
+//!
+//! The consistency protocols of Mittal & Garg (1998), Section 5, as pure
+//! state machines over an [`moc_abcast::Abcast`] substrate:
+//!
+//! * [`MscReplica`] — Figure 4: m-sequential consistency. Update
+//!   m-operations are atomically broadcast and applied at delivery; query
+//!   m-operations read the local copy immediately. Theorem 15: every
+//!   execution is m-sequentially consistent.
+//! * [`MlinReplica`] — Figure 6: m-linearizability in a fully
+//!   *asynchronous* system (no clock synchrony, no delay bound — the
+//!   improvement over Attiya–Welch the paper emphasizes). Updates as in
+//!   Figure 4; a query asks every process for its copy and timestamp,
+//!   keeps the maximal-timestamp snapshot, and reads from it once all `n`
+//!   responses arrived. Theorem 20: every execution is m-linearizable.
+//! * [`AggregateReplica`] — the baseline the introduction argues against:
+//!   model multi-methods by one aggregate object, i.e. route *every*
+//!   m-operation (queries included) through atomic broadcast. Correct but
+//!   sacrifices the locality and concurrency of queries.
+//!
+//! Every replica keeps a full local copy of the shared objects
+//! ([`store::ReplicaStore`]) together with the per-object version vector
+//! `ts` the correctness proofs revolve around (P 5.3–P 5.8).
+//!
+//! [`harness`] hosts any of these replicas on the deterministic simulator,
+//! co-locating a scripted client with each replica, and emits a validated
+//! [`moc_core::History`] plus latency and message metrics — the raw
+//! material for the Theorem 15/20 validation tests and the benchmark
+//! suite.
+
+use std::fmt;
+use std::sync::Arc;
+
+use moc_core::ids::{MOpId, ProcessId, QueryId};
+use moc_core::mop::MOpClass;
+use moc_core::op::CompletedOp;
+use moc_core::program::Program;
+use moc_core::value::{Value, Versioned};
+use moc_core::vv::VersionVector;
+
+pub mod aggregate;
+pub mod harness;
+pub mod mlin;
+pub mod msc;
+pub mod store;
+
+pub use aggregate::AggregateReplica;
+pub use harness::{run_cluster, ClientScript, ClusterConfig, OpSpec, RunReport};
+pub use mlin::{MlinReplica, QueryScope};
+pub use msc::MscReplica;
+pub use store::{ExecRecord, ReplicaStore};
+
+use moc_abcast::Outbox;
+
+/// An invoked m-operation: the deterministic program, its arguments, and
+/// the identity assigned by the issuing process.
+///
+/// This is the unit the protocols atomically broadcast; every replica
+/// re-executes the program against its own copy, deterministically
+/// obtaining the same reads and writes.
+#[derive(Debug, Clone)]
+pub struct MOperation {
+    /// Identity: issuing process + per-process sequence number.
+    pub id: MOpId,
+    /// The deterministic procedure to run.
+    pub program: Arc<Program>,
+    /// Invocation arguments (`arg` of `α(arg, res)`).
+    pub args: Vec<Value>,
+}
+
+impl MOperation {
+    /// Creates an m-operation.
+    pub fn new(id: MOpId, program: Arc<Program>, args: Vec<Value>) -> Self {
+        MOperation { id, program, args }
+    }
+
+    /// The paper's conservative classification: treat as an update iff the
+    /// program *potentially* writes (Section 5: the system may not know the
+    /// write set before execution).
+    pub fn is_update(&self) -> bool {
+        self.program.is_potential_update()
+    }
+
+    /// The protocol class this m-operation is handled as.
+    pub fn class(&self) -> MOpClass {
+        if self.is_update() {
+            MOpClass::Update
+        } else {
+            MOpClass::Query
+        }
+    }
+}
+
+impl fmt::Display for MOperation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}{:?}", self.id, self.program.name(), self.args)
+    }
+}
+
+/// Wire messages exchanged by the protocol replicas.
+#[derive(Debug, Clone)]
+pub enum ProtocolMsg<A> {
+    /// A message of the underlying atomic broadcast (actions A1/A2).
+    Abcast(A),
+    /// "query" (Figure 6, action A3): the sender asks for a copy of the
+    /// shared objects and their timestamps.
+    Query {
+        /// Identifies the query round at the issuing process.
+        qid: QueryId,
+        /// `None` asks for the full object array (the Figure 6 pseudocode);
+        /// `Some(objs)` asks only for the listed objects — the end-of-
+        /// Section-5.2 optimization enabled by [`QueryScope::Relevant`].
+        objects: Option<Vec<moc_core::ids::ObjectId>>,
+    },
+    /// "query response" (Figure 6, action A4): a copy of (a projection of)
+    /// the responder's objects plus its `myts`.
+    QueryResponse {
+        /// The query round being answered.
+        qid: QueryId,
+        /// Object states; the full array, or only the objects the query
+        /// references under [`QueryScope::Relevant`].
+        state: Vec<(moc_core::ids::ObjectId, Versioned)>,
+        /// The responder's version vector at answer time.
+        ts: VersionVector,
+    },
+}
+
+/// A finished m-operation surfaced by a replica to its co-located client.
+#[derive(Debug, Clone)]
+pub struct Completion {
+    /// The m-operation that completed.
+    pub id: MOpId,
+    /// Values returned by the program.
+    pub outputs: Vec<Value>,
+    /// The completed operations, with read provenance, as executed at the
+    /// issuing replica.
+    pub ops: Vec<CompletedOp>,
+    /// How the protocol classified the m-operation.
+    pub treated_as: MOpClass,
+    /// The program name, used as the history label.
+    pub label: String,
+}
+
+/// Per-replica message-count metrics, split by operation class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicaMetrics {
+    /// Messages this replica sent on behalf of update m-operations
+    /// (including abcast internals it initiated).
+    pub update_msgs_sent: u64,
+    /// Messages sent on behalf of query m-operations.
+    pub query_msgs_sent: u64,
+    /// Update m-operations applied to the local store.
+    pub updates_applied: u64,
+    /// Query m-operations completed locally.
+    pub queries_completed: u64,
+    /// Object values shipped in query responses (payload size proxy for
+    /// the Full-vs-Relevant comparison of Section 5.2's closing remark).
+    pub query_values_sent: u64,
+}
+
+/// A consistency-protocol replica: one per process, co-located with the
+/// client that issues that process's m-operations.
+///
+/// Replicas are pure state machines: [`ReplicaProtocol::invoke`] and
+/// [`ReplicaProtocol::on_message`] buffer sends in an [`Outbox`] and
+/// surface finished operations via [`ReplicaProtocol::drain_completions`].
+pub trait ReplicaProtocol {
+    /// Wire message type.
+    type Msg: Clone + fmt::Debug;
+
+    /// Creates the replica for process `me` of `n`, over `num_objects`
+    /// shared objects.
+    fn new(me: ProcessId, n: usize, num_objects: usize) -> Self;
+
+    /// A short name for reports ("msc", "mlin", "aggregate").
+    fn protocol_name() -> &'static str;
+
+    /// The co-located client invokes `mop` (the invocation event).
+    fn invoke(&mut self, mop: MOperation, out: &mut Outbox<Self::Msg>);
+
+    /// A protocol message arrives.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+
+    /// Drains m-operations that completed since the last call; the harness
+    /// stamps their response events.
+    fn drain_completions(&mut self) -> Vec<Completion>;
+
+    /// The local object store (for invariant assertions in tests).
+    fn store(&self) -> &ReplicaStore;
+
+    /// Message-count metrics.
+    fn metrics(&self) -> ReplicaMetrics;
+
+    /// The m-operations this replica has applied via atomic broadcast, in
+    /// delivery order — the protocol's `~ww` order. Atomic broadcast
+    /// guarantees all replicas report the same log (asserted by the
+    /// harness).
+    fn delivery_log(&self) -> &[MOpId];
+}
+
+/// Convenience alias: Figure 4 over the fixed-sequencer broadcast.
+pub type MscOverSequencer = MscReplica<moc_abcast::SequencerAbcast<MOperation>>;
+/// Convenience alias: Figure 4 over ISIS broadcast.
+pub type MscOverIsis = MscReplica<moc_abcast::IsisAbcast<MOperation>>;
+/// Convenience alias: Figure 6 over the fixed-sequencer broadcast.
+pub type MlinOverSequencer = MlinReplica<moc_abcast::SequencerAbcast<MOperation>>;
+/// Convenience alias: Figure 6 over ISIS broadcast.
+pub type MlinOverIsis = MlinReplica<moc_abcast::IsisAbcast<MOperation>>;
+/// Convenience alias: Figure 6 over the sequencer with the relevant-objects
+/// query optimization enabled.
+pub type MlinRelevantOverSequencer = mlin::MlinRelevant<moc_abcast::SequencerAbcast<MOperation>>;
+/// Convenience alias: the aggregate-object baseline over the sequencer.
+pub type AggregateOverSequencer = AggregateReplica<moc_abcast::SequencerAbcast<MOperation>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc_core::program::ProgramBuilder;
+
+    #[test]
+    fn moperation_classification_is_conservative() {
+        let mut b = ProgramBuilder::new("maybe-write");
+        let skip = b.fresh_label();
+        b.jump(skip); // the write below is unreachable
+        b.write(moc_core::ids::ObjectId::new(0), moc_core::program::imm(1));
+        b.bind(skip);
+        b.ret(vec![]);
+        let p = Arc::new(b.build().unwrap());
+        let mop = MOperation::new(MOpId::new(ProcessId::new(0), 0), p, vec![]);
+        assert!(mop.is_update(), "potential write ⇒ update class");
+        assert_eq!(mop.class(), MOpClass::Update);
+    }
+
+    #[test]
+    fn moperation_display() {
+        let mut b = ProgramBuilder::new("noop");
+        b.ret(vec![]);
+        let mop = MOperation::new(
+            MOpId::new(ProcessId::new(1), 2),
+            Arc::new(b.build().unwrap()),
+            vec![3],
+        );
+        assert_eq!(mop.to_string(), "P1#2:noop[3]");
+    }
+}

@@ -1,0 +1,532 @@
+//! # moc-runtime
+//!
+//! A live, thread-based cluster hosting the consistency-protocol replicas
+//! of `moc-protocol` — the same state machines that run on the
+//! deterministic simulator, here driven by OS threads, crossbeam channels
+//! and wall-clock time.
+//!
+//! Topology: one replica thread per process, plus a network thread that
+//! routes every message and (optionally) applies randomized delivery
+//! delays, reordering messages exactly as the paper's asynchronous channel
+//! model allows. Clients block on [`LiveCluster::invoke`]; per-process
+//! locks enforce the model's sequential-process rule (one outstanding
+//! m-operation per process).
+//!
+//! Invocation and response events are stamped with nanoseconds since the
+//! cluster epoch, so the history assembled at
+//! [`LiveCluster::shutdown`] carries a genuine real-time order `~t` and
+//! can be checked for m-linearizability.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use moc_core::ids::ProcessId;
+//! use moc_core::program::{imm, reg, ProgramBuilder};
+//! use moc_protocol::MlinOverSequencer;
+//! use moc_runtime::{LiveCluster, RuntimeConfig};
+//!
+//! let cluster: LiveCluster<MlinOverSequencer> =
+//!     LiveCluster::start(2, RuntimeConfig::new(1));
+//! let mut b = ProgramBuilder::new("wx");
+//! b.write(moc_core::ids::ObjectId::new(0), imm(7)).ret(vec![]);
+//! let wx = Arc::new(b.build()?);
+//! let mut b = ProgramBuilder::new("rx");
+//! b.read(moc_core::ids::ObjectId::new(0), 0).ret(vec![reg(0)]);
+//! let rx = Arc::new(b.build()?);
+//!
+//! cluster.invoke(ProcessId::new(0), wx, vec![]);
+//! let reply = cluster.invoke(ProcessId::new(1), rx, vec![]);
+//! assert_eq!(reply.outputs, vec![7]);
+//! let report = cluster.shutdown();
+//! assert_eq!(report.history.len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use moc_abcast::Outbox;
+use moc_core::history::History;
+use moc_core::ids::{MOpId, ProcessId};
+use moc_core::mop::{EventTime, MOpClass, MOpRecord};
+use moc_core::program::Program;
+use moc_core::value::Value;
+use moc_protocol::{MOperation, ReplicaProtocol};
+use moc_sim::DelayModel;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration for a live cluster.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Size of the shared-object universe.
+    pub num_objects: usize,
+    /// Artificial delivery delay injected by the network thread. `None`
+    /// routes messages immediately (still asynchronously).
+    pub artificial_delay: Option<DelayModel>,
+    /// Seed for the delay sampler.
+    pub seed: u64,
+}
+
+impl RuntimeConfig {
+    /// A config with immediate routing.
+    pub fn new(num_objects: usize) -> Self {
+        RuntimeConfig {
+            num_objects,
+            artificial_delay: None,
+            seed: 0,
+        }
+    }
+
+    /// Injects randomized per-message delays (microsecond scale) so the
+    /// network visibly reorders messages.
+    pub fn with_artificial_delay(mut self, delay: DelayModel) -> Self {
+        self.artificial_delay = Some(delay);
+        self
+    }
+}
+
+/// The response of a completed m-operation.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// The m-operation's identity.
+    pub id: MOpId,
+    /// Program outputs.
+    pub outputs: Vec<Value>,
+    /// Protocol classification.
+    pub treated_as: MOpClass,
+    /// Invocation event (ns since cluster epoch).
+    pub invoked_at: EventTime,
+    /// Response event (ns since cluster epoch).
+    pub responded_at: EventTime,
+}
+
+/// Everything a finished cluster leaves behind.
+#[derive(Debug)]
+pub struct RuntimeReport {
+    /// The recorded, validated history.
+    pub history: History,
+    /// Per-replica message metrics.
+    pub replica_metrics: Vec<moc_protocol::ReplicaMetrics>,
+}
+
+enum Input<M> {
+    Net {
+        from: ProcessId,
+        msg: M,
+    },
+    Invoke {
+        program: Arc<Program>,
+        args: Vec<Value>,
+        reply: Sender<Reply>,
+    },
+    Shutdown,
+}
+
+enum NetCmd<M> {
+    Route {
+        from: ProcessId,
+        to: ProcessId,
+        msg: M,
+    },
+    Shutdown,
+}
+
+/// A running cluster of `n` replica threads plus a network thread.
+pub struct LiveCluster<R: ReplicaProtocol> {
+    inputs: Vec<Sender<Input<R::Msg>>>,
+    net_tx: Sender<NetCmd<R::Msg>>,
+    replica_handles: Vec<JoinHandle<ReplicaExit>>,
+    net_handle: JoinHandle<()>,
+    invoke_locks: Vec<Mutex<()>>,
+    num_objects: usize,
+}
+
+struct ReplicaExit {
+    records: Vec<MOpRecord>,
+    metrics: moc_protocol::ReplicaMetrics,
+}
+
+impl<R> LiveCluster<R>
+where
+    R: ReplicaProtocol + Send + 'static,
+    R::Msg: Send + 'static,
+{
+    /// Spawns `n` replica threads and the network thread.
+    pub fn start(n: usize, config: RuntimeConfig) -> Self {
+        assert!(n > 0, "need at least one process");
+        let epoch = Instant::now();
+        let (net_tx, net_rx) = unbounded::<NetCmd<R::Msg>>();
+        let mut inputs = Vec::with_capacity(n);
+        let mut replica_handles = Vec::with_capacity(n);
+
+        for p in 0..n {
+            let me = ProcessId::new(p as u32);
+            let (tx, rx) = unbounded::<Input<R::Msg>>();
+            inputs.push(tx);
+            let net_tx = net_tx.clone();
+            let num_objects = config.num_objects;
+            replica_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("replica-{p}"))
+                    .spawn(move || replica_main::<R>(me, n, num_objects, epoch, rx, net_tx))
+                    .expect("spawn replica thread"),
+            );
+        }
+
+        let node_inputs = inputs.clone();
+        let delay = config.artificial_delay;
+        let seed = config.seed;
+        let net_handle = std::thread::Builder::new()
+            .name("network".into())
+            .spawn(move || network_main::<R::Msg>(net_rx, node_inputs, delay, seed))
+            .expect("spawn network thread");
+
+        LiveCluster {
+            inputs,
+            net_tx,
+            replica_handles,
+            net_handle,
+            invoke_locks: (0..n).map(|_| Mutex::new(())).collect(),
+            num_objects: config.num_objects,
+        }
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Invokes `program(args)` as the next m-operation of `process`,
+    /// blocking until its response event. Concurrent callers targeting the
+    /// same process are serialized (processes are sequential threads of
+    /// control in the model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster is shutting down underneath the call.
+    pub fn invoke(&self, process: ProcessId, program: Arc<Program>, args: Vec<Value>) -> Reply {
+        let _guard = self.invoke_locks[process.index()].lock();
+        let (reply_tx, reply_rx) = bounded(1);
+        self.inputs[process.index()]
+            .send(Input::Invoke {
+                program,
+                args,
+                reply: reply_tx,
+            })
+            .expect("replica thread alive");
+        reply_rx.recv().expect("replica answers every invocation")
+    }
+
+    /// Stops the cluster: flushes in-flight messages, joins all threads and
+    /// assembles the recorded history.
+    pub fn shutdown(self) -> RuntimeReport {
+        // The network flushes its delay queue, then tells the replicas to
+        // exit; anything a replica sends after that is dropped.
+        self.net_tx
+            .send(NetCmd::Shutdown)
+            .expect("network thread alive");
+        self.net_handle.join().expect("network thread panicked");
+        for tx in &self.inputs {
+            let _ = tx.send(Input::Shutdown);
+        }
+        let mut records = Vec::new();
+        let mut replica_metrics = Vec::new();
+        for h in self.replica_handles {
+            let exit = h.join().expect("replica thread panicked");
+            records.extend(exit.records);
+            replica_metrics.push(exit.metrics);
+        }
+        let history =
+            History::new(self.num_objects, records).expect("runtime produced an invalid history");
+        RuntimeReport {
+            history,
+            replica_metrics,
+        }
+    }
+}
+
+fn replica_main<R: ReplicaProtocol>(
+    me: ProcessId,
+    n: usize,
+    num_objects: usize,
+    epoch: Instant,
+    rx: Receiver<Input<R::Msg>>,
+    net_tx: Sender<NetCmd<R::Msg>>,
+) -> ReplicaExit {
+    let mut replica = R::new(me, n, num_objects);
+    let mut next_seq = 0u32;
+    let mut inflight: Option<(MOpId, EventTime, Sender<Reply>)> = None;
+    let mut records = Vec::new();
+
+    let now = |epoch: Instant| EventTime::from_nanos(epoch.elapsed().as_nanos() as u64);
+
+    while let Ok(input) = rx.recv() {
+        let mut out = Outbox::new(n);
+        match input {
+            Input::Net { from, msg } => replica.on_message(from, msg, &mut out),
+            Input::Invoke {
+                program,
+                args,
+                reply,
+            } => {
+                let id = MOpId::new(me, next_seq);
+                next_seq += 1;
+                assert!(inflight.is_none(), "process invoked while one is pending");
+                inflight = Some((id, now(epoch), reply));
+                replica.invoke(MOperation::new(id, program, args), &mut out);
+            }
+            Input::Shutdown => break,
+        }
+        // Route sends; after shutdown began the network may be gone — those
+        // messages have no waiting client, so dropping them is safe.
+        for (to, msg) in out.drain() {
+            let _ = net_tx.send(NetCmd::Route { from: me, to, msg });
+        }
+        for c in replica.drain_completions() {
+            let (id, invoked_at, reply) = inflight.take().expect("completion matches invocation");
+            assert_eq!(c.id, id);
+            let responded_at = now(epoch);
+            records.push(MOpRecord {
+                id,
+                invoked_at,
+                responded_at,
+                ops: c.ops,
+                outputs: c.outputs.clone(),
+                treated_as: c.treated_as,
+                label: c.label,
+            });
+            let _ = reply.send(Reply {
+                id,
+                outputs: c.outputs,
+                treated_as: c.treated_as,
+                invoked_at,
+                responded_at,
+            });
+        }
+    }
+    ReplicaExit {
+        records,
+        metrics: replica.metrics(),
+    }
+}
+
+fn network_main<M: Send>(
+    rx: Receiver<NetCmd<M>>,
+    nodes: Vec<Sender<Input<M>>>,
+    delay: Option<DelayModel>,
+    seed: u64,
+) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Delay queue ordered by deadline; seq breaks ties FIFO.
+    let mut heap: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
+    let mut payloads: std::collections::HashMap<u64, (ProcessId, ProcessId, M)> =
+        std::collections::HashMap::new();
+    let mut next_id = 0u64;
+
+    let forward = |nodes: &[Sender<Input<M>>], from: ProcessId, to: ProcessId, msg: M| {
+        let _ = nodes[to.index()].send(Input::Net { from, msg });
+    };
+
+    loop {
+        // Flush everything due.
+        let now = Instant::now();
+        while let Some(Reverse((deadline, id))) = heap.peek().copied() {
+            if deadline > now {
+                break;
+            }
+            heap.pop();
+            let (from, to, msg) = payloads.remove(&id).expect("payload exists");
+            forward(&nodes, from, to, msg);
+        }
+        // Wait for the next command or the next deadline.
+        let timeout = heap
+            .peek()
+            .map(|Reverse((deadline, _))| deadline.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_secs(3600));
+        match rx.recv_timeout(timeout) {
+            Ok(NetCmd::Route { from, to, msg }) => match delay {
+                None => forward(&nodes, from, to, msg),
+                Some(model) => {
+                    let d = Duration::from_nanos(model.sample(&mut rng));
+                    let id = next_id;
+                    next_id += 1;
+                    heap.push(Reverse((Instant::now() + d, id)));
+                    payloads.insert(id, (from, to, msg));
+                }
+            },
+            Ok(NetCmd::Shutdown) => {
+                // Flush the remaining queue immediately, preserving the
+                // scheduled order.
+                let mut rest: Vec<_> = heap.into_sorted_vec();
+                rest.reverse(); // into_sorted_vec on Reverse yields descending deadlines
+                rest.sort_by_key(|Reverse(k)| *k);
+                for Reverse((_, id)) in rest {
+                    let (from, to, msg) = payloads.remove(&id).expect("payload exists");
+                    forward(&nodes, from, to, msg);
+                }
+                return;
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc_checker::conditions::{check, Condition, Strategy};
+    use moc_core::ids::ObjectId;
+    use moc_core::program::{imm, reg, ProgramBuilder};
+    use moc_protocol::{MlinOverSequencer, MscOverIsis, MscOverSequencer};
+
+    fn wx(val: i64) -> Arc<Program> {
+        let mut b = ProgramBuilder::new("wx");
+        b.write(ObjectId::new(0), imm(val)).ret(vec![]);
+        Arc::new(b.build().unwrap())
+    }
+
+    fn rx() -> Arc<Program> {
+        let mut b = ProgramBuilder::new("rx");
+        b.read(ObjectId::new(0), 0).ret(vec![reg(0)]);
+        Arc::new(b.build().unwrap())
+    }
+
+    fn inc() -> Arc<Program> {
+        let mut b = ProgramBuilder::new("inc");
+        b.read(ObjectId::new(0), 0)
+            .add(0, reg(0), imm(1))
+            .write(ObjectId::new(0), reg(0))
+            .ret(vec![reg(0)]);
+        Arc::new(b.build().unwrap())
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let cluster: LiveCluster<MlinOverSequencer> = LiveCluster::start(3, RuntimeConfig::new(1));
+        cluster.invoke(ProcessId::new(0), wx(9), vec![]);
+        let r = cluster.invoke(ProcessId::new(2), rx(), vec![]);
+        assert_eq!(r.outputs, vec![9], "mlin query after update must see it");
+        let report = cluster.shutdown();
+        assert_eq!(report.history.len(), 2);
+        let lin = check(&report.history, Condition::MLinearizability, Strategy::Auto).unwrap();
+        assert!(lin.satisfied);
+    }
+
+    #[test]
+    fn concurrent_clients_preserve_increments() {
+        let cluster: LiveCluster<MscOverSequencer> = LiveCluster::start(
+            4,
+            RuntimeConfig::new(1).with_artificial_delay(DelayModel::Uniform {
+                lo: 1_000,
+                hi: 200_000,
+            }),
+        );
+        let cluster = Arc::new(cluster);
+        let mut joins = Vec::new();
+        for p in 0..4u32 {
+            let c = Arc::clone(&cluster);
+            joins.push(std::thread::spawn(move || {
+                for _ in 0..5 {
+                    c.invoke(ProcessId::new(p), inc(), vec![]);
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let final_value = cluster.invoke(ProcessId::new(0), rx(), vec![]).outputs[0];
+        // msc query reads the local copy; process 0 has applied every
+        // delivered update... but some may still be in flight. Give the
+        // cluster a moment to converge, then re-read.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut v = final_value;
+        while v != 20 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+            v = cluster.invoke(ProcessId::new(0), rx(), vec![]).outputs[0];
+        }
+        assert_eq!(v, 20, "all 20 increments must land");
+
+        let cluster = Arc::try_unwrap(cluster).unwrap_or_else(|_| panic!("refs remain"));
+        let report = cluster.shutdown();
+        let sc = check(
+            &report.history,
+            Condition::MSequentialConsistency,
+            Strategy::Auto,
+        )
+        .unwrap();
+        assert!(sc.satisfied, "Theorem 15 on the live runtime");
+    }
+
+    #[test]
+    fn single_process_cluster_works() {
+        let cluster: LiveCluster<MlinOverSequencer> = LiveCluster::start(1, RuntimeConfig::new(1));
+        cluster.invoke(ProcessId::new(0), wx(3), vec![]);
+        let r = cluster.invoke(ProcessId::new(0), rx(), vec![]);
+        assert_eq!(r.outputs, vec![3]);
+        assert!(r.invoked_at <= r.responded_at);
+        let report = cluster.shutdown();
+        assert_eq!(report.history.len(), 2);
+    }
+
+    #[test]
+    fn heavy_delay_reordering_stays_consistent() {
+        // Millisecond-scale random delays: messages overtake each other
+        // constantly; the history must still check out.
+        let cluster: LiveCluster<MlinOverSequencer> = LiveCluster::start(
+            3,
+            RuntimeConfig::new(2)
+                .with_artificial_delay(DelayModel::Exponential { mean: 1_000_000 }),
+        );
+        let cluster = Arc::new(cluster);
+        let mut joins = Vec::new();
+        for p in 0..3u32 {
+            let c = Arc::clone(&cluster);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..4 {
+                    if i % 2 == 0 {
+                        c.invoke(ProcessId::new(p), wx(p as i64 * 10 + i), vec![]);
+                    } else {
+                        c.invoke(ProcessId::new(p), rx(), vec![]);
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let cluster = Arc::try_unwrap(cluster).unwrap_or_else(|_| panic!("refs remain"));
+        let report = cluster.shutdown();
+        assert_eq!(report.history.len(), 12);
+        let lin = check(&report.history, Condition::MLinearizability, Strategy::Auto).unwrap();
+        assert!(lin.satisfied, "{:?}", lin.reason);
+    }
+
+    #[test]
+    fn replies_carry_monotone_event_times_per_process() {
+        let cluster: LiveCluster<MscOverSequencer> = LiveCluster::start(2, RuntimeConfig::new(1));
+        let p = ProcessId::new(0);
+        let r1 = cluster.invoke(p, wx(1), vec![]);
+        let r2 = cluster.invoke(p, wx(2), vec![]);
+        assert!(r1.responded_at <= r2.invoked_at, "process order in time");
+        assert_eq!(r1.id.seq, 0);
+        assert_eq!(r2.id.seq, 1);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn isis_backend_works_live() {
+        let cluster: LiveCluster<MscOverIsis> = LiveCluster::start(3, RuntimeConfig::new(2));
+        for i in 0..5 {
+            cluster.invoke(ProcessId::new((i % 3) as u32), wx(i as i64), vec![]);
+        }
+        let report = cluster.shutdown();
+        assert_eq!(report.history.len(), 5);
+        assert!(report.replica_metrics.iter().any(|m| m.updates_applied > 0));
+    }
+}

@@ -1,0 +1,720 @@
+//! # moc-sim
+//!
+//! A deterministic discrete-event simulator for asynchronous
+//! message-passing systems.
+//!
+//! The Section 5 protocols of Mittal & Garg (1998) assume exactly this
+//! substrate: "processes and channels are reliable and a message sent is
+//! eventually received. However, the messages can get reordered." The
+//! simulator provides:
+//!
+//! * virtual time ([`SimTime`], nanosecond granularity);
+//! * reliable channels — every message is delivered exactly once, never
+//!   dropped or duplicated — with per-message random delays drawn from a
+//!   configurable [`DelayModel`], which reorders messages arbitrarily;
+//! * deterministic execution: the same seed and the same node logic always
+//!   produce the same schedule, making protocol bugs reproducible;
+//! * externally injected events ([`World::schedule_call`]) so a test
+//!   harness can invoke operations on nodes at chosen virtual times.
+//!
+//! Nodes are pure state machines implementing [`Node`]; all effects go
+//! through the [`Context`] handed to each handler.
+//!
+//! ```
+//! use moc_core::ids::ProcessId;
+//! use moc_sim::{Context, DelayModel, NetworkConfig, Node, World};
+//!
+//! /// Each node forwards a counter to the next node, n hops.
+//! struct Hop {
+//!     hops_seen: u64,
+//! }
+//! impl Node for Hop {
+//!     type Msg = u64;
+//!     fn on_message(&mut self, _from: ProcessId, msg: u64, ctx: &mut Context<'_, u64>) {
+//!         self.hops_seen += 1;
+//!         if msg > 0 {
+//!             let next = ProcessId::new((ctx.me().as_u32() + 1) % ctx.num_processes() as u32);
+//!             ctx.send(next, msg - 1);
+//!         }
+//!     }
+//! }
+//!
+//! let mut world = World::new(
+//!     (0..3).map(|_| Hop { hops_seen: 0 }).collect(),
+//!     NetworkConfig::with_delay(DelayModel::Uniform { lo: 10, hi: 100 }),
+//!     42,
+//! );
+//! world.schedule_call(0, ProcessId::new(0), |node, ctx| {
+//!     node.hops_seen += 1;
+//!     let next = ProcessId::new(1);
+//!     ctx.send(next, 5);
+//! });
+//! let stats = world.run_until_quiescent(10_000);
+//! assert_eq!(stats.messages_delivered, 6);
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use moc_core::ids::ProcessId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A point in virtual time, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// The origin of virtual time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Nanoseconds since the origin.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time advanced by `delta_ns` nanoseconds.
+    pub const fn after(self, delta_ns: u64) -> SimTime {
+        SimTime(self.0 + delta_ns)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ns", self.0)
+    }
+}
+
+/// Distribution of per-message network delay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// Every message takes exactly this many nanoseconds (FIFO network).
+    Fixed(u64),
+    /// Uniform in `[lo, hi]` — adjacent messages reorder freely.
+    Uniform {
+        /// Minimum delay (ns).
+        lo: u64,
+        /// Maximum delay (ns).
+        hi: u64,
+    },
+    /// Exponential with the given mean — occasional stragglers, heavy
+    /// reordering.
+    Exponential {
+        /// Mean delay (ns).
+        mean: u64,
+    },
+}
+
+impl DelayModel {
+    /// Samples one delay.
+    pub fn sample(&self, rng: &mut StdRng) -> u64 {
+        match *self {
+            DelayModel::Fixed(d) => d,
+            DelayModel::Uniform { lo, hi } => rng.gen_range(lo..=hi.max(lo)),
+            DelayModel::Exponential { mean } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (-(u.ln()) * mean as f64) as u64
+            }
+        }
+    }
+}
+
+/// Network configuration for a [`World`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetworkConfig {
+    /// Delay model for inter-process messages.
+    pub delay: DelayModel,
+    /// Delay model for messages a process sends to itself (loopback).
+    pub self_delay: DelayModel,
+}
+
+impl NetworkConfig {
+    /// A configuration using `delay` for remote links and a fast fixed
+    /// loopback.
+    pub fn with_delay(delay: DelayModel) -> Self {
+        NetworkConfig {
+            delay,
+            self_delay: DelayModel::Fixed(1),
+        }
+    }
+
+    /// A FIFO network with a fixed per-message delay — useful for
+    /// reproducing the paper's worked example executions exactly.
+    pub fn fifo(delay_ns: u64) -> Self {
+        NetworkConfig {
+            delay: DelayModel::Fixed(delay_ns),
+            self_delay: DelayModel::Fixed(1),
+        }
+    }
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        NetworkConfig::with_delay(DelayModel::Uniform { lo: 50, hi: 5_000 })
+    }
+}
+
+/// Handle to a pending timer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerId(u64);
+
+/// A deterministic state machine hosted by the simulator.
+pub trait Node {
+    /// The message type exchanged between nodes.
+    type Msg;
+
+    /// Called once at virtual time zero, before any event.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message arrives.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, ctx: &mut Context<'_, Self::Msg>);
+
+    /// Called when a timer set via [`Context::set_timer`] fires.
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = (timer, ctx);
+    }
+}
+
+/// The effect interface handed to node handlers: sends, timers, identity
+/// and the current virtual time. Effects are buffered and applied by the
+/// [`World`] after the handler returns, so handlers stay pure.
+#[derive(Debug)]
+pub struct Context<'a, M> {
+    me: ProcessId,
+    n: usize,
+    now: SimTime,
+    sends: Vec<(ProcessId, M)>,
+    timers: Vec<(u64, TimerId)>,
+    next_timer: &'a mut u64,
+}
+
+impl<'a, M> Context<'a, M> {
+    /// The hosting process.
+    pub fn me(&self) -> ProcessId {
+        self.me
+    }
+
+    /// Number of processes in the world.
+    pub fn num_processes(&self) -> usize {
+        self.n
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Sends `msg` to `to` (which may be `self.me()`; loopback messages are
+    /// also delivered asynchronously).
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.sends.push((to, msg));
+    }
+
+    /// Sends a copy of `msg` to every process, including the sender — the
+    /// "send to all processes" of the paper's protocols.
+    pub fn send_all(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for p in 0..self.n {
+            self.sends.push((ProcessId::new(p as u32), msg.clone()));
+        }
+    }
+
+    /// Schedules a timer `delay_ns` from now; `on_timer` fires with the
+    /// returned id.
+    pub fn set_timer(&mut self, delay_ns: u64) -> TimerId {
+        let id = TimerId(*self.next_timer);
+        *self.next_timer += 1;
+        self.timers.push((delay_ns, id));
+        id
+    }
+}
+
+enum Payload<N: Node> {
+    Message {
+        from: ProcessId,
+        msg: N::Msg,
+    },
+    Timer(TimerId),
+    #[allow(clippy::type_complexity)]
+    Call(Box<dyn FnOnce(&mut N, &mut Context<'_, N::Msg>)>),
+}
+
+struct Event<N: Node> {
+    at: SimTime,
+    seq: u64,
+    to: ProcessId,
+    payload: Payload<N>,
+}
+
+impl<N: Node> PartialEq for Event<N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<N: Node> Eq for Event<N> {}
+impl<N: Node> PartialOrd for Event<N> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<N: Node> Ord for Event<N> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Counters describing a finished (or paused) simulation run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Events processed in total.
+    pub events_processed: u64,
+    /// Messages handed to `on_message`.
+    pub messages_delivered: u64,
+    /// Messages submitted by nodes.
+    pub messages_sent: u64,
+    /// Timers fired.
+    pub timers_fired: u64,
+    /// Injected calls executed.
+    pub calls_executed: u64,
+    /// Virtual time at the end of the run.
+    pub end_time: SimTime,
+}
+
+/// A simulated world of `n` nodes plus the event queue and network.
+pub struct World<N: Node> {
+    nodes: Vec<N>,
+    queue: BinaryHeap<Reverse<Event<N>>>,
+    time: SimTime,
+    seq: u64,
+    next_timer: u64,
+    rng: StdRng,
+    config: NetworkConfig,
+    stats: RunStats,
+    started: bool,
+}
+
+impl<N: Node> World<N> {
+    /// Creates a world hosting `nodes` with the given network `config`,
+    /// deterministically seeded by `seed`.
+    pub fn new(nodes: Vec<N>, config: NetworkConfig, seed: u64) -> Self {
+        World {
+            nodes,
+            queue: BinaryHeap::new(),
+            time: SimTime::ZERO,
+            seq: 0,
+            next_timer: 0,
+            rng: StdRng::seed_from_u64(seed),
+            config,
+            stats: RunStats::default(),
+            started: false,
+        }
+    }
+
+    /// Number of processes.
+    pub fn num_processes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, p: ProcessId) -> &N {
+        &self.nodes[p.index()]
+    }
+
+    /// Mutable access to a node. Note that mutating protocol state behind
+    /// the simulator's back can break determinism; prefer
+    /// [`World::schedule_call`].
+    pub fn node_mut(&mut self, p: ProcessId) -> &mut N {
+        &mut self.nodes[p.index()]
+    }
+
+    /// Consumes the world and returns the nodes (e.g. to extract recorded
+    /// histories after a run).
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> RunStats {
+        let mut s = self.stats;
+        s.end_time = self.time;
+        s
+    }
+
+    /// Schedules `f` to run on node `to` at absolute virtual time `at_ns`
+    /// (clamped to "now" if already past). This is how harnesses inject
+    /// m-operation invocations.
+    pub fn schedule_call(
+        &mut self,
+        at_ns: u64,
+        to: ProcessId,
+        f: impl FnOnce(&mut N, &mut Context<'_, N::Msg>) + 'static,
+    ) {
+        let at = SimTime(at_ns.max(self.time.0));
+        let seq = self.bump_seq();
+        self.queue.push(Reverse(Event {
+            at,
+            seq,
+            to,
+            payload: Payload::Call(Box::new(f)),
+        }));
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn flush_effects(
+        &mut self,
+        from: ProcessId,
+        sends: Vec<(ProcessId, N::Msg)>,
+        timers: Vec<(u64, TimerId)>,
+    ) {
+        for (to, msg) in sends {
+            self.stats.messages_sent += 1;
+            let model = if to == from {
+                self.config.self_delay
+            } else {
+                self.config.delay
+            };
+            let delay = model.sample(&mut self.rng);
+            let at = self.time.after(delay.max(1));
+            let seq = self.bump_seq();
+            self.queue.push(Reverse(Event {
+                at,
+                seq,
+                to,
+                payload: Payload::Message { from, msg },
+            }));
+        }
+        for (delay, id) in timers {
+            let at = self.time.after(delay.max(1));
+            let seq = self.bump_seq();
+            self.queue.push(Reverse(Event {
+                at,
+                seq,
+                to: from,
+                payload: Payload::Timer(id),
+            }));
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let me = ProcessId::new(i as u32);
+            let mut ctx = Context {
+                me,
+                n: self.nodes.len(),
+                now: self.time,
+                sends: Vec::new(),
+                timers: Vec::new(),
+                next_timer: &mut self.next_timer,
+            };
+            self.nodes[i].on_start(&mut ctx);
+            let sends = std::mem::take(&mut ctx.sends);
+            let timers = std::mem::take(&mut ctx.timers);
+            drop(ctx);
+            self.flush_effects(me, sends, timers);
+        }
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some(Reverse(ev)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.time, "time went backwards");
+        self.time = ev.at;
+        self.stats.events_processed += 1;
+        let to = ev.to;
+        let mut ctx = Context {
+            me: to,
+            n: self.nodes.len(),
+            now: self.time,
+            sends: Vec::new(),
+            timers: Vec::new(),
+            next_timer: &mut self.next_timer,
+        };
+        let node = &mut self.nodes[to.index()];
+        match ev.payload {
+            Payload::Message { from, msg } => {
+                self.stats.messages_delivered += 1;
+                node.on_message(from, msg, &mut ctx);
+            }
+            Payload::Timer(id) => {
+                self.stats.timers_fired += 1;
+                node.on_timer(id, &mut ctx);
+            }
+            Payload::Call(f) => {
+                self.stats.calls_executed += 1;
+                f(node, &mut ctx);
+            }
+        }
+        let sends = std::mem::take(&mut ctx.sends);
+        let timers = std::mem::take(&mut ctx.timers);
+        drop(ctx);
+        self.flush_effects(to, sends, timers);
+        true
+    }
+
+    /// Runs until no events remain or `max_events` have been processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_events` is hit — a protocol that never quiesces on a
+    /// finite workload is a bug in this codebase's context, and silent
+    /// truncation would invalidate recorded histories.
+    pub fn run_until_quiescent(&mut self, max_events: u64) -> RunStats {
+        let mut processed = 0u64;
+        self.start_if_needed();
+        while self.step() {
+            processed += 1;
+            assert!(
+                processed <= max_events,
+                "simulation did not quiesce within {max_events} events"
+            );
+        }
+        self.stats()
+    }
+
+    /// Runs while the next event is at or before `until_ns`.
+    pub fn run_until(&mut self, until_ns: u64) -> RunStats {
+        self.start_if_needed();
+        while let Some(Reverse(ev)) = self.queue.peek() {
+            if ev.at.0 > until_ns {
+                break;
+            }
+            self.step();
+        }
+        self.stats()
+    }
+}
+
+impl<N: Node> fmt::Debug for World<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("nodes", &self.nodes.len())
+            .field("time", &self.time)
+            .field("pending_events", &self.queue.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Echo node: replies to every `Ping(k)` with `Pong(k)` to the sender;
+    /// the initiator counts pongs.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum PingMsg {
+        Ping(u64),
+        Pong(u64),
+    }
+
+    #[derive(Default)]
+    struct PingNode {
+        pongs: Vec<u64>,
+        delivered_at: Vec<SimTime>,
+    }
+
+    impl Node for PingNode {
+        type Msg = PingMsg;
+        fn on_message(&mut self, from: ProcessId, msg: PingMsg, ctx: &mut Context<'_, PingMsg>) {
+            match msg {
+                PingMsg::Ping(k) => ctx.send(from, PingMsg::Pong(k)),
+                PingMsg::Pong(k) => {
+                    self.pongs.push(k);
+                    self.delivered_at.push(ctx.now());
+                }
+            }
+        }
+    }
+
+    fn ping_world(seed: u64, delay: DelayModel) -> World<PingNode> {
+        World::new(
+            vec![PingNode::default(), PingNode::default()],
+            NetworkConfig::with_delay(delay),
+            seed,
+        )
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let mut w = ping_world(1, DelayModel::Fixed(100));
+        w.schedule_call(0, ProcessId::new(0), |_, ctx| {
+            ctx.send(ProcessId::new(1), PingMsg::Ping(7));
+        });
+        let stats = w.run_until_quiescent(100);
+        assert_eq!(stats.messages_delivered, 2);
+        assert_eq!(w.node(ProcessId::new(0)).pongs, vec![7]);
+        // Fixed 100ns each way: pong lands at t=200.
+        assert_eq!(w.node(ProcessId::new(0)).delivered_at[0], SimTime(200));
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let run = |seed| {
+            let mut w = ping_world(seed, DelayModel::Uniform { lo: 1, hi: 1000 });
+            for k in 0..20 {
+                w.schedule_call(k, ProcessId::new(0), move |_, ctx| {
+                    ctx.send(ProcessId::new(1), PingMsg::Ping(k));
+                });
+            }
+            w.run_until_quiescent(10_000);
+            w.into_nodes().remove(0).pongs
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds should reorder");
+    }
+
+    #[test]
+    fn uniform_delays_reorder_messages() {
+        let mut w = ping_world(7, DelayModel::Uniform { lo: 1, hi: 100_000 });
+        for k in 0..50 {
+            w.schedule_call(k, ProcessId::new(0), move |_, ctx| {
+                ctx.send(ProcessId::new(1), PingMsg::Ping(k));
+            });
+        }
+        w.run_until_quiescent(10_000);
+        let pongs = &w.node(ProcessId::new(0)).pongs;
+        assert_eq!(pongs.len(), 50, "reliable: nothing lost");
+        let mut sorted = pongs.clone();
+        sorted.sort_unstable();
+        assert_ne!(*pongs, sorted, "messages should arrive out of order");
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn exponential_delays_are_reliable_too() {
+        let mut w = ping_world(3, DelayModel::Exponential { mean: 500 });
+        for k in 0..30 {
+            w.schedule_call(k * 10, ProcessId::new(0), move |_, ctx| {
+                ctx.send(ProcessId::new(1), PingMsg::Ping(k));
+            });
+        }
+        let stats = w.run_until_quiescent(10_000);
+        assert_eq!(stats.messages_delivered, 60);
+        assert_eq!(w.node(ProcessId::new(0)).pongs.len(), 30);
+    }
+
+    struct TimerNode {
+        fired: Vec<(TimerId, SimTime)>,
+        armed: Option<TimerId>,
+    }
+
+    impl Node for TimerNode {
+        type Msg = ();
+        fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+            self.armed = Some(ctx.set_timer(500));
+        }
+        fn on_message(&mut self, _f: ProcessId, _m: (), _c: &mut Context<'_, ()>) {}
+        fn on_timer(&mut self, t: TimerId, ctx: &mut Context<'_, ()>) {
+            self.fired.push((t, ctx.now()));
+        }
+    }
+
+    #[test]
+    fn timers_fire_at_the_right_time() {
+        let mut w = World::new(
+            vec![TimerNode {
+                fired: vec![],
+                armed: None,
+            }],
+            NetworkConfig::fifo(10),
+            0,
+        );
+        w.run_until_quiescent(10);
+        let node = &w.node(ProcessId::new(0));
+        assert_eq!(node.fired.len(), 1);
+        assert_eq!(node.fired[0].0, node.armed.unwrap());
+        assert_eq!(node.fired[0].1, SimTime(500));
+    }
+
+    struct FanoutNode {
+        seen: usize,
+    }
+    impl Node for FanoutNode {
+        type Msg = u8;
+        fn on_message(&mut self, _f: ProcessId, _m: u8, _c: &mut Context<'_, u8>) {
+            self.seen += 1;
+        }
+    }
+
+    #[test]
+    fn send_all_includes_self() {
+        let mut w = World::new(
+            (0..4).map(|_| FanoutNode { seen: 0 }).collect(),
+            NetworkConfig::default(),
+            5,
+        );
+        w.schedule_call(0, ProcessId::new(2), |_, ctx| ctx.send_all(9));
+        let stats = w.run_until_quiescent(100);
+        assert_eq!(stats.messages_sent, 4);
+        for p in 0..4 {
+            assert_eq!(w.node(ProcessId::new(p)).seen, 1);
+        }
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let mut w = ping_world(1, DelayModel::Fixed(1000));
+        w.schedule_call(0, ProcessId::new(0), |_, ctx| {
+            ctx.send(ProcessId::new(1), PingMsg::Ping(1));
+        });
+        w.run_until(500);
+        assert_eq!(w.stats().messages_delivered, 0, "ping still in flight");
+        w.run_until(5000);
+        assert_eq!(w.stats().messages_delivered, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not quiesce")]
+    fn livelock_is_detected() {
+        struct Bouncer;
+        impl Node for Bouncer {
+            type Msg = ();
+            fn on_message(&mut self, from: ProcessId, _m: (), ctx: &mut Context<'_, ()>) {
+                ctx.send(from, ());
+            }
+        }
+        let mut w = World::new(vec![Bouncer, Bouncer], NetworkConfig::default(), 0);
+        w.schedule_call(0, ProcessId::new(0), |_, ctx| {
+            ctx.send(ProcessId::new(1), ())
+        });
+        w.run_until_quiescent(100);
+    }
+
+    #[test]
+    fn delay_models_sample_within_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            assert_eq!(DelayModel::Fixed(7).sample(&mut rng), 7);
+            let u = DelayModel::Uniform { lo: 10, hi: 20 }.sample(&mut rng);
+            assert!((10..=20).contains(&u));
+        }
+        // Exponential: mean roughly right over many samples.
+        let mean: u64 = 1000;
+        let total: u64 = (0..20_000)
+            .map(|_| DelayModel::Exponential { mean }.sample(&mut rng))
+            .sum();
+        let avg = total / 20_000;
+        assert!((800..=1200).contains(&avg), "avg {avg} too far from mean");
+    }
+}

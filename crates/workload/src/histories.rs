@@ -1,0 +1,363 @@
+//! Synthetic history generators for the consistency checkers.
+//!
+//! Three families:
+//!
+//! * [`serial_history`] — a random *serial* execution: m-operations run one
+//!   at a time against a simulated store, so the history is legal and
+//!   m-linearizable by construction. Positive control for checkers at any
+//!   size.
+//! * [`random_history`] — operations get *random* read provenance (any
+//!   writer of the object, or the initial value), decoupled from any real
+//!   execution. Most such histories are inadmissible; deciding them forces
+//!   the brute-force checker to actually search. Fuel for the Theorem 1/2
+//!   scaling benchmarks.
+//! * [`concurrent_writers_history`] — the adversarial family: `k`
+//!   concurrent multi-object writers and `k` readers, each reader
+//!   consistent with a *different* interleaving. Verification must consider
+//!   many writer orders, exhibiting the exponential worst case.
+
+use moc_core::history::History;
+use moc_core::ids::{MOpId, ObjectId, ProcessId};
+use moc_core::mop::{EventTime, MOpClass, MOpRecord};
+use moc_core::op::CompletedOp;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Parameters for the synthetic history generators.
+#[derive(Debug, Clone, Copy)]
+pub struct HistorySpec {
+    /// Number of processes.
+    pub processes: usize,
+    /// m-operations per process.
+    pub ops_per_process: usize,
+    /// Object universe size.
+    pub num_objects: usize,
+    /// Probability an m-operation is an update.
+    pub update_fraction: f64,
+    /// Maximum objects per m-operation.
+    pub max_span: usize,
+}
+
+impl Default for HistorySpec {
+    fn default() -> Self {
+        HistorySpec {
+            processes: 3,
+            ops_per_process: 4,
+            num_objects: 4,
+            update_fraction: 0.5,
+            max_span: 2,
+        }
+    }
+}
+
+fn distinct_objects(spec: &HistorySpec, rng: &mut StdRng) -> Vec<ObjectId> {
+    let span = rng.gen_range(1..=spec.max_span.clamp(1, spec.num_objects));
+    let mut objs = Vec::with_capacity(span);
+    while objs.len() < span {
+        let o = ObjectId::new(rng.gen_range(0..spec.num_objects) as u32);
+        if !objs.contains(&o) {
+            objs.push(o);
+        }
+    }
+    objs
+}
+
+/// A random serial execution: always legal, m-linearizable, m-normal and
+/// m-sequentially consistent.
+pub fn serial_history(spec: &HistorySpec, rng: &mut StdRng) -> History {
+    let mut store: Vec<(i64, MOpId, u64)> = vec![(0, MOpId::INITIAL, 0); spec.num_objects];
+    let mut next_seq = vec![0u32; spec.processes];
+    let mut remaining: Vec<usize> = vec![spec.ops_per_process; spec.processes];
+    let mut records = Vec::new();
+    let mut t = 0u64;
+    let mut next_value = 1i64;
+
+    while remaining.iter().any(|&r| r > 0) {
+        let p = loop {
+            let p = rng.gen_range(0..spec.processes);
+            if remaining[p] > 0 {
+                break p;
+            }
+        };
+        remaining[p] -= 1;
+        let pid = ProcessId::new(p as u32);
+        let id = MOpId::new(pid, next_seq[p]);
+        next_seq[p] += 1;
+
+        let objs = distinct_objects(spec, rng);
+        let is_update = rng.gen_bool(spec.update_fraction.clamp(0.0, 1.0));
+        let mut ops = Vec::new();
+        for &o in &objs {
+            if is_update && rng.gen_bool(0.7) {
+                let (_, _, ver) = store[o.index()];
+                let v = next_value;
+                next_value += 1;
+                store[o.index()] = (v, id, ver + 1);
+                ops.push(CompletedOp::write(o, v, id, ver + 1));
+            } else {
+                let (v, w, ver) = store[o.index()];
+                ops.push(CompletedOp::read(o, v, w, ver));
+            }
+        }
+        let invoked = t;
+        t += 10;
+        let responded = t;
+        t += 10;
+        records.push(MOpRecord {
+            id,
+            invoked_at: EventTime::from_nanos(invoked),
+            responded_at: EventTime::from_nanos(responded),
+            ops,
+            outputs: Vec::new(),
+            treated_as: if is_update {
+                MOpClass::Update
+            } else {
+                MOpClass::Query
+            },
+            label: "serial".into(),
+        });
+    }
+    History::new(spec.num_objects, records).expect("serial construction is well-formed")
+}
+
+/// A history whose reads get random provenance — any writer of the object
+/// or the initial value — under fully overlapping intervals. Usually
+/// inadmissible; decided only by search.
+pub fn random_history(spec: &HistorySpec, rng: &mut StdRng) -> History {
+    // First pass: decide the shape (who writes what).
+    struct Shape {
+        id: MOpId,
+        objs: Vec<ObjectId>,
+        write_mask: Vec<bool>,
+        invoked: u64,
+        responded: u64,
+    }
+    let mut shapes = Vec::new();
+    for p in 0..spec.processes {
+        let mut t = 0u64;
+        for seq in 0..spec.ops_per_process {
+            let id = MOpId::new(ProcessId::new(p as u32), seq as u32);
+            let objs = distinct_objects(spec, rng);
+            let is_update = rng.gen_bool(spec.update_fraction.clamp(0.0, 1.0));
+            let write_mask = objs
+                .iter()
+                .map(|_| is_update && rng.gen_bool(0.7))
+                .collect::<Vec<_>>();
+            let invoked = t + rng.gen_range(0..5);
+            let responded = invoked + rng.gen_range(1..20);
+            t = responded;
+            shapes.push(Shape {
+                id,
+                objs,
+                write_mask,
+                invoked,
+                responded,
+            });
+        }
+    }
+    // Collect writers per object.
+    let mut writers: Vec<Vec<(MOpId, i64, u64)>> = vec![Vec::new(); spec.num_objects];
+    let mut next_value = 1i64;
+    let mut write_values = std::collections::HashMap::new();
+    for s in &shapes {
+        for (i, &o) in s.objs.iter().enumerate() {
+            if s.write_mask[i] {
+                let v = next_value;
+                next_value += 1;
+                let ver = writers[o.index()].len() as u64 + 1;
+                writers[o.index()].push((s.id, v, ver));
+                write_values.insert((s.id, o), (v, ver));
+            }
+        }
+    }
+    // Second pass: emit records with random read provenance.
+    let records = shapes
+        .iter()
+        .map(|s| {
+            let ops = s
+                .objs
+                .iter()
+                .enumerate()
+                .map(|(i, &o)| {
+                    if s.write_mask[i] {
+                        let (v, ver) = write_values[&(s.id, o)];
+                        CompletedOp::write(o, v, s.id, ver)
+                    } else {
+                        // Random provenance among writers of o (excluding
+                        // this op, which never writes o) or initial.
+                        let cands: Vec<&(MOpId, i64, u64)> = writers[o.index()]
+                            .iter()
+                            .filter(|(w, _, _)| *w != s.id)
+                            .collect();
+                        if cands.is_empty() || rng.gen_bool(0.2) {
+                            CompletedOp::read(o, 0, MOpId::INITIAL, 0)
+                        } else {
+                            let &(w, v, ver) = cands[rng.gen_range(0..cands.len())];
+                            CompletedOp::read(o, v, w, ver)
+                        }
+                    }
+                })
+                .collect::<Vec<_>>();
+            MOpRecord {
+                id: s.id,
+                invoked_at: EventTime::from_nanos(s.invoked),
+                responded_at: EventTime::from_nanos(s.responded),
+                ops,
+                outputs: Vec::new(),
+                treated_as: if s.write_mask.iter().any(|&w| w) {
+                    MOpClass::Update
+                } else {
+                    MOpClass::Query
+                },
+                label: "random".into(),
+            }
+        })
+        .collect();
+    History::new(spec.num_objects, records).expect("random construction is well-formed")
+}
+
+/// The adversarial reader/writer family parameterized by `k`:
+///
+/// * `k` writer processes, each atomically writing all of `x_0..x_{m-1}`
+///   (fully concurrent intervals);
+/// * `k` reader processes, each reading all objects from a *randomly
+///   chosen* writer (consistently — so each reader is individually
+///   satisfiable, but the set of readers pins down interleavings).
+///
+/// Deciding m-sequential consistency over this family forces the search to
+/// explore writer permutations; cost grows combinatorially with `k`.
+pub fn concurrent_writers_history(k: usize, num_objects: usize, rng: &mut StdRng) -> History {
+    let mut records = Vec::new();
+    let objects: Vec<ObjectId> = (0..num_objects).map(|i| ObjectId::new(i as u32)).collect();
+    // Writers: all concurrent.
+    for w in 0..k {
+        let id = MOpId::new(ProcessId::new(w as u32), 0);
+        let ops = objects
+            .iter()
+            .map(|&o| CompletedOp::write(o, (w + 1) as i64, id, 1))
+            .collect();
+        records.push(MOpRecord {
+            id,
+            invoked_at: EventTime::from_nanos(0),
+            responded_at: EventTime::from_nanos(1_000),
+            ops,
+            outputs: Vec::new(),
+            treated_as: MOpClass::Update,
+            label: format!("writer{w}"),
+        });
+    }
+    // Readers: each snapshots one random writer's values, concurrent with
+    // everything.
+    for r in 0..k {
+        let id = MOpId::new(ProcessId::new((k + r) as u32), 0);
+        let w = rng.gen_range(0..k);
+        let wid = MOpId::new(ProcessId::new(w as u32), 0);
+        let ops = objects
+            .iter()
+            .map(|&o| CompletedOp::read(o, (w + 1) as i64, wid, 1))
+            .collect();
+        records.push(MOpRecord {
+            id,
+            invoked_at: EventTime::from_nanos(0),
+            responded_at: EventTime::from_nanos(1_000),
+            ops,
+            outputs: Vec::new(),
+            treated_as: MOpClass::Query,
+            label: format!("reader{r}"),
+        });
+    }
+    History::new(num_objects, records).expect("adversarial construction is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc_checker::conditions::{check, Condition, Strategy};
+    use moc_checker::SearchLimits;
+    use rand::SeedableRng;
+
+    #[test]
+    fn serial_histories_satisfy_everything() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for seed in 0..5 {
+            let _ = seed;
+            let h = serial_history(&HistorySpec::default(), &mut rng);
+            for c in [
+                Condition::MSequentialConsistency,
+                Condition::MNormality,
+                Condition::MLinearizability,
+            ] {
+                assert!(check(&h, c, Strategy::Auto).unwrap().satisfied, "{c}");
+            }
+        }
+    }
+
+    #[test]
+    fn random_histories_are_wellformed_and_checkable() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut rejected = 0;
+        for _ in 0..20 {
+            let h = random_history(&HistorySpec::default(), &mut rng);
+            assert!(!h.is_empty());
+            let r = check(
+                &h,
+                Condition::MSequentialConsistency,
+                Strategy::BruteForce(SearchLimits::with_max_nodes(200_000)),
+            );
+            if let Ok(report) = r {
+                if !report.satisfied {
+                    rejected += 1;
+                }
+            }
+        }
+        assert!(rejected > 0, "random provenance should often be rejected");
+    }
+
+    #[test]
+    fn concurrent_writers_with_consistent_readers_is_satisfiable() {
+        // Each reader snapshots exactly one writer's full write set, so a
+        // witness always exists: order the writers arbitrarily and place
+        // every reader immediately after the writer it observed.
+        let mut rng = StdRng::seed_from_u64(3);
+        let h = concurrent_writers_history(4, 3, &mut rng);
+        assert_eq!(h.len(), 8);
+        let report = check(&h, Condition::MSequentialConsistency, Strategy::Auto).unwrap();
+        assert!(report.satisfied);
+    }
+
+    #[test]
+    fn torn_reader_is_rejected() {
+        // Build the k=2 family, then tear one reader: x from writer 0, the
+        // rest from writer 1 — inadmissible (writers write all objects
+        // atomically).
+        let mut rng = StdRng::seed_from_u64(4);
+        let h = concurrent_writers_history(2, 2, &mut rng);
+        let mut records = h.records().to_vec();
+        let w0 = MOpId::new(ProcessId::new(0), 0);
+        let w1 = MOpId::new(ProcessId::new(1), 0);
+        // Find a reader record and tear it.
+        let reader = records
+            .iter_mut()
+            .find(|r| r.label.starts_with("reader"))
+            .unwrap();
+        reader.ops[0] = CompletedOp::read(ObjectId::new(0), 1, w0, 1);
+        reader.ops[1] = CompletedOp::read(ObjectId::new(1), 2, w1, 1);
+        let torn = History::new(2, records).unwrap();
+        let report = check(&torn, Condition::MSequentialConsistency, Strategy::Auto).unwrap();
+        assert!(
+            !report.satisfied,
+            "mixed-writer snapshot must be inadmissible"
+        );
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let gen = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            serial_history(&HistorySpec::default(), &mut rng)
+                .records()
+                .to_vec()
+        };
+        assert_eq!(gen(9), gen(9));
+    }
+}

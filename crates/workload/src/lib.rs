@@ -1,0 +1,270 @@
+//! # moc-workload
+//!
+//! Workload and history generators for exercising the multi-object
+//! consistency protocols and checkers.
+//!
+//! * [`WorkloadSpec`] + [`scripts`] — randomized client scripts (mixes of
+//!   multi-object queries, writes, read-modify-writes and DCAS, with a
+//!   configurable update fraction, operation span and contention profile)
+//!   for the protocol harness.
+//! * [`histories`] — synthetic [`moc_core::History`] generators for the checker:
+//!   serial (always admissible), random-provenance (usually not), and the
+//!   adversarial reader/writer family whose brute-force verification cost
+//!   grows combinatorially — the workloads behind the Theorem 1/2
+//!   benchmarks.
+
+use std::sync::Arc;
+
+use moc_core::ids::ObjectId;
+use moc_core::program::{arg, imm, reg, CmpOp, Program, ProgramBuilder};
+use moc_protocol::{ClientScript, OpSpec};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+pub mod histories;
+
+/// Parameters of a randomized protocol workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of processes (one script per process).
+    pub processes: usize,
+    /// m-operations per process.
+    pub ops_per_process: usize,
+    /// Size of the shared-object universe.
+    pub num_objects: usize,
+    /// Probability an operation is an update.
+    pub update_fraction: f64,
+    /// Maximum number of objects a single m-operation touches.
+    pub max_span: usize,
+    /// Fraction of object picks that hit the "hot" prefix of the universe.
+    pub hot_fraction: f64,
+    /// Size of the hot prefix.
+    pub hot_objects: usize,
+    /// Client think time between operations (ns of virtual time).
+    pub think_ns: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            processes: 4,
+            ops_per_process: 10,
+            num_objects: 8,
+            update_fraction: 0.5,
+            max_span: 3,
+            hot_fraction: 0.5,
+            hot_objects: 2,
+            think_ns: 100,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Total m-operations the workload will issue.
+    pub fn total_ops(&self) -> usize {
+        self.processes * self.ops_per_process
+    }
+}
+
+fn pick_object(spec: &WorkloadSpec, rng: &mut StdRng) -> ObjectId {
+    let hot = spec.hot_objects.clamp(1, spec.num_objects);
+    let idx = if rng.gen_bool(spec.hot_fraction.clamp(0.0, 1.0)) {
+        rng.gen_range(0..hot)
+    } else {
+        rng.gen_range(0..spec.num_objects)
+    };
+    ObjectId::new(idx as u32)
+}
+
+fn pick_span(spec: &WorkloadSpec, rng: &mut StdRng) -> Vec<ObjectId> {
+    let span = rng.gen_range(1..=spec.max_span.clamp(1, spec.num_objects));
+    let mut objs = Vec::with_capacity(span);
+    while objs.len() < span {
+        let o = pick_object(spec, rng);
+        if !objs.contains(&o) {
+            objs.push(o);
+        }
+    }
+    objs
+}
+
+/// A multi-object read program over the given objects.
+pub fn query_program(objects: &[ObjectId]) -> Arc<Program> {
+    let mut b = ProgramBuilder::new(format!("q{}", objects.len()));
+    for (i, &o) in objects.iter().enumerate() {
+        b.read(o, i as u8);
+    }
+    b.ret((0..objects.len()).map(|i| reg(i as u8)).collect());
+    Arc::new(b.build().expect("query program is well-formed"))
+}
+
+/// A multi-object write program over the given objects (argument `i` goes
+/// to object `i`).
+pub fn write_program(objects: &[ObjectId]) -> Arc<Program> {
+    let mut b = ProgramBuilder::new(format!("w{}", objects.len()));
+    for (i, &o) in objects.iter().enumerate() {
+        b.write(o, arg(i as u8));
+    }
+    b.ret(vec![]);
+    Arc::new(b.build().expect("write program is well-formed"))
+}
+
+/// A read-modify-write incrementing every given object.
+pub fn rmw_program(objects: &[ObjectId]) -> Arc<Program> {
+    let mut b = ProgramBuilder::new(format!("rmw{}", objects.len()));
+    for &o in objects {
+        b.read(o, 0).add(0, reg(0), imm(1)).write(o, reg(0));
+    }
+    b.ret(vec![]);
+    Arc::new(b.build().expect("rmw program is well-formed"))
+}
+
+/// A DCAS over two objects.
+pub fn dcas_program(x: ObjectId, y: ObjectId) -> Arc<Program> {
+    let mut b = ProgramBuilder::new("dcas");
+    let fail = b.fresh_label();
+    b.read(x, 0)
+        .read(y, 1)
+        .jump_if(reg(0), CmpOp::Ne, arg(0), fail)
+        .jump_if(reg(1), CmpOp::Ne, arg(1), fail)
+        .write(x, arg(2))
+        .write(y, arg(3))
+        .ret(vec![imm(1)]);
+    b.bind(fail);
+    b.ret(vec![imm(0)]);
+    Arc::new(b.build().expect("dcas program is well-formed"))
+}
+
+/// Generates one random operation.
+fn random_op(spec: &WorkloadSpec, rng: &mut StdRng) -> OpSpec {
+    if rng.gen_bool(spec.update_fraction.clamp(0.0, 1.0)) {
+        match rng.gen_range(0..3u8) {
+            0 => {
+                let objs = pick_span(spec, rng);
+                let args = (0..objs.len()).map(|_| rng.gen_range(0..1_000)).collect();
+                OpSpec::new(write_program(&objs), args)
+            }
+            1 => OpSpec::new(rmw_program(&pick_span(spec, rng)), vec![]),
+            _ => {
+                if spec.num_objects >= 2 {
+                    let objs = loop {
+                        let objs = pick_span(spec, rng);
+                        if objs.len() >= 2 {
+                            break objs;
+                        }
+                    };
+                    OpSpec::new(
+                        dcas_program(objs[0], objs[1]),
+                        vec![
+                            rng.gen_range(0..3),
+                            rng.gen_range(0..3),
+                            rng.gen_range(0..1_000),
+                            rng.gen_range(0..1_000),
+                        ],
+                    )
+                } else {
+                    OpSpec::new(rmw_program(&pick_span(spec, rng)), vec![])
+                }
+            }
+        }
+    } else {
+        OpSpec::new(query_program(&pick_span(spec, rng)), vec![])
+    }
+}
+
+/// Generates randomized client scripts per `spec`, one per process.
+pub fn scripts(spec: &WorkloadSpec, rng: &mut StdRng) -> Vec<ClientScript> {
+    (0..spec.processes)
+        .map(|_| {
+            let ops = (0..spec.ops_per_process)
+                .map(|_| random_op(spec, rng))
+                .collect();
+            ClientScript::new(ops).with_think_time(spec.think_ns)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scripts_have_requested_shape() {
+        let spec = WorkloadSpec {
+            processes: 3,
+            ops_per_process: 7,
+            ..WorkloadSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = scripts(&spec, &mut rng);
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|c| c.ops.len() == 7));
+        assert_eq!(spec.total_ops(), 21);
+    }
+
+    #[test]
+    fn update_fraction_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let all_updates = WorkloadSpec {
+            update_fraction: 1.0,
+            ..WorkloadSpec::default()
+        };
+        for s in scripts(&all_updates, &mut rng) {
+            assert!(s.ops.iter().all(|o| o.program.is_potential_update()));
+        }
+        let all_queries = WorkloadSpec {
+            update_fraction: 0.0,
+            ..WorkloadSpec::default()
+        };
+        for s in scripts(&all_queries, &mut rng) {
+            assert!(s.ops.iter().all(|o| !o.program.is_potential_update()));
+        }
+    }
+
+    #[test]
+    fn spans_respect_bounds() {
+        let spec = WorkloadSpec {
+            max_span: 2,
+            num_objects: 4,
+            ..WorkloadSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        for s in scripts(&spec, &mut rng) {
+            for op in &s.ops {
+                assert!(op.program.referenced_objects().len() <= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = WorkloadSpec::default();
+        let names = |seed: u64| -> Vec<String> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            scripts(&spec, &mut rng)
+                .into_iter()
+                .flat_map(|s| s.ops.into_iter().map(|o| o.program.name().to_string()))
+                .collect()
+        };
+        assert_eq!(names(7), names(7));
+        assert_ne!(names(7), names(8));
+    }
+
+    #[test]
+    fn single_object_universe_degenerates_gracefully() {
+        let spec = WorkloadSpec {
+            num_objects: 1,
+            max_span: 3,
+            update_fraction: 1.0,
+            ..WorkloadSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = scripts(&spec, &mut rng);
+        for c in &s {
+            for op in &c.ops {
+                assert!(op.program.referenced_objects().len() <= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # multiobj — multi-object distributed operations
+//!
+//! Facade crate re-exporting the whole workspace. See the README for an
+//! overview and `DESIGN.md` for the architecture.
+
+pub use moc_abcast as abcast;
+pub use moc_checker as checker;
+pub use moc_core as core;
+pub use moc_dsm as dsm;
+pub use moc_mc as mc;
+pub use moc_protocol as protocol;
+pub use moc_runtime as runtime;
+pub use moc_sim as sim;
+pub use moc_workload as workload;

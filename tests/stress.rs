@@ -1,0 +1,92 @@
+//! Larger randomized end-to-end runs, verified with the polynomial
+//! Theorem 7 checker (the brute-force search would not scale to these
+//! history sizes — which is exactly the paper's point).
+
+use moc_checker::fast::{check_under_constraint, FastOutcome};
+use moc_core::constraints::Constraint;
+use moc_core::relations::real_time;
+use moc_protocol::{run_cluster, ClusterConfig, MlinOverSequencer, MscOverIsis, RunReport};
+use moc_sim::{DelayModel, NetworkConfig};
+use moc_workload::{scripts, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn big_spec() -> WorkloadSpec {
+    WorkloadSpec {
+        processes: 8,
+        ops_per_process: 30,
+        num_objects: 12,
+        update_fraction: 0.5,
+        max_span: 4,
+        hot_fraction: 0.6,
+        hot_objects: 3,
+        think_ns: 200,
+    }
+}
+
+fn assert_fast_admissible(report: &RunReport, with_real_time: bool) {
+    let mut rel = report.ww_relation();
+    if with_real_time {
+        rel = rel.union(&real_time(&report.history));
+    }
+    let outcome = check_under_constraint(&report.history, &rel, Constraint::Ww)
+        .expect("protocol histories satisfy the WW-constraint");
+    match outcome {
+        FastOutcome::Admissible(_) => {}
+        FastOutcome::NotAdmissible(bad) => {
+            panic!(
+                "{}: history of {} ops not admissible: {bad:?}",
+                report.protocol,
+                report.history.len()
+            );
+        }
+    }
+}
+
+#[test]
+fn msc_isis_240_operations() {
+    let spec = big_spec();
+    let mut rng = StdRng::seed_from_u64(1001);
+    let s = scripts(&spec, &mut rng);
+    let config = ClusterConfig::new(spec.num_objects, 1001).with_network(
+        NetworkConfig::with_delay(DelayModel::Uniform { lo: 50, hi: 50_000 }),
+    );
+    let report = run_cluster::<MscOverIsis>(&config, s);
+    assert_eq!(report.history.len(), spec.total_ops());
+    assert_fast_admissible(&report, false);
+}
+
+#[test]
+fn mlin_sequencer_240_operations() {
+    let spec = big_spec();
+    let mut rng = StdRng::seed_from_u64(2002);
+    let s = scripts(&spec, &mut rng);
+    let config = ClusterConfig::new(spec.num_objects, 2002).with_network(
+        NetworkConfig::with_delay(DelayModel::Exponential { mean: 5_000 }),
+    );
+    let report = run_cluster::<MlinOverSequencer>(&config, s);
+    assert_eq!(report.history.len(), spec.total_ops());
+    assert_fast_admissible(&report, true);
+}
+
+#[test]
+fn query_heavy_and_update_heavy_mixes() {
+    for (frac, seed) in [(0.1, 7u64), (0.9, 8u64)] {
+        let spec = WorkloadSpec {
+            update_fraction: frac,
+            processes: 6,
+            ops_per_process: 20,
+            ..big_spec()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = scripts(&spec, &mut rng);
+        let config = ClusterConfig::new(spec.num_objects, seed);
+        let report = run_cluster::<MlinOverSequencer>(&config, s);
+        assert_fast_admissible(&report, true);
+        // The latency split matches the protocol structure: updates pay
+        // broadcast latency, queries pay one round trip; both nonzero.
+        use moc_core::mop::MOpClass;
+        assert!(report.mean_latency(MOpClass::Update).unwrap_or(0.0) > 0.0);
+        assert!(report.mean_latency(MOpClass::Query).unwrap_or(0.0) > 0.0);
+    }
+}
