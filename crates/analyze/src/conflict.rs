@@ -1,0 +1,471 @@
+//! Static conflict graphs and constraint certificates over program sets.
+//!
+//! Section 4's constraints (OO, WW, WO) are properties of *executions*:
+//! certain pairs of m-operations must be ordered by the history relation.
+//! Checking them per history is what [`moc_core::constraints`] does. This
+//! module answers the *configuration-time* question instead: given the
+//! set of programs a deployment will ever run, which constraints does the
+//! Section 5 protocol family enforce **by construction**, so that the
+//! Theorem 7 fast path (admissible ⇔ legal, polynomial) applies to every
+//! history the system can produce?
+//!
+//! Two static facts make a constraint certifiable:
+//!
+//! - **Vacuous** — no pair of program instances can ever produce a
+//!   conflict of the constrained kind, so any relation satisfies it;
+//! - **Enforced by update order** — every obligated pair consists of two
+//!   (refined) update m-operations, and the protocols atomically
+//!   broadcast all updates, totally ordering them.
+//!
+//! WW and WO always land in one of these two buckets (WO-obligated pairs
+//! write a common object, hence are update pairs). OO additionally
+//! obligates update–query pairs; those are *not* ordered by the
+//! protocols (queries execute locally), so OO is certified only when no
+//! query reads an object some update may write. The refined
+//! classification matters here: a program whose writes are all
+//! unreachable is a query and drops out of every obligation.
+
+use std::collections::BTreeSet;
+
+use moc_core::constraints::Constraint;
+use moc_core::ids::ObjectId;
+use moc_core::program::Program;
+
+use crate::diagnostics::{Finding, Lint};
+use crate::passes::{analyze_program, ProgramAnalysis};
+
+/// A potential conflict between instances of two programs (`a == b`
+/// means two concurrent instances of the same program).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictEdge {
+    /// Index of the first program.
+    pub a: usize,
+    /// Index of the second program (≥ `a`).
+    pub b: usize,
+    /// Objects both sides may write.
+    pub write_write: BTreeSet<ObjectId>,
+    /// Objects one side may write and the other may (only) read.
+    pub read_write: BTreeSet<ObjectId>,
+}
+
+impl ConflictEdge {
+    /// Whether any conflict is possible on this pair.
+    pub fn conflicts(&self) -> bool {
+        !self.write_write.is_empty() || !self.read_write.is_empty()
+    }
+}
+
+/// The static conflict graph of a program set.
+#[derive(Debug, Clone)]
+pub struct ConflictGraph {
+    /// Conflicting pairs only (edges with no possible conflict are
+    /// omitted); `a <= b`, ordered lexicographically.
+    pub edges: Vec<ConflictEdge>,
+}
+
+impl ConflictGraph {
+    /// The edge between programs `a` and `b`, if they can conflict.
+    pub fn edge(&self, a: usize, b: usize) -> Option<&ConflictEdge> {
+        let (a, b) = if a <= b { (a, b) } else { (b, a) };
+        self.edges.iter().find(|e| e.a == a && e.b == b)
+    }
+}
+
+/// Why (or why not) a constraint holds for every history the
+/// configuration can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CertificateStatus {
+    /// No pair of program instances can produce an obligated conflict:
+    /// the constraint holds under any relation.
+    Vacuous,
+    /// Obligated pairs exist, but all of them are update–update pairs,
+    /// which the Section 5 protocols totally order via atomic broadcast.
+    EnforcedByUpdateOrder,
+    /// Some obligated pair involves a query m-operation the protocols do
+    /// not order; the constraint cannot be promised up front.
+    NotCertified {
+        /// Offending program index pairs `(query-side, update-side)`.
+        pairs: Vec<(usize, usize)>,
+    },
+}
+
+impl CertificateStatus {
+    /// Whether the constraint is guaranteed for every producible history.
+    pub fn certified(&self) -> bool {
+        !matches!(self, CertificateStatus::NotCertified { .. })
+    }
+}
+
+/// An up-front guarantee about one constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// The constraint certified.
+    pub constraint: Constraint,
+    /// Outcome.
+    pub status: CertificateStatus,
+}
+
+/// Whole-configuration analysis: per-program results, the conflict
+/// graph, and one certificate per constraint.
+#[derive(Debug, Clone)]
+pub struct SetAnalysis {
+    /// Per-program analyses, in input order.
+    pub programs: Vec<ProgramAnalysis>,
+    /// Static conflict graph.
+    pub graph: ConflictGraph,
+    /// Certificates for OO, WW and WO (in that order).
+    pub certificates: Vec<Certificate>,
+    /// Whether the Theorem 7 fast path applies to every history this
+    /// configuration produces (OO or WW certified).
+    pub fast_path: bool,
+    /// Set-level findings (certificates, violations of `required`).
+    pub findings: Vec<Finding>,
+}
+
+impl SetAnalysis {
+    /// The certificate for `constraint`.
+    pub fn certificate(&self, constraint: Constraint) -> &Certificate {
+        self.certificates
+            .iter()
+            .find(|c| c.constraint == constraint)
+            .expect("all three constraints are always certified or refused")
+    }
+
+    /// All findings: set-level plus every program's, program order first.
+    pub fn all_findings(&self) -> Vec<Finding> {
+        let mut out: Vec<Finding> = self
+            .programs
+            .iter()
+            .flat_map(|p| p.findings.iter().cloned())
+            .collect();
+        out.extend(self.findings.iter().cloned());
+        out
+    }
+}
+
+fn intersect(a: &BTreeSet<ObjectId>, b: &BTreeSet<ObjectId>) -> BTreeSet<ObjectId> {
+    a.intersection(b).copied().collect()
+}
+
+/// Analyzes a program set and certifies the Section 4 constraints
+/// against it. `required` lists constraints the caller wants enforced;
+/// each one that fails certification produces a [`Lint::ConstraintNotCertified`]
+/// error finding.
+pub fn analyze_set(programs: &[&Program], required: &[Constraint]) -> SetAnalysis {
+    let analyses: Vec<ProgramAnalysis> = programs.iter().map(|p| analyze_program(p)).collect();
+
+    // Conflict graph, including self-pairs: two concurrent instances of
+    // one program conflict exactly like two distinct programs would.
+    let mut edges = Vec::new();
+    for i in 0..analyses.len() {
+        for j in i..analyses.len() {
+            let (si, sj) = (&analyses[i].summary, &analyses[j].summary);
+            let write_write = intersect(&si.may_write, &sj.may_write);
+            let mut read_write = intersect(&si.may_write, &sj.may_read);
+            read_write.extend(intersect(&sj.may_write, &si.may_read));
+            // Objects already in WW conflict dominate the RW edge.
+            let read_write: BTreeSet<ObjectId> =
+                read_write.difference(&write_write).copied().collect();
+            let e = ConflictEdge {
+                a: i,
+                b: j,
+                write_write,
+                read_write,
+            };
+            if e.conflicts() {
+                edges.push(e);
+            }
+        }
+    }
+    let graph = ConflictGraph { edges };
+
+    let updates: Vec<usize> = analyses
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.summary.is_update())
+        .map(|(i, _)| i)
+        .collect();
+
+    // WW: obligated pairs are update–update pairs — exactly what atomic
+    // broadcast orders. Vacuous with at most... with zero updates there
+    // is no update pair at all (a single update program still pairs with
+    // its own second instance, so one update suffices to obligate).
+    let ww_status = if updates.is_empty() {
+        CertificateStatus::Vacuous
+    } else {
+        CertificateStatus::EnforcedByUpdateOrder
+    };
+
+    // WO: obligated pairs write a common object, hence are update pairs;
+    // vacuous when no program can write at all (same condition as WW
+    // here, since an update program self-conflicts on its own writes).
+    let wo_status = if updates.is_empty() {
+        CertificateStatus::Vacuous
+    } else {
+        CertificateStatus::EnforcedByUpdateOrder
+    };
+
+    // OO: obligated pairs are conflicting pairs. Update–update pairs are
+    // covered by the broadcast order; any conflict touching a query is
+    // uncoverable.
+    let mut oo_bad: Vec<(usize, usize)> = Vec::new();
+    for e in &graph.edges {
+        let (ua, ub) = (
+            analyses[e.a].summary.is_update(),
+            analyses[e.b].summary.is_update(),
+        );
+        if !(ua && ub) {
+            // Order as (query, update) for reporting.
+            if ua {
+                oo_bad.push((e.b, e.a));
+            } else {
+                oo_bad.push((e.a, e.b));
+            }
+        }
+    }
+    let oo_status = if graph.edges.is_empty() {
+        CertificateStatus::Vacuous
+    } else if oo_bad.is_empty() {
+        CertificateStatus::EnforcedByUpdateOrder
+    } else {
+        CertificateStatus::NotCertified { pairs: oo_bad }
+    };
+
+    let certificates = vec![
+        Certificate {
+            constraint: Constraint::Oo,
+            status: oo_status,
+        },
+        Certificate {
+            constraint: Constraint::Ww,
+            status: ww_status,
+        },
+        Certificate {
+            constraint: Constraint::Wo,
+            status: wo_status,
+        },
+    ];
+
+    let fast_path = certificates
+        .iter()
+        .filter(|c| matches!(c.constraint, Constraint::Oo | Constraint::Ww))
+        .any(|c| c.status.certified());
+
+    let mut findings = Vec::new();
+    for c in &certificates {
+        let msg = match &c.status {
+            CertificateStatus::Vacuous => {
+                format!(
+                    "{} holds vacuously: no conflicting pair is possible",
+                    c.constraint
+                )
+            }
+            CertificateStatus::EnforcedByUpdateOrder => format!(
+                "{} enforced by construction: every obligated pair is a pair of updates, \
+                 totally ordered by atomic broadcast ({} update program{})",
+                c.constraint,
+                updates.len(),
+                if updates.len() == 1 { "" } else { "s" }
+            ),
+            CertificateStatus::NotCertified { pairs } => {
+                let (q, u) = pairs[0];
+                format!(
+                    "{} not certified: query '{}' conflicts with update '{}' \
+                     and queries are not ordered by the protocol ({} pair{})",
+                    c.constraint,
+                    analyses[q].summary.name,
+                    analyses[u].summary.name,
+                    pairs.len(),
+                    if pairs.len() == 1 { "" } else { "s" }
+                )
+            }
+        };
+        findings.push(Finding::new(Lint::Certificate, "", None, msg));
+    }
+    if fast_path {
+        findings.push(Finding::new(
+            Lint::Certificate,
+            "",
+            None,
+            "Theorem 7 fast path applies: admissibility of every producible history \
+             is decidable in polynomial time"
+                .to_string(),
+        ));
+    }
+    for &r in required {
+        let cert = certificates
+            .iter()
+            .find(|c| c.constraint == r)
+            .expect("certificates cover all constraints");
+        if !cert.status.certified() {
+            findings.push(Finding::new(
+                Lint::ConstraintNotCertified,
+                "",
+                None,
+                format!("required {} cannot be certified for this program set", r),
+            ));
+        }
+    }
+
+    SetAnalysis {
+        programs: analyses,
+        graph,
+        certificates,
+        fast_path,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc_core::program::{arg, imm, reg, CmpOp, ProgramBuilder};
+
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    fn write_prog(name: &str, o: u32) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        b.write(oid(o), arg(0)).ret(vec![]);
+        b.build().unwrap()
+    }
+
+    fn read_prog(name: &str, o: u32) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        b.read(oid(o), 0).ret(vec![reg(0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn queries_only_certify_everything_vacuously() {
+        let p = read_prog("q0", 0);
+        let q = read_prog("q1", 1);
+        let s = analyze_set(&[&p, &q], &[]);
+        for c in &s.certificates {
+            assert_eq!(c.status, CertificateStatus::Vacuous, "{}", c.constraint);
+        }
+        assert!(s.fast_path);
+        assert!(s.graph.edges.is_empty());
+    }
+
+    #[test]
+    fn disjoint_update_and_query_certify_oo() {
+        // Update on x, query on y: no shared object, OO vacuous... but
+        // the update self-conflicts (two instances write x), so OO is
+        // enforced rather than vacuous.
+        let w = write_prog("wx", 0);
+        let q = read_prog("qy", 1);
+        let s = analyze_set(&[&w, &q], &[]);
+        assert_eq!(
+            s.certificate(Constraint::Oo).status,
+            CertificateStatus::EnforcedByUpdateOrder
+        );
+        assert!(s.fast_path);
+        // Self-edge on the update.
+        assert!(s.graph.edge(0, 0).is_some());
+        assert!(s.graph.edge(0, 1).is_none());
+    }
+
+    #[test]
+    fn query_reading_written_object_breaks_oo() {
+        let w = write_prog("wx", 0);
+        let q = read_prog("qx", 0);
+        let s = analyze_set(&[&w, &q], &[]);
+        let CertificateStatus::NotCertified { pairs } = &s.certificate(Constraint::Oo).status
+        else {
+            panic!("OO should not certify");
+        };
+        assert_eq!(pairs, &[(1, 0)], "(query, update) pair");
+        // WW/WO still enforced, so the fast path still applies via WW.
+        assert!(s.certificate(Constraint::Ww).status.certified());
+        assert!(s.certificate(Constraint::Wo).status.certified());
+        assert!(s.fast_path);
+        // Conflict edge carries the object.
+        let e = s.graph.edge(0, 1).unwrap();
+        assert_eq!(e.read_write, [oid(0)].into());
+        assert!(e.write_write.is_empty());
+    }
+
+    #[test]
+    fn required_uncertified_constraint_is_an_error() {
+        let w = write_prog("wx", 0);
+        let q = read_prog("qx", 0);
+        let s = analyze_set(&[&w, &q], &[Constraint::Oo]);
+        let errs: Vec<_> = s
+            .findings
+            .iter()
+            .filter(|f| f.lint == Lint::ConstraintNotCertified)
+            .collect();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(
+            crate::diagnostics::max_severity(&s.all_findings()),
+            Some(crate::diagnostics::Severity::Error)
+        );
+        // Requiring WW instead is fine.
+        let s = analyze_set(&[&w, &q], &[Constraint::Ww]);
+        assert!(s
+            .findings
+            .iter()
+            .all(|f| f.lint != Lint::ConstraintNotCertified));
+    }
+
+    #[test]
+    fn refined_classification_feeds_certification() {
+        // A program whose only write is unreachable is a query: a
+        // would-be OO violation disappears under refinement.
+        let w = write_prog("wx", 0);
+        let mut b = ProgramBuilder::new("dead-write");
+        let end = b.fresh_label();
+        b.read(oid(0), 0).jump(end);
+        b.write(oid(1), imm(1));
+        b.bind(end);
+        b.ret(vec![reg(0)]);
+        let fake_update = b.build().unwrap();
+        assert!(fake_update.is_potential_update());
+
+        // Syntactically, dead-write reads x while wx writes x → an OO
+        // obligation on a "query-like" pair either way; the point is the
+        // refined set analysis still reports it as a *query* conflict.
+        let s = analyze_set(&[&w, &fake_update], &[]);
+        let CertificateStatus::NotCertified { pairs } = &s.certificate(Constraint::Oo).status
+        else {
+            panic!("read of written x keeps OO uncertified");
+        };
+        assert_eq!(pairs, &[(1, 0)]);
+        // And WW sees exactly one update program (dead-write refined out).
+        let ww = s.certificate(Constraint::Ww);
+        assert_eq!(ww.status, CertificateStatus::EnforcedByUpdateOrder);
+        assert_eq!(
+            s.programs[1].summary.classification,
+            crate::passes::Classification::Query
+        );
+    }
+
+    #[test]
+    fn ww_pairs_cover_dcas_configurations() {
+        let x = oid(0);
+        let y = oid(1);
+        let mut b = ProgramBuilder::new("dcas");
+        let fail = b.fresh_label();
+        b.read(x, 0)
+            .read(y, 1)
+            .jump_if(reg(0), CmpOp::Ne, arg(0), fail)
+            .jump_if(reg(1), CmpOp::Ne, arg(1), fail)
+            .write(x, arg(2))
+            .write(y, arg(3))
+            .ret(vec![imm(1)]);
+        b.bind(fail);
+        b.ret(vec![imm(0)]);
+        let dcas = b.build().unwrap();
+        let w = write_prog("wx", 0);
+        let s = analyze_set(&[&dcas, &w], &[Constraint::Ww, Constraint::Wo]);
+        assert!(s.certificate(Constraint::Ww).status.certified());
+        assert!(s.certificate(Constraint::Wo).status.certified());
+        let e = s.graph.edge(0, 1).unwrap();
+        assert_eq!(e.write_write, [x].into());
+        // dcas also reads x, but the WW conflict dominates.
+        assert!(e.read_write.is_empty());
+        assert!(s.fast_path);
+    }
+}

@@ -1,0 +1,238 @@
+//! Analyzer diagnostics: stable lint codes, severities, findings and the
+//! human/JSON renderers the `moc analyze` subcommand prints.
+
+use std::fmt;
+
+/// How serious a finding is. Ordering: `Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational — analysis facts worth surfacing.
+    Info,
+    /// Likely bug, does not block.
+    Warn,
+    /// Blocks: `moc analyze` exits non-zero.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => f.write_str("info"),
+            Severity::Warn => f.write_str("warn"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Stable lint identities. Codes are part of the tool's interface:
+/// regression tests and downstream scripts match on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lint {
+    /// MOC0001: control flow can never reach this instruction.
+    UnreachableInstruction,
+    /// MOC0002: a register may be read before any instruction writes it
+    /// (the interpreter zero-fills, but relying on that is almost always
+    /// a program bug).
+    UninitializedRead,
+    /// MOC0003: the program contains a loop; termination relies on the
+    /// interpreter's fuel bound.
+    UnboundedLoop,
+    /// MOC0004: a register value is overwritten or discarded without ever
+    /// being used.
+    DeadStore,
+    /// MOC0005: every path terminates; carries the static fuel bound.
+    GuaranteedTermination,
+    /// MOC0006: dataflow refined the syntactic classification (e.g. all
+    /// writes are unreachable, demoting an "update" to a query).
+    RefinedClassification,
+    /// MOC0007: a constraint the caller requires cannot be certified for
+    /// this program set.
+    ConstraintNotCertified,
+    /// MOC0008: a constraint certificate (vacuous or protocol-enforced).
+    Certificate,
+}
+
+impl Lint {
+    /// The stable `MOCnnnn` code.
+    pub fn code(self) -> &'static str {
+        match self {
+            Lint::UnreachableInstruction => "MOC0001",
+            Lint::UninitializedRead => "MOC0002",
+            Lint::UnboundedLoop => "MOC0003",
+            Lint::DeadStore => "MOC0004",
+            Lint::GuaranteedTermination => "MOC0005",
+            Lint::RefinedClassification => "MOC0006",
+            Lint::ConstraintNotCertified => "MOC0007",
+            Lint::Certificate => "MOC0008",
+        }
+    }
+
+    /// Short kebab-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::UnreachableInstruction => "unreachable-instruction",
+            Lint::UninitializedRead => "uninitialized-register-read",
+            Lint::UnboundedLoop => "unbounded-loop",
+            Lint::DeadStore => "dead-register-store",
+            Lint::GuaranteedTermination => "guaranteed-termination",
+            Lint::RefinedClassification => "refined-classification",
+            Lint::ConstraintNotCertified => "constraint-not-certified",
+            Lint::Certificate => "constraint-certificate",
+        }
+    }
+
+    /// Default severity of the lint.
+    pub fn severity(self) -> Severity {
+        match self {
+            Lint::UnreachableInstruction | Lint::UninitializedRead => Severity::Warn,
+            Lint::ConstraintNotCertified => Severity::Error,
+            _ => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for Lint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.code(), self.name())
+    }
+}
+
+/// One diagnostic produced by the analyzer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which lint fired.
+    pub lint: Lint,
+    /// Severity (defaults to [`Lint::severity`]).
+    pub severity: Severity,
+    /// Program the finding is about (empty for set-level findings).
+    pub program: String,
+    /// Instruction index the finding anchors to, if any.
+    pub instr: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Finding {
+    /// A finding with the lint's default severity.
+    pub fn new(
+        lint: Lint,
+        program: impl Into<String>,
+        instr: Option<usize>,
+        message: impl Into<String>,
+    ) -> Self {
+        Finding {
+            lint,
+            severity: lint.severity(),
+            program: program.into(),
+            instr,
+            message: message.into(),
+        }
+    }
+
+    /// Renders one human-readable line.
+    pub fn render_human(&self) -> String {
+        let site = match (self.program.is_empty(), self.instr) {
+            (false, Some(i)) => format!("{}[{}]: ", self.program, i),
+            (false, None) => format!("{}: ", self.program),
+            (true, _) => String::new(),
+        };
+        format!(
+            "{} {:5} {}{} ({})",
+            self.lint.code(),
+            self.severity.to_string(),
+            site,
+            self.message,
+            self.lint.name()
+        )
+    }
+}
+
+/// Escapes a string for inclusion in a JSON document.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes one finding as a JSON object.
+pub fn finding_json(f: &Finding) -> String {
+    let instr = match f.instr {
+        Some(i) => i.to_string(),
+        None => "null".to_string(),
+    };
+    format!(
+        "{{\"code\":\"{}\",\"name\":\"{}\",\"severity\":\"{}\",\"program\":\"{}\",\"instr\":{},\"message\":\"{}\"}}",
+        f.lint.code(),
+        f.lint.name(),
+        f.severity,
+        json_escape(&f.program),
+        instr,
+        json_escape(&f.message)
+    )
+}
+
+/// The worst severity among `findings` (`None` when empty).
+pub fn max_severity(findings: &[Finding]) -> Option<Severity> {
+    findings.iter().map(|f| f.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Lint::UnreachableInstruction.code(), "MOC0001");
+        assert_eq!(Lint::UninitializedRead.code(), "MOC0002");
+        assert_eq!(Lint::UnboundedLoop.code(), "MOC0003");
+        assert_eq!(Lint::DeadStore.code(), "MOC0004");
+        assert_eq!(Lint::GuaranteedTermination.code(), "MOC0005");
+        assert_eq!(Lint::RefinedClassification.code(), "MOC0006");
+        assert_eq!(Lint::ConstraintNotCertified.code(), "MOC0007");
+        assert_eq!(Lint::Certificate.code(), "MOC0008");
+    }
+
+    #[test]
+    fn severity_ordering_drives_exit_codes() {
+        assert!(Severity::Error > Severity::Warn);
+        assert!(Severity::Warn > Severity::Info);
+        let fs = vec![
+            Finding::new(Lint::GuaranteedTermination, "p", None, "ok"),
+            Finding::new(Lint::UninitializedRead, "p", Some(2), "r3"),
+        ];
+        assert_eq!(max_severity(&fs), Some(Severity::Warn));
+        assert_eq!(max_severity(&[]), None);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        let f = Finding::new(Lint::DeadStore, "p\"q", Some(1), "m");
+        let j = finding_json(&f);
+        assert!(j.contains("\"program\":\"p\\\"q\""));
+        assert!(j.contains("\"instr\":1"));
+    }
+
+    #[test]
+    fn human_line_contains_code_and_site() {
+        let f = Finding::new(
+            Lint::UnreachableInstruction,
+            "dcas",
+            Some(4),
+            "never executed",
+        );
+        let line = f.render_human();
+        assert!(line.starts_with("MOC0001 warn"));
+        assert!(line.contains("dcas[4]"));
+    }
+}

@@ -1,0 +1,236 @@
+//! `moc-analyze` — static analysis for m-operation programs.
+//!
+//! The Section 5 protocols only ever see a program's *syntactic* shape:
+//! "we take a conservative approach and treat an m-operation as an update
+//! m-operation if it can potentially write to some object". This crate
+//! sharpens that story with a classic multi-pass analyzer over the
+//! m-operation DSL of [`moc_core::program`]:
+//!
+//! - [`cfg`] builds basic-block control-flow graphs with feasible-edge
+//!   branch folding;
+//! - [`dataflow`] is a small forward/backward fixpoint framework;
+//! - [`passes`] produces a [`ProgramSummary`] (refined `may_read` /
+//!   `may_write` / `must_write` sets, update/query classification,
+//!   termination and a static fuel bound) plus lint [`Finding`]s;
+//! - [`conflict`] lifts the summaries to whole program sets: a static
+//!   conflict graph and one [`Certificate`] per Section 4 constraint,
+//!   answering up front whether the Theorem 7 polynomial fast path
+//!   applies to every history the configuration can produce;
+//! - [`diagnostics`] defines the stable `MOCnnnn` lint codes and the
+//!   human/JSON renderers behind `moc analyze`.
+//!
+//! ```
+//! use moc_core::ids::ObjectId;
+//! use moc_core::program::{imm, reg, ProgramBuilder};
+//! use moc_analyze::{analyze_program, Classification};
+//!
+//! // A "write" hidden behind an unconditional jump is refined away.
+//! let mut b = ProgramBuilder::new("looks-like-update");
+//! let end = b.fresh_label();
+//! b.read(ObjectId::new(0), 0).jump(end);
+//! b.write(ObjectId::new(0), imm(1));
+//! b.bind(end);
+//! b.ret(vec![reg(0)]);
+//! let p = b.build().unwrap();
+//! assert!(p.is_potential_update()); // syntactic: update
+//! let a = analyze_program(&p);
+//! assert_eq!(a.summary.classification, Classification::Query); // refined
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cfg;
+pub mod conflict;
+pub mod dataflow;
+pub mod diagnostics;
+pub mod passes;
+
+pub use cfg::Cfg;
+pub use conflict::{
+    analyze_set, Certificate, CertificateStatus, ConflictEdge, ConflictGraph, SetAnalysis,
+};
+pub use diagnostics::{max_severity, Finding, Lint, Severity};
+pub use passes::{analyze_program, Classification, ProgramAnalysis, ProgramSummary, Termination};
+
+use diagnostics::{finding_json, json_escape};
+use moc_core::ids::ObjectId;
+use std::collections::BTreeSet;
+
+fn objects_human(s: &BTreeSet<ObjectId>) -> String {
+    if s.is_empty() {
+        "∅".to_string()
+    } else {
+        s.iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
+}
+
+fn objects_json(s: &BTreeSet<ObjectId>) -> String {
+    let inner = s
+        .iter()
+        .map(|o| o.index().to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    format!("[{inner}]")
+}
+
+impl SetAnalysis {
+    /// Renders the full report for terminals.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for p in &self.programs {
+            let s = &p.summary;
+            out.push_str(&format!(
+                "program {}: {} | may_read {{{}}} may_write {{{}}} must_write {{{}}} | {}\n",
+                s.name,
+                match s.classification {
+                    Classification::Update => "update",
+                    Classification::Query => "query",
+                },
+                objects_human(&s.may_read),
+                objects_human(&s.may_write),
+                objects_human(&s.must_write),
+                match s.termination.fuel_bound {
+                    Some(b) => format!("terminates ≤ {b} steps"),
+                    None => "may loop (fuel-bounded)".to_string(),
+                },
+            ));
+        }
+        if self.graph.edges.is_empty() {
+            out.push_str("conflict graph: no conflicting pairs\n");
+        } else {
+            for e in &self.graph.edges {
+                out.push_str(&format!(
+                    "conflict {} ~ {}: ww {{{}}} rw {{{}}}\n",
+                    self.programs[e.a].summary.name,
+                    self.programs[e.b].summary.name,
+                    objects_human(&e.write_write),
+                    objects_human(&e.read_write),
+                ));
+            }
+        }
+        for f in self.all_findings() {
+            out.push_str(&f.render_human());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the full report as a JSON document.
+    pub fn render_json(&self) -> String {
+        let programs = self
+            .programs
+            .iter()
+            .map(|p| {
+                let s = &p.summary;
+                format!(
+                    "{{\"name\":\"{}\",\"classification\":\"{}\",\"may_read\":{},\"may_write\":{},\"must_write\":{},\"terminates\":{},\"fuel_bound\":{}}}",
+                    json_escape(&s.name),
+                    match s.classification {
+                        Classification::Update => "update",
+                        Classification::Query => "query",
+                    },
+                    objects_json(&s.may_read),
+                    objects_json(&s.may_write),
+                    objects_json(&s.must_write),
+                    s.termination.guaranteed,
+                    match s.termination.fuel_bound {
+                        Some(b) => b.to_string(),
+                        None => "null".to_string(),
+                    },
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let edges = self
+            .graph
+            .edges
+            .iter()
+            .map(|e| {
+                format!(
+                    "{{\"a\":{},\"b\":{},\"write_write\":{},\"read_write\":{}}}",
+                    e.a,
+                    e.b,
+                    objects_json(&e.write_write),
+                    objects_json(&e.read_write)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let certs = self
+            .certificates
+            .iter()
+            .map(|c| {
+                let (status, pairs) = match &c.status {
+                    CertificateStatus::Vacuous => ("vacuous", String::new()),
+                    CertificateStatus::EnforcedByUpdateOrder => {
+                        ("enforced-by-update-order", String::new())
+                    }
+                    CertificateStatus::NotCertified { pairs } => (
+                        "not-certified",
+                        pairs
+                            .iter()
+                            .map(|(q, u)| format!("[{q},{u}]"))
+                            .collect::<Vec<_>>()
+                            .join(","),
+                    ),
+                };
+                format!(
+                    "{{\"constraint\":\"{}\",\"status\":\"{}\",\"uncovered_pairs\":[{}]}}",
+                    match c.constraint {
+                        moc_core::constraints::Constraint::Oo => "oo",
+                        moc_core::constraints::Constraint::Ww => "ww",
+                        moc_core::constraints::Constraint::Wo => "wo",
+                    },
+                    status,
+                    pairs
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let findings = self
+            .all_findings()
+            .iter()
+            .map(finding_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"programs\":[{programs}],\"conflicts\":[{edges}],\"certificates\":[{certs}],\"fast_path\":{},\"findings\":[{findings}]}}",
+            self.fast_path
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc_core::program::{arg, reg, ProgramBuilder};
+
+    #[test]
+    fn renderers_cover_the_report() {
+        let mut b = ProgramBuilder::new("wx");
+        b.write(ObjectId::new(0), arg(0)).ret(vec![]);
+        let w = b.build().unwrap();
+        let mut b = ProgramBuilder::new("qx");
+        b.read(ObjectId::new(0), 0).ret(vec![reg(0)]);
+        let q = b.build().unwrap();
+        let s = analyze_set(&[&w, &q], &[]);
+
+        let human = s.render_human();
+        assert!(human.contains("program wx: update"));
+        assert!(human.contains("program qx: query"));
+        assert!(human.contains("MOC0008"));
+
+        let json = s.render_json();
+        assert!(json.contains("\"classification\":\"update\""));
+        assert!(json.contains("\"fast_path\":true"));
+        assert!(json.contains("\"constraint\":\"oo\""));
+        assert!(json.contains("not-certified"));
+        // Smoke: balanced braces.
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+}

@@ -1,0 +1,531 @@
+//! The per-program analysis passes.
+//!
+//! [`analyze_program`] runs, over one CFG:
+//!
+//! 1. **Reachability** — MOC0001 for instructions control flow can never
+//!    reach (after branch folding);
+//! 2. **Must-initialized registers** (forward, meet = ∩) — MOC0002 for
+//!    reads of registers not written on every path;
+//! 3. **Liveness** (backward, join = ∪) — MOC0004 for register stores
+//!    whose value is never used;
+//! 4. **Termination** — MOC0003 when a loop exists, MOC0005 with a static
+//!    fuel bound when the reachable CFG is acyclic;
+//! 5. **Refined read/write sets** — `may_read`/`may_write` over reachable
+//!    instructions only, plus a `must_write` set (objects written on
+//!    *every* terminating path, forward meet = ∩). MOC0006 reports when
+//!    refinement shrinks the syntactic write set — in particular when it
+//!    demotes a syntactic "update" to a query.
+//!
+//! The refined sets drive the Section 5 protocol classification: the
+//! paper treats an m-operation as an update iff it can *potentially*
+//! write; `may_write` is a strictly sharper version of the same
+//! over-approximation (sound because pruned edges are statically
+//! infeasible), and `must_write ⊆` every dynamic write set gives the
+//! matching under-approximation (a failed DCAS writes nothing, so DCAS
+//! has empty `must_write`).
+
+use std::collections::BTreeSet;
+
+use moc_core::ids::ObjectId;
+use moc_core::program::{Instr, Operand, Program, NUM_REGS};
+
+use crate::cfg::Cfg;
+use crate::dataflow::{solve, DataflowAnalysis, Direction};
+use crate::diagnostics::{Finding, Lint};
+
+/// Whether the protocols must order this m-operation through the update
+/// path (atomic broadcast) or may run it as a local query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Classification {
+    /// No reachable write: executable at the local replica.
+    Query,
+    /// May write: must go through the update protocol.
+    Update,
+}
+
+/// Static termination facts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Termination {
+    /// True iff the reachable CFG is acyclic — every execution
+    /// terminates without consuming unbounded fuel.
+    pub guaranteed: bool,
+    /// When `guaranteed`, the longest entry-to-return path in
+    /// instructions: a sufficient fuel budget.
+    pub fuel_bound: Option<u64>,
+}
+
+/// The analyzer's per-program result summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgramSummary {
+    /// Program name.
+    pub name: String,
+    /// Objects a reachable `Read` may read.
+    pub may_read: BTreeSet<ObjectId>,
+    /// Objects a reachable `Write` may write (⊆ the syntactic
+    /// [`Program::potential_writes`]).
+    pub may_write: BTreeSet<ObjectId>,
+    /// Objects written on every terminating path (⊆ every dynamic write
+    /// set).
+    pub must_write: BTreeSet<ObjectId>,
+    /// Refined protocol classification: update iff `may_write` nonempty.
+    pub classification: Classification,
+    /// Termination facts.
+    pub termination: Termination,
+}
+
+impl ProgramSummary {
+    /// Whether the refined classification is `Update`.
+    pub fn is_update(&self) -> bool {
+        self.classification == Classification::Update
+    }
+}
+
+/// Per-program analysis output: summary plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct ProgramAnalysis {
+    /// Dataflow summary.
+    pub summary: ProgramSummary,
+    /// Lint findings, ordered by instruction.
+    pub findings: Vec<Finding>,
+}
+
+/// Registers an instruction reads (as operands).
+fn reg_uses(instr: &Instr) -> Vec<u8> {
+    let of = |o: &Operand| match o {
+        Operand::Reg(r) => Some(*r),
+        _ => None,
+    };
+    match instr {
+        Instr::Read { .. } | Instr::Jump { .. } => Vec::new(),
+        Instr::Write { src, .. } | Instr::Mov { src, .. } => of(src).into_iter().collect(),
+        Instr::Binary { lhs, rhs, .. } | Instr::JumpIf { lhs, rhs, .. } => {
+            of(lhs).into_iter().chain(of(rhs)).collect()
+        }
+        Instr::Return { outputs } => outputs.iter().filter_map(of).collect(),
+    }
+}
+
+/// Register an instruction defines, if any.
+fn reg_def(instr: &Instr) -> Option<u8> {
+    match instr {
+        Instr::Read { dst, .. } | Instr::Mov { dst, .. } | Instr::Binary { dst, .. } => Some(*dst),
+        _ => None,
+    }
+}
+
+const _: () = assert!(NUM_REGS <= 64, "register bitmask facts are u64");
+
+/// Forward must-initialized: bit r set ⇔ register r written on every path.
+struct MustInit;
+impl DataflowAnalysis for MustInit {
+    type Fact = u64;
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn boundary(&self) -> u64 {
+        0
+    }
+    fn join_identity(&self) -> u64 {
+        u64::MAX
+    }
+    fn join(&self, a: &u64, b: &u64) -> u64 {
+        a & b
+    }
+    fn transfer(&self, _idx: usize, instr: &Instr, fact: &u64) -> u64 {
+        match reg_def(instr) {
+            Some(r) => fact | (1u64 << r),
+            None => *fact,
+        }
+    }
+}
+
+/// Backward liveness: bit r set ⇔ register r may be read before its next
+/// definition.
+struct Liveness;
+impl DataflowAnalysis for Liveness {
+    type Fact = u64;
+    fn direction(&self) -> Direction {
+        Direction::Backward
+    }
+    fn boundary(&self) -> u64 {
+        0
+    }
+    fn join_identity(&self) -> u64 {
+        0
+    }
+    fn join(&self, a: &u64, b: &u64) -> u64 {
+        a | b
+    }
+    fn transfer(&self, _idx: usize, instr: &Instr, fact: &u64) -> u64 {
+        let mut f = *fact;
+        if let Some(r) = reg_def(instr) {
+            f &= !(1u64 << r);
+        }
+        for r in reg_uses(instr) {
+            f |= 1u64 << r;
+        }
+        f
+    }
+}
+
+/// Forward must-write: objects definitely written so far on every path.
+struct MustWrite {
+    /// Join identity: the set of all statically writable objects.
+    universe: BTreeSet<ObjectId>,
+}
+impl DataflowAnalysis for MustWrite {
+    type Fact = BTreeSet<ObjectId>;
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+    fn boundary(&self) -> BTreeSet<ObjectId> {
+        BTreeSet::new()
+    }
+    fn join_identity(&self) -> BTreeSet<ObjectId> {
+        self.universe.clone()
+    }
+    fn join(&self, a: &BTreeSet<ObjectId>, b: &BTreeSet<ObjectId>) -> BTreeSet<ObjectId> {
+        a.intersection(b).copied().collect()
+    }
+    fn transfer(
+        &self,
+        _idx: usize,
+        instr: &Instr,
+        fact: &BTreeSet<ObjectId>,
+    ) -> BTreeSet<ObjectId> {
+        match instr {
+            Instr::Write { object, .. } => {
+                let mut f = fact.clone();
+                f.insert(*object);
+                f
+            }
+            _ => fact.clone(),
+        }
+    }
+}
+
+/// Runs every pass over `program`.
+pub fn analyze_program(program: &Program) -> ProgramAnalysis {
+    let cfg = Cfg::build(program);
+    let reachable = cfg.reachable_instrs();
+    let name = program.name().to_string();
+    let mut findings = Vec::new();
+
+    // Pass 1: reachability.
+    for (i, r) in reachable.iter().enumerate() {
+        if !r {
+            findings.push(Finding::new(
+                Lint::UnreachableInstruction,
+                &name,
+                Some(i),
+                format!("instruction {i} can never execute"),
+            ));
+        }
+    }
+
+    // Pass 2: uninitialized reads.
+    let init = solve(program, &cfg, &MustInit);
+    for (i, instr) in program.instrs().iter().enumerate() {
+        let Some(fact) = init.at[i] else { continue };
+        for r in reg_uses(instr) {
+            if fact & (1u64 << r) == 0 {
+                findings.push(Finding::new(
+                    Lint::UninitializedRead,
+                    &name,
+                    Some(i),
+                    format!("register r{r} may be read before initialization"),
+                ));
+            }
+        }
+    }
+
+    // Pass 3: dead stores. `Read` also defines a register, but the read
+    // itself is a shared-object operation event, so only pure register
+    // stores (Mov/Binary) are flagged.
+    let live = solve(program, &cfg, &Liveness);
+    for (i, instr) in program.instrs().iter().enumerate() {
+        let Some(after) = live.at[i] else { continue };
+        if let (Some(r), Instr::Mov { .. } | Instr::Binary { .. }) = (reg_def(instr), instr) {
+            if after & (1u64 << r) == 0 {
+                findings.push(Finding::new(
+                    Lint::DeadStore,
+                    &name,
+                    Some(i),
+                    format!("value stored to r{r} is never used"),
+                ));
+            }
+        }
+    }
+
+    // Pass 4: termination.
+    let termination = if cfg.is_acyclic() {
+        let bound = cfg.max_path_len().expect("acyclic CFG has a longest path");
+        findings.push(Finding::new(
+            Lint::GuaranteedTermination,
+            &name,
+            None,
+            format!("terminates on every path within {bound} instructions"),
+        ));
+        Termination {
+            guaranteed: true,
+            fuel_bound: Some(bound),
+        }
+    } else {
+        for &(from, _to) in &cfg.back_edges {
+            let site = cfg.blocks[from].end - 1;
+            findings.push(Finding::new(
+                Lint::UnboundedLoop,
+                &name,
+                Some(site),
+                "loop detected: termination relies on the interpreter's fuel bound".to_string(),
+            ));
+        }
+        Termination {
+            guaranteed: false,
+            fuel_bound: None,
+        }
+    };
+
+    // Pass 5: refined read/write sets.
+    let mut may_read = BTreeSet::new();
+    let mut may_write = BTreeSet::new();
+    for (i, instr) in program.instrs().iter().enumerate() {
+        if !reachable[i] {
+            continue;
+        }
+        match instr {
+            Instr::Read { object, .. } => {
+                may_read.insert(*object);
+            }
+            Instr::Write { object, .. } => {
+                may_write.insert(*object);
+            }
+            _ => {}
+        }
+    }
+    let mw = MustWrite {
+        universe: may_write.clone(),
+    };
+    let writes = solve(program, &cfg, &mw);
+    let mut must_write: Option<BTreeSet<ObjectId>> = None;
+    for (i, instr) in program.instrs().iter().enumerate() {
+        if let (Instr::Return { .. }, Some(fact)) = (instr, &writes.at[i]) {
+            // Fact *before* the Return = objects written on every path
+            // reaching this exit.
+            must_write = Some(match must_write {
+                None => fact.clone(),
+                Some(acc) => acc.intersection(fact).copied().collect(),
+            });
+        }
+    }
+    // No reachable Return (pure spin loop): no terminating path, so the
+    // guarantee is vacuous; report the empty set conservatively.
+    let must_write = must_write.unwrap_or_default();
+
+    let syntactic = program.potential_writes();
+    if may_write != syntactic {
+        let dropped: Vec<String> = syntactic
+            .difference(&may_write)
+            .map(|o| o.to_string())
+            .collect();
+        let demoted = may_write.is_empty();
+        findings.push(Finding::new(
+            Lint::RefinedClassification,
+            &name,
+            None,
+            if demoted {
+                format!(
+                    "all writes ({}) are unreachable: refined from update to query",
+                    dropped.join(", ")
+                )
+            } else {
+                format!(
+                    "writes to {} are unreachable: refined write set is smaller than syntactic",
+                    dropped.join(", ")
+                )
+            },
+        ));
+    }
+
+    let classification = if may_write.is_empty() {
+        Classification::Query
+    } else {
+        Classification::Update
+    };
+
+    findings.sort_by_key(|f| (f.instr.unwrap_or(usize::MAX), f.lint.code()));
+
+    ProgramAnalysis {
+        summary: ProgramSummary {
+            name,
+            may_read,
+            may_write,
+            must_write,
+            classification,
+            termination,
+        },
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc_core::program::{arg, imm, reg, CmpOp, ProgramBuilder};
+
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    fn dcas() -> Program {
+        let x = oid(0);
+        let y = oid(1);
+        let mut b = ProgramBuilder::new("dcas");
+        let fail = b.fresh_label();
+        b.read(x, 0)
+            .read(y, 1)
+            .jump_if(reg(0), CmpOp::Ne, arg(0), fail)
+            .jump_if(reg(1), CmpOp::Ne, arg(1), fail)
+            .write(x, arg(2))
+            .write(y, arg(3))
+            .ret(vec![imm(1)]);
+        b.bind(fail);
+        b.ret(vec![imm(0)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dcas_summary() {
+        let a = analyze_program(&dcas());
+        let s = &a.summary;
+        assert_eq!(s.may_write, [oid(0), oid(1)].into());
+        assert_eq!(s.may_read, [oid(0), oid(1)].into());
+        // The failed branch writes nothing, so nothing is a must-write.
+        assert!(s.must_write.is_empty());
+        assert_eq!(s.classification, Classification::Update);
+        assert!(s.termination.guaranteed);
+        assert_eq!(s.termination.fuel_bound, Some(7));
+        // Clean program: only the termination info finding.
+        assert!(a
+            .findings
+            .iter()
+            .all(|f| f.lint == Lint::GuaranteedTermination));
+    }
+
+    #[test]
+    fn straight_line_write_is_must_write() {
+        let mut b = ProgramBuilder::new("w");
+        b.write(oid(3), imm(7)).ret(vec![]);
+        let p = b.build().unwrap();
+        let s = analyze_program(&p).summary;
+        assert_eq!(s.must_write, [oid(3)].into());
+        assert_eq!(s.may_write, [oid(3)].into());
+    }
+
+    #[test]
+    fn unreachable_write_demotes_to_query() {
+        // jump over the write: syntactically an update, semantically a
+        // query.
+        let mut b = ProgramBuilder::new("jumpy");
+        let end = b.fresh_label();
+        b.read(oid(0), 0).jump(end);
+        b.write(oid(0), imm(5));
+        b.bind(end);
+        b.ret(vec![reg(0)]);
+        let p = b.build().unwrap();
+        assert!(p.is_potential_update(), "syntactic classification: update");
+        let a = analyze_program(&p);
+        assert_eq!(a.summary.classification, Classification::Query);
+        assert!(a.summary.may_write.is_empty());
+        assert!(a
+            .findings
+            .iter()
+            .any(|f| f.lint == Lint::UnreachableInstruction));
+        assert!(a
+            .findings
+            .iter()
+            .any(|f| f.lint == Lint::RefinedClassification));
+    }
+
+    #[test]
+    fn uninitialized_read_detected() {
+        let mut b = ProgramBuilder::new("uninit");
+        b.write(oid(0), reg(4)).ret(vec![]);
+        let p = b.build().unwrap();
+        let a = analyze_program(&p);
+        let f = a
+            .findings
+            .iter()
+            .find(|f| f.lint == Lint::UninitializedRead)
+            .expect("should flag r4");
+        assert_eq!(f.instr, Some(0));
+        assert!(f.message.contains("r4"));
+    }
+
+    #[test]
+    fn branch_dependent_init_flagged() {
+        // r0 initialized on only one arm of a feasible branch.
+        let mut b = ProgramBuilder::new("half-init");
+        let skip = b.fresh_label();
+        b.jump_if(arg(0), CmpOp::Eq, imm(0), skip);
+        b.mov(0, imm(1));
+        b.bind(skip);
+        b.ret(vec![reg(0)]);
+        let p = b.build().unwrap();
+        let a = analyze_program(&p);
+        assert!(a.findings.iter().any(|f| f.lint == Lint::UninitializedRead));
+    }
+
+    #[test]
+    fn dead_store_detected() {
+        let mut b = ProgramBuilder::new("dead");
+        b.mov(0, imm(1)).mov(0, imm(2)).ret(vec![reg(0)]);
+        let p = b.build().unwrap();
+        let a = analyze_program(&p);
+        let f = a
+            .findings
+            .iter()
+            .find(|f| f.lint == Lint::DeadStore)
+            .expect("first mov is dead");
+        assert_eq!(f.instr, Some(0));
+    }
+
+    #[test]
+    fn loop_reports_unbounded() {
+        let mut b = ProgramBuilder::new("sum");
+        let top = b.fresh_label();
+        let done = b.fresh_label();
+        b.mov(0, imm(0)).mov(1, imm(1));
+        b.bind(top);
+        b.jump_if(reg(1), CmpOp::Gt, arg(0), done)
+            .add(0, reg(0), reg(1))
+            .add(1, reg(1), imm(1))
+            .jump(top);
+        b.bind(done);
+        b.ret(vec![reg(0)]);
+        let p = b.build().unwrap();
+        let a = analyze_program(&p);
+        assert!(!a.summary.termination.guaranteed);
+        assert_eq!(a.summary.termination.fuel_bound, None);
+        assert!(a.findings.iter().any(|f| f.lint == Lint::UnboundedLoop));
+    }
+
+    #[test]
+    fn folded_branch_refines_write_set() {
+        // A constant-false guard in front of a write: the write can never
+        // execute even though it is a jump target away.
+        let mut b = ProgramBuilder::new("const-guard");
+        let wr = b.fresh_label();
+        let end = b.fresh_label();
+        b.read(oid(1), 0)
+            .jump_if(imm(1), CmpOp::Eq, imm(2), wr)
+            .jump(end);
+        b.bind(wr);
+        b.write(oid(1), imm(0));
+        b.bind(end);
+        b.ret(vec![reg(0)]);
+        let p = b.build().unwrap();
+        let a = analyze_program(&p);
+        assert_eq!(a.summary.classification, Classification::Query);
+    }
+}

@@ -1,0 +1,172 @@
+//! Regression tests: every stable lint code fires on its canonical
+//! trigger program and stays quiet on a clean one.
+
+use moc_analyze::{analyze_program, analyze_set, Finding, Lint, Severity};
+use moc_core::constraints::Constraint;
+use moc_core::ids::ObjectId;
+use moc_core::program::{arg, imm, reg, CmpOp, Program, ProgramBuilder};
+
+fn codes(findings: &[Finding]) -> Vec<&'static str> {
+    findings.iter().map(|f| f.lint.code()).collect()
+}
+
+fn x() -> ObjectId {
+    ObjectId::new(0)
+}
+
+fn query() -> Program {
+    let mut b = ProgramBuilder::new("q");
+    b.read(x(), 0).ret(vec![reg(0)]);
+    b.build().unwrap()
+}
+
+fn writer() -> Program {
+    let mut b = ProgramBuilder::new("w");
+    b.write(x(), arg(0)).ret(vec![]);
+    b.build().unwrap()
+}
+
+#[test]
+fn moc0001_unreachable_instruction() {
+    let mut b = ProgramBuilder::new("dead");
+    let end = b.fresh_label();
+    b.jump(end);
+    b.mov(0, imm(1));
+    b.bind(end);
+    b.ret(vec![]);
+    let a = analyze_program(&b.build().unwrap());
+    assert!(codes(&a.findings).contains(&"MOC0001"), "{:?}", a.findings);
+    let f = a
+        .findings
+        .iter()
+        .find(|f| f.lint.code() == "MOC0001")
+        .unwrap();
+    assert_eq!(f.severity, Severity::Warn);
+    assert_eq!(f.instr, Some(1), "points at the skipped instruction");
+}
+
+#[test]
+fn moc0002_uninitialized_register_read() {
+    let mut b = ProgramBuilder::new("uninit");
+    b.write(x(), reg(4)).ret(vec![]);
+    let a = analyze_program(&b.build().unwrap());
+    let f = a
+        .findings
+        .iter()
+        .find(|f| f.lint.code() == "MOC0002")
+        .expect("uninitialized read flagged");
+    assert_eq!(f.severity, Severity::Warn);
+    assert_eq!(f.instr, Some(0));
+}
+
+#[test]
+fn moc0003_unbounded_loop() {
+    let mut b = ProgramBuilder::new("spin");
+    let top = b.fresh_label();
+    b.bind(top);
+    b.read(x(), 0)
+        .jump_if(reg(0), CmpOp::Eq, imm(0), top)
+        .ret(vec![reg(0)]);
+    let a = analyze_program(&b.build().unwrap());
+    assert!(codes(&a.findings).contains(&"MOC0003"), "{:?}", a.findings);
+    assert!(!a.summary.termination.guaranteed);
+    assert_eq!(a.summary.termination.fuel_bound, None);
+}
+
+#[test]
+fn moc0004_dead_register_store() {
+    let mut b = ProgramBuilder::new("dead-store");
+    b.mov(3, imm(9)).ret(vec![]);
+    let a = analyze_program(&b.build().unwrap());
+    assert!(codes(&a.findings).contains(&"MOC0004"), "{:?}", a.findings);
+}
+
+#[test]
+fn moc0005_guaranteed_termination() {
+    let a = analyze_program(&query());
+    let f = a
+        .findings
+        .iter()
+        .find(|f| f.lint.code() == "MOC0005")
+        .expect("termination certificate emitted");
+    assert_eq!(f.severity, Severity::Info);
+    assert!(a.summary.termination.guaranteed);
+    assert_eq!(a.summary.termination.fuel_bound, Some(2));
+}
+
+#[test]
+fn moc0006_refined_classification() {
+    let mut b = ProgramBuilder::new("fake-update");
+    let end = b.fresh_label();
+    b.jump(end);
+    b.write(x(), imm(1));
+    b.bind(end);
+    b.ret(vec![]);
+    let p = b.build().unwrap();
+    assert!(p.is_potential_update());
+    let a = analyze_program(&p);
+    assert!(codes(&a.findings).contains(&"MOC0006"), "{:?}", a.findings);
+    assert!(!a.summary.is_update());
+}
+
+#[test]
+fn moc0007_required_constraint_not_certified() {
+    let q = query();
+    let w = writer();
+    let s = analyze_set(&[&q, &w], &[Constraint::Oo]);
+    let f = s
+        .findings
+        .iter()
+        .find(|f| f.lint.code() == "MOC0007")
+        .expect("uncertified required constraint is an error");
+    assert_eq!(f.severity, Severity::Error);
+}
+
+#[test]
+fn moc0008_certificates_always_reported() {
+    let w = writer();
+    let s = analyze_set(&[&w], &[]);
+    let certs = s
+        .findings
+        .iter()
+        .filter(|f| f.lint.code() == "MOC0008")
+        .count();
+    assert!(
+        certs >= 3,
+        "one certificate per constraint: {:?}",
+        s.findings
+    );
+}
+
+#[test]
+fn clean_program_has_no_warnings() {
+    let a = analyze_program(&query());
+    assert!(
+        a.findings.iter().all(|f| f.severity < Severity::Warn),
+        "{:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn lint_codes_are_stable_and_unique() {
+    let lints = [
+        Lint::UnreachableInstruction,
+        Lint::UninitializedRead,
+        Lint::UnboundedLoop,
+        Lint::DeadStore,
+        Lint::GuaranteedTermination,
+        Lint::RefinedClassification,
+        Lint::ConstraintNotCertified,
+        Lint::Certificate,
+    ];
+    let codes: Vec<&str> = lints.iter().map(|l| l.code()).collect();
+    assert_eq!(
+        codes,
+        vec![
+            "MOC0001", "MOC0002", "MOC0003", "MOC0004", "MOC0005", "MOC0006", "MOC0007", "MOC0008"
+        ]
+    );
+    let names: std::collections::BTreeSet<_> = lints.iter().map(|l| l.name()).collect();
+    assert_eq!(names.len(), lints.len());
+}

@@ -1,0 +1,224 @@
+//! Soundness of the analyzer against the interpreter: the refined static
+//! sets really do over-approximate every dynamic execution, and the
+//! must-write set under-approximates every completed one.
+
+use std::collections::BTreeSet;
+
+use moc_analyze::analyze_program;
+use moc_core::ids::ObjectId;
+use moc_core::program::{
+    arg, execute, imm, reg, BinaryOp, CmpOp, Instr, MContext, Operand, Program, ProgramBuilder,
+    VecContext, NUM_REGS,
+};
+use moc_core::value::Value;
+use proptest::prelude::*;
+
+const PROP_OBJECTS: u32 = 4;
+
+fn operand_strategy() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0u8..NUM_REGS as u8).prop_map(Operand::Reg),
+        (-100i64..100).prop_map(Operand::Imm),
+        (0u8..3).prop_map(Operand::Arg),
+    ]
+}
+
+fn instr_strategy(len: usize) -> impl Strategy<Value = Instr> {
+    let obj = (0u32..PROP_OBJECTS).prop_map(ObjectId::new);
+    let binop = prop_oneof![
+        Just(BinaryOp::Add),
+        Just(BinaryOp::Sub),
+        Just(BinaryOp::Mul),
+        Just(BinaryOp::Min),
+        Just(BinaryOp::Max)
+    ];
+    let cmp = prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge)
+    ];
+    prop_oneof![
+        (obj.clone(), 0u8..NUM_REGS as u8).prop_map(|(object, dst)| Instr::Read { object, dst }),
+        (obj, operand_strategy()).prop_map(|(object, src)| Instr::Write { object, src }),
+        (0u8..NUM_REGS as u8, operand_strategy()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
+        (
+            binop,
+            0u8..NUM_REGS as u8,
+            operand_strategy(),
+            operand_strategy()
+        )
+            .prop_map(|(op, dst, lhs, rhs)| Instr::Binary { op, dst, lhs, rhs }),
+        (0..len).prop_map(|target| Instr::Jump { target }),
+        (operand_strategy(), cmp, operand_strategy(), 0..len).prop_map(
+            |(lhs, cmp, rhs, target)| Instr::JumpIf {
+                lhs,
+                cmp,
+                rhs,
+                target
+            }
+        ),
+        proptest::collection::vec(operand_strategy(), 0..3)
+            .prop_map(|outputs| Instr::Return { outputs }),
+    ]
+}
+
+fn program_strategy() -> impl Strategy<Value = Program> {
+    (1usize..12).prop_flat_map(|len| {
+        proptest::collection::vec(instr_strategy(len), len).prop_map(|mut instrs| {
+            instrs.push(Instr::Return { outputs: vec![] });
+            Program::new("prop", instrs).expect("targets within range")
+        })
+    })
+}
+
+/// Context recording the objects dynamically read and written.
+struct TrackingContext {
+    inner: VecContext,
+    read: BTreeSet<ObjectId>,
+    written: BTreeSet<ObjectId>,
+}
+
+impl TrackingContext {
+    fn new() -> Self {
+        TrackingContext {
+            inner: VecContext::new(PROP_OBJECTS as usize),
+            read: BTreeSet::new(),
+            written: BTreeSet::new(),
+        }
+    }
+}
+
+impl MContext for TrackingContext {
+    fn read(&mut self, object: ObjectId) -> Value {
+        self.read.insert(object);
+        self.inner.read(object)
+    }
+    fn write(&mut self, object: ObjectId, value: Value) {
+        self.written.insert(object);
+        self.inner.write(object, value);
+    }
+}
+
+proptest! {
+    /// Every dynamically touched object is in the refined may sets —
+    /// even for runs that die of fuel exhaustion, since any executed
+    /// instruction is statically reachable.
+    #[test]
+    fn dynamic_sets_within_refined_may_sets(
+        p in program_strategy(),
+        args in proptest::collection::vec(-50i64..50, 3),
+    ) {
+        let a = analyze_program(&p);
+        let mut ctx = TrackingContext::new();
+        let _ = execute(&p, &args, &mut ctx, 10_000);
+        prop_assert!(
+            ctx.read.is_subset(&a.summary.may_read),
+            "dynamic reads {:?} ⊄ may_read {:?}",
+            ctx.read,
+            a.summary.may_read
+        );
+        prop_assert!(
+            ctx.written.is_subset(&a.summary.may_write),
+            "dynamic writes {:?} ⊄ may_write {:?}",
+            ctx.written,
+            a.summary.may_write
+        );
+    }
+
+    /// A run that reaches Return has written every must-write object.
+    #[test]
+    fn must_write_happens_on_every_completed_run(
+        p in program_strategy(),
+        args in proptest::collection::vec(-50i64..50, 3),
+    ) {
+        let a = analyze_program(&p);
+        let mut ctx = TrackingContext::new();
+        if execute(&p, &args, &mut ctx, 10_000).is_ok() {
+            prop_assert!(
+                a.summary.must_write.is_subset(&ctx.written),
+                "must_write {:?} ⊄ dynamic {:?}",
+                a.summary.must_write,
+                ctx.written
+            );
+        }
+    }
+
+    /// Programs the analyzer classifies as queries never write at runtime
+    /// — the property the refined protocol classification relies on.
+    #[test]
+    fn refined_queries_never_write(
+        p in program_strategy(),
+        args in proptest::collection::vec(-50i64..50, 3),
+    ) {
+        let a = analyze_program(&p);
+        if !a.summary.is_update() {
+            let mut ctx = TrackingContext::new();
+            let _ = execute(&p, &args, &mut ctx, 10_000);
+            prop_assert!(
+                ctx.written.is_empty(),
+                "refined query wrote {:?}",
+                ctx.written
+            );
+        }
+    }
+
+    /// When the analyzer proves termination, its static fuel bound is
+    /// enough fuel for any invocation.
+    #[test]
+    fn static_fuel_bound_covers_execution(p in program_strategy()) {
+        let a = analyze_program(&p);
+        if let Some(bound) = a.summary.termination.fuel_bound {
+            let args = vec![0i64; p.arity()];
+            let mut ctx = VecContext::new(PROP_OBJECTS as usize);
+            let out = execute(&p, &args, &mut ctx, bound);
+            match out {
+                Ok(o) => prop_assert!(o.steps <= bound, "{} > {bound}", o.steps),
+                Err(e) => prop_assert!(false, "bound {bound} insufficient: {e}"),
+            }
+        }
+    }
+}
+
+/// DCAS is the paper's marquee conditional update: both sides of the
+/// analysis must agree with both dynamic branches.
+#[test]
+fn dcas_failed_branch_writes_nothing() {
+    let x = ObjectId::new(0);
+    let y = ObjectId::new(1);
+    let mut b = ProgramBuilder::new("dcas");
+    let fail = b.fresh_label();
+    b.read(x, 0)
+        .read(y, 1)
+        .jump_if(reg(0), CmpOp::Ne, arg(0), fail)
+        .jump_if(reg(1), CmpOp::Ne, arg(1), fail)
+        .write(x, arg(2))
+        .write(y, arg(3))
+        .ret(vec![imm(1)]);
+    b.bind(fail);
+    b.ret(vec![imm(0)]);
+    let p = b.build().unwrap();
+
+    let a = analyze_program(&p);
+    let both: BTreeSet<ObjectId> = [x, y].into_iter().collect();
+    assert_eq!(a.summary.may_write, both);
+    assert!(
+        a.summary.must_write.is_empty(),
+        "the failed branch writes nothing, so no object is a must-write"
+    );
+    assert!(a.summary.is_update());
+
+    // Success branch (both expectations match the zero-initialized store).
+    let mut ctx = TrackingContext::new();
+    let out = execute(&p, &[0, 0, 7, 8], &mut ctx, 1_000).unwrap();
+    assert_eq!(out.outputs, vec![1]);
+    assert_eq!(ctx.written, both);
+
+    // Failure branch: a torn expectation writes nothing at all.
+    let mut ctx = TrackingContext::new();
+    let out = execute(&p, &[0, 99, 7, 8], &mut ctx, 1_000).unwrap();
+    assert_eq!(out.outputs, vec![0]);
+    assert!(ctx.written.is_empty());
+}

@@ -73,6 +73,13 @@ pub enum Strategy {
     /// protocols enforce), otherwise fall back to the search.
     #[default]
     Auto,
+    /// The caller holds a static certificate (see `moc-analyze`) that the
+    /// configuration enforces `constraint`, so the Theorem 7 path is
+    /// expected to decide. Unlike [`Strategy::Constraint`], a history
+    /// that nevertheless violates the constraint (e.g. the certificate
+    /// was issued for a different program set) silently falls back to
+    /// the brute-force search instead of erroring.
+    Certified(Constraint),
 }
 
 /// Which decision procedure produced the verdict.
@@ -176,6 +183,17 @@ pub fn check_with_relation(
             }
             brute(h, condition, relation, SearchLimits::default())
         }
+        Strategy::Certified(c) => match fast(h, condition, relation, c) {
+            Ok(report) => Ok(report),
+            // The certificate promised the constraint holds; if this
+            // history still violates it, the certificate did not cover it
+            // — degrade gracefully rather than refusing a verdict.
+            Err(FastError::ConstraintNotSatisfied(_)) => {
+                brute(h, condition, relation, SearchLimits::default())
+            }
+            Err(FastError::CyclicRelation) => Err(CheckError::CyclicRelation),
+            Err(e @ FastError::ExtendedRelationCyclic) => Err(CheckError::Internal(e.to_string())),
+        },
     }
 }
 
@@ -363,6 +381,41 @@ mod tests {
         assert_eq!(report.strategy_used, StrategyUsed::BruteForce);
         let w = report.witness.unwrap();
         assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn certified_strategy_uses_fast_path_when_constraint_holds() {
+        // Under m-linearizability the stale-read history satisfies OO
+        // (real time orders the conflicting pair): the certificate route
+        // decides via Theorem 7.
+        let h = stale_read();
+        let report = check(
+            &h,
+            Condition::MLinearizability,
+            Strategy::Certified(moc_core::constraints::Constraint::Oo),
+        )
+        .unwrap();
+        assert!(!report.satisfied);
+        assert_eq!(
+            report.strategy_used,
+            StrategyUsed::Constraint(moc_core::constraints::Constraint::Oo)
+        );
+    }
+
+    #[test]
+    fn certified_strategy_falls_back_when_certificate_misses() {
+        // Under m-SC the pair is unordered, so the OO precondition fails;
+        // Certified degrades to brute force where Constraint would error.
+        let h = stale_read();
+        let report = check(
+            &h,
+            Condition::MSequentialConsistency,
+            Strategy::Certified(moc_core::constraints::Constraint::Oo),
+        )
+        .unwrap();
+        assert!(report.satisfied);
+        assert_eq!(report.strategy_used, StrategyUsed::BruteForce);
+        assert!(report.stats.nodes > 0, "fallback actually searched");
     }
 
     #[test]

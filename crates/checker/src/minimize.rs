@@ -114,8 +114,7 @@ pub fn minimize_violation(
         }
     }
 
-    let history =
-        History::new(h.num_objects(), current).expect("kept records remain well-formed");
+    let history = History::new(h.num_objects(), current).expect("kept records remain well-formed");
     Ok(Minimized {
         history,
         removed,
@@ -152,17 +151,11 @@ mod tests {
         let h = b.build().unwrap();
 
         let out =
-            minimize_violation(&h, Condition::MLinearizability, SearchLimits::default())
-                .unwrap();
+            minimize_violation(&h, Condition::MLinearizability, SearchLimits::default()).unwrap();
         assert_eq!(out.history.len(), 2, "core is the write + stale read");
         assert_eq!(out.removed, 3);
         assert!(out.checks > 3);
-        let labels: Vec<_> = out
-            .history
-            .records()
-            .iter()
-            .map(|r| r.notation())
-            .collect();
+        let labels: Vec<_> = out.history.records().iter().map(|r| r.notation()).collect();
         assert!(labels.iter().any(|l| l.contains("w(x)1")), "{labels:?}");
         assert!(labels.iter().any(|l| l.contains("r(x)0")), "{labels:?}");
     }
@@ -180,8 +173,7 @@ mod tests {
         let _ = w2;
         let h = b.build().unwrap();
         let out =
-            minimize_violation(&h, Condition::MLinearizability, SearchLimits::default())
-                .unwrap();
+            minimize_violation(&h, Condition::MLinearizability, SearchLimits::default()).unwrap();
         // All three are essential: w1 feeds the read; dropping w2 removes
         // the violation (reading v1 becomes fine).
         assert_eq!(out.history.len(), 3);

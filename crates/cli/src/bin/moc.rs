@@ -13,11 +13,12 @@ fn main() {
             std::process::exit(2);
         }
     }
-    match moc_cli::dispatch(&raw, &stdin) {
+    // Exit codes per the USAGE contract: 0 clean, 1 Error-severity
+    // findings in an analysis report, 2 invalid input or usage.
+    let (result, code) = moc_cli::dispatch_with_status(&raw, &stdin);
+    match result {
         Ok(out) => print!("{out}"),
-        Err(e) => {
-            eprintln!("error: {e}");
-            std::process::exit(1);
-        }
+        Err(e) => eprintln!("error: {e}"),
     }
+    std::process::exit(code);
 }

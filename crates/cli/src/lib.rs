@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 
+use moc_analyze::Severity;
 use moc_checker::admissible::SearchLimits;
 use moc_checker::causal::check_m_causal;
 use moc_checker::conditions::{check, Condition, Strategy};
@@ -115,8 +116,18 @@ USAGE:
       violating history is shrunk to its 1-minimal core and printed.
   moc render <file|-> [--width N]
       Draw the history as per-process timelines plus a listing.
+  moc analyze [--workload demo|protocol] [--format human|json]
+             [--require oo,ww,wo] [--processes N] [--ops K] [--objects M]
+             [--seed S] [--update-frac F]
+      Statically analyze a workload's program set: lints, refined
+      read/write sets, conflict graph and constraint certificates.
   moc help
       Print this text.
+
+EXIT CODES:
+  0  clean (no Error-severity findings)
+  1  the analysis report contains Error-severity findings
+  2  invalid input or usage
 
 Histories use the `history v1` text format (moc_core::codec).";
 
@@ -126,18 +137,32 @@ Histories use the `history v1` text format (moc_core::codec).";
 ///
 /// Returns a user-facing error message.
 pub fn dispatch(raw: &[String], stdin: &str) -> Result<String, String> {
+    dispatch_with_status(raw, stdin).0
+}
+
+/// Like [`dispatch`], but also returns the process exit code per the
+/// contract in [`USAGE`]: `0` clean, `1` the report contains
+/// Error-severity findings, `2` invalid input or usage. `Err` always
+/// pairs with `2`.
+pub fn dispatch_with_status(raw: &[String], stdin: &str) -> (Result<String, String>, i32) {
     let Some(cmd) = raw.first() else {
-        return Ok(USAGE.to_string());
+        return (Ok(USAGE.to_string()), 0);
     };
     let args = Args::parse(&raw[1..]);
-    match cmd.as_str() {
+    let result = match cmd.as_str() {
         "run" => cmd_run(&args),
         "gen" => cmd_gen(&args),
         "check" => cmd_check(&args, stdin),
         "render" => cmd_render(&args, stdin),
-        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        "analyze" => match cmd_analyze(&args) {
+            Ok((out, code)) => return (Ok(out), code),
+            Err(e) => Err(e),
+        },
+        "help" | "--help" | "-h" => return (Ok(USAGE.to_string()), 0),
         other => Err(format!("unknown command {other:?}\n\n{USAGE}")),
-    }
+    };
+    let code = if result.is_ok() { 0 } else { 2 };
+    (result, code)
 }
 
 fn load_history(args: &Args, stdin: &str) -> Result<History, String> {
@@ -326,6 +351,69 @@ fn cmd_check(args: &Args, stdin: &str) -> Result<String, String> {
     Ok(out)
 }
 
+fn cmd_analyze(args: &Args) -> Result<(String, i32), String> {
+    let workload = args
+        .options
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("demo");
+    let programs: Vec<std::sync::Arc<moc_core::program::Program>> = match workload {
+        "demo" => moc_workload::demo_programs(),
+        "protocol" => {
+            // Analyze the program set a `moc run` with the same options
+            // would actually issue (one representative per program name).
+            let spec = WorkloadSpec {
+                processes: args.get_usize("processes", 3)?,
+                ops_per_process: args.get_usize("ops", 5)?,
+                num_objects: args.get_usize("objects", 4)?,
+                update_fraction: args.get_f64("update-frac", 0.5)?,
+                ..WorkloadSpec::default()
+            };
+            let mut rng = StdRng::seed_from_u64(args.get_u64("seed", 0)?);
+            let mut seen = std::collections::BTreeSet::new();
+            scripts(&spec, &mut rng)
+                .into_iter()
+                .flat_map(|s| s.ops)
+                .filter(|op| seen.insert(op.program.name().to_string()))
+                .map(|op| op.program)
+                .collect()
+        }
+        other => return Err(format!("unknown workload {other:?} (demo|protocol)")),
+    };
+    let mut required = Vec::new();
+    if let Some(list) = args.options.get("require") {
+        for tok in list.split(',') {
+            required.push(match tok.trim() {
+                "oo" => moc_core::constraints::Constraint::Oo,
+                "ww" => moc_core::constraints::Constraint::Ww,
+                "wo" => moc_core::constraints::Constraint::Wo,
+                other => return Err(format!("unknown constraint {other:?} (oo|ww|wo)")),
+            });
+        }
+    }
+    let refs: Vec<&moc_core::program::Program> = programs.iter().map(|p| p.as_ref()).collect();
+    let set = moc_analyze::analyze_set(&refs, &required);
+    let code = match moc_analyze::max_severity(&set.all_findings()) {
+        Some(Severity::Error) => 1,
+        _ => 0,
+    };
+    let out = match args
+        .options
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("human")
+    {
+        "human" => set.render_human(),
+        "json" => {
+            let mut j = set.render_json();
+            j.push('\n');
+            j
+        }
+        other => return Err(format!("unknown format {other:?} (human|json)")),
+    };
+    Ok((out, code))
+}
+
 fn cmd_render(args: &Args, stdin: &str) -> Result<String, String> {
     let h = load_history(args, stdin)?;
     let width = args.get_usize("width", 72)?;
@@ -407,7 +495,14 @@ mod tests {
         for seed in 0..30u64 {
             let text = dispatch(
                 &sv(&[
-                    "run", "--protocol", "msc", "--processes", "3", "--ops", "5", "--seed",
+                    "run",
+                    "--protocol",
+                    "msc",
+                    "--processes",
+                    "3",
+                    "--ops",
+                    "5",
+                    "--seed",
                     &seed.to_string(),
                 ]),
                 "",
@@ -463,6 +558,70 @@ mod tests {
         .is_err());
         assert!(dispatch(&sv(&["check"]), "").is_err());
         assert!(dispatch(&sv(&["gen", "--ops", "NaN"]), "").is_err());
+    }
+
+    #[test]
+    fn analyze_demo_emits_expected_lints() {
+        let (out, code) = dispatch_with_status(&sv(&["analyze"]), "");
+        let out = out.unwrap();
+        assert!(out.contains("MOC0001"), "unreachable instruction:\n{out}");
+        assert!(out.contains("MOC0002"), "uninitialized register:\n{out}");
+        assert!(out.contains("MOC0008"), "constraint certificates:\n{out}");
+        assert!(out.contains("program dcas: update"), "{out}");
+        assert!(out.contains("program dead-write: query"), "{out}");
+        // No --require, so certificates are informational: exit clean.
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn analyze_require_oo_fails_on_demo_set() {
+        // The demo set has a query reading objects an update writes, so
+        // the OO certificate misses and --require oo is an Error.
+        let (out, code) = dispatch_with_status(&sv(&["analyze", "--require", "oo"]), "");
+        let out = out.unwrap();
+        assert!(out.contains("MOC0007"), "{out}");
+        assert_eq!(code, 1);
+        // WW is enforced by construction (abcast orders updates).
+        let (out, code) = dispatch_with_status(&sv(&["analyze", "--require", "ww"]), "");
+        assert!(out.unwrap().contains("MOC0008"));
+        assert_eq!(code, 0);
+    }
+
+    #[test]
+    fn analyze_json_format_and_protocol_workload() {
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "analyze",
+                "--format",
+                "json",
+                "--workload",
+                "protocol",
+                "--seed",
+                "1",
+            ]),
+            "",
+        );
+        let json = out.unwrap();
+        assert_eq!(code, 0);
+        assert!(json.starts_with('{') && json.ends_with("}\n"), "{json}");
+        assert!(json.contains("\"certificates\""), "{json}");
+        assert!(json.contains("\"fast_path\""), "{json}");
+    }
+
+    #[test]
+    fn analyze_bad_flags_exit_2() {
+        for bad in [
+            sv(&["analyze", "--workload", "nope"]),
+            sv(&["analyze", "--format", "nope"]),
+            sv(&["analyze", "--require", "nope"]),
+        ] {
+            let (result, code) = dispatch_with_status(&bad, "");
+            assert!(result.is_err());
+            assert_eq!(code, 2);
+        }
+        let (result, code) = dispatch_with_status(&sv(&["frobnicate"]), "");
+        assert!(result.is_err());
+        assert_eq!(code, 2);
     }
 
     #[test]

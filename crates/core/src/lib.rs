@@ -58,6 +58,8 @@
 //! assert_eq!(history.len(), 2);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod codec;
 pub mod constraints;
 pub mod error;

@@ -143,7 +143,9 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn holds(self, a: Value, b: Value) -> bool {
+    /// Evaluates the comparison on concrete values (used by the
+    /// interpreter and by static constant folding).
+    pub fn holds(self, a: Value, b: Value) -> bool {
         match self {
             CmpOp::Eq => a == b,
             CmpOp::Ne => a != b,
@@ -244,6 +246,15 @@ pub enum ProgramError {
         /// Name of the program.
         name: String,
     },
+    /// Control flow can fall off the end of the instruction stream without
+    /// executing a `Return`. Every m-operation must produce its response
+    /// event explicitly; a fall-through path is a construction bug, not an
+    /// empty response.
+    MissingReturn {
+        /// Index of the last instruction on a falling-through path, or
+        /// `None` for an empty program.
+        instr: Option<usize>,
+    },
 }
 
 impl fmt::Display for ProgramError {
@@ -265,6 +276,12 @@ impl fmt::Display for ProgramError {
             ProgramError::FuelExhausted { name } => {
                 write!(f, "program '{name}' exhausted its instruction budget")
             }
+            ProgramError::MissingReturn { instr: Some(i) } => {
+                write!(f, "control flow falls off the end after instruction {i}")
+            }
+            ProgramError::MissingReturn { instr: None } => {
+                write!(f, "program is empty (no Return instruction)")
+            }
         }
     }
 }
@@ -285,7 +302,9 @@ impl Program {
     ///
     /// Returns [`ProgramError::BadJumpTarget`] or
     /// [`ProgramError::RegisterOutOfRange`] if the instruction stream is
-    /// malformed.
+    /// malformed, and [`ProgramError::MissingReturn`] if some reachable
+    /// control-flow path runs past the end of the stream without a
+    /// `Return`.
     pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Result<Self, ProgramError> {
         let p = Program {
             name: name.into(),
@@ -347,6 +366,42 @@ impl Program {
                         check_operand(o)?;
                     }
                 }
+            }
+        }
+        self.check_all_paths_return()
+    }
+
+    /// Depth-first reachability from entry: every reachable path must end
+    /// in a `Return`. Falling through past the last instruction is
+    /// rejected rather than treated as an implicit empty response.
+    fn check_all_paths_return(&self) -> Result<(), ProgramError> {
+        let n = self.instrs.len();
+        if n == 0 {
+            return Err(ProgramError::MissingReturn { instr: None });
+        }
+        let mut seen = vec![false; n];
+        let mut stack = vec![0usize];
+        while let Some(i) = stack.pop() {
+            if seen[i] {
+                continue;
+            }
+            seen[i] = true;
+            let fall_through = |stack: &mut Vec<usize>| {
+                if i + 1 >= n {
+                    Err(ProgramError::MissingReturn { instr: Some(i) })
+                } else {
+                    stack.push(i + 1);
+                    Ok(())
+                }
+            };
+            match &self.instrs[i] {
+                Instr::Return { .. } => {}
+                Instr::Jump { target } => stack.push(*target),
+                Instr::JumpIf { target, .. } => {
+                    stack.push(*target);
+                    fall_through(&mut stack)?;
+                }
+                _ => fall_through(&mut stack)?,
             }
         }
         Ok(())
@@ -471,8 +526,8 @@ impl MContext for VecContext {
 /// Result of executing a program.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecOutcome {
-    /// The values returned by the program's `Return` (empty if the program
-    /// fell off the end).
+    /// The values returned by the program's `Return`. Validation rejects
+    /// programs with fall-through paths, so a `Return` always runs.
     pub outputs: Vec<Value>,
     /// Instructions executed.
     pub steps: u64,
@@ -886,10 +941,49 @@ mod tests {
     }
 
     #[test]
-    fn fall_off_end_returns_empty() {
-        let p = Program::new("empty", vec![]).unwrap();
-        let out = execute(&p, &[], &mut VecContext::new(0), DEFAULT_FUEL).unwrap();
-        assert!(out.outputs.is_empty());
+    fn empty_program_rejected() {
+        let err = Program::new("empty", vec![]).unwrap_err();
+        assert_eq!(err, ProgramError::MissingReturn { instr: None });
+    }
+
+    #[test]
+    fn fall_through_path_rejected() {
+        // The taken branch returns, but the fall-through runs off the end.
+        let err = Program::new(
+            "no-ret",
+            vec![
+                Instr::JumpIf {
+                    lhs: arg(0),
+                    cmp: CmpOp::Eq,
+                    rhs: imm(0),
+                    target: 1,
+                },
+                Instr::Mov {
+                    dst: 0,
+                    src: imm(1),
+                },
+            ],
+        )
+        .unwrap_err();
+        assert_eq!(err, ProgramError::MissingReturn { instr: Some(1) });
+    }
+
+    #[test]
+    fn unreachable_tail_does_not_need_return() {
+        // An infinite loop never falls off the end; instructions after an
+        // unconditional backward jump are dead but harmless.
+        let p = Program::new(
+            "spin-tail",
+            vec![
+                Instr::Jump { target: 0 },
+                Instr::Mov {
+                    dst: 0,
+                    src: imm(7),
+                },
+            ],
+        )
+        .unwrap();
+        assert_eq!(p.instrs().len(), 2);
     }
 
     #[test]

@@ -192,8 +192,12 @@ fn instr_strategy(len: usize) -> impl Strategy<Value = Instr> {
 
 fn program_strategy() -> impl Strategy<Value = Program> {
     (1usize..12).prop_flat_map(|len| {
-        proptest::collection::vec(instr_strategy(len), len)
-            .prop_map(|instrs| Program::new("prop", instrs).expect("targets within range"))
+        proptest::collection::vec(instr_strategy(len), len).prop_map(|mut instrs| {
+            // Validation requires every path to end in Return; appending a
+            // terminator catches every fall-through path of the random body.
+            instrs.push(Instr::Return { outputs: vec![] });
+            Program::new("prop", instrs).expect("targets within range")
+        })
     })
 }
 

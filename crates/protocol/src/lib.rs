@@ -66,28 +66,61 @@ pub struct MOperation {
     pub program: Arc<Program>,
     /// Invocation arguments (`arg` of `α(arg, res)`).
     pub args: Vec<Value>,
+    /// Cached protocol classification, decided at construction.
+    class: MOpClass,
+}
+
+/// Programs above this size skip the refined dataflow classification and
+/// fall back to the paper's syntactic rule (the analysis is linear-ish,
+/// but there is no point scanning a pathological instruction stream per
+/// invocation).
+const ANALYZE_LIMIT: usize = 4096;
+
+/// Classifies a program for protocol purposes.
+///
+/// The paper's conservative rule treats an m-operation as an update iff
+/// it *potentially* writes (Section 5). The analyzer refines this: a
+/// write that control flow provably cannot reach does not force the
+/// update path, so e.g. a "write guarded by a constant-false branch"
+/// program runs as a local query. The refinement is sound — the refined
+/// `may_write` still over-approximates every dynamic write set — and for
+/// oversized programs we conservatively fall back to the syntactic rule.
+fn classify(program: &Program) -> MOpClass {
+    let update = if program.instrs().len() > ANALYZE_LIMIT {
+        program.is_potential_update()
+    } else {
+        moc_analyze::analyze_program(program).summary.is_update()
+    };
+    if update {
+        MOpClass::Update
+    } else {
+        MOpClass::Query
+    }
 }
 
 impl MOperation {
-    /// Creates an m-operation.
+    /// Creates an m-operation, classifying its program (see [`MOperation::class`]).
     pub fn new(id: MOpId, program: Arc<Program>, args: Vec<Value>) -> Self {
-        MOperation { id, program, args }
+        let class = classify(&program);
+        MOperation {
+            id,
+            program,
+            args,
+            class,
+        }
     }
 
-    /// The paper's conservative classification: treat as an update iff the
-    /// program *potentially* writes (Section 5: the system may not know the
-    /// write set before execution).
+    /// Whether the protocols must route this m-operation through atomic
+    /// broadcast. Refined from the paper's syntactic potential-write rule
+    /// by reachability analysis; still an over-approximation of the
+    /// dynamic write set, so the Section 5 safety arguments carry over.
     pub fn is_update(&self) -> bool {
-        self.program.is_potential_update()
+        self.class == MOpClass::Update
     }
 
     /// The protocol class this m-operation is handled as.
     pub fn class(&self) -> MOpClass {
-        if self.is_update() {
-            MOpClass::Update
-        } else {
-            MOpClass::Query
-        }
+        self.class
     }
 }
 
@@ -218,7 +251,9 @@ mod tests {
     use moc_core::program::ProgramBuilder;
 
     #[test]
-    fn moperation_classification_is_conservative() {
+    fn unreachable_write_is_refined_to_query() {
+        // Syntactically this "potentially writes"; the analyzer proves
+        // the write unreachable, so the protocol runs it as a query.
         let mut b = ProgramBuilder::new("maybe-write");
         let skip = b.fresh_label();
         b.jump(skip); // the write below is unreachable
@@ -226,9 +261,32 @@ mod tests {
         b.bind(skip);
         b.ret(vec![]);
         let p = Arc::new(b.build().unwrap());
+        assert!(p.is_potential_update(), "syntactic rule says update");
         let mop = MOperation::new(MOpId::new(ProcessId::new(0), 0), p, vec![]);
-        assert!(mop.is_update(), "potential write ⇒ update class");
-        assert_eq!(mop.class(), MOpClass::Update);
+        assert!(!mop.is_update(), "refined rule says query");
+        assert_eq!(mop.class(), MOpClass::Query);
+    }
+
+    #[test]
+    fn reachable_conditional_write_stays_update() {
+        // A failed-CAS-style branch may skip the write dynamically, but
+        // the write is statically reachable: still an update.
+        use moc_core::program::{arg, imm, reg, CmpOp};
+        let x = moc_core::ids::ObjectId::new(0);
+        let mut b = ProgramBuilder::new("cas");
+        let fail = b.fresh_label();
+        b.read(x, 0)
+            .jump_if(reg(0), CmpOp::Ne, arg(0), fail)
+            .write(x, arg(1))
+            .ret(vec![imm(1)]);
+        b.bind(fail);
+        b.ret(vec![imm(0)]);
+        let mop = MOperation::new(
+            MOpId::new(ProcessId::new(0), 0),
+            Arc::new(b.build().unwrap()),
+            vec![0, 1],
+        );
+        assert!(mop.is_update());
     }
 
     #[test]

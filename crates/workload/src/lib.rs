@@ -135,6 +135,45 @@ pub fn dcas_program(x: ObjectId, y: ObjectId) -> Arc<Program> {
     Arc::new(b.build().expect("dcas program is well-formed"))
 }
 
+/// A syntactic "update" whose only write is jumped over. The analyzer
+/// flags the write as unreachable (MOC0001) and refines the whole program
+/// to a query (MOC0006); the protocols then run it locally.
+pub fn unreachable_write_program(x: ObjectId) -> Arc<Program> {
+    let mut b = ProgramBuilder::new("dead-write");
+    let end = b.fresh_label();
+    b.read(x, 0).jump(end);
+    b.write(x, imm(1));
+    b.bind(end);
+    b.ret(vec![reg(0)]);
+    Arc::new(b.build().expect("dead-write program is well-formed"))
+}
+
+/// A program that stores a register no path has initialized — the
+/// uninitialized-register-read (MOC0002) specimen. It still runs
+/// (registers start at zero), which is exactly why it deserves a lint.
+pub fn uninit_register_program(x: ObjectId) -> Arc<Program> {
+    let mut b = ProgramBuilder::new("uninit-store");
+    b.write(x, reg(4));
+    b.ret(vec![]);
+    Arc::new(b.build().expect("uninit-store program is well-formed"))
+}
+
+/// The example program set behind `moc analyze`: one representative of
+/// each protocol workload shape plus two deliberately lint-triggering
+/// specimens ([`unreachable_write_program`], [`uninit_register_program`]).
+pub fn demo_programs() -> Vec<Arc<Program>> {
+    let x = ObjectId::new(0);
+    let y = ObjectId::new(1);
+    vec![
+        query_program(&[x, y]),
+        write_program(&[x, y]),
+        rmw_program(&[x]),
+        dcas_program(x, y),
+        unreachable_write_program(x),
+        uninit_register_program(y),
+    ]
+}
+
 /// Generates one random operation.
 fn random_op(spec: &WorkloadSpec, rng: &mut StdRng) -> OpSpec {
     if rng.gen_bool(spec.update_fraction.clamp(0.0, 1.0)) {
@@ -249,6 +288,22 @@ mod tests {
         };
         assert_eq!(names(7), names(7));
         assert_ne!(names(7), names(8));
+    }
+
+    #[test]
+    fn demo_programs_are_valid_and_distinct() {
+        let demos = demo_programs();
+        assert!(demos.len() >= 6);
+        let names: std::collections::BTreeSet<_> =
+            demos.iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(names.len(), demos.len(), "demo program names are unique");
+        // The two lint specimens look like updates to the syntactic rule.
+        assert!(demos
+            .iter()
+            .any(|p| p.name() == "dead-write" && p.is_potential_update()));
+        assert!(demos
+            .iter()
+            .any(|p| p.name() == "uninit-store" && p.is_potential_update()));
     }
 
     #[test]

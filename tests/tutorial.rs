@@ -53,9 +53,11 @@ fn tutorial_escrow_walkthrough() {
     assert_eq!(dsm.snapshot(p0, &[escrow, payee, flag]), vec![40, 60, 0]);
 
     let report = dsm.finish();
-    assert!(report
-        .check(moc_checker::Condition::MLinearizability)
-        .satisfied);
+    assert!(
+        report
+            .check(moc_checker::Condition::MLinearizability)
+            .satisfied
+    );
     assert!(report.check_causal().satisfied);
 }
 

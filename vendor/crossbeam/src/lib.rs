@@ -1,0 +1,116 @@
+//! Offline stub of `crossbeam` backed by `std::sync::mpsc`. Covers the
+//! `crossbeam::channel` surface this repository uses: `bounded`,
+//! `unbounded`, `Sender`, `Receiver`, and `recv_timeout` errors.
+
+/// Multi-producer channels (stand-in for `crossbeam::channel`).
+pub mod channel {
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    /// Error returned by [`Sender::send`] when the receiver is gone.
+    #[derive(Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// All senders disconnected and the buffer is drained.
+        Disconnected,
+    }
+
+    enum SenderFlavor<T> {
+        Unbounded(mpsc::Sender<T>),
+        Bounded(mpsc::SyncSender<T>),
+    }
+
+    impl<T> Clone for SenderFlavor<T> {
+        fn clone(&self) -> Self {
+            match self {
+                SenderFlavor::Unbounded(s) => SenderFlavor::Unbounded(s.clone()),
+                SenderFlavor::Bounded(s) => SenderFlavor::Bounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel.
+    pub struct Sender<T>(SenderFlavor<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, blocking while a bounded channel is full.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                SenderFlavor::Unbounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+                SenderFlavor::Bounded(s) => s.send(value).map_err(|e| SendError(e.0)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|_| RecvError)
+        }
+
+        /// Blocks up to `timeout` for a message.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout).map_err(|e| match e {
+                mpsc::RecvTimeoutError::Timeout => RecvTimeoutError::Timeout,
+                mpsc::RecvTimeoutError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+
+        /// Returns a message if one is ready.
+        pub fn try_recv(&self) -> Result<T, RecvTimeoutError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => RecvTimeoutError::Timeout,
+                mpsc::TryRecvError::Disconnected => RecvTimeoutError::Disconnected,
+            })
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(SenderFlavor::Unbounded(tx)), Receiver(rx))
+    }
+
+    /// A bounded FIFO channel with capacity `cap`.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(SenderFlavor::Bounded(tx)), Receiver(rx))
+    }
+}

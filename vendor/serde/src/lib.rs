@@ -1,0 +1,21 @@
+//! Offline stub of the `serde` facade.
+//!
+//! The build environment for this repository has no access to crates.io, so
+//! the workspace vendors a minimal, API-surface-compatible stand-in. The
+//! repository only uses serde for `#[derive(Serialize, Deserialize)]`
+//! annotations on plain data types (no serializer is ever instantiated —
+//! the history codec in `moc-core` is a hand-rolled text format), so marker
+//! traits are sufficient for everything to type-check.
+//!
+//! When real crates.io access is available, point the workspace dependency
+//! back at the real `serde` and everything keeps compiling: the derives
+//! here intentionally mirror the real macro names and item paths.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,44 @@
+//! Offline stub of `serde_derive`: emits trivial impls of the marker
+//! traits defined by the vendored `serde` stub.
+//!
+//! The derives support plain (non-generic) `struct`s and `enum`s, which is
+//! all this repository uses. No `syn`/`quote` — the type name is extracted
+//! directly from the token stream.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Finds the identifier following the `struct` / `enum` keyword, skipping
+/// attributes, doc comments and visibility modifiers.
+fn type_name(input: &TokenStream) -> String {
+    let mut tokens = input.clone().into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        if let TokenTree::Ident(id) = &tt {
+            let word = id.to_string();
+            if word == "struct" || word == "enum" {
+                if let Some(TokenTree::Ident(name)) = tokens.next() {
+                    return name.to_string();
+                }
+                panic!("serde stub derive: expected a type name after `{word}`");
+            }
+        }
+    }
+    panic!("serde stub derive: no `struct` or `enum` keyword found");
+}
+
+/// Stub for `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Stub for `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
