@@ -1,0 +1,598 @@
+//! # moc-audit
+//!
+//! Independent re-validation of `moc-cert` certificates (the documents
+//! `moc_checker::certificate` emits) against raw histories.
+//!
+//! This crate is the *trusted kernel* of the verdict pipeline: it depends
+//! only on `moc-core` — not on the checker whose output it audits — so a
+//! bug in the checker's saturation, pruning or search cannot also hide in
+//! the auditor. Every check here is polynomial in the size of the history
+//! plus the certificate:
+//!
+//! * a **witness** proof is replayed: the order must be a permutation,
+//!   a linear extension of the condition's base relation `~H`, legal under
+//!   the version-replay semantics of D 4.6, and its serialized legality
+//!   trace must match the replay exactly;
+//! * a **cycle** proof is checked edge by edge: `po`/`rf` edges against the
+//!   history, `rt` edges only for m-linearizability, `ox` edges only for
+//!   m-normality, and each `~rw` edge against D 4.11 — its interference
+//!   triple must exist and its premise `β ~ γ` must be justified by a
+//!   chain of strictly earlier edges of the same proof; finally the named
+//!   edges must form a closed walk;
+//! * an **exhaustion** proof cannot be independently replayed in
+//!   polynomial time (Theorems 1–2: the problem is NP-complete), so it is
+//!   only *attested*: well-formed, correctly bound, verdict-consistent.
+//!
+//! A certificate is bound to its history by an FNV-1a fingerprint of the
+//! canonical text encoding; a certificate presented with any other history
+//! is rejected before any proof checking happens.
+
+use moc_core::codec;
+use moc_core::history::{History, MOpIdx};
+use moc_core::ids::ObjectId;
+use moc_core::json::{self, Json};
+use moc_core::legality::sequence_is_legal;
+use moc_core::relations::{object_order, process_order, reads_from, real_time, Relation};
+
+/// The condition named by a certificate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Condition {
+    /// `"sc"` — m-sequential consistency: `~H = ~p ∪ ~rf`.
+    Sc,
+    /// `"lin"` — m-linearizability: `~H = ~p ∪ ~rf ∪ ~t`.
+    Lin,
+    /// `"normal"` — m-normality: `~H = ~p ∪ ~rf ∪ ~x`.
+    Normal,
+}
+
+impl Condition {
+    fn base_relation(self, h: &History) -> Relation {
+        let base = process_order(h).union(&reads_from(h));
+        match self {
+            Condition::Sc => base,
+            Condition::Lin => base.union(&real_time(h)),
+            Condition::Normal => base.union(&object_order(h)),
+        }
+    }
+}
+
+/// A successful audit: how much of the certificate was re-validated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// The witness linearization replayed end to end.
+    WitnessVerified,
+    /// The `~H+` refutation cycle checked edge by edge.
+    CycleVerified,
+    /// The exhaustion attestation is well-formed and correctly bound; its
+    /// search cannot be independently replayed in polynomial time.
+    ExhaustionAttested,
+}
+
+impl Verdict {
+    /// Whether the proof was fully re-validated (vs merely attested).
+    pub fn is_verified(self) -> bool {
+        !matches!(self, Verdict::ExhaustionAttested)
+    }
+}
+
+/// Audits certificate text against a history. `Err` carries the first
+/// reason the certificate was rejected.
+///
+/// # Errors
+///
+/// Any malformation, binding mismatch, or proof defect rejects.
+pub fn audit(h: &History, cert_text: &str) -> Result<Verdict, String> {
+    let doc = json::parse(cert_text).map_err(|e| format!("certificate is not valid JSON: {e}"))?;
+    audit_document(h, &doc)
+}
+
+/// Audits an already-parsed certificate document against a history.
+///
+/// # Errors
+///
+/// Any malformation, binding mismatch, or proof defect rejects.
+pub fn audit_document(h: &History, doc: &Json) -> Result<Verdict, String> {
+    if field(doc, "format")?.as_str() != Some("moc-cert") {
+        return Err("format is not \"moc-cert\"".into());
+    }
+    if uint(doc, "version")? != 1 {
+        return Err("unsupported certificate version (expected 1)".into());
+    }
+    let condition = match field(doc, "condition")?.as_str() {
+        Some("sc") => Condition::Sc,
+        Some("lin") => Condition::Lin,
+        Some("normal") => Condition::Normal,
+        _ => return Err("condition must be \"sc\", \"lin\" or \"normal\"".into()),
+    };
+    let admissible = match field(doc, "verdict")?.as_str() {
+        Some("admissible") => true,
+        Some("inadmissible") => false,
+        _ => return Err("verdict must be \"admissible\" or \"inadmissible\"".into()),
+    };
+
+    let binding = field(doc, "history")?;
+    if uint(binding, "ops")? != h.len() as u64 {
+        return Err(format!(
+            "certificate is for {} m-operations, history has {}",
+            uint(binding, "ops")?,
+            h.len()
+        ));
+    }
+    if uint(binding, "objects")? != h.num_objects() as u64 {
+        return Err("certificate object count does not match the history".into());
+    }
+    let expected = format!("{:016x}", codec::fingerprint(h));
+    if field(binding, "fnv1a")?.as_str() != Some(expected.as_str()) {
+        return Err(
+            "history fingerprint mismatch: certificate is bound to a different history".into(),
+        );
+    }
+
+    let proof = field(doc, "proof")?;
+    match field(proof, "kind")?.as_str() {
+        Some("witness") => {
+            if !admissible {
+                return Err("witness proof with an inadmissible verdict".into());
+            }
+            check_witness(h, condition, proof)?;
+            Ok(Verdict::WitnessVerified)
+        }
+        Some("cycle") => {
+            if admissible {
+                return Err("cycle proof with an admissible verdict".into());
+            }
+            check_cycle(h, condition, proof)?;
+            Ok(Verdict::CycleVerified)
+        }
+        Some("exhaustion") => {
+            if admissible {
+                return Err("exhaustion proof with an admissible verdict".into());
+            }
+            for key in ["nodes", "memo_hits", "components", "peeled", "forced_edges"] {
+                uint(proof, key)?;
+            }
+            Ok(Verdict::ExhaustionAttested)
+        }
+        _ => Err("proof kind must be \"witness\", \"cycle\" or \"exhaustion\"".into()),
+    }
+}
+
+/// Convenience: parse a `history v1` text and audit a certificate
+/// against it.
+///
+/// # Errors
+///
+/// History parse failures and all [`audit`] rejections.
+pub fn audit_texts(history_text: &str, cert_text: &str) -> Result<Verdict, String> {
+    let h = codec::from_text(history_text).map_err(|e| format!("cannot parse history: {e}"))?;
+    audit(&h, cert_text)
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn uint(doc: &Json, key: &str) -> Result<u64, String> {
+    field(doc, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field {key:?} must be a non-negative integer"))
+}
+
+fn check_witness(h: &History, condition: Condition, proof: &Json) -> Result<(), String> {
+    let n = h.len();
+    let order_json = field(proof, "order")?
+        .as_arr()
+        .ok_or("witness order must be an array")?;
+    if order_json.len() != n {
+        return Err(format!(
+            "witness order has {} entries, history has {n} m-operations",
+            order_json.len()
+        ));
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut position = vec![usize::MAX; n];
+    for (pos, v) in order_json.iter().enumerate() {
+        let idx = v
+            .as_usize()
+            .filter(|&i| i < n)
+            .ok_or("witness order entry out of range")?;
+        if position[idx] != usize::MAX {
+            return Err(format!("witness order repeats m-operation {idx}"));
+        }
+        position[idx] = pos;
+        order.push(MOpIdx(idx));
+    }
+
+    // Linear extension of the condition's base relation.
+    for (i, j) in condition.base_relation(h).edges() {
+        if position[i.0] >= position[j.0] {
+            return Err(format!(
+                "witness violates ~H: {} must precede {}",
+                h.record(i).id,
+                h.record(j).id
+            ));
+        }
+    }
+
+    // Version replay (D 4.6 on total orders).
+    if !sequence_is_legal(h, &order) {
+        return Err("witness order is not a legal sequential history".into());
+    }
+
+    // The serialized legality trace must match the replay exactly.
+    let steps = field(proof, "reads")?
+        .as_arr()
+        .ok_or("witness reads must be an array")?;
+    let mut expected = Vec::new();
+    for (pos, &alpha) in order.iter().enumerate() {
+        for &(obj, writer) in h.read_sources(alpha) {
+            expected.push((
+                pos,
+                obj.index(),
+                writer.map_or(-1, |w| position[w.0] as i64),
+            ));
+        }
+    }
+    if steps.len() != expected.len() {
+        return Err(format!(
+            "legality trace has {} steps, history has {} external reads",
+            steps.len(),
+            expected.len()
+        ));
+    }
+    for (step, &(pos, obj, from)) in steps.iter().zip(&expected) {
+        let got_pos = uint(step, "pos")? as usize;
+        let got_obj = uint(step, "obj")? as usize;
+        let got_from = field(step, "from")?
+            .as_i64()
+            .ok_or("trace field \"from\" must be an integer")?;
+        if (got_pos, got_obj, got_from) != (pos, obj, from) {
+            return Err(format!(
+                "legality trace mismatch at position {pos}: expected read of o{obj} from {from}, \
+                 certificate says o{got_obj} from {got_from}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One parsed edge of a cycle proof.
+struct AuditEdge {
+    from: usize,
+    to: usize,
+    why: String,
+    /// For `rw` edges: the read-from writer (`None` = initial).
+    beta: Option<usize>,
+    /// For `rw` edges: the object whose version would be overwritten.
+    obj: usize,
+    /// For `rw` edges: justification path slots for the premise.
+    via: Vec<usize>,
+}
+
+fn check_cycle(h: &History, condition: Condition, proof: &Json) -> Result<(), String> {
+    let n = h.len();
+    let po = process_order(h);
+    let rt = real_time(h);
+    let ox = object_order(h);
+
+    let edges_json = field(proof, "edges")?
+        .as_arr()
+        .ok_or("cycle edges must be an array")?;
+    let mut edges: Vec<AuditEdge> = Vec::with_capacity(edges_json.len());
+    for (idx, e) in edges_json.iter().enumerate() {
+        let from = uint(e, "from")? as usize;
+        let to = uint(e, "to")? as usize;
+        if from >= n || to >= n {
+            return Err(format!("edge {idx} references an m-operation out of range"));
+        }
+        if from == to {
+            return Err(format!("edge {idx} is a self-loop"));
+        }
+        let why = field(e, "why")?
+            .as_str()
+            .ok_or("edge reason must be a string")?
+            .to_string();
+        let (a, b) = (MOpIdx(from), MOpIdx(to));
+        let (beta, obj, via) = match why.as_str() {
+            "po" => {
+                if !po.contains(a, b) {
+                    return Err(format!("edge {idx}: no process order {from} -> {to}"));
+                }
+                (None, 0, Vec::new())
+            }
+            "rf" => {
+                let reads = h.read_sources(b).iter().any(|&(_, w)| w == Some(a));
+                if !reads {
+                    return Err(format!(
+                        "edge {idx}: m-operation {to} does not read from {from}"
+                    ));
+                }
+                (None, 0, Vec::new())
+            }
+            "rt" => {
+                if condition != Condition::Lin {
+                    return Err(format!(
+                        "edge {idx}: real-time edges are only admissible for \"lin\""
+                    ));
+                }
+                if !rt.contains(a, b) {
+                    return Err(format!("edge {idx}: no real-time order {from} -> {to}"));
+                }
+                (None, 0, Vec::new())
+            }
+            "ox" => {
+                if condition != Condition::Normal {
+                    return Err(format!(
+                        "edge {idx}: object-order edges are only admissible for \"normal\""
+                    ));
+                }
+                if !ox.contains(a, b) {
+                    return Err(format!("edge {idx}: no object order {from} -> {to}"));
+                }
+                (None, 0, Vec::new())
+            }
+            "rw" => {
+                let beta_raw = field(e, "beta")?
+                    .as_i64()
+                    .ok_or("rw edge field \"beta\" must be an integer")?;
+                let beta = if beta_raw < 0 {
+                    None
+                } else {
+                    let beta = beta_raw as usize;
+                    if beta >= n {
+                        return Err(format!("edge {idx}: beta out of range"));
+                    }
+                    Some(beta)
+                };
+                let obj = uint(e, "obj")? as usize;
+                if obj >= h.num_objects() {
+                    return Err(format!("edge {idx}: object out of range"));
+                }
+                let oid = ObjectId::new(obj as u32);
+                // D 4.11 interference: from reads obj from beta, to also
+                // writes obj, and to is neither the reader nor its source.
+                if !h.wobjects(b).contains(&oid) {
+                    return Err(format!(
+                        "edge {idx}: m-operation {to} does not write o{obj}"
+                    ));
+                }
+                let source_matches = h
+                    .read_sources(a)
+                    .iter()
+                    .any(|&(o, w)| o == oid && w == beta.map(MOpIdx));
+                if !source_matches {
+                    return Err(format!(
+                        "edge {idx}: m-operation {from} does not read o{obj} from the named source"
+                    ));
+                }
+                if beta == Some(to) {
+                    return Err(format!("edge {idx}: beta and gamma coincide"));
+                }
+                let via_json = field(e, "via")?
+                    .as_arr()
+                    .ok_or("rw edge field \"via\" must be an array")?;
+                let mut via = Vec::with_capacity(via_json.len());
+                for v in via_json {
+                    via.push(v.as_usize().filter(|&s| s < idx).ok_or_else(|| {
+                        format!("edge {idx}: via must reference strictly earlier edges")
+                    })?);
+                }
+                (beta, obj, via)
+            }
+            other => return Err(format!("edge {idx}: unknown reason {other:?}")),
+        };
+        edges.push(AuditEdge {
+            from,
+            to,
+            why,
+            beta,
+            obj,
+            via,
+        });
+    }
+
+    // Second pass: each rw premise path must chain beta -> ... -> to over
+    // the (already individually validated, strictly earlier) edges. With
+    // `via` indices strictly decreasing into the list, this induction
+    // grounds out: the premise of D 4.11 holds, so every rw edge holds.
+    for (idx, e) in edges.iter().enumerate() {
+        if e.why != "rw" {
+            continue;
+        }
+        match e.beta {
+            None => {
+                // The initial m-operation precedes everything: premise
+                // holds vacuously; no path required.
+            }
+            Some(beta) => {
+                if e.via.is_empty() {
+                    return Err(format!("edge {idx}: rw premise needs a justification path"));
+                }
+                let mut cur = beta;
+                for &slot in &e.via {
+                    if edges[slot].from != cur {
+                        return Err(format!("edge {idx}: justification path does not chain"));
+                    }
+                    cur = edges[slot].to;
+                }
+                if cur != e.to {
+                    return Err(format!(
+                        "edge {idx}: justification path does not reach gamma (o{})",
+                        e.obj
+                    ));
+                }
+            }
+        }
+    }
+
+    // The named slots must form a closed walk.
+    let cycle_json = field(proof, "cycle")?
+        .as_arr()
+        .ok_or("cycle must be an array")?;
+    if cycle_json.len() < 2 {
+        return Err("cycle must contain at least two edges".into());
+    }
+    let mut cycle = Vec::with_capacity(cycle_json.len());
+    for v in cycle_json {
+        cycle.push(
+            v.as_usize()
+                .filter(|&s| s < edges.len())
+                .ok_or("cycle references an edge out of range")?,
+        );
+    }
+    for (k, &slot) in cycle.iter().enumerate() {
+        let next = cycle[(k + 1) % cycle.len()];
+        if edges[slot].to != edges[next].from {
+            return Err(format!("cycle breaks between slots {slot} and {next}"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc_core::history::HistoryBuilder;
+    use moc_core::ids::ProcessId;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    fn stale_read() -> History {
+        let x = oid(0);
+        let mut b = HistoryBuilder::new(1);
+        b.mop(pid(0)).at(0, 10).write(x, 1).finish();
+        b.mop(pid(1)).at(20, 30).read_init(x).finish();
+        b.build().unwrap()
+    }
+
+    fn cert(condition: &str, verdict: &str, h: &History, proof: &str) -> String {
+        format!(
+            "{{\"format\":\"moc-cert\",\"version\":1,\"condition\":\"{condition}\",\
+             \"verdict\":\"{verdict}\",\"history\":{{\"ops\":{},\"objects\":{},\
+             \"fnv1a\":\"{:016x}\"}},\"proof\":{proof}}}",
+            h.len(),
+            h.num_objects(),
+            codec::fingerprint(h)
+        )
+    }
+
+    #[test]
+    fn accepts_a_hand_written_witness() {
+        let h = stale_read();
+        // Read of initial x first, then the write: legal under m-SC.
+        let proof = "{\"kind\":\"witness\",\"order\":[1,0],\
+                     \"reads\":[{\"pos\":0,\"obj\":0,\"from\":-1}]}";
+        let v = audit(&h, &cert("sc", "admissible", &h, proof)).unwrap();
+        assert_eq!(v, Verdict::WitnessVerified);
+    }
+
+    #[test]
+    fn rejects_an_illegal_or_tampered_witness() {
+        let h = stale_read();
+        // Write first: the read of initial x becomes stale — illegal.
+        let proof = "{\"kind\":\"witness\",\"order\":[0,1],\
+                     \"reads\":[{\"pos\":1,\"obj\":0,\"from\":-1}]}";
+        let err = audit(&h, &cert("sc", "admissible", &h, proof)).unwrap_err();
+        assert!(err.contains("not a legal"), "{err}");
+        // Tampered trace: claims the read observes the write.
+        let proof = "{\"kind\":\"witness\",\"order\":[1,0],\
+                     \"reads\":[{\"pos\":0,\"obj\":0,\"from\":1}]}";
+        let err = audit(&h, &cert("sc", "admissible", &h, proof)).unwrap_err();
+        assert!(err.contains("trace mismatch"), "{err}");
+        // Not a permutation.
+        let proof = "{\"kind\":\"witness\",\"order\":[1,1],\"reads\":[]}";
+        assert!(audit(&h, &cert("sc", "admissible", &h, proof)).is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_binding_and_malformed_documents() {
+        let h = stale_read();
+        let proof = "{\"kind\":\"witness\",\"order\":[1,0],\
+                     \"reads\":[{\"pos\":0,\"obj\":0,\"from\":-1}]}";
+        let good = cert("sc", "admissible", &h, proof);
+        // Fingerprint tamper.
+        let bad = good.replace(&format!("{:016x}", codec::fingerprint(&h)), &"0".repeat(16));
+        assert!(audit(&h, &bad).unwrap_err().contains("fingerprint"));
+        // Version bump.
+        let bad = good.replace("\"version\":1", "\"version\":2");
+        assert!(audit(&h, &bad).unwrap_err().contains("version"));
+        // Verdict flipped against the proof kind.
+        let bad = good.replace("admissible", "inadmissible");
+        assert!(audit(&h, &bad).unwrap_err().contains("witness proof"));
+        // Not JSON at all.
+        assert!(audit(&h, "not json").unwrap_err().contains("JSON"));
+    }
+
+    #[test]
+    fn verifies_a_real_time_cycle_for_lin_only() {
+        let h = stale_read();
+        // Under lin: write ~t read (real time) and read ~rw write (reads
+        // initial x that the write overwrites) close a 2-cycle.
+        let proof = "{\"kind\":\"cycle\",\"edges\":[\
+                     {\"from\":0,\"to\":1,\"why\":\"rt\"},\
+                     {\"from\":1,\"to\":0,\"why\":\"rw\",\"beta\":-1,\"obj\":0,\"via\":[]}],\
+                     \"cycle\":[0,1]}";
+        let v = audit(&h, &cert("lin", "inadmissible", &h, proof)).unwrap();
+        assert_eq!(v, Verdict::CycleVerified);
+        // The same rt edge is inadmissible under sc.
+        let err = audit(&h, &cert("sc", "inadmissible", &h, proof)).unwrap_err();
+        assert!(err.contains("only admissible for \"lin\""), "{err}");
+    }
+
+    #[test]
+    fn rejects_broken_cycles_and_bad_rw_justifications() {
+        let h = stale_read();
+        // Walk does not close.
+        let proof = "{\"kind\":\"cycle\",\"edges\":[\
+                     {\"from\":0,\"to\":1,\"why\":\"rt\"},\
+                     {\"from\":1,\"to\":0,\"why\":\"rw\",\"beta\":-1,\"obj\":0,\"via\":[]}],\
+                     \"cycle\":[0,0]}";
+        assert!(audit(&h, &cert("lin", "inadmissible", &h, proof)).is_err());
+        // rw names an object the target does not write.
+        let proof = "{\"kind\":\"cycle\",\"edges\":[\
+                     {\"from\":0,\"to\":1,\"why\":\"rt\"},\
+                     {\"from\":1,\"to\":0,\"why\":\"rw\",\"beta\":0,\"obj\":0,\"via\":[0]}],\
+                     \"cycle\":[0,1]}";
+        // beta=0 is not the read's source (it reads the initial value).
+        let err = audit(&h, &cert("lin", "inadmissible", &h, proof)).unwrap_err();
+        assert!(err.contains("named source"), "{err}");
+        // Forward (non-well-founded) via reference.
+        let proof = "{\"kind\":\"cycle\",\"edges\":[\
+                     {\"from\":1,\"to\":0,\"why\":\"rw\",\"beta\":-1,\"obj\":0,\"via\":[1]},\
+                     {\"from\":0,\"to\":1,\"why\":\"rt\"}],\
+                     \"cycle\":[0,1]}";
+        let err = audit(&h, &cert("lin", "inadmissible", &h, proof)).unwrap_err();
+        assert!(err.contains("strictly earlier"), "{err}");
+    }
+
+    #[test]
+    fn exhaustion_is_attested_not_verified() {
+        let h = stale_read();
+        let proof = "{\"kind\":\"exhaustion\",\"nodes\":3,\"memo_hits\":0,\
+                     \"components\":1,\"peeled\":0,\"forced_edges\":1}";
+        let v = audit(&h, &cert("sc", "inadmissible", &h, proof)).unwrap();
+        assert_eq!(v, Verdict::ExhaustionAttested);
+        assert!(!v.is_verified());
+        // Missing a statistics field rejects.
+        let proof = "{\"kind\":\"exhaustion\",\"nodes\":3}";
+        assert!(audit(&h, &cert("sc", "inadmissible", &h, proof)).is_err());
+    }
+
+    #[test]
+    fn audit_texts_parses_the_history_format() {
+        let h = stale_read();
+        let text = codec::to_text(&h);
+        let proof = "{\"kind\":\"witness\",\"order\":[1,0],\
+                     \"reads\":[{\"pos\":0,\"obj\":0,\"from\":-1}]}";
+        let v = audit_texts(&text, &cert("sc", "admissible", &h, proof)).unwrap();
+        assert_eq!(v, Verdict::WitnessVerified);
+        assert!(audit_texts("garbage", "{}")
+            .unwrap_err()
+            .contains("history"));
+    }
+}

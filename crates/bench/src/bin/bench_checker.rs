@@ -1,0 +1,18 @@
+//! `cargo run -p moc-bench --bin bench_checker --release`
+//!
+//! Times the naive admissibility search against the precedence-pruned
+//! search and the Theorem 7 fast path on the generator families, prints
+//! the comparison table and writes the machine-readable results to
+//! `BENCH_checker.json` at the repository root.
+
+use moc_bench::{checker_bench_json, checker_bench_table, experiment_certified_checker};
+
+fn main() {
+    let rows = experiment_certified_checker(20_000_000);
+    println!("{}", checker_bench_table(&rows));
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_checker.json");
+    let doc = checker_bench_json(&rows) + "\n";
+    std::fs::write(out, doc).expect("write BENCH_checker.json");
+    println!("wrote {out}");
+}

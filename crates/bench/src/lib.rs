@@ -13,15 +13,22 @@ use std::time::Instant;
 
 use moc_checker::admissible::{find_legal_extension, SearchLimits, SearchOutcome};
 use moc_checker::fast::check_under_constraint;
+use moc_checker::find_legal_extension_pruned;
 use moc_core::constraints::Constraint;
+use moc_core::history::{History, MOpIdx};
+use moc_core::ids::{MOpId, ObjectId, ProcessId};
+use moc_core::json::{num, str as jstr, Json};
 use moc_core::mop::MOpClass;
-use moc_core::relations::{process_order, reads_from, real_time};
+use moc_core::op::CompletedOp;
+use moc_core::relations::{process_order, reads_from, real_time, Relation};
 use moc_protocol::{
     run_cluster, AggregateOverSequencer, ClusterConfig, MlinOverSequencer,
     MlinRelevantOverSequencer, MscOverIsis, MscOverSequencer, ReplicaProtocol, RunReport,
 };
 use moc_sim::{DelayModel, NetworkConfig};
-use moc_workload::histories::concurrent_writers_history;
+use moc_workload::histories::{
+    concurrent_writers_history, multi_component_history, poisoned_multi_component_history,
+};
 use moc_workload::{scripts, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -600,6 +607,287 @@ pub fn experiment_validation(seed: u64) -> Table {
     t
 }
 
+/// One measured configuration of the certified-checker benchmark behind
+/// `BENCH_checker.json`: the same history decided by the naive search, the
+/// precedence-pruned search and (where the writer order is known sound)
+/// the Theorem 7 fast path.
+#[derive(Debug, Clone)]
+pub struct CheckerBenchRow {
+    /// Family label (`writers-KxM`, `multi-CxK`, `torn-CxK`, `poisoned-CxK`).
+    pub family: String,
+    /// History size in m-operations.
+    pub m_ops: usize,
+    /// Agreed verdict (`admissible` / `inadmissible` / `budget`).
+    pub verdict: String,
+    /// Naive-search wall time (ms) and DFS nodes expanded.
+    pub naive_ms: f64,
+    /// Nodes the naive search expanded.
+    pub naive_nodes: u64,
+    /// Pruned-search wall time (ms).
+    pub pruned_ms: f64,
+    /// Nodes the pruned search expanded.
+    pub pruned_nodes: u64,
+    /// Interaction components the pruned search solved independently.
+    pub components: u64,
+    /// M-operations scheduled by forced-prefix peeling.
+    pub peeled: u64,
+    /// `~rw` edges forced by the precedence saturation.
+    pub forced_edges: u64,
+    /// Theorem 7 fast-path wall time (ms), when applicable.
+    pub fast_ms: Option<f64>,
+    /// `naive_nodes / max(pruned_nodes, 1)`.
+    pub node_speedup: f64,
+    /// `naive_ms / pruned_ms`.
+    pub wall_speedup: f64,
+}
+
+impl CheckerBenchRow {
+    /// The row as a JSON object.
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("family".into(), jstr(self.family.clone())),
+            ("m_ops".into(), num(self.m_ops as i64)),
+            ("verdict".into(), jstr(self.verdict.clone())),
+            (
+                "naive".into(),
+                Json::Obj(vec![
+                    ("ms".into(), Json::Num(self.naive_ms)),
+                    ("nodes".into(), num(self.naive_nodes as i64)),
+                ]),
+            ),
+            (
+                "pruned".into(),
+                Json::Obj(vec![
+                    ("ms".into(), Json::Num(self.pruned_ms)),
+                    ("nodes".into(), num(self.pruned_nodes as i64)),
+                    ("components".into(), num(self.components as i64)),
+                    ("peeled".into(), num(self.peeled as i64)),
+                    ("forced_edges".into(), num(self.forced_edges as i64)),
+                ]),
+            ),
+        ];
+        fields.push((
+            "fast_ms".into(),
+            match self.fast_ms {
+                Some(ms) => Json::Num(ms),
+                None => Json::Null,
+            },
+        ));
+        fields.push(("node_speedup".into(), Json::Num(self.node_speedup)));
+        fields.push(("wall_speedup".into(), Json::Num(self.wall_speedup)));
+        Json::Obj(fields)
+    }
+}
+
+/// A sound `~ww` augmentation for the generator families: every pair of
+/// updates ordered by history index (D 4.9 obligates *all* update pairs).
+/// Every generator edge already goes from a lower to a higher index, so
+/// the union stays acyclic.
+fn index_ww_relation(h: &History) -> Relation {
+    let mut rel = process_order(h).union(&reads_from(h));
+    for i in 0..h.len() {
+        for j in (i + 1)..h.len() {
+            let (a, b) = (MOpIdx(i), MOpIdx(j));
+            if !h.wobjects(a).is_empty() && !h.wobjects(b).is_empty() {
+                rel.add(a, b);
+            }
+        }
+    }
+    rel
+}
+
+/// [`multi_component_history`] with component 0's first reader torn: it
+/// keeps object 0 from writer 0 but takes object 1 from writer 1. The
+/// writers are atomic, so the history is inadmissible — yet `~H+` stays
+/// acyclic, forcing the searches down the exhaustion path. The naive
+/// search exhausts the *product* of the per-component state spaces; the
+/// component-aware search only the sum.
+fn torn_multi_component(components: usize, k: usize, seed: u64) -> History {
+    assert!(k >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = multi_component_history(components, k, 2, &mut rng);
+    let mut records = h.records().to_vec();
+    let w0 = MOpId::new(ProcessId::new(0), 0);
+    let w1 = MOpId::new(ProcessId::new(1), 0);
+    let reader = records
+        .iter_mut()
+        .find(|r| r.label == "c0reader0")
+        .expect("component 0 has a first reader");
+    reader.ops[0] = CompletedOp::read(ObjectId::new(0), 1, w0, 1);
+    reader.ops[1] = CompletedOp::read(ObjectId::new(1), 2, w1, 1);
+    History::new(h.num_objects(), records).expect("torn history stays well-formed")
+}
+
+/// The benchmark behind `BENCH_checker.json`: naive vs precedence-pruned
+/// vs Theorem 7 fast path over the generator families. `budget` caps the
+/// naive search's node count.
+///
+/// The fast path is only timed on families whose index order is a sound
+/// writer order for the plain-relation question (the admissible families,
+/// and the poisoned one, where the stale read is illegal under *any*
+/// writer order); the torn families reuse version numbers across writers,
+/// which the version-based legality scan cannot arbitrate, so they report
+/// `fast_ms = null`.
+pub fn experiment_certified_checker(budget: u64) -> Vec<CheckerBenchRow> {
+    let mut rows = Vec::new();
+    let mut rng = StdRng::seed_from_u64(42);
+    let families: Vec<(String, History, bool)> = vec![
+        (
+            "writers-3x3".into(),
+            concurrent_writers_history(3, 3, &mut rng),
+            true,
+        ),
+        (
+            "multi-2x3".into(),
+            multi_component_history(2, 3, 2, &mut rng),
+            true,
+        ),
+        (
+            "multi-3x3".into(),
+            multi_component_history(3, 3, 2, &mut rng),
+            true,
+        ),
+        ("torn-2x3".into(), torn_multi_component(2, 3, 7), false),
+        ("torn-3x3".into(), torn_multi_component(3, 3, 7), false),
+        (
+            "poisoned-2x3".into(),
+            poisoned_multi_component_history(2, 3, 2, &mut rng),
+            true,
+        ),
+    ];
+    for (family, h, fast_applies) in families {
+        let rel = process_order(&h).union(&reads_from(&h));
+        let limits = SearchLimits::with_max_nodes(budget);
+
+        let start = Instant::now();
+        let (naive_out, naive_stats) = find_legal_extension(&h, &rel, limits);
+        let naive_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+        let start = Instant::now();
+        let (pruned_out, pruned_stats) = find_legal_extension_pruned(&h, &rel, limits);
+        let pruned_ms = start.elapsed().as_secs_f64() * 1_000.0;
+
+        let verdict = match (&naive_out, &pruned_out) {
+            (SearchOutcome::LimitExceeded, _) | (_, SearchOutcome::LimitExceeded) => "budget",
+            (n, p) => {
+                assert_eq!(
+                    n.is_admissible(),
+                    p.is_admissible(),
+                    "{family}: naive and pruned verdicts must agree"
+                );
+                if n.is_admissible() {
+                    "admissible"
+                } else {
+                    "inadmissible"
+                }
+            }
+        };
+
+        let fast_ms = if fast_applies {
+            let augmented = index_ww_relation(&h);
+            let start = Instant::now();
+            let fast = check_under_constraint(&h, &augmented, Constraint::Ww)
+                .expect("index order satisfies WW on generator families");
+            let ms = start.elapsed().as_secs_f64() * 1_000.0;
+            if verdict != "budget" {
+                assert_eq!(
+                    fast.is_admissible(),
+                    verdict == "admissible",
+                    "{family}: fast path must agree"
+                );
+            }
+            Some(ms)
+        } else {
+            None
+        };
+
+        rows.push(CheckerBenchRow {
+            family,
+            m_ops: h.len(),
+            verdict: verdict.into(),
+            naive_ms,
+            naive_nodes: naive_stats.nodes,
+            pruned_ms,
+            pruned_nodes: pruned_stats.nodes,
+            components: pruned_stats.components,
+            peeled: pruned_stats.peeled,
+            forced_edges: pruned_stats.forced_edges,
+            fast_ms,
+            node_speedup: naive_stats.nodes as f64 / pruned_stats.nodes.max(1) as f64,
+            wall_speedup: naive_ms / pruned_ms.max(1e-6),
+        });
+    }
+    rows
+}
+
+/// Renders the certified-checker rows as a printable table.
+pub fn checker_bench_table(rows: &[CheckerBenchRow]) -> Table {
+    let mut t = Table::new(
+        "Certified checker: naive vs precedence-pruned vs Theorem 7 fast path",
+        &[
+            "family",
+            "m-ops",
+            "verdict",
+            "naive ms",
+            "naive nodes",
+            "pruned ms",
+            "pruned nodes",
+            "comps",
+            "peeled",
+            "rw edges",
+            "fast ms",
+            "node speedup",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.family.clone(),
+            r.m_ops.to_string(),
+            r.verdict.clone(),
+            format!("{:.3}", r.naive_ms),
+            r.naive_nodes.to_string(),
+            format!("{:.3}", r.pruned_ms),
+            r.pruned_nodes.to_string(),
+            r.components.to_string(),
+            r.peeled.to_string(),
+            r.forced_edges.to_string(),
+            r.fast_ms
+                .map(|ms| format!("{ms:.3}"))
+                .unwrap_or_else(|| "-".into()),
+            format!("{:.1}x", r.node_speedup),
+        ]);
+    }
+    t
+}
+
+/// Serializes the certified-checker rows as the `BENCH_checker.json`
+/// document, headlined by the best multi-component node speedup.
+pub fn checker_bench_json(rows: &[CheckerBenchRow]) -> String {
+    let headline = rows
+        .iter()
+        .filter(|r| r.family.starts_with("multi-") || r.family.starts_with("torn-"))
+        .max_by(|a, b| a.node_speedup.total_cmp(&b.node_speedup));
+    let mut fields = vec![
+        ("bench".into(), jstr("checker")),
+        ("version".into(), num(1)),
+        (
+            "rows".into(),
+            Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+        ),
+    ];
+    if let Some(best) = headline {
+        fields.push((
+            "headline".into(),
+            Json::Obj(vec![
+                ("family".into(), jstr(best.family.clone())),
+                ("node_speedup".into(), Json::Num(best.node_speedup)),
+                ("wall_speedup".into(), Json::Num(best.wall_speedup)),
+            ]),
+        ));
+    }
+    Json::Obj(fields).render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -632,6 +920,42 @@ mod tests {
         assert_eq!(t.rows[0][3], "0");
         assert_ne!(t.rows[1][3], "0");
         assert_eq!(t.rows[2][3], "0");
+    }
+
+    #[test]
+    fn certified_checker_bench_shows_component_speedup() {
+        let rows = experiment_certified_checker(20_000_000);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert_ne!(r.verdict, "budget", "{}", r.family);
+            assert!(
+                r.pruned_nodes <= r.naive_nodes,
+                "{}: pruning never explores more",
+                r.family
+            );
+        }
+        // The multi-component separation the family was built for.
+        let torn3 = rows.iter().find(|r| r.family == "torn-3x3").unwrap();
+        assert_eq!(torn3.verdict, "inadmissible");
+        assert!(torn3.components >= 3);
+        assert!(
+            torn3.node_speedup >= 10.0,
+            "naive explores the product of component spaces: {:.1}x",
+            torn3.node_speedup
+        );
+        // The poisoned family is refuted statically — zero search nodes.
+        let poisoned = rows.iter().find(|r| r.family == "poisoned-2x3").unwrap();
+        assert_eq!(poisoned.verdict, "inadmissible");
+        assert_eq!(poisoned.pruned_nodes, 0);
+        assert!(poisoned.forced_edges > 0);
+        // The JSON document round-trips and carries the headline.
+        let doc = moc_core::json::parse(&checker_bench_json(&rows)).unwrap();
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("checker"));
+        assert_eq!(
+            doc.get("rows").and_then(Json::as_arr).map(|a| a.len()),
+            Some(6)
+        );
+        assert!(doc.get("headline").is_some());
     }
 
     #[test]

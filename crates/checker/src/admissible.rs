@@ -56,13 +56,22 @@ impl Default for SearchLimits {
     }
 }
 
-/// Statistics from a search run.
+/// Statistics from a search run. The last three fields are only populated
+/// by the statically-pruned search ([`crate::precedence::pruned_search`]);
+/// the naive search leaves them zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// DFS nodes expanded.
     pub nodes: u64,
     /// Configurations pruned by the memo table.
     pub memo_hits: u64,
+    /// Independent interaction components searched separately.
+    pub components: u64,
+    /// M-operations scheduled by forced-prefix peeling (no search).
+    pub peeled: u64,
+    /// `~rw` edges the precedence saturation forced beyond the base
+    /// relation.
+    pub forced_edges: u64,
 }
 
 /// Result of the admissibility search.
@@ -111,15 +120,15 @@ pub fn find_legal_extension(
     // Direct predecessor lists (linear extensions of the edge set coincide
     // with linear extensions of its transitive closure).
     let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut has_cycle_check = Relation::new(n);
+    let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (i, j) in relation.edges() {
         if i == j {
             return (SearchOutcome::NotAdmissible, stats);
         }
         preds[j.0].push(i.0 as u32);
-        has_cycle_check.add(i, j);
+        succs[i.0].push(j.0 as u32);
     }
-    if has_cycle_check.has_cycle() {
+    if crate::precedence::adjacency_has_cycle(&succs) {
         return (SearchOutcome::NotAdmissible, stats);
     }
 

@@ -1,0 +1,472 @@
+//! Proof-producing verdicts: the `moc-cert` format.
+//!
+//! [`check_certified`] decides admissibility like [`crate::conditions::check`]
+//! but additionally returns a [`Certificate`] — a self-contained, versioned
+//! JSON document that an *independent* checker (the `moc-audit` crate, which
+//! does not import this crate) can re-validate against the raw history:
+//!
+//! * **admissible** → the witness linearization plus a legality trace (for
+//!   each external read, the witness position it reads from), checkable by a
+//!   single replay;
+//! * **inadmissible, `~H+` cyclic** → an explicit cycle of the saturated
+//!   precedence graph with per-edge reasons and `~rw` premise justifications
+//!   (see [`crate::precedence::CycleProof`]) — a polynomial refutation core;
+//! * **inadmissible, `~H+` acyclic** → an exhaustion attestation naming the
+//!   pruned-search statistics. This case is the NP-hard core (Theorems 1–2):
+//!   no polynomial certificate of inadmissibility is known, so the auditor
+//!   can only check the attestation's shape, not replay it.
+//!
+//! The document binds to its history by an FNV-1a fingerprint of the
+//! history's canonical text encoding ([`moc_core::codec::fingerprint`]), so
+//! a certificate cannot be replayed against a different history.
+
+use moc_core::codec;
+use moc_core::history::{History, MOpIdx};
+use moc_core::ids::ObjectId;
+use moc_core::json::{self, Json};
+
+use crate::admissible::{SearchLimits, SearchOutcome, SearchStats};
+use crate::conditions::{CheckError, CheckReport, Condition, StrategyUsed};
+use crate::precedence::{pruned_search, CycleProof, EdgeKind, PrecedenceGraph};
+
+/// Format identifier of the certificate documents this module emits.
+pub const FORMAT: &str = "moc-cert";
+/// Version of the certificate schema.
+pub const VERSION: u64 = 1;
+
+/// One step of a witness's legality trace: the m-operation at witness
+/// position `pos` reads `obj` from the m-operation at witness position
+/// `from` (`None` = the imaginary initial m-operation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadStep {
+    /// Position of the reader in the witness order.
+    pub pos: usize,
+    /// The object read.
+    pub obj: ObjectId,
+    /// Position of the writer read from, `None` for the initial value.
+    pub from: Option<usize>,
+}
+
+/// The proof part of a certificate.
+#[derive(Debug, Clone)]
+pub enum Proof {
+    /// Admissible: a witness linearization and its legality trace.
+    Witness {
+        /// The m-operations in a legal sequential order extending `~H`.
+        order: Vec<MOpIdx>,
+        /// For every external read, where in the witness it reads from.
+        reads: Vec<ReadStep>,
+    },
+    /// Inadmissible with a polynomial refutation: a `~H+` cycle.
+    Cycle(CycleProof),
+    /// Inadmissible by exhaustive (pruned) search; statistics attested.
+    Exhaustion(SearchStats),
+}
+
+/// A certified verdict: condition, verdict, history binding and proof.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// The condition that was decided.
+    pub condition: Condition,
+    /// The verdict.
+    pub admissible: bool,
+    /// Number of m-operations in the bound history.
+    pub ops: usize,
+    /// Number of objects in the bound history.
+    pub objects: usize,
+    /// FNV-1a 64 fingerprint of the history's canonical text encoding.
+    pub fingerprint: u64,
+    /// The proof.
+    pub proof: Proof,
+}
+
+/// The schema tag of a condition (`"sc"`, `"lin"`, `"normal"`).
+pub fn condition_tag(condition: Condition) -> &'static str {
+    match condition {
+        Condition::MSequentialConsistency => "sc",
+        Condition::MLinearizability => "lin",
+        Condition::MNormality => "normal",
+    }
+}
+
+impl Certificate {
+    /// Serializes the certificate to its JSON document model.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("format".into(), json::str(FORMAT)),
+            ("version".into(), json::num(VERSION as i64)),
+            ("condition".into(), json::str(condition_tag(self.condition))),
+            (
+                "verdict".into(),
+                json::str(if self.admissible {
+                    "admissible"
+                } else {
+                    "inadmissible"
+                }),
+            ),
+            (
+                "history".into(),
+                Json::Obj(vec![
+                    ("ops".into(), json::num(self.ops as i64)),
+                    ("objects".into(), json::num(self.objects as i64)),
+                    (
+                        "fnv1a".into(),
+                        json::str(format!("{:016x}", self.fingerprint)),
+                    ),
+                ]),
+            ),
+            ("proof".into(), proof_to_json(&self.proof)),
+        ])
+    }
+
+    /// Serializes the certificate to compact JSON text.
+    pub fn to_text(&self) -> String {
+        self.to_json().render()
+    }
+}
+
+fn proof_to_json(proof: &Proof) -> Json {
+    match proof {
+        Proof::Witness { order, reads } => Json::Obj(vec![
+            ("kind".into(), json::str("witness")),
+            (
+                "order".into(),
+                Json::Arr(order.iter().map(|m| json::num(m.0 as i64)).collect()),
+            ),
+            (
+                "reads".into(),
+                Json::Arr(
+                    reads
+                        .iter()
+                        .map(|r| {
+                            Json::Obj(vec![
+                                ("pos".into(), json::num(r.pos as i64)),
+                                ("obj".into(), json::num(r.obj.index() as i64)),
+                                ("from".into(), json::num(r.from.map_or(-1, |p| p as i64))),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ]),
+        Proof::Cycle(proof) => Json::Obj(vec![
+            ("kind".into(), json::str("cycle")),
+            (
+                "edges".into(),
+                Json::Arr(
+                    proof
+                        .edges
+                        .iter()
+                        .map(|pe| {
+                            let mut fields = vec![
+                                ("from".into(), json::num(pe.edge.from.0 as i64)),
+                                ("to".into(), json::num(pe.edge.to.0 as i64)),
+                                ("why".into(), json::str(edge_why(&pe.edge.kind))),
+                            ];
+                            if let EdgeKind::ReadWrite { beta, obj } = &pe.edge.kind {
+                                fields.push((
+                                    "beta".into(),
+                                    json::num(beta.map_or(-1, |b| b.0 as i64)),
+                                ));
+                                fields.push(("obj".into(), json::num(obj.index() as i64)));
+                                fields.push((
+                                    "via".into(),
+                                    Json::Arr(
+                                        pe.via.iter().map(|&s| json::num(s as i64)).collect(),
+                                    ),
+                                ));
+                            }
+                            Json::Obj(fields)
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "cycle".into(),
+                Json::Arr(proof.cycle.iter().map(|&s| json::num(s as i64)).collect()),
+            ),
+        ]),
+        Proof::Exhaustion(stats) => Json::Obj(vec![
+            ("kind".into(), json::str("exhaustion")),
+            ("nodes".into(), json::num(stats.nodes as i64)),
+            ("memo_hits".into(), json::num(stats.memo_hits as i64)),
+            ("components".into(), json::num(stats.components as i64)),
+            ("peeled".into(), json::num(stats.peeled as i64)),
+            ("forced_edges".into(), json::num(stats.forced_edges as i64)),
+        ]),
+    }
+}
+
+fn edge_why(kind: &EdgeKind) -> &'static str {
+    match kind {
+        EdgeKind::Base => "base",
+        EdgeKind::Process => "po",
+        EdgeKind::ReadsFrom => "rf",
+        EdgeKind::RealTime => "rt",
+        EdgeKind::ObjectOrder => "ox",
+        EdgeKind::ReadWrite { .. } => "rw",
+    }
+}
+
+/// Decides `condition` on `h` via the precedence-graph route and returns
+/// both the report and a certificate for the verdict.
+///
+/// Unlike [`crate::conditions::check`] this always saturates the `~H+`
+/// graph first: a cycle refutes without search (and *is* the certificate);
+/// otherwise the statically-pruned search decides and yields either a
+/// witness or an exhaustion attestation.
+///
+/// # Errors
+///
+/// [`CheckError::LimitExceeded`] if the pruned search exhausts `limits`.
+pub fn check_certified(
+    h: &History,
+    condition: Condition,
+    limits: SearchLimits,
+) -> Result<(CheckReport, Certificate), CheckError> {
+    let graph = PrecedenceGraph::for_condition(h, condition);
+    let bind = |admissible, proof| Certificate {
+        condition,
+        admissible,
+        ops: h.len(),
+        objects: h.num_objects(),
+        fingerprint: codec::fingerprint(h),
+        proof,
+    };
+
+    if let Some(proof) = graph.cycle_proof() {
+        let stats = SearchStats {
+            forced_edges: graph.forced_edge_count() as u64,
+            ..SearchStats::default()
+        };
+        let report = CheckReport {
+            condition,
+            satisfied: false,
+            witness: None,
+            strategy_used: StrategyUsed::BruteForce,
+            stats,
+            reason: Some(format!(
+                "~H+ cycle of length {} refutes admissibility without search",
+                proof.cycle.len()
+            )),
+        };
+        return Ok((report, bind(false, Proof::Cycle(proof))));
+    }
+
+    let (outcome, stats) = pruned_search(h, &graph, limits);
+    match outcome {
+        SearchOutcome::Admissible(order) => {
+            let reads = legality_trace(h, &order);
+            let report = CheckReport {
+                condition,
+                satisfied: true,
+                witness: Some(order.clone()),
+                strategy_used: StrategyUsed::BruteForce,
+                stats,
+                reason: None,
+            };
+            Ok((report, bind(true, Proof::Witness { order, reads })))
+        }
+        SearchOutcome::NotAdmissible => {
+            let report = CheckReport {
+                condition,
+                satisfied: false,
+                witness: None,
+                strategy_used: StrategyUsed::BruteForce,
+                stats,
+                reason: Some(format!(
+                    "no legal sequential extension exists ({} nodes explored, \
+                     {} peeled, {} components)",
+                    stats.nodes, stats.peeled, stats.components
+                )),
+            };
+            Ok((report, bind(false, Proof::Exhaustion(stats))))
+        }
+        SearchOutcome::LimitExceeded => Err(CheckError::LimitExceeded(stats)),
+    }
+}
+
+/// The legality trace of a witness: for every external read (in witness
+/// order), the witness position it reads from.
+fn legality_trace(h: &History, order: &[MOpIdx]) -> Vec<ReadStep> {
+    let mut position = vec![usize::MAX; h.len()];
+    for (pos, &idx) in order.iter().enumerate() {
+        position[idx.0] = pos;
+    }
+    let mut reads = Vec::new();
+    for (pos, &alpha) in order.iter().enumerate() {
+        for &(obj, writer) in h.read_sources(alpha) {
+            reads.push(ReadStep {
+                pos,
+                obj,
+                from: writer.map(|w| position[w.0]),
+            });
+        }
+    }
+    reads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use moc_core::history::HistoryBuilder;
+    use moc_core::ids::ProcessId;
+    use moc_core::json::parse;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    fn stale_read() -> History {
+        let x = oid(0);
+        let mut b = HistoryBuilder::new(1);
+        b.mop(pid(0)).at(0, 10).write(x, 1).finish();
+        b.mop(pid(1)).at(20, 30).read_init(x).finish();
+        b.build().unwrap()
+    }
+
+    fn litmus() -> History {
+        let x = oid(0);
+        let y = oid(1);
+        let mut b = HistoryBuilder::new(2);
+        b.mop(pid(0)).at(0, 10).write(x, 1).finish();
+        b.mop(pid(0)).at(20, 30).read_init(y).finish();
+        b.mop(pid(1)).at(0, 10).write(y, 1).finish();
+        b.mop(pid(1)).at(20, 30).read_init(x).finish();
+        b.build().unwrap()
+    }
+
+    /// Inadmissible but with an acyclic `~H+`: a reader mixing versions
+    /// from two unordered writers.
+    fn mixed_versions() -> History {
+        let x = oid(0);
+        let y = oid(1);
+        let mut b = HistoryBuilder::new(2);
+        let alpha = b.mop(pid(0)).at(0, 10).write(x, 1).write(y, 1).finish();
+        let beta = b.mop(pid(1)).at(0, 10).write(x, 2).write(y, 2).finish();
+        b.mop(pid(2))
+            .at(20, 30)
+            .read_from(x, 2, beta)
+            .read_from(y, 1, alpha)
+            .finish();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn admissible_verdict_carries_a_witness_and_trace() {
+        let h = stale_read();
+        let (report, cert) = check_certified(
+            &h,
+            Condition::MSequentialConsistency,
+            SearchLimits::default(),
+        )
+        .unwrap();
+        assert!(report.satisfied);
+        assert!(cert.admissible);
+        let Proof::Witness { order, reads } = &cert.proof else {
+            panic!("expected witness proof");
+        };
+        assert_eq!(order.len(), 2);
+        // The read of x's initial value must come before the write of x.
+        assert_eq!(reads.len(), 1);
+        assert_eq!(reads[0].from, None);
+        let doc = parse(&cert.to_text()).unwrap();
+        assert_eq!(doc.get("format").unwrap().as_str(), Some(FORMAT));
+        assert_eq!(doc.get("verdict").unwrap().as_str(), Some("admissible"));
+        assert_eq!(
+            doc.get("proof").unwrap().get("kind").unwrap().as_str(),
+            Some("witness")
+        );
+    }
+
+    #[test]
+    fn cyclic_fixpoint_yields_a_cycle_certificate() {
+        let h = litmus();
+        let (report, cert) = check_certified(
+            &h,
+            Condition::MSequentialConsistency,
+            SearchLimits::default(),
+        )
+        .unwrap();
+        assert!(!report.satisfied);
+        assert_eq!(report.stats.nodes, 0, "refuted statically");
+        let Proof::Cycle(proof) = &cert.proof else {
+            panic!("expected cycle proof");
+        };
+        assert!(proof.cycle.len() >= 2);
+        let doc = parse(&cert.to_text()).unwrap();
+        let p = doc.get("proof").unwrap();
+        assert_eq!(p.get("kind").unwrap().as_str(), Some("cycle"));
+        // Every serialized edge has a reason; rw edges carry justification.
+        for e in p.get("edges").unwrap().as_arr().unwrap() {
+            let why = e.get("why").unwrap().as_str().unwrap();
+            if why == "rw" {
+                assert!(e.get("beta").is_some());
+                assert!(e.get("obj").is_some());
+                assert!(e.get("via").is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn acyclic_inadmissible_yields_an_exhaustion_certificate() {
+        let h = mixed_versions();
+        let (report, cert) = check_certified(
+            &h,
+            Condition::MSequentialConsistency,
+            SearchLimits::default(),
+        )
+        .unwrap();
+        assert!(!report.satisfied);
+        let Proof::Exhaustion(stats) = &cert.proof else {
+            panic!("expected exhaustion proof");
+        };
+        assert_eq!(*stats, report.stats);
+        let doc = parse(&cert.to_text()).unwrap();
+        assert_eq!(
+            doc.get("proof").unwrap().get("kind").unwrap().as_str(),
+            Some("exhaustion")
+        );
+    }
+
+    #[test]
+    fn certificate_binds_to_its_history() {
+        let h1 = stale_read();
+        let h2 = litmus();
+        let (_, c1) = check_certified(
+            &h1,
+            Condition::MSequentialConsistency,
+            SearchLimits::default(),
+        )
+        .unwrap();
+        assert_eq!(c1.fingerprint, codec::fingerprint(&h1));
+        assert_ne!(c1.fingerprint, codec::fingerprint(&h2));
+        let doc = parse(&c1.to_text()).unwrap();
+        assert_eq!(
+            doc.get("history").unwrap().get("fnv1a").unwrap().as_str(),
+            Some(format!("{:016x}", c1.fingerprint).as_str())
+        );
+    }
+
+    #[test]
+    fn all_three_conditions_certify_on_all_fixtures() {
+        for h in [stale_read(), litmus(), mixed_versions()] {
+            for c in [
+                Condition::MSequentialConsistency,
+                Condition::MLinearizability,
+                Condition::MNormality,
+            ] {
+                let (report, cert) = check_certified(&h, c, SearchLimits::default()).unwrap();
+                assert_eq!(report.satisfied, cert.admissible);
+                // Agreement with the ordinary checker.
+                let plain =
+                    crate::conditions::check(&h, c, crate::conditions::Strategy::Auto).unwrap();
+                assert_eq!(plain.satisfied, report.satisfied, "{c}");
+                parse(&cert.to_text()).expect("certificate is valid JSON");
+            }
+        }
+    }
+}

@@ -21,6 +21,13 @@
 //! * [`serializability`] — database schedules and the Theorem 2 reduction:
 //!   strict view serializability ⇔ m-linearizability, view serializability
 //!   ⇔ m-sequential consistency, for one-transaction-per-process histories.
+//! * [`precedence`] — the `~rw`/`~H+` precedence graph over arbitrary
+//!   histories: SCC condensation, forced edges, cycle refutation, and the
+//!   statically-pruned search the conditions module now runs by default.
+//! * [`certificate`] — proof-producing verdicts: every check result
+//!   serializes to a versioned JSON certificate (witness + legality trace,
+//!   `~H+` refutation cycle, or search-exhaustion attestation) that the
+//!   independent `moc-audit` crate re-validates against the raw history.
 //!
 //! ## Example
 //!
@@ -41,16 +48,20 @@
 
 pub mod admissible;
 pub mod causal;
+pub mod certificate;
 pub mod conditions;
 pub mod fast;
 pub mod minimize;
+pub mod precedence;
 pub mod serializability;
 pub mod witness;
 
 pub use admissible::{find_legal_extension, SearchLimits, SearchOutcome, SearchStats};
 pub use causal::{check_m_causal, CausalReport};
+pub use certificate::{check_certified, Certificate, Proof};
 pub use conditions::{check, CheckError, CheckReport, Condition, Strategy};
 pub use fast::{check_under_constraint, FastOutcome};
 pub use minimize::{minimize_violation, Minimized};
+pub use precedence::{find_legal_extension_pruned, PrecedenceGraph};
 pub use serializability::Schedule;
 pub use witness::{is_sequential, make_sequential_history};

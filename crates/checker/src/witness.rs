@@ -142,4 +142,83 @@ mod tests {
     fn original_overlapping_history_is_not_sequential() {
         assert!(!is_sequential(&sample()));
     }
+
+    #[test]
+    fn witness_history_round_trips_through_the_codec() {
+        let h = sample();
+        let report = check(&h, Condition::MSequentialConsistency, Strategy::Auto).unwrap();
+        let serial = make_sequential_history(&h, &report.witness.unwrap()).unwrap();
+        let text = moc_core::codec::to_text(&serial);
+        let back = moc_core::codec::from_text(&text).unwrap();
+        assert_eq!(text, moc_core::codec::to_text(&back));
+        assert_eq!(
+            moc_core::codec::fingerprint(&serial),
+            moc_core::codec::fingerprint(&back)
+        );
+        assert!(is_sequential(&back));
+    }
+
+    #[test]
+    fn tampered_witness_is_rejected() {
+        let h = sample();
+        let report = check(&h, Condition::MSequentialConsistency, Strategy::Auto).unwrap();
+        let witness = report.witness.expect("admissible");
+        // Swapping the initial-value reader behind the writer breaks
+        // legality: every tampering of this witness must be caught either
+        // as a non-permutation or as an illegal replay.
+        let mut tampered = witness.clone();
+        tampered.reverse();
+        assert!(make_sequential_history(&h, &tampered).is_err());
+        let mut duplicated = witness.clone();
+        duplicated[0] = duplicated[witness.len() - 1];
+        assert!(matches!(
+            make_sequential_history(&h, &duplicated),
+            Err(WitnessError::NotAPermutation)
+        ));
+    }
+
+    #[test]
+    fn figure3_order_is_rejected_and_the_forced_rw_edge_explains_why() {
+        // Figure 2's H1: α = r(x)0 w(y)2, β = r(y)2, γ = w(x)1, δ = w(y)3,
+        // with the WW order α < γ < δ. Figure 3's S1 = α γ δ β is
+        // sequential but not legal: δ overwrites the y that β reads from α.
+        let x = ObjectId::new(0);
+        let y = ObjectId::new(1);
+        let mut b = HistoryBuilder::new(2);
+        let alpha = b
+            .mop(ProcessId::new(1))
+            .at(0, 10)
+            .read_init(x)
+            .write(y, 2)
+            .finish();
+        b.mop(ProcessId::new(1))
+            .at(20, 60)
+            .read_from(y, 2, alpha)
+            .finish();
+        b.mop(ProcessId::new(2)).at(15, 25).write(x, 1).finish();
+        b.mop(ProcessId::new(2)).at(30, 40).write(y, 3).finish();
+        let h = b.build().unwrap();
+        let s1 = [MOpIdx(0), MOpIdx(2), MOpIdx(3), MOpIdx(1)];
+        assert!(matches!(
+            make_sequential_history(&h, &s1),
+            Err(WitnessError::NotLegal)
+        ));
+
+        // The precedence analysis derives exactly the missing constraint:
+        // β ~rw δ is forced, so every witness places β before δ.
+        use moc_core::relations::{process_order, reads_from};
+        let mut rel = process_order(&h).union(&reads_from(&h));
+        rel.add(MOpIdx(0), MOpIdx(2));
+        rel.add(MOpIdx(2), MOpIdx(3));
+        let g = crate::precedence::PrecedenceGraph::from_relation(&h, &rel);
+        assert!(g.closed().contains(MOpIdx(1), MOpIdx(3)));
+        let (out, _) =
+            crate::precedence::pruned_search(&h, &g, crate::admissible::SearchLimits::default());
+        let w = out.witness().expect("figure 2 is admissible").to_vec();
+        let serial = make_sequential_history(&h, &w).unwrap();
+        assert!(is_sequential(&serial));
+        let pos_beta = w.iter().position(|&i| i == MOpIdx(1)).unwrap();
+        let pos_delta = w.iter().position(|&i| i == MOpIdx(3)).unwrap();
+        assert!(pos_beta < pos_delta, "forced ~rw edge respected");
+    }
 }

@@ -20,6 +20,7 @@ use std::collections::HashMap;
 use moc_analyze::Severity;
 use moc_checker::admissible::SearchLimits;
 use moc_checker::causal::check_m_causal;
+use moc_checker::certificate::check_certified;
 use moc_checker::conditions::{check, Condition, Strategy};
 use moc_core::codec::{from_text, to_text};
 use moc_core::history::History;
@@ -111,12 +112,17 @@ USAGE:
              [--objects M] [--seed S] [--update-frac F] [--k K]
       Generate a synthetic history; print it.
   moc check  <file|-> [--condition sc|lin|normal|causal] [--brute]
-             [--max-nodes N] [--witness] [--minimize]
+             [--max-nodes N] [--witness] [--minimize] [--certificate PATH|-]
       Check a history against a consistency condition. With --minimize, a
-      violating history is shrunk to its 1-minimal core and printed.
+      violating history is shrunk to its 1-minimal core and printed. With
+      --certificate, the verdict's moc-cert proof document is written to
+      PATH (or printed with `-`); see docs/CERTIFICATES.md.
+  moc audit  <history-file|-> <cert-file>
+      Independently re-validate a moc-cert certificate against a history:
+      replay the witness, or check the ~H+ refutation cycle edge by edge.
   moc render <file|-> [--width N]
       Draw the history as per-process timelines plus a listing.
-  moc analyze [--workload demo|protocol] [--format human|json]
+  moc analyze [--workload demo|disjoint|protocol] [--format human|json]
              [--require oo,ww,wo] [--processes N] [--ops K] [--objects M]
              [--seed S] [--update-frac F]
       Statically analyze a workload's program set: lints, refined
@@ -125,8 +131,9 @@ USAGE:
       Print this text.
 
 EXIT CODES:
-  0  clean (no Error-severity findings)
-  1  the analysis report contains Error-severity findings
+  0  clean (no Error-severity findings; certificate valid)
+  1  the analysis report contains Error-severity findings, or the
+     audited certificate was rejected
   2  invalid input or usage
 
 Histories use the `history v1` text format (moc_core::codec).";
@@ -155,6 +162,10 @@ pub fn dispatch_with_status(raw: &[String], stdin: &str) -> (Result<String, Stri
         "check" => cmd_check(&args, stdin),
         "render" => cmd_render(&args, stdin),
         "analyze" => match cmd_analyze(&args) {
+            Ok((out, code)) => return (Ok(out), code),
+            Err(e) => Err(e),
+        },
+        "audit" => match cmd_audit(&args, stdin) {
             Ok((out, code)) => return (Ok(out), code),
             Err(e) => Err(e),
         },
@@ -293,7 +304,23 @@ fn cmd_check(args: &Args, stdin: &str) -> Result<String, String> {
     } else {
         Strategy::Auto
     };
-    let report = check(&h, condition, strategy).map_err(|e| e.to_string())?;
+    let mut cert_text = None;
+    let report = match args.options.get("certificate") {
+        // Proof-producing route: always decides via the precedence graph.
+        Some(dest) => {
+            let (report, cert) =
+                check_certified(&h, condition, limits).map_err(|e| e.to_string())?;
+            let text = cert.to_text();
+            if dest == "-" {
+                cert_text = Some(text);
+            } else {
+                std::fs::write(dest, text + "\n")
+                    .map_err(|e| format!("cannot write {dest}: {e}"))?;
+            }
+            report
+        }
+        None => check(&h, condition, strategy).map_err(|e| e.to_string())?,
+    };
     let mut out = format!(
         "{condition}: {}",
         if report.satisfied {
@@ -348,7 +375,42 @@ fn cmd_check(args: &Args, stdin: &str) -> Result<String, String> {
             );
         }
     }
+    if let Some(text) = cert_text {
+        out.push_str(&text);
+        out.push('\n');
+    }
     Ok(out)
+}
+
+fn cmd_audit(args: &Args, stdin: &str) -> Result<(String, i32), String> {
+    let h = load_history(args, stdin)?;
+    let cert_path = args
+        .positional
+        .get(1)
+        .ok_or("expected a certificate file (or `-` for stdin)")?;
+    let cert_text = if cert_path == "-" {
+        if args.positional.first().map(String::as_str) == Some("-") {
+            return Err("only one of history and certificate may come from stdin".into());
+        }
+        stdin.to_string()
+    } else {
+        std::fs::read_to_string(cert_path).map_err(|e| format!("cannot read {cert_path}: {e}"))?
+    };
+    match moc_audit::audit(&h, &cert_text) {
+        Ok(verdict) => {
+            let what = match verdict {
+                moc_audit::Verdict::WitnessVerified => {
+                    "witness linearization replayed and legality trace matched"
+                }
+                moc_audit::Verdict::CycleVerified => "~H+ refutation cycle checked edge by edge",
+                moc_audit::Verdict::ExhaustionAttested => {
+                    "exhaustion attestation well-formed and bound (not replayable)"
+                }
+            };
+            Ok((format!("certificate VALID: {what}\n"), 0))
+        }
+        Err(reason) => Ok((format!("certificate REJECTED: {reason}\n"), 1)),
+    }
 }
 
 fn cmd_analyze(args: &Args) -> Result<(String, i32), String> {
@@ -359,6 +421,7 @@ fn cmd_analyze(args: &Args) -> Result<(String, i32), String> {
         .unwrap_or("demo");
     let programs: Vec<std::sync::Arc<moc_core::program::Program>> = match workload {
         "demo" => moc_workload::demo_programs(),
+        "disjoint" => moc_workload::disjoint_programs(),
         "protocol" => {
             // Analyze the program set a `moc run` with the same options
             // would actually issue (one representative per program name).
@@ -378,7 +441,11 @@ fn cmd_analyze(args: &Args) -> Result<(String, i32), String> {
                 .map(|op| op.program)
                 .collect()
         }
-        other => return Err(format!("unknown workload {other:?} (demo|protocol)")),
+        other => {
+            return Err(format!(
+                "unknown workload {other:?} (demo|disjoint|protocol)"
+            ))
+        }
     };
     let mut required = Vec::new();
     if let Some(list) = args.options.get("require") {
@@ -588,6 +655,21 @@ mod tests {
     }
 
     #[test]
+    fn analyze_disjoint_workload_certifies_everything() {
+        // The disjoint set's query footprint is untouched by every update,
+        // so all three constraints certify and the strictest --require
+        // passes — the invocation CI runs as a gate.
+        let (out, code) = dispatch_with_status(
+            &sv(&["analyze", "--workload", "disjoint", "--require", "oo,ww,wo"]),
+            "",
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("MOC0008"), "{out}");
+        assert!(!out.contains("MOC0007"), "{out}");
+    }
+
+    #[test]
     fn analyze_json_format_and_protocol_workload() {
         let (out, code) = dispatch_with_status(
             &sv(&[
@@ -620,6 +702,69 @@ mod tests {
             assert_eq!(code, 2);
         }
         let (result, code) = dispatch_with_status(&sv(&["frobnicate"]), "");
+        assert!(result.is_err());
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn check_emits_certificate_and_audit_validates_it() {
+        let text = dispatch(&sv(&["gen", "--kind", "serial", "--seed", "7"]), "").unwrap();
+        let out = dispatch(
+            &sv(&["check", "-", "--condition", "sc", "--certificate", "-"]),
+            &text,
+        )
+        .unwrap();
+        assert!(out.contains("SATISFIED"), "{out}");
+        let cert = out
+            .lines()
+            .find(|l| l.starts_with('{'))
+            .expect("certificate JSON in output");
+        assert!(cert.contains("\"moc-cert\""), "{cert}");
+
+        // Round-trip through the independent auditor via temp files.
+        let dir = std::env::temp_dir().join(format!("moc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let hist_path = dir.join("history.txt");
+        let cert_path = dir.join("cert.json");
+        std::fs::write(&hist_path, &text).unwrap();
+        std::fs::write(&cert_path, cert).unwrap();
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "audit",
+                hist_path.to_str().unwrap(),
+                cert_path.to_str().unwrap(),
+            ]),
+            "",
+        );
+        assert_eq!(code, 0, "{out:?}");
+        assert!(out.unwrap().contains("VALID"));
+
+        // A certificate for a different history is rejected with exit 1.
+        let other = dispatch(&sv(&["gen", "--kind", "serial", "--seed", "8"]), "").unwrap();
+        std::fs::write(&hist_path, &other).unwrap();
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "audit",
+                hist_path.to_str().unwrap(),
+                cert_path.to_str().unwrap(),
+            ]),
+            "",
+        );
+        assert_eq!(code, 1);
+        assert!(out.unwrap().contains("REJECTED"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn audit_usage_errors_exit_2() {
+        let (result, code) = dispatch_with_status(&sv(&["audit"]), "");
+        assert!(result.is_err());
+        assert_eq!(code, 2);
+        let (result, code) =
+            dispatch_with_status(&sv(&["audit", "-", "-"]), "history v1\nobjects 0\nend\n");
+        assert!(result.is_err());
+        assert_eq!(code, 2);
+        let (result, code) = dispatch_with_status(&sv(&["audit", "/no/such/file", "c"]), "");
         assert!(result.is_err());
         assert_eq!(code, 2);
     }

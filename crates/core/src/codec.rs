@@ -101,6 +101,19 @@ pub fn to_text(h: &History) -> String {
     out
 }
 
+/// A stable 64-bit fingerprint of a history: FNV-1a over its canonical
+/// [`to_text`] serialization. Certificates embed this value so an auditor
+/// can verify that a certificate is bound to the history it is presented
+/// with (see `docs/CERTIFICATES.md`).
+pub fn fingerprint(h: &History) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in to_text(h).bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 fn escape(s: &str) -> String {
     if s.is_empty() {
         "-".to_string()
@@ -362,6 +375,23 @@ mod tests {
         // Reads from a writer that does not exist.
         let bad = "history v1\nobjects 1\nmop P0#0 inv=0 resp=10 class=query label=-\n  r o0 1 from=P9#9 @1\nend\n";
         assert!(matches!(from_text(bad), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let h = sample();
+        assert_eq!(
+            fingerprint(&h),
+            fingerprint(&from_text(&to_text(&h)).unwrap())
+        );
+        // Any semantic difference moves the fingerprint.
+        let mut b = HistoryBuilder::new(2);
+        b.mop(ProcessId::new(0))
+            .at(0, 10)
+            .write(ObjectId::new(0), 1)
+            .finish();
+        let other = b.build().unwrap();
+        assert_ne!(fingerprint(&h), fingerprint(&other));
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //! * [`legality`] — legal histories (D 4.6), the logical read-write
 //!   precedence `~rw` (D 4.11), and the extended relation `~H+` (D 4.12).
 //! * [`constraints`] — the OO-, WW- and WO-constraints (D 4.8–4.10).
+//! * [`codec`], [`json`] — the `history v1` text format plus a minimal
+//!   JSON codec for the checker/auditor certificate pipeline.
 //!
 //! Higher layers build on this crate: `moc-checker` decides admissibility
 //! (m-sequential consistency, m-linearizability, m-normality), and
@@ -65,6 +67,7 @@ pub mod constraints;
 pub mod error;
 pub mod history;
 pub mod ids;
+pub mod json;
 pub mod legality;
 pub mod mop;
 pub mod op;

@@ -159,6 +159,49 @@ impl Relation {
         self.topological_sort().is_none()
     }
 
+    /// An explicit cycle in the digraph — the visited vertices in order,
+    /// each related to the next and the last related to the first — or
+    /// `None` if the relation is acyclic. Self-loops yield a 1-cycle.
+    pub fn find_cycle(&self) -> Option<Vec<MOpIdx>> {
+        // Iterative coloring DFS: 0 = white, 1 = on stack, 2 = done.
+        let mut color = vec![0u8; self.n];
+        let mut parent = vec![usize::MAX; self.n];
+        for root in 0..self.n {
+            if color[root] != 0 {
+                continue;
+            }
+            let mut stack = vec![(root, self.successors(MOpIdx(root)))];
+            color[root] = 1;
+            while let Some((v, succ)) = stack.last_mut() {
+                let v = *v;
+                match succ.next() {
+                    Some(MOpIdx(w)) if color[w] == 1 => {
+                        // Back edge v -> w: unwind the chain w .. v.
+                        let mut cycle = vec![MOpIdx(v)];
+                        let mut cur = v;
+                        while cur != w {
+                            cur = parent[cur];
+                            cycle.push(MOpIdx(cur));
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Some(MOpIdx(w)) if color[w] == 0 => {
+                        color[w] = 1;
+                        parent[w] = v;
+                        stack.push((w, self.successors(MOpIdx(w))));
+                    }
+                    Some(_) => {}
+                    None => {
+                        color[v] = 2;
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        None
+    }
+
     /// A topological order of the digraph, or `None` if it is cyclic.
     /// Deterministic: among ready elements, the smallest index goes first.
     pub fn topological_sort(&self) -> Option<Vec<MOpIdx>> {
@@ -378,6 +421,27 @@ mod tests {
         let c = r.transitive_closure();
         assert!(!c.is_irreflexive());
         assert!(r.has_cycle());
+    }
+
+    #[test]
+    fn find_cycle_returns_a_closed_walk() {
+        let mut r = Relation::new(5);
+        r.add(m(0), m(1));
+        r.add(m(1), m(2));
+        r.add(m(2), m(3));
+        r.add(m(3), m(1));
+        let cycle = r.find_cycle().expect("cyclic");
+        assert!(cycle.len() >= 2);
+        for (k, &v) in cycle.iter().enumerate() {
+            let w = cycle[(k + 1) % cycle.len()];
+            assert!(r.contains(v, w), "{v:?} -> {w:?} missing");
+        }
+        let mut acyclic = Relation::new(3);
+        acyclic.add(m(0), m(1));
+        assert_eq!(acyclic.find_cycle(), None);
+        let mut selfloop = Relation::new(1);
+        selfloop.add(m(0), m(0));
+        assert_eq!(selfloop.find_cycle(), Some(vec![m(0)]));
     }
 
     #[test]

@@ -15,6 +15,16 @@
 //!   concurrent multi-object writers and `k` readers, each reader
 //!   consistent with a *different* interleaving. Verification must consider
 //!   many writer orders, exhibiting the exponential worst case.
+//! * [`multi_component_history`] — several *disjoint* copies of the
+//!   adversarial family, each on its own object and process range. A naive
+//!   search multiplies the per-component state spaces; a component-aware
+//!   search only sums them, so this family separates the two
+//!   experimentally.
+//! * [`poisoned_multi_component_history`] — the multi-component family
+//!   plus one stale reader spliced into component 0: it reads a writer's
+//!   value and then, later on the same process, reads the initial value
+//!   back. The forced `~rw` edge closes a `~H+` cycle, so precedence
+//!   analysis refutes the whole history without any search.
 
 use moc_core::history::History;
 use moc_core::ids::{MOpId, ObjectId, ProcessId};
@@ -269,6 +279,125 @@ pub fn concurrent_writers_history(k: usize, num_objects: usize, rng: &mut StdRng
     History::new(num_objects, records).expect("adversarial construction is well-formed")
 }
 
+/// One component of the multi-component family: the `k`-writer/`k`-reader
+/// adversarial history translated to objects
+/// `[c·m, (c+1)·m)` and processes `[c·2k, (c+1)·2k)`.
+fn component_records(
+    c: usize,
+    k: usize,
+    objects_per_component: usize,
+    rng: &mut StdRng,
+    records: &mut Vec<MOpRecord>,
+) {
+    let obj_base = c * objects_per_component;
+    let proc_base = (c * 2 * k) as u32;
+    let objects: Vec<ObjectId> = (0..objects_per_component)
+        .map(|i| ObjectId::new((obj_base + i) as u32))
+        .collect();
+    for w in 0..k {
+        let id = MOpId::new(ProcessId::new(proc_base + w as u32), 0);
+        let ops = objects
+            .iter()
+            .map(|&o| CompletedOp::write(o, (w + 1) as i64, id, 1))
+            .collect();
+        records.push(MOpRecord {
+            id,
+            invoked_at: EventTime::from_nanos(0),
+            responded_at: EventTime::from_nanos(1_000),
+            ops,
+            outputs: Vec::new(),
+            treated_as: MOpClass::Update,
+            label: format!("c{c}writer{w}"),
+        });
+    }
+    for r in 0..k {
+        let id = MOpId::new(ProcessId::new(proc_base + (k + r) as u32), 0);
+        let w = rng.gen_range(0..k);
+        let wid = MOpId::new(ProcessId::new(proc_base + w as u32), 0);
+        let ops = objects
+            .iter()
+            .map(|&o| CompletedOp::read(o, (w + 1) as i64, wid, 1))
+            .collect();
+        records.push(MOpRecord {
+            id,
+            invoked_at: EventTime::from_nanos(0),
+            responded_at: EventTime::from_nanos(1_000),
+            ops,
+            outputs: Vec::new(),
+            treated_as: MOpClass::Query,
+            label: format!("c{c}reader{r}"),
+        });
+    }
+}
+
+/// `components` disjoint copies of [`concurrent_writers_history`]: copy
+/// `c` lives on objects `[c·m, (c+1)·m)` and processes `[c·2k, (c+1)·2k)`,
+/// sharing nothing with the other copies. All intervals are fully
+/// concurrent, so only the object footprints partition the history.
+///
+/// The family is always admissible (each reader snapshots one writer), but
+/// a search that cannot decompose it must interleave all `components·2k`
+/// m-operations at once, multiplying the per-component state spaces; a
+/// component-aware search solves each copy independently and sums them.
+pub fn multi_component_history(
+    components: usize,
+    k: usize,
+    objects_per_component: usize,
+    rng: &mut StdRng,
+) -> History {
+    let mut records = Vec::new();
+    for c in 0..components {
+        component_records(c, k, objects_per_component, rng, &mut records);
+    }
+    History::new(components * objects_per_component, records)
+        .expect("multi-component construction is well-formed")
+}
+
+/// [`multi_component_history`] plus a stale reader appended to component 0:
+/// a fresh process whose first m-operation reads object 0 from writer 0 and
+/// whose second reads the *initial* value of the same object back.
+///
+/// The initial m-operation precedes every writer, so the second read forces
+/// the `~rw` edge `stale ~rw writer0` (D 4.11) unconditionally, closing the
+/// cycle `writer0 ~rf fresh ~p stale ~rw writer0` in `~H+`. Precedence
+/// analysis therefore refutes this family in polynomial time, while a
+/// search-only checker still has to explore and exhaust orderings.
+pub fn poisoned_multi_component_history(
+    components: usize,
+    k: usize,
+    objects_per_component: usize,
+    rng: &mut StdRng,
+) -> History {
+    assert!(components >= 1 && k >= 1 && objects_per_component >= 1);
+    let mut records = Vec::new();
+    for c in 0..components {
+        component_records(c, k, objects_per_component, rng, &mut records);
+    }
+    let pid = ProcessId::new((components * 2 * k) as u32);
+    let w0 = MOpId::new(ProcessId::new(0), 0);
+    let x = ObjectId::new(0);
+    records.push(MOpRecord {
+        id: MOpId::new(pid, 0),
+        invoked_at: EventTime::from_nanos(0),
+        responded_at: EventTime::from_nanos(100),
+        ops: vec![CompletedOp::read(x, 1, w0, 1)],
+        outputs: Vec::new(),
+        treated_as: MOpClass::Query,
+        label: "fresh".into(),
+    });
+    records.push(MOpRecord {
+        id: MOpId::new(pid, 1),
+        invoked_at: EventTime::from_nanos(200),
+        responded_at: EventTime::from_nanos(300),
+        ops: vec![CompletedOp::read(x, 0, MOpId::INITIAL, 0)],
+        outputs: Vec::new(),
+        treated_as: MOpClass::Query,
+        label: "stale".into(),
+    });
+    History::new(components * objects_per_component, records)
+        .expect("poisoned construction is well-formed")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,6 +477,38 @@ mod tests {
             !report.satisfied,
             "mixed-writer snapshot must be inadmissible"
         );
+    }
+
+    #[test]
+    fn multi_component_is_admissible_and_decomposes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let h = multi_component_history(3, 2, 2, &mut rng);
+        assert_eq!(h.len(), 12);
+        assert_eq!(h.num_objects(), 6);
+        let report = check(&h, Condition::MSequentialConsistency, Strategy::Auto).unwrap();
+        assert!(report.satisfied);
+        // The components really are disjoint: no object appears in two.
+        use std::collections::BTreeMap;
+        let mut comp_of_obj: BTreeMap<usize, usize> = BTreeMap::new();
+        for (_, rec) in h.iter() {
+            let c: usize = rec.label[1..2].parse().unwrap();
+            for op in &rec.ops {
+                assert_eq!(*comp_of_obj.entry(op.object.index()).or_insert(c), c);
+            }
+        }
+    }
+
+    #[test]
+    fn poisoned_family_is_refuted_without_search() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let h = poisoned_multi_component_history(2, 2, 2, &mut rng);
+        let report = check(&h, Condition::MSequentialConsistency, Strategy::Auto).unwrap();
+        assert!(!report.satisfied, "stale reader must be inadmissible");
+        // The precedence graph alone refutes it: a ~H+ cycle exists.
+        use moc_core::relations::{process_order, reads_from};
+        let rel = process_order(&h).union(&reads_from(&h));
+        let g = moc_checker::PrecedenceGraph::from_relation(&h, &rel);
+        assert!(g.cycle_proof().is_some(), "cycle must be forced statically");
     }
 
     #[test]

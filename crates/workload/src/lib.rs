@@ -174,6 +174,24 @@ pub fn demo_programs() -> Vec<Arc<Program>> {
     ]
 }
 
+/// A program set with *disjoint* query and update footprints: the only
+/// query reads object 0, and every update writes objects 1 and 2 only. No
+/// conflicting pair ever involves a query, so the analyzer certifies all
+/// three Section 4 constraints (OO, WW, WO) up front — contrast with
+/// [`demo_programs`], whose query/update overlap makes OO uncertifiable.
+/// The demo configuration behind `moc analyze --workload disjoint`.
+pub fn disjoint_programs() -> Vec<Arc<Program>> {
+    let x = ObjectId::new(0);
+    let y = ObjectId::new(1);
+    let z = ObjectId::new(2);
+    vec![
+        query_program(&[x]),
+        write_program(&[y, z]),
+        rmw_program(&[y]),
+        dcas_program(y, z),
+    ]
+}
+
 /// Generates one random operation.
 fn random_op(spec: &WorkloadSpec, rng: &mut StdRng) -> OpSpec {
     if rng.gen_bool(spec.update_fraction.clamp(0.0, 1.0)) {
@@ -304,6 +322,25 @@ mod tests {
         assert!(demos
             .iter()
             .any(|p| p.name() == "uninit-store" && p.is_potential_update()));
+    }
+
+    #[test]
+    fn disjoint_programs_separate_query_and_update_footprints() {
+        let progs = disjoint_programs();
+        assert_eq!(progs.len(), 4);
+        let queries: Vec<_> = progs.iter().filter(|p| !p.is_potential_update()).collect();
+        let updates: Vec<_> = progs.iter().filter(|p| p.is_potential_update()).collect();
+        assert!(!queries.is_empty() && !updates.is_empty());
+        // No object referenced by a query is referenced by any update.
+        let q_objs: std::collections::BTreeSet<_> = queries
+            .iter()
+            .flat_map(|p| p.referenced_objects())
+            .collect();
+        let u_objs: std::collections::BTreeSet<_> = updates
+            .iter()
+            .flat_map(|p| p.referenced_objects())
+            .collect();
+        assert!(q_objs.is_disjoint(&u_objs));
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! The committed golden fixture under `tests/fixtures/`: a generated
+//! history and the certificate `moc check --certificate` emitted for it,
+//! re-validated here by the independent auditor. CI runs the same pair
+//! through `moc audit` as a command-line gate.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! moc gen --kind serial --processes 3 --ops 3 --objects 3 --seed 5 \
+//!     > tests/fixtures/golden_history.txt
+//! moc check tests/fixtures/golden_history.txt \
+//!     --certificate tests/fixtures/golden_cert.json
+//! ```
+
+use moc_core::codec;
+
+const HISTORY: &str = include_str!("fixtures/golden_history.txt");
+const CERT: &str = include_str!("fixtures/golden_cert.json");
+
+#[test]
+fn golden_certificate_audits_clean() {
+    let verdict = moc_audit::audit_texts(HISTORY, CERT).expect("golden certificate is valid");
+    assert!(verdict.is_verified());
+}
+
+#[test]
+fn golden_certificate_binds_to_the_golden_history() {
+    let h = codec::from_text(HISTORY).unwrap();
+    let fp = format!("{:016x}", codec::fingerprint(&h));
+    assert!(
+        CERT.contains(&fp),
+        "certificate names the history fingerprint"
+    );
+
+    // Re-binding the certificate to a zeroed fingerprint must fail.
+    let tampered = CERT.replace(&fp, "0000000000000000");
+    assert!(moc_audit::audit_texts(HISTORY, &tampered).is_err());
+}
+
+#[test]
+fn tampered_golden_certificate_is_rejected() {
+    // Verdict flip: the witness proof no longer matches the claim.
+    let flipped = CERT.replace("\"verdict\":\"admissible\"", "\"verdict\":\"inadmissible\"");
+    assert_ne!(flipped, CERT, "fixture carries an admissible verdict");
+    assert!(moc_audit::audit_texts(HISTORY, &flipped).is_err());
+
+    // Version bump: unknown schema versions are refused.
+    let bumped = CERT.replace("\"version\":1", "\"version\":2");
+    assert_ne!(bumped, CERT);
+    assert!(moc_audit::audit_texts(HISTORY, &bumped).is_err());
+}
