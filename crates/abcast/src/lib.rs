@@ -25,15 +25,25 @@
 //!
 //! These guarantees are what make the protocols' `~ww` order (P 5.13,
 //! P 5.14, P 5.23, P 5.24) well-defined.
+//!
+//! When the network itself is *not* reliable — it drops, duplicates, or
+//! partitions ([`moc_sim::FaultPlan`]) — the [`link`] sublayer
+//! ([`ReliableLink`]) re-establishes the reliable reordering channel
+//! contract underneath, via sequence numbers, acknowledgements,
+//! retransmission with exponential backoff, receive-side dedup, and a
+//! crash-rejoin handshake. The broadcast state machines run unmodified
+//! above it.
 
 use std::fmt;
 
 use moc_core::ids::ProcessId;
 
 pub mod isis;
+pub mod link;
 pub mod sequencer;
 
 pub use isis::IsisAbcast;
+pub use link::{LinkConfig, LinkMsg, LinkStats, ReliableLink};
 pub use sequencer::SequencerAbcast;
 
 /// Buffered outgoing messages produced by a state-machine step.

@@ -1,0 +1,590 @@
+//! A reliable-link sublayer: exactly-once, per-sender FIFO delivery over
+//! a lossy, duplicating, reordering network.
+//!
+//! The Section 5 protocols (and both [`crate::Abcast`] implementations)
+//! assume the paper's channel model — "processes and channels are
+//! reliable and a message sent is eventually received", with arbitrary
+//! reordering the only misbehavior. [`ReliableLink`] re-establishes that
+//! contract on top of a network that drops, duplicates, and partitions
+//! (`moc_sim::FaultPlan`, or the runtime's fault knobs), so the protocol
+//! state machines above it run unmodified:
+//!
+//! * every payload handed to [`ReliableLink::send`] carries a per-peer
+//!   **sequence number** and is kept until cumulatively acknowledged;
+//! * receivers **deduplicate** and reorder into gap-free per-sender
+//!   sequence order, acknowledging cumulatively ([`LinkMsg::Ack`]);
+//! * unacknowledged data is **retransmitted** on a timer with exponential
+//!   backoff ([`LinkConfig::rto_ns`] doubling up to
+//!   [`LinkConfig::max_rto_ns`]);
+//! * after a crash window, [`ReliableLink::on_restart`] runs a
+//!   **rejoin handshake**: the returning process retransmits its own
+//!   unacked data and sends [`LinkMsg::Rejoin`], prompting each peer to
+//!   answer with a [`LinkMsg::Snapshot`] of its link state and an
+//!   immediate retransmission of everything the outage swallowed.
+//!
+//! The layer is a pure state machine like everything else in this crate:
+//! wire traffic goes out through a caller-supplied buffer, current time
+//! comes in as a parameter, and the single timer the host must provide is
+//! exposed via [`ReliableLink::next_deadline`].
+//!
+//! [`LinkConfig::sabotaged`] disables dedup and retransmission — a
+//! deliberately broken link used by the negative-path conformance tests
+//! to prove the checker pipeline catches real violations.
+
+use std::collections::BTreeMap;
+
+use moc_core::ids::ProcessId;
+
+/// Tuning knobs for a [`ReliableLink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkConfig {
+    /// Initial retransmission timeout (virtual ns in the simulator).
+    pub rto_ns: u64,
+    /// Backoff cap: the RTO doubles per retry up to this value.
+    pub max_rto_ns: u64,
+    /// Receive-side deduplication + per-sender reordering. Disabling it
+    /// forwards raw wire arrivals — duplicates and all — to the layer
+    /// above.
+    pub dedup: bool,
+    /// Whether unacknowledged data is retransmitted. Disabling it makes
+    /// every network drop a permanent loss.
+    pub retransmit: bool,
+}
+
+impl Default for LinkConfig {
+    fn default() -> Self {
+        LinkConfig {
+            rto_ns: 25_000,
+            max_rto_ns: 400_000,
+            dedup: true,
+            retransmit: true,
+        }
+    }
+}
+
+impl LinkConfig {
+    /// A deliberately broken link: no dedup, no retransmission. Under
+    /// faults this violates the reliable-channel contract the protocols
+    /// assume — used by negative-path tests to demonstrate that the
+    /// checker then refutes the resulting histories.
+    pub fn sabotaged() -> Self {
+        LinkConfig {
+            dedup: false,
+            retransmit: false,
+            ..LinkConfig::default()
+        }
+    }
+}
+
+/// Wire frames of the reliable link. `M` is the payload type of the
+/// protocol layer above.
+#[derive(Debug, Clone)]
+pub enum LinkMsg<M> {
+    /// A payload with its per-(sender, receiver) sequence number.
+    Data {
+        /// Position in the sender's stream to this receiver (0-based).
+        seq: u64,
+        /// The protocol-layer payload.
+        payload: M,
+    },
+    /// Cumulative acknowledgement: every `Data` with `seq < upto` from
+    /// the acknowledged peer has been received.
+    Ack {
+        /// The receiver's gap-free frontier for this sender.
+        upto: u64,
+    },
+    /// Sent to every peer after a crash window: "I am back; resynchronize
+    /// me." Peers answer with [`LinkMsg::Snapshot`] and retransmit
+    /// everything not yet acknowledged.
+    Rejoin,
+    /// A peer's link-state snapshot, answering [`LinkMsg::Rejoin`].
+    Snapshot {
+        /// The next sequence number the peer will assign on its stream to
+        /// the rejoiner (diagnostic; retransmission fills any gap).
+        sent: u64,
+        /// The peer's gap-free receive frontier for the rejoiner's stream
+        /// — acts as a cumulative ack.
+        received: u64,
+    },
+}
+
+/// Counters describing one endpoint's link activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// `Data` frames sent first-hand (excluding retransmissions).
+    pub data_sent: u64,
+    /// `Data` frames received off the wire (duplicates included).
+    pub data_received: u64,
+    /// Payloads surfaced to the layer above.
+    pub delivered: u64,
+    /// Duplicate `Data` frames discarded by receive-side dedup.
+    pub duplicates_discarded: u64,
+    /// `Data` frames retransmitted.
+    pub retransmissions: u64,
+    /// Acknowledgements sent (including snapshot answers).
+    pub acks_sent: u64,
+    /// Acknowledgements received (including snapshots).
+    pub acks_received: u64,
+    /// Rejoin handshakes initiated.
+    pub rejoins: u64,
+}
+
+/// Outbound state for one peer: the sent-but-unacked window and its
+/// retransmission timer.
+#[derive(Debug, Clone)]
+struct SenderState<M> {
+    /// Next sequence number to assign on this stream.
+    next_seq: u64,
+    /// Sent, not yet cumulatively acknowledged.
+    unacked: BTreeMap<u64, M>,
+    /// Current (backed-off) retransmission timeout.
+    rto_ns: u64,
+    /// Absolute time of the next retransmission, if armed.
+    deadline: Option<u64>,
+}
+
+impl<M> SenderState<M> {
+    fn new(rto_ns: u64) -> Self {
+        SenderState {
+            next_seq: 0,
+            unacked: BTreeMap::new(),
+            rto_ns,
+            deadline: None,
+        }
+    }
+}
+
+/// Inbound state for one peer: the gap-free frontier and the
+/// out-of-order hold buffer.
+#[derive(Debug, Clone)]
+struct RecvState<M> {
+    /// All `seq < next_expected` have been delivered upward.
+    next_expected: u64,
+    /// Out-of-order frames waiting for their gap to fill.
+    buffer: BTreeMap<u64, M>,
+}
+
+impl<M> RecvState<M> {
+    fn new() -> Self {
+        RecvState {
+            next_expected: 0,
+            buffer: BTreeMap::new(),
+        }
+    }
+}
+
+/// One process's endpoint of the reliable link (one instance serves all
+/// of its peers).
+#[derive(Debug, Clone)]
+pub struct ReliableLink<M> {
+    me: ProcessId,
+    n: usize,
+    cfg: LinkConfig,
+    senders: BTreeMap<ProcessId, SenderState<M>>,
+    recv: BTreeMap<ProcessId, RecvState<M>>,
+    stats: LinkStats,
+}
+
+impl<M: Clone> ReliableLink<M> {
+    /// Creates the endpoint for process `me` of `n`.
+    pub fn new(me: ProcessId, n: usize, cfg: LinkConfig) -> Self {
+        ReliableLink {
+            me,
+            n,
+            cfg,
+            senders: BTreeMap::new(),
+            recv: BTreeMap::new(),
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Link activity counters.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Total payloads currently sent but not cumulatively acknowledged.
+    pub fn unacked(&self) -> usize {
+        self.senders.values().map(|s| s.unacked.len()).sum()
+    }
+
+    /// The earliest retransmission deadline across all peers, if any data
+    /// is in flight (always `None` when retransmission is disabled). The
+    /// host should arrange a call to [`ReliableLink::on_tick`] at (or
+    /// after) this time.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.senders.values().filter_map(|s| s.deadline).min()
+    }
+
+    /// Sends `payload` to `to`, stamping it into that stream. The framed
+    /// wire message is appended to `wire`.
+    pub fn send(
+        &mut self,
+        to: ProcessId,
+        payload: M,
+        now_ns: u64,
+        wire: &mut Vec<(ProcessId, LinkMsg<M>)>,
+    ) {
+        let cfg = self.cfg;
+        let s = self
+            .senders
+            .entry(to)
+            .or_insert_with(|| SenderState::new(cfg.rto_ns));
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        if cfg.retransmit {
+            s.unacked.insert(seq, payload.clone());
+            if s.deadline.is_none() {
+                s.deadline = Some(now_ns + s.rto_ns);
+            }
+        }
+        self.stats.data_sent += 1;
+        wire.push((to, LinkMsg::Data { seq, payload }));
+    }
+
+    /// Feeds a wire frame from `from`. Returns the payloads that became
+    /// deliverable to the layer above, in per-sender FIFO order; control
+    /// traffic produced in response is appended to `wire`.
+    pub fn on_wire(
+        &mut self,
+        from: ProcessId,
+        msg: LinkMsg<M>,
+        now_ns: u64,
+        wire: &mut Vec<(ProcessId, LinkMsg<M>)>,
+    ) -> Vec<M> {
+        match msg {
+            LinkMsg::Data { seq, payload } => {
+                self.stats.data_received += 1;
+                if !self.cfg.dedup {
+                    // Sabotaged: raw arrivals pass straight through.
+                    self.stats.delivered += 1;
+                    return vec![payload];
+                }
+                let r = self.recv.entry(from).or_insert_with(RecvState::new);
+                let mut ready = Vec::new();
+                if seq < r.next_expected || r.buffer.contains_key(&seq) {
+                    self.stats.duplicates_discarded += 1;
+                } else {
+                    r.buffer.insert(seq, payload);
+                    while let Some(p) = r.buffer.remove(&r.next_expected) {
+                        r.next_expected += 1;
+                        ready.push(p);
+                    }
+                    self.stats.delivered += ready.len() as u64;
+                }
+                // Ack even on duplicates: the original ack may have been
+                // lost, and re-acking is what stops the retransmissions.
+                let upto = r.next_expected;
+                self.stats.acks_sent += 1;
+                wire.push((from, LinkMsg::Ack { upto }));
+                ready
+            }
+            LinkMsg::Ack { upto } => {
+                self.stats.acks_received += 1;
+                self.apply_ack(from, upto, now_ns);
+                Vec::new()
+            }
+            LinkMsg::Rejoin => {
+                // The peer lost its in-flight traffic: retransmit at once
+                // with a fresh backoff, and hand it our link snapshot.
+                let cfg = self.cfg;
+                let s = self
+                    .senders
+                    .entry(from)
+                    .or_insert_with(|| SenderState::new(cfg.rto_ns));
+                s.rto_ns = cfg.rto_ns;
+                let mut retransmitted = 0;
+                for (&seq, payload) in &s.unacked {
+                    wire.push((
+                        from,
+                        LinkMsg::Data {
+                            seq,
+                            payload: payload.clone(),
+                        },
+                    ));
+                    retransmitted += 1;
+                }
+                s.deadline = if s.unacked.is_empty() {
+                    None
+                } else {
+                    Some(now_ns + s.rto_ns)
+                };
+                self.stats.retransmissions += retransmitted;
+                let sent = s.next_seq;
+                let received = self.recv.get(&from).map(|r| r.next_expected).unwrap_or(0);
+                self.stats.acks_sent += 1;
+                wire.push((from, LinkMsg::Snapshot { sent, received }));
+                Vec::new()
+            }
+            LinkMsg::Snapshot { sent: _, received } => {
+                // The peer's receive frontier is a cumulative ack for our
+                // stream; retransmission covers anything past it.
+                self.stats.acks_received += 1;
+                self.apply_ack(from, received, now_ns);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Retransmits every overdue unacked frame. Call at (or after) the
+    /// time reported by [`ReliableLink::next_deadline`].
+    pub fn on_tick(&mut self, now_ns: u64, wire: &mut Vec<(ProcessId, LinkMsg<M>)>) {
+        if !self.cfg.retransmit {
+            return;
+        }
+        let max_rto = self.cfg.max_rto_ns;
+        for (&peer, s) in self.senders.iter_mut() {
+            let Some(deadline) = s.deadline else { continue };
+            if deadline > now_ns || s.unacked.is_empty() {
+                continue;
+            }
+            for (&seq, payload) in &s.unacked {
+                wire.push((
+                    peer,
+                    LinkMsg::Data {
+                        seq,
+                        payload: payload.clone(),
+                    },
+                ));
+                self.stats.retransmissions += 1;
+            }
+            s.rto_ns = (s.rto_ns * 2).min(max_rto);
+            s.deadline = Some(now_ns + s.rto_ns);
+        }
+    }
+
+    /// Runs the crash-recovery handshake: retransmits this endpoint's own
+    /// unacked data (acks for it may have died with the outage) and asks
+    /// every peer to resynchronize via [`LinkMsg::Rejoin`].
+    pub fn on_restart(&mut self, now_ns: u64, wire: &mut Vec<(ProcessId, LinkMsg<M>)>) {
+        let base_rto = self.cfg.rto_ns;
+        let retransmit = self.cfg.retransmit;
+        for (&peer, s) in self.senders.iter_mut() {
+            s.rto_ns = base_rto;
+            if retransmit && !s.unacked.is_empty() {
+                for (&seq, payload) in &s.unacked {
+                    wire.push((
+                        peer,
+                        LinkMsg::Data {
+                            seq,
+                            payload: payload.clone(),
+                        },
+                    ));
+                    self.stats.retransmissions += 1;
+                }
+                s.deadline = Some(now_ns + s.rto_ns);
+            } else {
+                s.deadline = None;
+            }
+        }
+        for p in 0..self.n {
+            let p = ProcessId::new(p as u32);
+            if p != self.me {
+                self.stats.rejoins += 1;
+                wire.push((p, LinkMsg::Rejoin));
+            }
+        }
+    }
+
+    fn apply_ack(&mut self, from: ProcessId, upto: u64, now_ns: u64) {
+        let Some(s) = self.senders.get_mut(&from) else {
+            return;
+        };
+        let before = s.unacked.len();
+        s.unacked = s.unacked.split_off(&upto);
+        if s.unacked.len() < before {
+            // Progress: restart the timer from the base timeout.
+            s.rto_ns = self.cfg.rto_ns;
+            s.deadline = if s.unacked.is_empty() {
+                None
+            } else {
+                Some(now_ns + s.rto_ns)
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid(i: u32) -> ProcessId {
+        ProcessId::new(i)
+    }
+
+    type Wire = Vec<(ProcessId, LinkMsg<u32>)>;
+
+    #[test]
+    fn in_order_delivery_and_ack() {
+        let mut a: ReliableLink<u32> = ReliableLink::new(pid(0), 2, LinkConfig::default());
+        let mut b: ReliableLink<u32> = ReliableLink::new(pid(1), 2, LinkConfig::default());
+        let mut wire: Wire = Vec::new();
+        a.send(pid(1), 10, 0, &mut wire);
+        a.send(pid(1), 20, 0, &mut wire);
+        assert_eq!(a.unacked(), 2);
+        let mut acks: Wire = Vec::new();
+        let mut got = Vec::new();
+        for (_, m) in wire {
+            got.extend(b.on_wire(pid(0), m, 5, &mut acks));
+        }
+        assert_eq!(got, vec![10, 20]);
+        for (_, m) in acks {
+            a.on_wire(pid(1), m, 10, &mut Vec::new());
+        }
+        assert_eq!(a.unacked(), 0);
+        assert_eq!(a.next_deadline(), None, "all acked: timer disarmed");
+    }
+
+    #[test]
+    fn reorder_is_hidden_and_duplicates_are_discarded() {
+        let mut b: ReliableLink<u32> = ReliableLink::new(pid(1), 2, LinkConfig::default());
+        let mut acks: Wire = Vec::new();
+        // seq 1 before seq 0: held.
+        let got = b.on_wire(
+            pid(0),
+            LinkMsg::Data {
+                seq: 1,
+                payload: 21,
+            },
+            0,
+            &mut acks,
+        );
+        assert!(got.is_empty(), "gap: must hold");
+        // Duplicate of the held frame: discarded.
+        let got = b.on_wire(
+            pid(0),
+            LinkMsg::Data {
+                seq: 1,
+                payload: 21,
+            },
+            1,
+            &mut acks,
+        );
+        assert!(got.is_empty());
+        assert_eq!(b.stats().duplicates_discarded, 1);
+        // The gap fills: both deliver, in sequence order.
+        let got = b.on_wire(
+            pid(0),
+            LinkMsg::Data {
+                seq: 0,
+                payload: 11,
+            },
+            2,
+            &mut acks,
+        );
+        assert_eq!(got, vec![11, 21]);
+        // A stale duplicate below the frontier still re-acks.
+        let before = acks.len();
+        let got = b.on_wire(
+            pid(0),
+            LinkMsg::Data {
+                seq: 0,
+                payload: 11,
+            },
+            3,
+            &mut acks,
+        );
+        assert!(got.is_empty());
+        assert_eq!(b.stats().duplicates_discarded, 2);
+        assert!(matches!(acks[before].1, LinkMsg::Ack { upto: 2 }));
+    }
+
+    #[test]
+    fn retransmission_backs_off_and_recovers_a_loss() {
+        let cfg = LinkConfig {
+            rto_ns: 100,
+            max_rto_ns: 400,
+            ..LinkConfig::default()
+        };
+        let mut a: ReliableLink<u32> = ReliableLink::new(pid(0), 2, cfg);
+        let mut b: ReliableLink<u32> = ReliableLink::new(pid(1), 2, cfg);
+        let mut wire: Wire = Vec::new();
+        a.send(pid(1), 7, 0, &mut wire);
+        wire.clear(); // the network eats the first copy
+        assert_eq!(a.next_deadline(), Some(100));
+        a.on_tick(100, &mut wire);
+        assert_eq!(wire.len(), 1, "one retransmission");
+        assert_eq!(a.stats().retransmissions, 1);
+        assert_eq!(a.next_deadline(), Some(300), "rto doubled to 200");
+        wire.clear();
+        a.on_tick(300, &mut wire);
+        assert_eq!(a.next_deadline(), Some(700), "rto capped at 400");
+        // The retransmission finally lands: delivered once, then acked.
+        let (_, m) = wire.pop().unwrap();
+        let mut acks: Wire = Vec::new();
+        let got = b.on_wire(pid(0), m, 700, &mut acks);
+        assert_eq!(got, vec![7]);
+        let (_, ack) = acks.pop().unwrap();
+        a.on_wire(pid(1), ack, 710, &mut Vec::new());
+        assert_eq!(a.unacked(), 0);
+        assert_eq!(a.next_deadline(), None);
+    }
+
+    #[test]
+    fn rejoin_handshake_resynchronizes_both_sides() {
+        let mut a: ReliableLink<u32> = ReliableLink::new(pid(0), 2, LinkConfig::default());
+        let mut b: ReliableLink<u32> = ReliableLink::new(pid(1), 2, LinkConfig::default());
+        // A sends two frames; the outage eats both plus any acks.
+        let mut lost: Wire = Vec::new();
+        a.send(pid(1), 1, 0, &mut lost);
+        a.send(pid(1), 2, 0, &mut lost);
+        drop(lost);
+        // B restarts and rejoins.
+        let mut wire: Wire = Vec::new();
+        b.on_restart(1_000, &mut wire);
+        assert_eq!(b.stats().rejoins, 1);
+        let (to, rejoin) = wire.pop().unwrap();
+        assert_eq!(to, pid(0));
+        // A answers the rejoin with a snapshot + full retransmission.
+        let mut resp: Wire = Vec::new();
+        assert!(a.on_wire(pid(1), rejoin, 1_001, &mut resp).is_empty());
+        assert_eq!(a.stats().retransmissions, 2);
+        let mut got = Vec::new();
+        let mut acks: Wire = Vec::new();
+        for (_, m) in resp {
+            got.extend(b.on_wire(pid(0), m, 1_002, &mut acks));
+        }
+        assert_eq!(got, vec![1, 2], "outage-swallowed data recovered in order");
+        for (_, m) in acks {
+            a.on_wire(pid(1), m, 1_003, &mut Vec::new());
+        }
+        assert_eq!(a.unacked(), 0);
+    }
+
+    #[test]
+    fn snapshot_received_acts_as_cumulative_ack() {
+        let mut a: ReliableLink<u32> = ReliableLink::new(pid(0), 2, LinkConfig::default());
+        let mut wire: Wire = Vec::new();
+        a.send(pid(1), 1, 0, &mut wire);
+        a.send(pid(1), 2, 0, &mut wire);
+        a.on_wire(
+            pid(1),
+            LinkMsg::Snapshot {
+                sent: 0,
+                received: 1,
+            },
+            10,
+            &mut Vec::new(),
+        );
+        assert_eq!(a.unacked(), 1, "seq 0 acked via snapshot, seq 1 remains");
+    }
+
+    #[test]
+    fn sabotaged_link_forwards_duplicates_and_never_retransmits() {
+        let mut a: ReliableLink<u32> = ReliableLink::new(pid(0), 2, LinkConfig::sabotaged());
+        let mut b: ReliableLink<u32> = ReliableLink::new(pid(1), 2, LinkConfig::sabotaged());
+        let mut wire: Wire = Vec::new();
+        a.send(pid(1), 9, 0, &mut wire);
+        assert_eq!(a.unacked(), 0, "fire and forget");
+        assert_eq!(a.next_deadline(), None);
+        let (_, m) = wire.pop().unwrap();
+        let mut acks: Wire = Vec::new();
+        // The same frame arrives twice: both copies pass through.
+        let first = b.on_wire(pid(0), m.clone(), 1, &mut acks);
+        let second = b.on_wire(pid(0), m, 2, &mut acks);
+        assert_eq!((first, second), (vec![9], vec![9]));
+        assert!(acks.is_empty(), "sabotaged link does not ack");
+        a.on_tick(1_000_000, &mut wire);
+        assert!(wire.is_empty(), "sabotaged link does not retransmit");
+    }
+}

@@ -104,12 +104,15 @@ impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
                 out.send_all(SequencerMsg::Ordered { seq, origin, item });
             }
             SequencerMsg::Ordered { seq, origin, item } => {
-                debug_assert!(
-                    seq >= self.next_to_deliver,
-                    "duplicate or regressed sequence number"
-                );
-                self.buffer.insert(seq, (origin, item));
-                self.pump();
+                // A stamp below the delivery frontier is a duplicate of an
+                // already-delivered frame (e.g. a retransmission that an
+                // imperfect link let through): the gap-free stamp-order
+                // discipline simply ignores it. Re-inserting a buffered
+                // stamp is likewise idempotent.
+                if seq >= self.next_to_deliver {
+                    self.buffer.insert(seq, (origin, item));
+                    self.pump();
+                }
             }
         }
     }

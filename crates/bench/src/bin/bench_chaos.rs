@@ -1,0 +1,19 @@
+//! `cargo run -p moc-bench --bin bench_chaos --release`
+//!
+//! Measures what the canned fault plans cost the protocol stack: message
+//! traffic (delivered / dropped / duplicated / retransmitted) and
+//! response-time percentiles under `none`, `lossy-dup` and `storm`,
+//! prints the comparison table and writes the machine-readable results
+//! to `BENCH_chaos.json` at the repository root.
+
+use moc_bench::{chaos_bench_json, chaos_bench_table, experiment_chaos};
+
+fn main() {
+    let rows = experiment_chaos(30);
+    println!("{}", chaos_bench_table(&rows));
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
+    let doc = chaos_bench_json(&rows) + "\n";
+    std::fs::write(out, doc).expect("write BENCH_chaos.json");
+    println!("wrote {out}");
+}

@@ -888,6 +888,206 @@ pub fn checker_bench_json(rows: &[CheckerBenchRow]) -> String {
     Json::Obj(fields).render()
 }
 
+/// One (fault plan, protocol) cell of the chaos benchmark: network and
+/// link counters plus response-time percentiles, aggregated over a seed
+/// sweep.
+#[derive(Debug, Clone)]
+pub struct ChaosBenchRow {
+    /// Fault-plan name (`none`, `lossy-dup`, `storm`).
+    pub plan: String,
+    /// Protocol name (`msc`, `mlin`).
+    pub protocol: String,
+    /// Seeds aggregated into this row.
+    pub runs: u64,
+    /// Messages the simulator delivered.
+    pub delivered: u64,
+    /// Messages the fault plan dropped (includes deliveries suppressed by
+    /// partitions and crash windows).
+    pub dropped: u64,
+    /// Messages the fault plan duplicated.
+    pub duplicated: u64,
+    /// Frames the reliable link retransmitted to recover losses.
+    pub retransmitted: u64,
+    /// Duplicate frames the link's receive side discarded.
+    pub dedup_discarded: u64,
+    /// Query response-time percentiles (ns of virtual time).
+    pub query_p50_ns: u64,
+    /// 99th-percentile query response time (ns).
+    pub query_p99_ns: u64,
+    /// Median update response time (ns).
+    pub update_p50_ns: u64,
+    /// 99th-percentile update response time (ns).
+    pub update_p99_ns: u64,
+}
+
+impl ChaosBenchRow {
+    /// The row as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("plan".into(), jstr(self.plan.clone())),
+            ("protocol".into(), jstr(self.protocol.clone())),
+            ("runs".into(), num(self.runs as i64)),
+            ("delivered".into(), num(self.delivered as i64)),
+            ("dropped".into(), num(self.dropped as i64)),
+            ("duplicated".into(), num(self.duplicated as i64)),
+            ("retransmitted".into(), num(self.retransmitted as i64)),
+            ("dedup_discarded".into(), num(self.dedup_discarded as i64)),
+            (
+                "query_ns".into(),
+                Json::Obj(vec![
+                    ("p50".into(), num(self.query_p50_ns as i64)),
+                    ("p99".into(), num(self.query_p99_ns as i64)),
+                ]),
+            ),
+            (
+                "update_ns".into(),
+                Json::Obj(vec![
+                    ("p50".into(), num(self.update_p50_ns as i64)),
+                    ("p99".into(), num(self.update_p99_ns as i64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// E-chaos — what the fault plans cost: delivered/dropped/retransmitted
+/// traffic and response-time percentiles for both protocols under three
+/// canned plans (`none` baseline, `lossy-dup`, `storm`), each aggregated
+/// over `seeds` seeds. Shape to reproduce: the lossy plans inflate tail
+/// latency (retransmission round trips) but never cost a completion —
+/// every sweep run still quiesces with a full history.
+pub fn experiment_chaos(seeds: u64) -> Vec<ChaosBenchRow> {
+    use moc_protocol::chaos::{run_chaos_cluster, ChaosConfig, ChaosRunReport};
+    use moc_workload::chaos::{FaultFamily, WorkloadFamily};
+
+    const PROCESSES: usize = 4;
+    const OPS: usize = 5;
+    const HORIZON_NS: u64 = 1_000_000;
+
+    let run_one = |protocol: &str, family: FaultFamily, seed: u64| -> ChaosRunReport {
+        let spec = WorkloadFamily::Mixed.spec(PROCESSES, OPS);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = scripts(&spec, &mut rng);
+        let config = ChaosConfig::new(spec.num_objects, seed)
+            .with_faults(family.plan(PROCESSES, HORIZON_NS));
+        match protocol {
+            "msc" => run_chaos_cluster::<MscOverSequencer>(&config, s),
+            _ => run_chaos_cluster::<MlinOverSequencer>(&config, s),
+        }
+    };
+
+    let mut rows = Vec::new();
+    for family in [FaultFamily::None, FaultFamily::LossyDup, FaultFamily::Storm] {
+        for protocol in ["msc", "mlin"] {
+            let mut row = ChaosBenchRow {
+                plan: family.name().into(),
+                protocol: protocol.into(),
+                runs: seeds,
+                delivered: 0,
+                dropped: 0,
+                duplicated: 0,
+                retransmitted: 0,
+                dedup_discarded: 0,
+                query_p50_ns: 0,
+                query_p99_ns: 0,
+                update_p50_ns: 0,
+                update_p99_ns: 0,
+            };
+            let mut queries = Vec::new();
+            let mut updates = Vec::new();
+            for seed in 0..seeds {
+                let report = run_one(protocol, family, seed);
+                assert!(
+                    report.anomalies.is_clean(),
+                    "bench run must be fault-masked ({protocol}, {}, seed {seed}): {:?}",
+                    family.name(),
+                    report.anomalies
+                );
+                row.delivered += report.sim.messages_delivered;
+                row.dropped += report.sim.messages_dropped;
+                row.duplicated += report.sim.messages_duplicated;
+                let link = report.total_link_stats();
+                row.retransmitted += link.retransmissions;
+                row.dedup_discarded += link.duplicates_discarded;
+                for &(class, l) in &report.latencies {
+                    match class {
+                        MOpClass::Query => queries.push(l),
+                        MOpClass::Update => updates.push(l),
+                    }
+                }
+            }
+            queries.sort_unstable();
+            updates.sort_unstable();
+            row.query_p50_ns = percentile(&queries, 50.0);
+            row.query_p99_ns = percentile(&queries, 99.0);
+            row.update_p50_ns = percentile(&updates, 50.0);
+            row.update_p99_ns = percentile(&updates, 99.0);
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Renders the chaos rows as a printable table.
+pub fn chaos_bench_table(rows: &[ChaosBenchRow]) -> Table {
+    let mut t = Table::new(
+        "chaos: fault-plan cost (virtual time; latencies in µs)",
+        &[
+            "plan",
+            "proto",
+            "runs",
+            "delivered",
+            "dropped",
+            "dup'd",
+            "retx",
+            "dedup",
+            "q p50",
+            "q p99",
+            "u p50",
+            "u p99",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.plan.clone(),
+            r.protocol.clone(),
+            r.runs.to_string(),
+            r.delivered.to_string(),
+            r.dropped.to_string(),
+            r.duplicated.to_string(),
+            r.retransmitted.to_string(),
+            r.dedup_discarded.to_string(),
+            us(r.query_p50_ns as f64),
+            us(r.query_p99_ns as f64),
+            us(r.update_p50_ns as f64),
+            us(r.update_p99_ns as f64),
+        ]);
+    }
+    t
+}
+
+/// The chaos rows as a machine-readable JSON document
+/// (`BENCH_chaos.json`).
+pub fn chaos_bench_json(rows: &[ChaosBenchRow]) -> String {
+    Json::Obj(vec![
+        ("bench".into(), jstr("chaos")),
+        ("version".into(), num(1)),
+        (
+            "rows".into(),
+            Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+        ),
+    ])
+    .render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -120,6 +120,17 @@ USAGE:
   moc audit  <history-file|-> <cert-file>
       Independently re-validate a moc-cert certificate against a history:
       replay the witness, or check the ~H+ refutation cycle edge by edge.
+  moc chaos  [--protocol msc|mlin|both] [--faults none|lossy|lossy-dup|
+             partition|crash|storm|all|LIST] [--workloads mixed|read-heavy|
+             write-heavy|hot-spot|all|LIST] [--seeds N] [--seed-base S]
+             [--processes N] [--ops K] [--objects M] [--sabotage]
+      Sweep seeds × fault plans × workloads through the protocols on the
+      fault-injecting simulator (reliable-link sublayer on the wire),
+      checking every run's history with a certificate and re-validating
+      each certificate with the independent auditor. Failing runs print a
+      replay command. With --sabotage the link's dedup/retransmission are
+      disabled and the sweep must instead find an audited refutation.
+      See docs/CHAOS.md.
   moc render <file|-> [--width N]
       Draw the history as per-process timelines plus a listing.
   moc analyze [--workload demo|disjoint|protocol] [--format human|json]
@@ -131,9 +142,10 @@ USAGE:
       Print this text.
 
 EXIT CODES:
-  0  clean (no Error-severity findings; certificate valid)
-  1  the analysis report contains Error-severity findings, or the
-     audited certificate was rejected
+  0  clean (no Error-severity findings; certificate valid; chaos sweep
+     passed)
+  1  the analysis report contains Error-severity findings, the audited
+     certificate was rejected, or the chaos sweep failed
   2  invalid input or usage
 
 Histories use the `history v1` text format (moc_core::codec).";
@@ -166,6 +178,10 @@ pub fn dispatch_with_status(raw: &[String], stdin: &str) -> (Result<String, Stri
             Err(e) => Err(e),
         },
         "audit" => match cmd_audit(&args, stdin) {
+            Ok((out, code)) => return (Ok(out), code),
+            Err(e) => Err(e),
+        },
+        "chaos" => match cmd_chaos(&args) {
             Ok((out, code)) => return (Ok(out), code),
             Err(e) => Err(e),
         },
@@ -481,6 +497,226 @@ fn cmd_analyze(args: &Args) -> Result<(String, i32), String> {
     Ok((out, code))
 }
 
+/// One run of the chaos sweep, reduced to what the sweep cares about.
+struct ChaosOutcome {
+    /// The run was fault-masked end to end: no anomalies, valid history,
+    /// satisfied condition, audited certificate.
+    clean: bool,
+    /// The checker refuted the history AND the independent auditor
+    /// confirmed the refutation certificate (the sabotage-mode goal).
+    audited_refutation: bool,
+    /// Human-readable diagnosis when not clean.
+    detail: String,
+}
+
+fn chaos_run_one<R: moc_protocol::ReplicaProtocol + 'static>(
+    condition: Condition,
+    config: &moc_protocol::chaos::ChaosConfig,
+    scripts_in: Vec<moc_protocol::ClientScript>,
+) -> ChaosOutcome {
+    let report = moc_protocol::chaos::run_chaos_cluster::<R>(config, scripts_in);
+    let expected_sabotage = !config.link.dedup || !config.link.retransmit;
+    if !report.anomalies.is_clean() && !expected_sabotage {
+        return ChaosOutcome {
+            clean: false,
+            audited_refutation: false,
+            detail: format!("anomalies: {:?}", report.anomalies),
+        };
+    }
+    let history = match &report.history {
+        Ok(h) => h,
+        Err(e) => {
+            return ChaosOutcome {
+                clean: false,
+                audited_refutation: false,
+                detail: format!("invalid history: {e}"),
+            }
+        }
+    };
+    let limits = SearchLimits::with_max_nodes(5_000_000);
+    let (verdict, cert) = match check_certified(history, condition, limits) {
+        Ok(v) => v,
+        Err(e) => {
+            return ChaosOutcome {
+                clean: false,
+                audited_refutation: false,
+                detail: format!("checker error: {e}"),
+            }
+        }
+    };
+    let audit = moc_audit::audit(history, &cert.to_text());
+    match (verdict.satisfied, audit) {
+        (true, Ok(_)) => ChaosOutcome {
+            clean: true,
+            audited_refutation: false,
+            detail: String::new(),
+        },
+        (false, Ok(_)) => ChaosOutcome {
+            clean: false,
+            audited_refutation: true,
+            detail: format!(
+                "condition VIOLATED (audited): {}",
+                verdict.reason.unwrap_or_default()
+            ),
+        },
+        (_, Err(reject)) => ChaosOutcome {
+            clean: false,
+            audited_refutation: false,
+            detail: format!("certificate rejected by auditor: {reject}"),
+        },
+    }
+}
+
+fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
+    use moc_protocol::chaos::{ChaosConfig, LinkConfig};
+    use moc_sim::FaultPlan;
+    use moc_workload::chaos::{FaultFamily, WorkloadFamily};
+
+    let processes = args.get_usize("processes", 3)?;
+    let ops = args.get_usize("ops", 4)?;
+    let objects = args.get_usize("objects", 4)?;
+    let seeds = args.get_u64("seeds", 5)?;
+    let seed_base = args.get_u64("seed-base", 0)?;
+    let sabotage = args.flag("sabotage");
+    if processes < 2 {
+        return Err("--processes must be at least 2 (faults need a remote hop)".into());
+    }
+
+    let protocols: Vec<&str> = match args
+        .options
+        .get("protocol")
+        .map(String::as_str)
+        .unwrap_or("both")
+    {
+        "msc" => vec!["msc"],
+        "mlin" => vec!["mlin"],
+        "both" => vec!["msc", "mlin"],
+        other => return Err(format!("unknown protocol {other:?} (msc|mlin|both)")),
+    };
+    let families: Vec<FaultFamily> = match args.options.get("faults").map(String::as_str) {
+        None | Some("all") => FaultFamily::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                FaultFamily::by_name(t.trim())
+                    .ok_or_else(|| format!("unknown fault family {:?}", t.trim()))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+    let workloads: Vec<WorkloadFamily> = match args.options.get("workloads").map(String::as_str) {
+        None | Some("mixed") => vec![WorkloadFamily::Mixed],
+        Some("all") => WorkloadFamily::ALL.to_vec(),
+        Some(list) => list
+            .split(',')
+            .map(|t| {
+                WorkloadFamily::by_name(t.trim())
+                    .ok_or_else(|| format!("unknown workload family {:?}", t.trim()))
+            })
+            .collect::<Result<_, _>>()?,
+    };
+
+    // Virtual-time horizon scheduled faults live inside. Generous: the
+    // retransmission layer stretches runs well past the fair-weather
+    // duration.
+    let horizon_ns = ops as u64 * 150_000 + 500_000;
+    let mut out = String::new();
+    let mut total = 0u64;
+    let mut failures: Vec<String> = Vec::new();
+    let mut audited_refutations = 0u64;
+
+    for proto in &protocols {
+        let condition = match *proto {
+            "msc" => Condition::MSequentialConsistency,
+            _ => Condition::MLinearizability,
+        };
+        for family in &families {
+            for wl in &workloads {
+                let mut clean = 0u64;
+                for i in 0..seeds {
+                    let seed = seed_base + i;
+                    total += 1;
+                    let spec = wl.spec(processes, ops);
+                    let spec = WorkloadSpec {
+                        num_objects: objects.min(spec.num_objects.max(1)).max(1),
+                        ..spec
+                    };
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let s = scripts(&spec, &mut rng);
+                    let (plan, link) = if sabotage {
+                        // Dedup and retransmission off, duplication on: the
+                        // faults reach the protocol unprotected.
+                        (FaultPlan::default().with_dup(0.5), LinkConfig::sabotaged())
+                    } else {
+                        (family.plan(processes, horizon_ns), LinkConfig::default())
+                    };
+                    let config = ChaosConfig::new(spec.num_objects, seed)
+                        .with_faults(plan)
+                        .with_link(link);
+                    let outcome = match *proto {
+                        "msc" => chaos_run_one::<MscOverSequencer>(condition, &config, s),
+                        _ => chaos_run_one::<MlinOverSequencer>(condition, &config, s),
+                    };
+                    if outcome.audited_refutation {
+                        audited_refutations += 1;
+                    }
+                    if outcome.clean {
+                        clean += 1;
+                    } else if !sabotage {
+                        failures.push(format!(
+                            "FAIL {proto} faults={} workload={} seed={seed}: {}\n  replay: moc chaos --protocol {proto} --faults {} --workloads {} --seed-base {seed} --seeds 1 --processes {processes} --ops {ops} --objects {objects}",
+                            family.name(), wl.name(), outcome.detail,
+                            family.name(), wl.name(),
+                        ));
+                    }
+                }
+                let _ = std::fmt::Write::write_fmt(
+                    &mut out,
+                    format_args!(
+                        "{proto:4} faults={:<10} workload={:<11} {clean}/{seeds} clean\n",
+                        family.name(),
+                        wl.name(),
+                    ),
+                );
+                if sabotage {
+                    // One pass over the seeds is enough in sabotage mode;
+                    // the family axis is overridden anyway.
+                    break;
+                }
+            }
+            if sabotage {
+                break;
+            }
+        }
+    }
+
+    if sabotage {
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "sabotage sweep: {total} runs, {audited_refutations} audited refutation(s)\n"
+            ),
+        );
+        if audited_refutations > 0 {
+            out.push_str("SABOTAGE CONFIRMED: the checker refuted the unprotected stack and the auditor upheld the certificates\n");
+            return Ok((out, 0));
+        }
+        out.push_str("SABOTAGE FAILED: no audited refutation found — widen --seeds\n");
+        return Ok((out, 1));
+    }
+    for f in &failures {
+        out.push_str(f);
+        out.push('\n');
+    }
+    let _ = std::fmt::Write::write_fmt(
+        &mut out,
+        format_args!(
+            "chaos sweep: {total} runs, {} failures; every clean run's certificate audited\n",
+            failures.len()
+        ),
+    );
+    Ok((out, if failures.is_empty() { 0 } else { 1 }))
+}
+
 fn cmd_render(args: &Args, stdin: &str) -> Result<String, String> {
     let h = load_history(args, stdin)?;
     let width = args.get_usize("width", 72)?;
@@ -767,6 +1003,68 @@ mod tests {
         let (result, code) = dispatch_with_status(&sv(&["audit", "/no/such/file", "c"]), "");
         assert!(result.is_err());
         assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn chaos_sweep_passes_on_recoverable_faults() {
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "chaos",
+                "--protocol",
+                "both",
+                "--faults",
+                "lossy,crash",
+                "--seeds",
+                "2",
+                "--ops",
+                "3",
+            ]),
+            "",
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("msc"), "{out}");
+        assert!(out.contains("mlin"), "{out}");
+        assert!(out.contains("2/2 clean"), "{out}");
+        assert!(out.contains("0 failures"), "{out}");
+    }
+
+    #[test]
+    fn chaos_sabotage_finds_audited_refutations() {
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "chaos",
+                "--protocol",
+                "msc",
+                "--sabotage",
+                "--seeds",
+                "40",
+                "--ops",
+                "4",
+                "--objects",
+                "1",
+                "--workloads",
+                "write-heavy",
+            ]),
+            "",
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("SABOTAGE CONFIRMED"), "{out}");
+    }
+
+    #[test]
+    fn chaos_bad_flags_exit_2() {
+        for bad in [
+            sv(&["chaos", "--protocol", "nope"]),
+            sv(&["chaos", "--faults", "nope"]),
+            sv(&["chaos", "--workloads", "nope"]),
+            sv(&["chaos", "--processes", "1"]),
+        ] {
+            let (result, code) = dispatch_with_status(&bad, "");
+            assert!(result.is_err(), "{bad:?}");
+            assert_eq!(code, 2);
+        }
     }
 
     #[test]

@@ -42,6 +42,12 @@ pub struct ExploreLimits {
     /// Hard cap on events within one schedule (a protocol that exceeds it
     /// is livelocked — reported as a violation).
     pub max_depth: usize,
+    /// Duplicate-delivery budget per schedule. The default (0) explores
+    /// the paper's reliable reordering channels; a positive budget lets
+    /// the explorer also deliver up to this many in-flight messages a
+    /// second time, modelling a faulty network *without* the
+    /// reliable-link sublayer — and finding the schedules it breaks.
+    pub max_duplicates: u32,
 }
 
 impl Default for ExploreLimits {
@@ -49,6 +55,7 @@ impl Default for ExploreLimits {
         ExploreLimits {
             max_schedules: 200_000,
             max_depth: 10_000,
+            max_duplicates: 0,
         }
     }
 }
@@ -105,6 +112,7 @@ where
     next_seq: Vec<u32>,
     records: Vec<MOpRecord>,
     step: u64,
+    duplicates_used: u32,
 }
 
 impl<R: ReplicaProtocol + Clone> Clone for State<R>
@@ -129,6 +137,7 @@ where
             next_seq: self.next_seq.clone(),
             records: self.records.clone(),
             step: self.step,
+            duplicates_used: self.duplicates_used,
         }
     }
 }
@@ -136,6 +145,9 @@ where
 #[derive(Debug, Clone, Copy)]
 enum Move {
     Deliver(usize),
+    /// Deliver a *copy* of an in-flight message, leaving the original in
+    /// flight: the network duplicated it.
+    Duplicate(usize),
     Invoke(usize),
 }
 
@@ -179,6 +191,7 @@ where
         next_seq: vec![0; n],
         records: Vec::new(),
         step: 0,
+        duplicates_used: 0,
     };
     let mut explorer = Explorer::<R> {
         scripts: &scripts,
@@ -204,6 +217,9 @@ where
 {
     fn moves(&self, s: &State<R>) -> Vec<Move> {
         let mut moves: Vec<Move> = (0..s.inflight.len()).map(Move::Deliver).collect();
+        if s.duplicates_used < self.limits.max_duplicates {
+            moves.extend((0..s.inflight.len()).map(Move::Duplicate));
+        }
         for p in 0..s.replicas.len() {
             if s.pending[p].is_none() && s.script_pos[p] < self.scripts[p].len() {
                 moves.push(Move::Invoke(p));
@@ -219,6 +235,13 @@ where
         match mv {
             Move::Deliver(i) => {
                 let env = s.inflight.swap_remove(i);
+                acting = env.to.index();
+                out = Outbox::new(s.replicas.len());
+                s.replicas[acting].on_message(env.from, env.msg, &mut out);
+            }
+            Move::Duplicate(i) => {
+                s.duplicates_used += 1;
+                let env = s.inflight[i].clone();
                 acting = env.to.index();
                 out = Outbox::new(s.replicas.len());
                 s.replicas[acting].on_message(env.from, env.msg, &mut out);
@@ -248,8 +271,17 @@ where
     }
 
     fn complete(&self, s: &mut State<R>, p: usize, c: Completion) {
-        let pending = s.pending[p].take().expect("completion matches invocation");
-        assert_eq!(pending.id, c.id);
+        let Some(pending) = s.pending[p].take() else {
+            // Orphan completion: a duplicated message made the replica
+            // apply (and complete) the same m-operation twice. Only the
+            // first completion is the client-visible response event.
+            debug_assert!(self.limits.max_duplicates > 0, "orphan without duplication");
+            return;
+        };
+        if pending.id != c.id {
+            s.pending[p] = Some(pending);
+            return;
+        }
         s.records.push(MOpRecord {
             id: c.id,
             invoked_at: EventTime::from_nanos(pending.invoked_step * 10),
@@ -454,6 +486,47 @@ mod tests {
         assert!(!result.truncated);
     }
 
+    /// Without the reliable-link sublayer, a single duplicated message
+    /// breaks the Figure 4 protocol: a duplicate `Submit` re-stamps an
+    /// old write after a newer one from the same process, and the
+    /// explorer finds a schedule whose history the checker refutes. This
+    /// is exactly the failure mode the link's receive-side dedup exists
+    /// to prevent (the chaos suite shows the protected stack surviving
+    /// the same fault).
+    #[test]
+    fn one_duplicate_without_link_protection_breaks_msc() {
+        let result = explore::<MscOverSequencer>(
+            1,
+            vec![vec![wx(1), wx(2)], vec![rx(), rx()]],
+            Condition::MSequentialConsistency,
+            ExploreLimits {
+                max_schedules: 100_000,
+                max_duplicates: 1,
+                ..ExploreLimits::default()
+            },
+        );
+        assert!(
+            !result.violations.is_empty(),
+            "a duplicated broadcast frame must produce a refutable schedule \
+             ({} schedules explored)",
+            result.schedules
+        );
+    }
+
+    /// A zero duplicate budget leaves the exploration exactly as before:
+    /// the paper's reliable channels, under which Theorem 15 holds on
+    /// every schedule.
+    #[test]
+    fn zero_duplicate_budget_preserves_theorem15() {
+        let result = explore::<MscOverSequencer>(
+            1,
+            vec![vec![wx(1), wx(2)], vec![rx(), rx()]],
+            Condition::MSequentialConsistency,
+            ExploreLimits::default(),
+        );
+        assert!(result.holds(), "{} violations", result.violations.len());
+    }
+
     /// The schedule cap is honoured.
     #[test]
     fn truncation_is_reported() {
@@ -463,7 +536,7 @@ mod tests {
             Condition::MSequentialConsistency,
             ExploreLimits {
                 max_schedules: 3,
-                max_depth: 10_000,
+                ..ExploreLimits::default()
             },
         );
         assert!(result.truncated);

@@ -1,0 +1,563 @@
+//! Chaos harness: hosts protocol replicas on the fault-injecting
+//! simulator, with the [`moc_abcast::ReliableLink`] sublayer between the
+//! replicas and the wire.
+//!
+//! This is [`crate::harness`] hardened for hostile networks. The stack is
+//!
+//! ```text
+//!   client script  →  replica protocol (msc / mlin / aggregate)
+//!                  →  reliable link (seq/ack/retransmit/dedup/rejoin)
+//!                  →  moc-sim network with a FaultPlan (drop/dup/
+//!                     partition/crash)
+//! ```
+//!
+//! The link re-establishes the paper's reliable-reordering-channel
+//! contract, so the Theorem 15/20 guarantees must survive any
+//! *recoverable* fault plan (all partitions heal, all crashes restart,
+//! drop probability < 1): the recorded history must still check out as
+//! m-sequentially consistent / m-linearizable. The chaos conformance
+//! suite sweeps seeds × plans and verifies exactly that, auditing every
+//! certificate independently.
+//!
+//! Unlike the fair-weather harness, nothing here panics on protocol
+//! misbehavior: a sabotaged link ([`moc_abcast::LinkConfig::sabotaged`])
+//! is *expected* to corrupt executions, and the interesting output is the
+//! anomaly tally plus a history the checker can refute. Orphaned
+//! completions, unfinished scripts, delivery-log divergence and
+//! non-quiescence are all recorded in [`ChaosAnomalies`] instead of
+//! tripping asserts.
+
+use std::collections::VecDeque;
+
+pub use moc_abcast::{LinkConfig, LinkStats};
+use moc_abcast::{LinkMsg, Outbox, ReliableLink};
+use moc_core::history::History;
+use moc_core::ids::{MOpId, ProcessId};
+use moc_core::mop::{EventTime, MOpClass, MOpRecord};
+use moc_sim::{Context, FaultPlan, NetworkConfig, Node, RunStats, TimerId, World};
+
+use crate::harness::{ClientScript, OpSpec};
+use crate::{MOperation, ReplicaMetrics, ReplicaProtocol};
+
+/// Configuration of a chaos run: the cluster, the fault plan, and the
+/// link-layer tuning.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// Size of the shared-object universe.
+    pub num_objects: usize,
+    /// Network delay model.
+    pub network: NetworkConfig,
+    /// The fault schedule (deterministic per `(seed, faults)`).
+    pub faults: FaultPlan,
+    /// Reliable-link tuning (or [`LinkConfig::sabotaged`]).
+    pub link: LinkConfig,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Event budget; exceeding it sets [`ChaosAnomalies::stalled`] rather
+    /// than panicking (a plan that never lets the run quiesce is data,
+    /// not a crash).
+    pub max_events: u64,
+}
+
+impl ChaosConfig {
+    /// A config with default network, benign faults and default link.
+    pub fn new(num_objects: usize, seed: u64) -> Self {
+        ChaosConfig {
+            num_objects,
+            network: NetworkConfig::default(),
+            faults: FaultPlan::default(),
+            link: LinkConfig::default(),
+            seed,
+            max_events: 20_000_000,
+        }
+    }
+
+    /// Overrides the network model.
+    pub fn with_network(mut self, network: NetworkConfig) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Installs a fault plan.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the link configuration.
+    pub fn with_link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
+        self
+    }
+}
+
+/// Irregularities observed during a chaos run. All zero/false on a
+/// healthy stack with a recoverable plan; a sabotaged link is expected to
+/// light these up.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosAnomalies {
+    /// Completions that did not match the client's inflight m-operation
+    /// (e.g. double application of a duplicated broadcast frame).
+    pub orphan_completions: u64,
+    /// Scripted m-operations that never finished (still queued or
+    /// inflight at the end of the run).
+    pub unfinished_ops: u64,
+    /// Replicas disagreed on the atomic-broadcast delivery order.
+    pub delivery_divergence: bool,
+    /// The run exhausted its event budget before quiescing.
+    pub stalled: bool,
+}
+
+impl ChaosAnomalies {
+    /// Whether the run completed with no irregularities.
+    pub fn is_clean(&self) -> bool {
+        *self == ChaosAnomalies::default()
+    }
+}
+
+/// The outcome of a chaos run: the (attempted) history plus metrics and
+/// the anomaly tally.
+#[derive(Debug, Clone)]
+pub struct ChaosRunReport {
+    /// Short name of the protocol that ran.
+    pub protocol: &'static str,
+    /// The recorded history, or the validation error if the run produced
+    /// structurally invalid records (possible — and itself evidence —
+    /// under a sabotaged link).
+    pub history: Result<History, String>,
+    /// Response time of every completed m-operation, by class (ns).
+    pub latencies: Vec<(MOpClass, u64)>,
+    /// Per-replica protocol message counters.
+    pub replica_metrics: Vec<ReplicaMetrics>,
+    /// Per-replica link counters (retransmissions, dedup discards, …).
+    pub link_stats: Vec<LinkStats>,
+    /// Simulator counters, including fault counters (drops, duplicates,
+    /// crashes).
+    pub sim: RunStats,
+    /// Replica 0's atomic-broadcast delivery order.
+    pub update_order: Vec<MOpId>,
+    /// Irregularities observed during the run.
+    pub anomalies: ChaosAnomalies,
+}
+
+impl ChaosRunReport {
+    /// The history fingerprint (replay identity), when the history is
+    /// valid.
+    pub fn fingerprint(&self) -> Option<u64> {
+        self.history.as_ref().ok().map(moc_core::codec::fingerprint)
+    }
+
+    /// The p-th percentile (0..=100) response time for `class`.
+    pub fn percentile_latency(&self, class: MOpClass, p: f64) -> Option<u64> {
+        let mut xs: Vec<u64> = self
+            .latencies
+            .iter()
+            .filter(|(c, _)| *c == class)
+            .map(|&(_, l)| l)
+            .collect();
+        if xs.is_empty() {
+            return None;
+        }
+        xs.sort_unstable();
+        let rank = ((p / 100.0) * (xs.len() - 1) as f64).round() as usize;
+        Some(xs[rank.min(xs.len() - 1)])
+    }
+
+    /// Aggregated link counters across all replicas.
+    pub fn total_link_stats(&self) -> LinkStats {
+        let mut t = LinkStats::default();
+        for s in &self.link_stats {
+            t.data_sent += s.data_sent;
+            t.data_received += s.data_received;
+            t.delivered += s.delivered;
+            t.duplicates_discarded += s.duplicates_discarded;
+            t.retransmissions += s.retransmissions;
+            t.acks_sent += s.acks_sent;
+            t.acks_received += s.acks_received;
+            t.rejoins += s.rejoins;
+        }
+        t
+    }
+
+    /// The relation `~p ∪ ~rf ∪ ~ww` over the recorded history (see
+    /// [`crate::harness::RunReport::ww_relation`]). `None` when the
+    /// history is invalid.
+    pub fn ww_relation(&self) -> Option<moc_core::relations::Relation> {
+        use moc_core::relations::{process_order, reads_from};
+        let h = self.history.as_ref().ok()?;
+        let mut rel = process_order(h).union(&reads_from(h));
+        for pair in self.update_order.windows(2) {
+            if let (Some(a), Some(b)) = (h.idx_of(pair[0]), h.idx_of(pair[1])) {
+                rel.add(a, b);
+            }
+        }
+        Some(rel)
+    }
+}
+
+/// A replica + scripted client + reliable-link endpoint, hosted as one
+/// fault-tolerant simulator node.
+struct ChaosNode<R: ReplicaProtocol> {
+    me: ProcessId,
+    n: usize,
+    replica: R,
+    link: ReliableLink<R::Msg>,
+    script: VecDeque<OpSpec>,
+    think_ns: u64,
+    start_delay_ns: u64,
+    next_seq: u32,
+    inflight: Option<(MOpId, u64)>,
+    records: Vec<MOpRecord>,
+    latencies: Vec<(MOpClass, u64)>,
+    /// The currently armed think timer; any other timer is a link tick.
+    think_timer: Option<TimerId>,
+    /// The earliest link deadline a tick timer is armed for.
+    tick_deadline: Option<u64>,
+    orphan_completions: u64,
+}
+
+impl<R: ReplicaProtocol> ChaosNode<R> {
+    /// Frames the replica's outbox through the link and hands the wire
+    /// traffic to the simulator.
+    fn relay(&mut self, out: &mut Outbox<R::Msg>, ctx: &mut Context<'_, LinkMsg<R::Msg>>) {
+        let now = ctx.now().as_nanos();
+        let mut wire = Vec::new();
+        for (to, m) in out.drain() {
+            self.link.send(to, m, now, &mut wire);
+        }
+        for (to, f) in wire {
+            ctx.send(to, f);
+        }
+    }
+
+    /// Arms a tick timer for the link's earliest retransmission deadline,
+    /// unless one at least as early is already armed. Superseded timers
+    /// still fire and run a (harmless, idempotent) early tick.
+    fn arm_tick(&mut self, ctx: &mut Context<'_, LinkMsg<R::Msg>>) {
+        let Some(d) = self.link.next_deadline() else {
+            return;
+        };
+        if self.tick_deadline.is_none_or(|armed| armed > d) {
+            let delay = d.saturating_sub(ctx.now().as_nanos()).max(1);
+            ctx.set_timer(delay);
+            self.tick_deadline = Some(d);
+        }
+    }
+
+    fn invoke_next(&mut self, ctx: &mut Context<'_, LinkMsg<R::Msg>>) {
+        if self.inflight.is_some() {
+            // A stale think timer (e.g. re-armed across a crash window):
+            // the previous m-operation is still being recovered.
+            return;
+        }
+        let Some(spec) = self.script.pop_front() else {
+            return;
+        };
+        let id = MOpId::new(self.me, self.next_seq);
+        self.next_seq += 1;
+        self.inflight = Some((id, ctx.now().as_nanos()));
+        let mop = MOperation::new(id, spec.program, spec.args);
+        let mut out = Outbox::new(self.n);
+        self.replica.invoke(mop, &mut out);
+        self.relay(&mut out, ctx);
+        self.drain(ctx);
+        self.arm_tick(ctx);
+    }
+
+    fn drain(&mut self, ctx: &mut Context<'_, LinkMsg<R::Msg>>) {
+        for c in self.replica.drain_completions() {
+            match self.inflight {
+                Some((id, invoked_ns)) if c.id == id => {
+                    self.inflight = None;
+                    let now = ctx.now().as_nanos();
+                    self.records.push(MOpRecord {
+                        id,
+                        invoked_at: EventTime::from_nanos(invoked_ns),
+                        responded_at: EventTime::from_nanos(now),
+                        ops: c.ops,
+                        outputs: c.outputs,
+                        treated_as: c.treated_as,
+                        label: c.label,
+                    });
+                    self.latencies.push((c.treated_as, now - invoked_ns));
+                    if !self.script.is_empty() {
+                        self.think_timer = Some(ctx.set_timer(self.think_ns.max(1)));
+                    }
+                }
+                // A completion with no (or the wrong) inflight op: a
+                // duplicated broadcast frame was applied twice. Tally it;
+                // the history keeps the first completion only.
+                _ => self.orphan_completions += 1,
+            }
+        }
+    }
+}
+
+impl<R: ReplicaProtocol> Node for ChaosNode<R> {
+    type Msg = LinkMsg<R::Msg>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        if !self.script.is_empty() {
+            self.think_timer = Some(ctx.set_timer(self.start_delay_ns.max(1)));
+        }
+    }
+
+    fn on_message(&mut self, from: ProcessId, frame: Self::Msg, ctx: &mut Context<'_, Self::Msg>) {
+        let now = ctx.now().as_nanos();
+        let mut wire = Vec::new();
+        let ready = self.link.on_wire(from, frame, now, &mut wire);
+        for (to, f) in wire {
+            ctx.send(to, f);
+        }
+        for m in ready {
+            let mut out = Outbox::new(self.n);
+            self.replica.on_message(from, m, &mut out);
+            self.relay(&mut out, ctx);
+        }
+        self.drain(ctx);
+        self.arm_tick(ctx);
+    }
+
+    fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, Self::Msg>) {
+        if self.think_timer == Some(timer) {
+            self.think_timer = None;
+            self.invoke_next(ctx);
+        } else {
+            // A link tick (possibly superseded or early — on_tick only
+            // acts on deadlines that are actually due).
+            self.tick_deadline = None;
+            let now = ctx.now().as_nanos();
+            let mut wire = Vec::new();
+            self.link.on_tick(now, &mut wire);
+            for (to, f) in wire {
+                ctx.send(to, f);
+            }
+            self.arm_tick(ctx);
+        }
+    }
+
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        // Timers armed before the outage were suppressed with it; the
+        // link's rejoin handshake recovers in-flight protocol traffic.
+        let now = ctx.now().as_nanos();
+        let mut wire = Vec::new();
+        self.link.on_restart(now, &mut wire);
+        for (to, f) in wire {
+            ctx.send(to, f);
+        }
+        self.think_timer = None;
+        self.tick_deadline = None;
+        self.arm_tick(ctx);
+        if self.inflight.is_none() && !self.script.is_empty() {
+            self.think_timer = Some(ctx.set_timer(self.think_ns.max(1)));
+        }
+    }
+}
+
+/// Runs protocol `R` over `scripts` (one per process) on the
+/// fault-injecting simulator with the reliable link in between, and
+/// reports everything observed. Never panics on protocol misbehavior —
+/// see [`ChaosAnomalies`].
+pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
+    config: &ChaosConfig,
+    scripts: Vec<ClientScript>,
+) -> ChaosRunReport {
+    let n = scripts.len();
+    assert!(n > 0, "need at least one process");
+    let nodes: Vec<ChaosNode<R>> = scripts
+        .into_iter()
+        .enumerate()
+        .map(|(p, script)| ChaosNode {
+            me: ProcessId::new(p as u32),
+            n,
+            replica: R::new(ProcessId::new(p as u32), n, config.num_objects),
+            link: ReliableLink::new(ProcessId::new(p as u32), n, config.link),
+            script: script.ops.into(),
+            think_ns: script.think_ns,
+            start_delay_ns: script.start_delay_ns,
+            next_seq: 0,
+            inflight: None,
+            records: Vec::new(),
+            latencies: Vec::new(),
+            think_timer: None,
+            tick_deadline: None,
+            orphan_completions: 0,
+        })
+        .collect();
+    let mut world = World::with_faults(nodes, config.network, config.faults.clone(), config.seed);
+    let mut events = 0u64;
+    let mut stalled = true;
+    while events < config.max_events {
+        if !world.step() {
+            stalled = false;
+            break;
+        }
+        events += 1;
+    }
+    let sim = world.stats();
+    let nodes = world.into_nodes();
+
+    let mut anomalies = ChaosAnomalies {
+        stalled,
+        ..ChaosAnomalies::default()
+    };
+    let update_order: Vec<MOpId> = nodes[0].replica.delivery_log().to_vec();
+    for node in &nodes {
+        if node.replica.delivery_log() != update_order.as_slice() {
+            anomalies.delivery_divergence = true;
+        }
+    }
+    let mut records = Vec::new();
+    let mut latencies = Vec::new();
+    let mut replica_metrics = Vec::new();
+    let mut link_stats = Vec::new();
+    for node in nodes {
+        anomalies.orphan_completions += node.orphan_completions;
+        anomalies.unfinished_ops += node.script.len() as u64 + u64::from(node.inflight.is_some());
+        records.extend(node.records);
+        latencies.extend(node.latencies);
+        replica_metrics.push(node.replica.metrics());
+        link_stats.push(node.link.stats());
+    }
+    let history = History::new(config.num_objects, records).map_err(|e| e.to_string());
+    ChaosRunReport {
+        protocol: R::protocol_name(),
+        history,
+        latencies,
+        replica_metrics,
+        link_stats,
+        sim,
+        update_order,
+        anomalies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MlinOverSequencer, MscOverSequencer};
+    use moc_core::ids::ObjectId;
+    use moc_core::program::{reg, ProgramBuilder};
+    use moc_sim::DelayModel;
+    use std::sync::Arc;
+
+    fn write_x() -> Arc<moc_core::program::Program> {
+        let mut b = ProgramBuilder::new("wx");
+        b.write(ObjectId::new(0), moc_core::program::arg(0))
+            .ret(vec![]);
+        Arc::new(b.build().unwrap())
+    }
+
+    fn read_x() -> Arc<moc_core::program::Program> {
+        let mut b = ProgramBuilder::new("rx");
+        b.read(ObjectId::new(0), 0).ret(vec![reg(0)]);
+        Arc::new(b.build().unwrap())
+    }
+
+    fn scripts() -> Vec<ClientScript> {
+        vec![
+            ClientScript::new(vec![
+                OpSpec::new(write_x(), vec![5]),
+                OpSpec::new(read_x(), vec![]),
+            ]),
+            ClientScript::new(vec![
+                OpSpec::new(read_x(), vec![]),
+                OpSpec::new(write_x(), vec![9]),
+            ]),
+            ClientScript::new(vec![OpSpec::new(read_x(), vec![])]),
+        ]
+    }
+
+    #[test]
+    fn benign_chaos_run_matches_fair_weather_expectations() {
+        let cfg = ChaosConfig::new(1, 11);
+        let report = run_chaos_cluster::<MscOverSequencer>(&cfg, scripts());
+        assert!(report.anomalies.is_clean(), "{:?}", report.anomalies);
+        let h = report.history.as_ref().expect("valid history");
+        assert_eq!(h.len(), 5);
+        assert_eq!(report.sim.messages_dropped, 0);
+        assert!(report.total_link_stats().retransmissions == 0);
+    }
+
+    #[test]
+    fn msc_completes_under_drops_and_duplicates() {
+        let cfg = ChaosConfig::new(1, 23)
+            .with_network(NetworkConfig::with_delay(DelayModel::Uniform {
+                lo: 50,
+                hi: 2_000,
+            }))
+            .with_faults(FaultPlan::lossy(0.25).with_dup(0.15))
+            .with_link(LinkConfig {
+                rto_ns: 10_000,
+                max_rto_ns: 160_000,
+                ..LinkConfig::default()
+            });
+        let report = run_chaos_cluster::<MscOverSequencer>(&cfg, scripts());
+        assert!(report.anomalies.is_clean(), "{:?}", report.anomalies);
+        let h = report.history.as_ref().expect("valid history");
+        assert_eq!(h.len(), 5, "every scripted op completed despite faults");
+        assert!(report.sim.messages_dropped > 0, "the plan actually dropped");
+        assert!(
+            report.total_link_stats().retransmissions > 0,
+            "losses were recovered by retransmission"
+        );
+    }
+
+    #[test]
+    fn mlin_completes_across_a_crash_window() {
+        let cfg = ChaosConfig::new(1, 5)
+            .with_network(NetworkConfig::fifo(1_000))
+            .with_faults(FaultPlan::default().with_crash(ProcessId::new(2), 3_000, 500_000))
+            .with_link(LinkConfig {
+                rto_ns: 20_000,
+                max_rto_ns: 320_000,
+                ..LinkConfig::default()
+            });
+        let report = run_chaos_cluster::<MlinOverSequencer>(&cfg, scripts());
+        assert!(report.anomalies.is_clean(), "{:?}", report.anomalies);
+        let h = report.history.as_ref().expect("valid history");
+        assert_eq!(h.len(), 5);
+        assert_eq!(report.sim.crashes, 1);
+        assert_eq!(report.sim.restarts, 1);
+        let link = report.total_link_stats();
+        assert!(
+            link.rejoins > 0,
+            "the crashed replica ran the rejoin handshake"
+        );
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let mk = || {
+            let cfg = ChaosConfig::new(1, 77).with_faults(FaultPlan::lossy(0.2).with_dup(0.1));
+            run_chaos_cluster::<MscOverSequencer>(&cfg, scripts())
+        };
+        let (a, b) = (mk(), mk());
+        assert_eq!(a.sim, b.sim);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.fingerprint().is_some());
+        assert_eq!(a.latencies, b.latencies);
+    }
+
+    #[test]
+    fn sabotaged_link_surfaces_anomalies() {
+        // With dedup off, duplicated frames reach the protocol; somewhere
+        // in this seed range a duplicate Submit double-applies an update.
+        let mut saw_orphans = false;
+        for seed in 0..40 {
+            let cfg = ChaosConfig::new(1, seed)
+                .with_network(NetworkConfig::with_delay(DelayModel::Uniform {
+                    lo: 50,
+                    hi: 5_000,
+                }))
+                .with_faults(FaultPlan::default().with_dup(0.5))
+                .with_link(LinkConfig::sabotaged());
+            let report = run_chaos_cluster::<MscOverSequencer>(&cfg, scripts());
+            if report.anomalies.orphan_completions > 0 {
+                saw_orphans = true;
+                break;
+            }
+        }
+        assert!(saw_orphans, "sabotage never produced a double application");
+    }
+}

@@ -39,12 +39,14 @@ use moc_core::value::{Value, Versioned};
 use moc_core::vv::VersionVector;
 
 pub mod aggregate;
+pub mod chaos;
 pub mod harness;
 pub mod mlin;
 pub mod msc;
 pub mod store;
 
 pub use aggregate::AggregateReplica;
+pub use chaos::{run_chaos_cluster, ChaosAnomalies, ChaosConfig, ChaosRunReport};
 pub use harness::{run_cluster, ClientScript, ClusterConfig, OpSpec, RunReport};
 pub use mlin::{MlinReplica, QueryScope};
 pub use msc::MscReplica;

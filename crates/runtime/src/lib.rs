@@ -48,7 +48,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use moc_abcast::Outbox;
+use moc_abcast::{LinkConfig, LinkMsg, Outbox, ReliableLink};
 use moc_core::history::History;
 use moc_core::ids::{MOpId, ProcessId};
 use moc_core::mop::{EventTime, MOpClass, MOpRecord};
@@ -58,7 +58,12 @@ use moc_protocol::{MOperation, ReplicaProtocol};
 use moc_sim::DelayModel;
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
+
+/// Salt mixed into the seed for the network thread's fault sampler, so
+/// enabling faults does not perturb the delay stream (mirrors the
+/// simulator's convention).
+const FAULT_SEED_SALT: u64 = 0x6d6f_635f_6368_616f;
 
 /// Configuration for a live cluster.
 #[derive(Debug, Clone, Copy)]
@@ -70,15 +75,32 @@ pub struct RuntimeConfig {
     pub artificial_delay: Option<DelayModel>,
     /// Seed for the delay sampler.
     pub seed: u64,
+    /// Probability the network thread silently discards a routed message
+    /// (loopback exempt). The reliable-link sublayer recovers the loss.
+    pub drop_prob: f64,
+    /// Probability a routed message is delivered twice, with independent
+    /// delays (loopback exempt).
+    pub dup_prob: f64,
+    /// Reliable-link tuning. Wall-clock defaults (2ms base RTO, 50ms cap)
+    /// absorb OS scheduling jitter; spurious retransmissions are made
+    /// harmless by receive-side dedup.
+    pub link: LinkConfig,
 }
 
 impl RuntimeConfig {
-    /// A config with immediate routing.
+    /// A config with immediate routing and a fault-free network.
     pub fn new(num_objects: usize) -> Self {
         RuntimeConfig {
             num_objects,
             artificial_delay: None,
             seed: 0,
+            drop_prob: 0.0,
+            dup_prob: 0.0,
+            link: LinkConfig {
+                rto_ns: 2_000_000,
+                max_rto_ns: 50_000_000,
+                ..LinkConfig::default()
+            },
         }
     }
 
@@ -86,6 +108,23 @@ impl RuntimeConfig {
     /// network visibly reorders messages.
     pub fn with_artificial_delay(mut self, delay: DelayModel) -> Self {
         self.artificial_delay = Some(delay);
+        self
+    }
+
+    /// Makes the network thread drop and/or duplicate messages with the
+    /// given probabilities. The reliable link masks both.
+    pub fn with_faults(mut self, drop_prob: f64, dup_prob: f64) -> Self {
+        assert!((0.0..1.0).contains(&drop_prob), "drop_prob in [0, 1)");
+        assert!((0.0..=1.0).contains(&dup_prob), "dup_prob in [0, 1]");
+        self.drop_prob = drop_prob;
+        self.dup_prob = dup_prob;
+        self
+    }
+
+    /// Overrides the reliable-link tuning (e.g. [`LinkConfig::sabotaged`]
+    /// to study what the faults do to an unprotected stack).
+    pub fn with_link(mut self, link: LinkConfig) -> Self {
+        self.link = link;
         self
     }
 }
@@ -137,9 +176,14 @@ enum NetCmd<M> {
 }
 
 /// A running cluster of `n` replica threads plus a network thread.
+///
+/// Replicas talk through the [`ReliableLink`] sublayer: every wire frame
+/// is a [`LinkMsg`], so the protocol state machines see exactly-once,
+/// per-sender-FIFO channels even when the network thread is configured
+/// to drop or duplicate messages.
 pub struct LiveCluster<R: ReplicaProtocol> {
-    inputs: Vec<Sender<Input<R::Msg>>>,
-    net_tx: Sender<NetCmd<R::Msg>>,
+    inputs: Vec<Sender<Input<LinkMsg<R::Msg>>>>,
+    net_tx: Sender<NetCmd<LinkMsg<R::Msg>>>,
     replica_handles: Vec<JoinHandle<ReplicaExit>>,
     net_handle: JoinHandle<()>,
     invoke_locks: Vec<Mutex<()>>,
@@ -160,30 +204,37 @@ where
     pub fn start(n: usize, config: RuntimeConfig) -> Self {
         assert!(n > 0, "need at least one process");
         let epoch = Instant::now();
-        let (net_tx, net_rx) = unbounded::<NetCmd<R::Msg>>();
+        let (net_tx, net_rx) = unbounded::<NetCmd<LinkMsg<R::Msg>>>();
         let mut inputs = Vec::with_capacity(n);
         let mut replica_handles = Vec::with_capacity(n);
 
         for p in 0..n {
             let me = ProcessId::new(p as u32);
-            let (tx, rx) = unbounded::<Input<R::Msg>>();
+            let (tx, rx) = unbounded::<Input<LinkMsg<R::Msg>>>();
             inputs.push(tx);
             let net_tx = net_tx.clone();
             let num_objects = config.num_objects;
+            let link_cfg = config.link;
             replica_handles.push(
                 std::thread::Builder::new()
                     .name(format!("replica-{p}"))
-                    .spawn(move || replica_main::<R>(me, n, num_objects, epoch, rx, net_tx))
+                    .spawn(move || {
+                        replica_main::<R>(me, n, num_objects, link_cfg, epoch, rx, net_tx)
+                    })
                     .expect("spawn replica thread"),
             );
         }
 
         let node_inputs = inputs.clone();
-        let delay = config.artificial_delay;
-        let seed = config.seed;
+        let faults = NetFaults {
+            delay: config.artificial_delay,
+            drop_prob: config.drop_prob,
+            dup_prob: config.dup_prob,
+            seed: config.seed,
+        };
         let net_handle = std::thread::Builder::new()
             .name("network".into())
-            .spawn(move || network_main::<R::Msg>(net_rx, node_inputs, delay, seed))
+            .spawn(move || network_main::<LinkMsg<R::Msg>>(net_rx, node_inputs, faults))
             .expect("spawn network thread");
 
         LiveCluster {
@@ -254,38 +305,67 @@ fn replica_main<R: ReplicaProtocol>(
     me: ProcessId,
     n: usize,
     num_objects: usize,
+    link_cfg: LinkConfig,
     epoch: Instant,
-    rx: Receiver<Input<R::Msg>>,
-    net_tx: Sender<NetCmd<R::Msg>>,
+    rx: Receiver<Input<LinkMsg<R::Msg>>>,
+    net_tx: Sender<NetCmd<LinkMsg<R::Msg>>>,
 ) -> ReplicaExit {
     let mut replica = R::new(me, n, num_objects);
+    let mut link: ReliableLink<R::Msg> = ReliableLink::new(me, n, link_cfg);
     let mut next_seq = 0u32;
     let mut inflight: Option<(MOpId, EventTime, Sender<Reply>)> = None;
     let mut records = Vec::new();
 
     let now = |epoch: Instant| EventTime::from_nanos(epoch.elapsed().as_nanos() as u64);
 
-    while let Ok(input) = rx.recv() {
+    loop {
+        // Wake for the next input or the link's earliest retransmission
+        // deadline, whichever comes first.
+        let timeout = match link.next_deadline() {
+            Some(d) => Duration::from_nanos(d.saturating_sub(now(epoch).as_nanos())),
+            None => Duration::from_secs(3600),
+        };
+        let input = match rx.recv_timeout(timeout) {
+            Ok(input) => Some(input),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
         let mut out = Outbox::new(n);
+        let mut wire = Vec::new();
         match input {
-            Input::Net { from, msg } => replica.on_message(from, msg, &mut out),
-            Input::Invoke {
+            Some(Input::Net { from, msg }) => {
+                let ready = link.on_wire(from, msg, now(epoch).as_nanos(), &mut wire);
+                for m in ready {
+                    replica.on_message(from, m, &mut out);
+                }
+            }
+            Some(Input::Invoke {
                 program,
                 args,
                 reply,
-            } => {
+            }) => {
                 let id = MOpId::new(me, next_seq);
                 next_seq += 1;
                 assert!(inflight.is_none(), "process invoked while one is pending");
                 inflight = Some((id, now(epoch), reply));
                 replica.invoke(MOperation::new(id, program, args), &mut out);
             }
-            Input::Shutdown => break,
+            Some(Input::Shutdown) => break,
+            // Retransmission deadline reached.
+            None => link.on_tick(now(epoch).as_nanos(), &mut wire),
         }
-        // Route sends; after shutdown began the network may be gone — those
-        // messages have no waiting client, so dropping them is safe.
+        // Frame the replica's sends through the link, then route. After
+        // shutdown began the network may be gone — those messages have no
+        // waiting client, so dropping them is safe.
         for (to, msg) in out.drain() {
-            let _ = net_tx.send(NetCmd::Route { from: me, to, msg });
+            link.send(to, msg, now(epoch).as_nanos(), &mut wire);
+        }
+        for (to, frame) in wire {
+            let _ = net_tx.send(NetCmd::Route {
+                from: me,
+                to,
+                msg: frame,
+            });
         }
         for c in replica.drain_completions() {
             let (id, invoked_at, reply) = inflight.take().expect("completion matches invocation");
@@ -315,13 +395,32 @@ fn replica_main<R: ReplicaProtocol>(
     }
 }
 
-fn network_main<M: Send>(
+/// Fault knobs for the network thread, mirroring the simulator's
+/// [`moc_sim::FaultPlan`] probabilities (schedules such as partitions
+/// and crashes stay simulator-only, where virtual time makes them
+/// reproducible).
+struct NetFaults {
+    delay: Option<DelayModel>,
+    drop_prob: f64,
+    dup_prob: f64,
+    seed: u64,
+}
+
+fn network_main<M: Send + Clone>(
     rx: Receiver<NetCmd<M>>,
     nodes: Vec<Sender<Input<M>>>,
-    delay: Option<DelayModel>,
-    seed: u64,
+    faults: NetFaults,
 ) {
+    let NetFaults {
+        delay,
+        drop_prob,
+        dup_prob,
+        seed,
+    } = faults;
     let mut rng = StdRng::seed_from_u64(seed);
+    // Fault decisions draw from their own stream so turning them on does
+    // not perturb the delay sampler.
+    let mut fault_rng = StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT);
     // Delay queue ordered by deadline; seq breaks ties FIFO.
     let mut heap: BinaryHeap<Reverse<(Instant, u64)>> = BinaryHeap::new();
     let mut payloads: std::collections::HashMap<u64, (ProcessId, ProcessId, M)> =
@@ -349,16 +448,31 @@ fn network_main<M: Send>(
             .map(|Reverse((deadline, _))| deadline.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_secs(3600));
         match rx.recv_timeout(timeout) {
-            Ok(NetCmd::Route { from, to, msg }) => match delay {
-                None => forward(&nodes, from, to, msg),
-                Some(model) => {
-                    let d = Duration::from_nanos(model.sample(&mut rng));
-                    let id = next_id;
-                    next_id += 1;
-                    heap.push(Reverse((Instant::now() + d, id)));
-                    payloads.insert(id, (from, to, msg));
+            Ok(NetCmd::Route { from, to, msg }) => {
+                // Loopback is a process talking to itself: exempt from
+                // faults, exactly as in the simulator.
+                let remote = from != to;
+                if remote && drop_prob > 0.0 && fault_rng.gen_bool(drop_prob) {
+                    continue;
                 }
-            },
+                let copies = if remote && dup_prob > 0.0 && fault_rng.gen_bool(dup_prob) {
+                    2
+                } else {
+                    1
+                };
+                for _ in 0..copies {
+                    match delay {
+                        None => forward(&nodes, from, to, msg.clone()),
+                        Some(model) => {
+                            let d = Duration::from_nanos(model.sample(&mut rng));
+                            let id = next_id;
+                            next_id += 1;
+                            heap.push(Reverse((Instant::now() + d, id)));
+                            payloads.insert(id, (from, to, msg.clone()));
+                        }
+                    }
+                }
+            }
             Ok(NetCmd::Shutdown) => {
                 // Flush the remaining queue immediately, preserving the
                 // scheduled order.
@@ -517,6 +631,49 @@ mod tests {
         assert_eq!(r1.id.seq, 0);
         assert_eq!(r2.id.seq, 1);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn reliable_link_masks_drops_and_duplicates_live() {
+        // A 20% drop / 10% dup network: the link's retransmissions and
+        // dedup must keep every invocation completing and the history
+        // m-linearizable.
+        let cluster: LiveCluster<MlinOverSequencer> = LiveCluster::start(
+            3,
+            RuntimeConfig::new(1)
+                .with_artificial_delay(DelayModel::Uniform {
+                    lo: 1_000,
+                    hi: 100_000,
+                })
+                .with_faults(0.2, 0.1)
+                .with_link(LinkConfig {
+                    rto_ns: 1_000_000,
+                    max_rto_ns: 20_000_000,
+                    ..LinkConfig::default()
+                }),
+        );
+        let cluster = Arc::new(cluster);
+        let mut joins = Vec::new();
+        for p in 0..3u32 {
+            let c = Arc::clone(&cluster);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..4 {
+                    if i % 2 == 0 {
+                        c.invoke(ProcessId::new(p), wx(p as i64 * 10 + i), vec![]);
+                    } else {
+                        c.invoke(ProcessId::new(p), rx(), vec![]);
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let cluster = Arc::try_unwrap(cluster).unwrap_or_else(|_| panic!("refs remain"));
+        let report = cluster.shutdown();
+        assert_eq!(report.history.len(), 12, "every invocation completed");
+        let lin = check(&report.history, Condition::MLinearizability, Strategy::Auto).unwrap();
+        assert!(lin.satisfied, "{:?}", lin.reason);
     }
 
     #[test]

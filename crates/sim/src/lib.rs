@@ -9,9 +9,15 @@
 //! simulator provides:
 //!
 //! * virtual time ([`SimTime`], nanosecond granularity);
-//! * reliable channels — every message is delivered exactly once, never
-//!   dropped or duplicated — with per-message random delays drawn from a
-//!   configurable [`DelayModel`], which reorders messages arbitrarily;
+//! * asynchronous channels with per-message random delays drawn from a
+//!   configurable [`DelayModel`], which reorders messages arbitrarily. By
+//!   default channels are reliable — every message is delivered exactly
+//!   once — matching the paper's channel model;
+//! * **fault injection**, when a [`FaultPlan`] is installed: per-message
+//!   drop and duplication probabilities, scheduled one-way partitions
+//!   with healing, and replica crash/restart windows. Fault decisions are
+//!   drawn from a dedicated RNG derived from the seed, so a given
+//!   (seed, plan) pair replays its schedule byte-for-byte;
 //! * deterministic execution: the same seed and the same node logic always
 //!   produce the same schedule, making protocol bugs reproducible;
 //! * externally injected events ([`World::schedule_call`]) so a test
@@ -51,6 +57,38 @@
 //! });
 //! let stats = world.run_until_quiescent(10_000);
 //! assert_eq!(stats.messages_delivered, 6);
+//! ```
+//!
+//! Fault semantics: a partitioned link drops messages sent while the
+//! window `[from_ns, until_ns)` is active; random drops and duplicates
+//! are decided per remote send; a crashed replica silently loses every
+//! message, timer and injected call addressed to it until its scheduled
+//! restart, at which point [`Node::on_restart`] fires so recovery logic
+//! (e.g. a reliable-link rejoin handshake) can run. All of it is
+//! deterministic per (seed, plan):
+//!
+//! ```
+//! use moc_core::ids::ProcessId;
+//! use moc_sim::{Context, FaultPlan, NetworkConfig, Node, World};
+//!
+//! struct Sink;
+//! impl Node for Sink {
+//!     type Msg = u8;
+//!     fn on_message(&mut self, _f: ProcessId, _m: u8, _c: &mut Context<'_, u8>) {}
+//! }
+//!
+//! // A one-way partition 0 → 1 that never heals: the send is dropped.
+//! let plan = FaultPlan::default().with_partition(
+//!     ProcessId::new(0),
+//!     ProcessId::new(1),
+//!     0,
+//!     u64::MAX,
+//! );
+//! let mut world = World::with_faults(vec![Sink, Sink], NetworkConfig::fifo(10), plan, 1);
+//! world.schedule_call(0, ProcessId::new(0), |_, ctx| ctx.send(ProcessId::new(1), 7));
+//! let stats = world.run_until_quiescent(100);
+//! assert_eq!(stats.messages_dropped, 1);
+//! assert_eq!(stats.messages_delivered, 0);
 //! ```
 
 use std::cmp::Reverse;
@@ -155,14 +193,129 @@ impl Default for NetworkConfig {
     }
 }
 
+/// A scheduled one-way partition: messages sent from `from` to `to`
+/// while virtual time is in `[from_ns, until_ns)` are dropped at send
+/// time. Use `until_ns = u64::MAX` for a partition that never heals.
+///
+/// Partitions are directional; block both directions with two entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// Sending side of the severed link.
+    pub from: ProcessId,
+    /// Receiving side of the severed link.
+    pub to: ProcessId,
+    /// Virtual time the partition starts (inclusive).
+    pub from_ns: u64,
+    /// Virtual time the partition heals (exclusive).
+    pub until_ns: u64,
+}
+
+/// A scheduled replica outage: the process is down over
+/// `[at_ns, restart_ns)`. While down it loses every message, timer and
+/// injected call addressed to it; at `restart_ns` it comes back with its
+/// state intact (a network-outage / fail-recover model, not a
+/// lose-your-disk one) and [`Node::on_restart`] fires so it can re-arm
+/// timers and run recovery handshakes. `restart_ns = u64::MAX` means the
+/// replica never returns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crash {
+    /// The process that goes down.
+    pub process: ProcessId,
+    /// Virtual time the outage starts.
+    pub at_ns: u64,
+    /// Virtual time the process restarts (`u64::MAX`: never).
+    pub restart_ns: u64,
+}
+
+/// A deterministic fault schedule for a [`World`].
+///
+/// Probabilistic faults (drops, duplicates) are decided by a dedicated
+/// RNG derived from the world seed, so a given `(seed, plan)` pair
+/// always produces the same fault schedule — and a plan with zero
+/// probabilities and no scheduled events is byte-for-byte identical to
+/// running with no plan at all. Loopback (self) sends are exempt from
+/// all faults: a process can always talk to itself.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    /// Probability in `[0, 1]` that a remote send is silently dropped.
+    pub drop_prob: f64,
+    /// Probability in `[0, 1]` that a remote send is delivered twice
+    /// (the duplicate takes an independently sampled delay).
+    pub dup_prob: f64,
+    /// Scheduled one-way link outages.
+    pub partitions: Vec<Partition>,
+    /// Scheduled replica crash/restart windows.
+    pub crashes: Vec<Crash>,
+}
+
+impl FaultPlan {
+    /// A plan that only drops messages, with the given probability.
+    pub fn lossy(drop_prob: f64) -> Self {
+        FaultPlan::default().with_drop(drop_prob)
+    }
+
+    /// Sets the per-message drop probability.
+    pub fn with_drop(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop_prob must be in [0, 1]");
+        self.drop_prob = p;
+        self
+    }
+
+    /// Sets the per-message duplication probability.
+    pub fn with_dup(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "dup_prob must be in [0, 1]");
+        self.dup_prob = p;
+        self
+    }
+
+    /// Adds a one-way partition of the `from → to` link over
+    /// `[from_ns, until_ns)`.
+    pub fn with_partition(
+        mut self,
+        from: ProcessId,
+        to: ProcessId,
+        from_ns: u64,
+        until_ns: u64,
+    ) -> Self {
+        self.partitions.push(Partition {
+            from,
+            to,
+            from_ns,
+            until_ns,
+        });
+        self
+    }
+
+    /// Adds a crash of `process` over `[at_ns, restart_ns)`.
+    pub fn with_crash(mut self, process: ProcessId, at_ns: u64, restart_ns: u64) -> Self {
+        assert!(at_ns < restart_ns, "crash window must be non-empty");
+        self.crashes.push(Crash {
+            process,
+            at_ns,
+            restart_ns,
+        });
+        self
+    }
+
+    /// Whether this plan can never perturb an execution (no probabilistic
+    /// faults, no scheduled events).
+    pub fn is_benign(&self) -> bool {
+        self.drop_prob == 0.0
+            && self.dup_prob == 0.0
+            && self.partitions.is_empty()
+            && self.crashes.is_empty()
+    }
+}
+
 /// Handle to a pending timer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TimerId(u64);
 
 /// A deterministic state machine hosted by the simulator.
 pub trait Node {
-    /// The message type exchanged between nodes.
-    type Msg;
+    /// The message type exchanged between nodes. `Clone` is required so
+    /// the fault injector can duplicate in-flight messages.
+    type Msg: Clone;
 
     /// Called once at virtual time zero, before any event.
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
@@ -175,6 +328,14 @@ pub trait Node {
     /// Called when a timer set via [`Context::set_timer`] fires.
     fn on_timer(&mut self, timer: TimerId, ctx: &mut Context<'_, Self::Msg>) {
         let _ = (timer, ctx);
+    }
+
+    /// Called when the process comes back from a scheduled [`Crash`].
+    /// State survived the outage, but timers armed before (or during) it
+    /// were suppressed and in-flight traffic was lost — re-arm timers and
+    /// kick off recovery handshakes here.
+    fn on_restart(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
     }
 }
 
@@ -242,6 +403,10 @@ enum Payload<N: Node> {
     Timer(TimerId),
     #[allow(clippy::type_complexity)]
     Call(Box<dyn FnOnce(&mut N, &mut Context<'_, N::Msg>)>),
+    /// Scheduled fault-plan event: the target process goes down.
+    Crash,
+    /// Scheduled fault-plan event: the target process comes back up.
+    Restart,
 }
 
 struct Event<N: Node> {
@@ -281,9 +446,27 @@ pub struct RunStats {
     pub timers_fired: u64,
     /// Injected calls executed.
     pub calls_executed: u64,
+    /// Messages lost to the fault plan: random drops, partitioned links,
+    /// and in-flight traffic addressed to a crashed process.
+    pub messages_dropped: u64,
+    /// Messages the fault plan delivered twice.
+    pub messages_duplicated: u64,
+    /// Timers that would have fired on a crashed process.
+    pub timers_suppressed: u64,
+    /// Injected calls addressed to a crashed process.
+    pub calls_dropped: u64,
+    /// Crash events executed.
+    pub crashes: u64,
+    /// Restart events executed.
+    pub restarts: u64,
     /// Virtual time at the end of the run.
     pub end_time: SimTime,
 }
+
+/// Salt mixed into the seed for the fault RNG, so fault decisions are a
+/// stream independent of the delay stream (a benign plan consumes no
+/// fault randomness and leaves the schedule untouched).
+const FAULT_SEED_SALT: u64 = 0x6d6f_635f_6368_616f; // "moc_chao"
 
 /// A simulated world of `n` nodes plus the event queue and network.
 pub struct World<N: Node> {
@@ -293,15 +476,33 @@ pub struct World<N: Node> {
     seq: u64,
     next_timer: u64,
     rng: StdRng,
+    fault_rng: StdRng,
     config: NetworkConfig,
+    faults: FaultPlan,
+    down: Vec<bool>,
     stats: RunStats,
     started: bool,
 }
 
 impl<N: Node> World<N> {
     /// Creates a world hosting `nodes` with the given network `config`,
-    /// deterministically seeded by `seed`.
+    /// deterministically seeded by `seed`. Channels are fully reliable —
+    /// equivalent to [`World::with_faults`] with a default (benign) plan.
     pub fn new(nodes: Vec<N>, config: NetworkConfig, seed: u64) -> Self {
+        World::with_faults(nodes, config, FaultPlan::default(), seed)
+    }
+
+    /// Creates a world whose network misbehaves according to `faults`.
+    /// The fault schedule is deterministic in `(seed, faults)`.
+    pub fn with_faults(nodes: Vec<N>, config: NetworkConfig, faults: FaultPlan, seed: u64) -> Self {
+        let n = nodes.len();
+        for c in &faults.crashes {
+            assert!(
+                c.process.index() < n,
+                "crash names process {} of {n}",
+                c.process
+            );
+        }
         World {
             nodes,
             queue: BinaryHeap::new(),
@@ -309,10 +510,45 @@ impl<N: Node> World<N> {
             seq: 0,
             next_timer: 0,
             rng: StdRng::seed_from_u64(seed),
+            fault_rng: StdRng::seed_from_u64(seed ^ FAULT_SEED_SALT),
             config,
+            faults,
+            down: vec![false; n],
             stats: RunStats::default(),
             started: false,
         }
+    }
+
+    /// Installs a fault plan on a not-yet-started world.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any event has been processed already — a plan installed
+    /// mid-run could not replay from the seed alone.
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        assert!(
+            !self.started,
+            "fault plan must be installed before the run starts"
+        );
+        for c in &faults.crashes {
+            assert!(
+                c.process.index() < self.nodes.len(),
+                "crash names process {} of {}",
+                c.process,
+                self.nodes.len()
+            );
+        }
+        self.faults = faults;
+    }
+
+    /// The installed fault plan (default: benign).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Whether process `p` is currently inside a crash window.
+    pub fn is_down(&self, p: ProcessId) -> bool {
+        self.down[p.index()]
     }
 
     /// Number of processes.
@@ -375,6 +611,15 @@ impl<N: Node> World<N> {
         s
     }
 
+    /// Whether a partition currently severs the `from → to` link.
+    fn link_blocked(&self, from: ProcessId, to: ProcessId) -> bool {
+        let now = self.time.0;
+        self.faults
+            .partitions
+            .iter()
+            .any(|p| p.from == from && p.to == to && p.from_ns <= now && now < p.until_ns)
+    }
+
     fn flush_effects(
         &mut self,
         from: ProcessId,
@@ -383,11 +628,39 @@ impl<N: Node> World<N> {
     ) {
         for (to, msg) in sends {
             self.stats.messages_sent += 1;
-            let model = if to == from {
-                self.config.self_delay
-            } else {
+            let remote = to != from;
+            // Loopback sends are exempt from faults. Fault decisions come
+            // from the dedicated fault RNG so the delay stream — and with
+            // it the fault-free schedule — is untouched by a benign plan.
+            if remote
+                && (self.link_blocked(from, to)
+                    || (self.faults.drop_prob > 0.0
+                        && self.fault_rng.gen_bool(self.faults.drop_prob)))
+            {
+                self.stats.messages_dropped += 1;
+                continue;
+            }
+            let model = if remote {
                 self.config.delay
+            } else {
+                self.config.self_delay
             };
+            if remote && self.faults.dup_prob > 0.0 && self.fault_rng.gen_bool(self.faults.dup_prob)
+            {
+                self.stats.messages_duplicated += 1;
+                let delay = model.sample(&mut self.fault_rng);
+                let at = self.time.after(delay.max(1));
+                let seq = self.bump_seq();
+                self.queue.push(Reverse(Event {
+                    at,
+                    seq,
+                    to,
+                    payload: Payload::Message {
+                        from,
+                        msg: msg.clone(),
+                    },
+                }));
+            }
             let delay = model.sample(&mut self.rng);
             let at = self.time.after(delay.max(1));
             let seq = self.bump_seq();
@@ -415,6 +688,27 @@ impl<N: Node> World<N> {
             return;
         }
         self.started = true;
+        // Schedule the fault plan's crash/restart events up front so the
+        // whole outage schedule is fixed by (seed, plan) alone.
+        for i in 0..self.faults.crashes.len() {
+            let c = self.faults.crashes[i];
+            let seq = self.bump_seq();
+            self.queue.push(Reverse(Event {
+                at: SimTime(c.at_ns),
+                seq,
+                to: c.process,
+                payload: Payload::Crash,
+            }));
+            if c.restart_ns < u64::MAX {
+                let seq = self.bump_seq();
+                self.queue.push(Reverse(Event {
+                    at: SimTime(c.restart_ns),
+                    seq,
+                    to: c.process,
+                    payload: Payload::Restart,
+                }));
+            }
+        }
         for i in 0..self.nodes.len() {
             let me = ProcessId::new(i as u32);
             let mut ctx = Context {
@@ -443,6 +737,33 @@ impl<N: Node> World<N> {
         self.time = ev.at;
         self.stats.events_processed += 1;
         let to = ev.to;
+        // Fault lifecycle first: crash events, and deliveries addressed
+        // to a process inside its crash window, never reach the node.
+        match &ev.payload {
+            Payload::Crash => {
+                self.down[to.index()] = true;
+                self.stats.crashes += 1;
+                return true;
+            }
+            Payload::Restart => {
+                self.down[to.index()] = false;
+                self.stats.restarts += 1;
+                // Falls through to invoke `on_restart` below.
+            }
+            Payload::Message { .. } if self.down[to.index()] => {
+                self.stats.messages_dropped += 1;
+                return true;
+            }
+            Payload::Timer(_) if self.down[to.index()] => {
+                self.stats.timers_suppressed += 1;
+                return true;
+            }
+            Payload::Call(_) if self.down[to.index()] => {
+                self.stats.calls_dropped += 1;
+                return true;
+            }
+            _ => {}
+        }
         let mut ctx = Context {
             me: to,
             n: self.nodes.len(),
@@ -465,6 +786,8 @@ impl<N: Node> World<N> {
                 self.stats.calls_executed += 1;
                 f(node, &mut ctx);
             }
+            Payload::Restart => node.on_restart(&mut ctx),
+            Payload::Crash => unreachable!("crash events return early"),
         }
         let sends = std::mem::take(&mut ctx.sends);
         let timers = std::mem::take(&mut ctx.timers);
@@ -699,6 +1022,186 @@ mod tests {
             ctx.send(ProcessId::new(1), ())
         });
         w.run_until_quiescent(100);
+    }
+
+    #[test]
+    fn drop_prob_one_loses_every_remote_message() {
+        let mut w = World::with_faults(
+            vec![PingNode::default(), PingNode::default()],
+            NetworkConfig::fifo(100),
+            FaultPlan::lossy(1.0),
+            3,
+        );
+        for k in 0..10 {
+            w.schedule_call(k, ProcessId::new(0), move |_, ctx| {
+                ctx.send(ProcessId::new(1), PingMsg::Ping(k));
+            });
+        }
+        let stats = w.run_until_quiescent(1_000);
+        assert_eq!(stats.messages_sent, 10);
+        assert_eq!(stats.messages_dropped, 10);
+        assert_eq!(stats.messages_delivered, 0);
+        assert!(w.node(ProcessId::new(0)).pongs.is_empty());
+    }
+
+    #[test]
+    fn dup_prob_one_delivers_every_remote_message_twice() {
+        let mut w = World::with_faults(
+            (0..2).map(|_| FanoutNode { seen: 0 }).collect(),
+            NetworkConfig::fifo(100),
+            FaultPlan::default().with_dup(1.0),
+            3,
+        );
+        w.schedule_call(0, ProcessId::new(0), |_, ctx| {
+            ctx.send(ProcessId::new(1), 9)
+        });
+        let stats = w.run_until_quiescent(1_000);
+        assert_eq!(stats.messages_sent, 1);
+        assert_eq!(stats.messages_duplicated, 1);
+        assert_eq!(stats.messages_delivered, 2);
+        assert_eq!(w.node(ProcessId::new(1)).seen, 2);
+    }
+
+    #[test]
+    fn loopback_is_exempt_from_faults() {
+        let mut w = World::with_faults(
+            vec![FanoutNode { seen: 0 }],
+            NetworkConfig::fifo(100),
+            FaultPlan::lossy(1.0).with_dup(1.0),
+            3,
+        );
+        w.schedule_call(0, ProcessId::new(0), |_, ctx| {
+            ctx.send(ProcessId::new(0), 1)
+        });
+        let stats = w.run_until_quiescent(100);
+        assert_eq!(stats.messages_dropped, 0);
+        assert_eq!(stats.messages_duplicated, 0);
+        assert_eq!(w.node(ProcessId::new(0)).seen, 1);
+    }
+
+    #[test]
+    fn partition_drops_until_it_heals() {
+        let plan =
+            FaultPlan::default().with_partition(ProcessId::new(0), ProcessId::new(1), 0, 1_000);
+        let mut w = World::with_faults(
+            (0..2).map(|_| FanoutNode { seen: 0 }).collect(),
+            NetworkConfig::fifo(10),
+            plan,
+            3,
+        );
+        // Sent while partitioned: dropped. Sent after healing: delivered.
+        w.schedule_call(500, ProcessId::new(0), |_, ctx| {
+            ctx.send(ProcessId::new(1), 1)
+        });
+        w.schedule_call(1_000, ProcessId::new(0), |_, ctx| {
+            ctx.send(ProcessId::new(1), 2)
+        });
+        // The reverse direction is never partitioned.
+        w.schedule_call(500, ProcessId::new(1), |_, ctx| {
+            ctx.send(ProcessId::new(0), 3)
+        });
+        let stats = w.run_until_quiescent(100);
+        assert_eq!(stats.messages_dropped, 1);
+        assert_eq!(stats.messages_delivered, 2);
+        assert_eq!(w.node(ProcessId::new(1)).seen, 1);
+        assert_eq!(w.node(ProcessId::new(0)).seen, 1);
+    }
+
+    /// Records deliveries and restarts; re-arms a timer on restart.
+    #[derive(Default)]
+    struct CrashProbe {
+        seen: Vec<u8>,
+        timer_fired_at: Vec<SimTime>,
+        restarted_at: Vec<SimTime>,
+    }
+
+    impl Node for CrashProbe {
+        type Msg = u8;
+        fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+            ctx.set_timer(500); // lands inside the crash window below
+        }
+        fn on_message(&mut self, _f: ProcessId, m: u8, _c: &mut Context<'_, u8>) {
+            self.seen.push(m);
+        }
+        fn on_timer(&mut self, _t: TimerId, ctx: &mut Context<'_, u8>) {
+            self.timer_fired_at.push(ctx.now());
+        }
+        fn on_restart(&mut self, ctx: &mut Context<'_, u8>) {
+            self.restarted_at.push(ctx.now());
+            ctx.set_timer(100);
+        }
+    }
+
+    #[test]
+    fn crash_suppresses_deliveries_and_restart_hook_fires() {
+        let plan = FaultPlan::default().with_crash(ProcessId::new(1), 100, 2_000);
+        let mut w = World::with_faults(
+            vec![CrashProbe::default(), CrashProbe::default()],
+            NetworkConfig::fifo(10),
+            plan,
+            7,
+        );
+        // Arrives at ~510, inside P1's [100, 2000) outage: lost.
+        w.schedule_call(500, ProcessId::new(0), |_, ctx| {
+            ctx.send(ProcessId::new(1), 1)
+        });
+        // Arrives at ~2510, after the restart: delivered.
+        w.schedule_call(2_500, ProcessId::new(0), |_, ctx| {
+            ctx.send(ProcessId::new(1), 2)
+        });
+        let stats = w.run_until_quiescent(1_000);
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.restarts, 1);
+        assert_eq!(stats.messages_dropped, 1);
+        // P1's on_start timer (t=500) fell inside the outage.
+        assert_eq!(stats.timers_suppressed, 1);
+        let p1 = w.node(ProcessId::new(1));
+        assert_eq!(p1.seen, vec![2]);
+        assert_eq!(p1.restarted_at, vec![SimTime(2_000)]);
+        // The timer re-armed by on_restart fired; P0's start timer too.
+        assert_eq!(p1.timer_fired_at, vec![SimTime(2_100)]);
+        assert_eq!(w.node(ProcessId::new(0)).timer_fired_at, vec![SimTime(500)]);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic_and_benign_plan_is_identity() {
+        let run = |plan: FaultPlan| {
+            let mut w = World::with_faults(
+                vec![PingNode::default(), PingNode::default()],
+                NetworkConfig::with_delay(DelayModel::Uniform { lo: 1, hi: 1_000 }),
+                plan,
+                42,
+            );
+            for k in 0..30 {
+                w.schedule_call(k, ProcessId::new(0), move |_, ctx| {
+                    ctx.send(ProcessId::new(1), PingMsg::Ping(k));
+                });
+            }
+            let stats = w.run_until_quiescent(10_000);
+            (stats, w.into_nodes().remove(0).pongs)
+        };
+        let lossy = FaultPlan::lossy(0.3).with_dup(0.2);
+        let (s1, p1) = run(lossy.clone());
+        let (s2, p2) = run(lossy);
+        assert_eq!(s1, s2, "same (seed, plan) ⇒ same stats");
+        assert_eq!(p1, p2, "same (seed, plan) ⇒ same delivery order");
+        assert!(s1.messages_dropped > 0 && s1.messages_duplicated > 0);
+
+        // A benign plan is byte-for-byte the no-plan run.
+        let (sb, pb) = run(FaultPlan::default());
+        let mut w = World::new(
+            vec![PingNode::default(), PingNode::default()],
+            NetworkConfig::with_delay(DelayModel::Uniform { lo: 1, hi: 1_000 }),
+            42,
+        );
+        for k in 0..30 {
+            w.schedule_call(k, ProcessId::new(0), move |_, ctx| {
+                ctx.send(ProcessId::new(1), PingMsg::Ping(k));
+            });
+        }
+        let s0 = w.run_until_quiescent(10_000);
+        assert_eq!(sb, s0);
+        assert_eq!(pb, w.into_nodes().remove(0).pongs);
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! Canned fault plans and workload families for the chaos conformance
+//! suite.
+//!
+//! The chaos sweep is a cross product: *workload family* × *fault
+//! family* × *seed*. Each family here is a named, parameter-free recipe
+//! so a failing `(protocol, workload, faults, seed)` tuple printed by the
+//! suite (or by `moc chaos`) is enough to replay the exact run.
+//!
+//! Every fault family is **recoverable**: partitions heal, crashed
+//! replicas restart, and drop probabilities stay well below 1. Over the
+//! reliable-link sublayer such plans must be invisible to the
+//! consistency checker — that is precisely the conformance claim the
+//! suite sweeps.
+
+use moc_core::ids::ProcessId;
+use moc_sim::FaultPlan;
+
+use crate::WorkloadSpec;
+
+/// A named, recoverable fault-plan recipe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultFamily {
+    /// No faults at all (control group).
+    None,
+    /// 10% independent per-message drop probability.
+    Lossy,
+    /// 30% drops plus 10% duplicates: heavy but recoverable loss.
+    LossyDup,
+    /// A one-way partition from P1 to P0 (the sequencer) over the middle
+    /// of the run, healing before the horizon.
+    Partition,
+    /// The last replica crashes early and restarts mid-run; light drops
+    /// throughout.
+    Crash,
+    /// Everything at once: drops, duplicates, a healing partition and a
+    /// crash-restart.
+    Storm,
+}
+
+impl FaultFamily {
+    /// All families, in sweep order.
+    pub const ALL: [FaultFamily; 6] = [
+        FaultFamily::None,
+        FaultFamily::Lossy,
+        FaultFamily::LossyDup,
+        FaultFamily::Partition,
+        FaultFamily::Crash,
+        FaultFamily::Storm,
+    ];
+
+    /// The family's stable name (used in replay lines and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultFamily::None => "none",
+            FaultFamily::Lossy => "lossy",
+            FaultFamily::LossyDup => "lossy-dup",
+            FaultFamily::Partition => "partition",
+            FaultFamily::Crash => "crash",
+            FaultFamily::Storm => "storm",
+        }
+    }
+
+    /// Looks a family up by [`name`](Self::name).
+    pub fn by_name(name: &str) -> Option<FaultFamily> {
+        FaultFamily::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Instantiates the plan for a cluster of `n` processes whose run is
+    /// expected to quiesce within roughly `horizon_ns` of virtual time.
+    /// Scheduled faults (partitions, crashes) are placed inside the
+    /// horizon and always heal/restart before it ends.
+    pub fn plan(&self, n: usize, horizon_ns: u64) -> FaultPlan {
+        let h = horizon_ns.max(10);
+        match self {
+            FaultFamily::None => FaultPlan::default(),
+            FaultFamily::Lossy => FaultPlan::lossy(0.10),
+            FaultFamily::LossyDup => FaultPlan::lossy(0.30).with_dup(0.10),
+            FaultFamily::Partition => {
+                let from = ProcessId::new(if n > 1 { 1 } else { 0 });
+                FaultPlan::default().with_partition(from, ProcessId::new(0), h / 4, h / 2)
+            }
+            FaultFamily::Crash => {
+                let victim = ProcessId::new(n.saturating_sub(1) as u32);
+                FaultPlan::lossy(0.05).with_crash(victim, h / 8, h / 3)
+            }
+            FaultFamily::Storm => {
+                let victim = ProcessId::new(n.saturating_sub(1) as u32);
+                let from = ProcessId::new(if n > 2 { 2 } else { 0 });
+                FaultPlan::lossy(0.15)
+                    .with_dup(0.10)
+                    .with_partition(from, ProcessId::new(0), h / 5, h / 3)
+                    .with_crash(victim, h / 2, (h / 2).saturating_add(h / 6))
+            }
+        }
+    }
+}
+
+/// A named workload-shape recipe for the chaos sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadFamily {
+    /// The default mixed workload: 50% updates, moderate contention.
+    Mixed,
+    /// Query-dominated (80% reads): stresses mlin's query/response path.
+    ReadHeavy,
+    /// Update-dominated (80% writes): stresses the abcast pipe.
+    WriteHeavy,
+    /// Everyone hammers a two-object hot set with wide m-operations.
+    HotSpot,
+}
+
+impl WorkloadFamily {
+    /// All families, in sweep order.
+    pub const ALL: [WorkloadFamily; 4] = [
+        WorkloadFamily::Mixed,
+        WorkloadFamily::ReadHeavy,
+        WorkloadFamily::WriteHeavy,
+        WorkloadFamily::HotSpot,
+    ];
+
+    /// The family's stable name (used in replay lines and reports).
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadFamily::Mixed => "mixed",
+            WorkloadFamily::ReadHeavy => "read-heavy",
+            WorkloadFamily::WriteHeavy => "write-heavy",
+            WorkloadFamily::HotSpot => "hot-spot",
+        }
+    }
+
+    /// Looks a family up by [`name`](Self::name).
+    pub fn by_name(name: &str) -> Option<WorkloadFamily> {
+        WorkloadFamily::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// The workload spec for `processes` processes issuing
+    /// `ops_per_process` m-operations each.
+    pub fn spec(&self, processes: usize, ops_per_process: usize) -> WorkloadSpec {
+        let base = WorkloadSpec {
+            processes,
+            ops_per_process,
+            ..WorkloadSpec::default()
+        };
+        match self {
+            WorkloadFamily::Mixed => base,
+            WorkloadFamily::ReadHeavy => WorkloadSpec {
+                update_fraction: 0.2,
+                ..base
+            },
+            WorkloadFamily::WriteHeavy => WorkloadSpec {
+                update_fraction: 0.8,
+                ..base
+            },
+            WorkloadFamily::HotSpot => WorkloadSpec {
+                num_objects: 4,
+                hot_objects: 2,
+                hot_fraction: 0.9,
+                max_span: 2,
+                ..base
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_fault_family_is_recoverable() {
+        for fam in FaultFamily::ALL {
+            let plan = fam.plan(4, 1_000_000);
+            assert!(
+                plan.drop_prob < 1.0,
+                "{}: drop prob must allow progress",
+                fam.name()
+            );
+            for p in &plan.partitions {
+                assert!(
+                    p.until_ns < u64::MAX,
+                    "{}: partitions must heal",
+                    fam.name()
+                );
+            }
+            for c in &plan.crashes {
+                assert!(
+                    c.restart_ns < u64::MAX,
+                    "{}: crashes must restart",
+                    fam.name()
+                );
+                assert!((c.process.index()) < 4, "{}: victim in range", fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn only_the_control_family_is_benign() {
+        for fam in FaultFamily::ALL {
+            let benign = fam.plan(3, 500_000).is_benign();
+            assert_eq!(benign, fam == FaultFamily::None, "{}", fam.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for fam in FaultFamily::ALL {
+            assert_eq!(FaultFamily::by_name(fam.name()), Some(fam));
+        }
+        for fam in WorkloadFamily::ALL {
+            assert_eq!(WorkloadFamily::by_name(fam.name()), Some(fam));
+        }
+        assert_eq!(FaultFamily::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn workload_families_shape_the_spec() {
+        let read = WorkloadFamily::ReadHeavy.spec(4, 10);
+        let write = WorkloadFamily::WriteHeavy.spec(4, 10);
+        assert!(read.update_fraction < write.update_fraction);
+        let hot = WorkloadFamily::HotSpot.spec(4, 10);
+        assert!(hot.hot_fraction > 0.8);
+        assert_eq!(hot.processes, 4);
+        assert_eq!(hot.ops_per_process, 10);
+    }
+}

@@ -21,6 +21,7 @@ use moc_protocol::{ClientScript, OpSpec};
 use rand::rngs::StdRng;
 use rand::Rng;
 
+pub mod chaos;
 pub mod histories;
 
 /// Parameters of a randomized protocol workload.
