@@ -41,10 +41,12 @@ use moc_core::ids::ProcessId;
 pub mod isis;
 pub mod link;
 pub mod sequencer;
+pub mod view;
 
 pub use isis::IsisAbcast;
 pub use link::{LinkConfig, LinkMsg, LinkStats, ReliableLink};
 pub use sequencer::SequencerAbcast;
+pub use view::{ViewAbcast, ViewConfig, ViewMsg};
 
 /// Buffered outgoing messages produced by a state-machine step.
 ///
@@ -137,6 +139,35 @@ pub trait Abcast<T> {
 
     /// Number of items this endpoint has delivered so far.
     fn delivered_count(&self) -> u64;
+
+    /// The earliest absolute time (ns) at which this endpoint wants
+    /// [`Abcast::on_tick`] called, or `None` if it has no timed work.
+    /// Protocols without failover timers never request ticks.
+    fn next_deadline(&self) -> Option<u64> {
+        None
+    }
+
+    /// Advances the endpoint's notion of time and fires any expired
+    /// internal deadlines (e.g. crash-suspicion timeouts). Hosts call
+    /// this when the deadline from [`Abcast::next_deadline`] is due; an
+    /// early call is a harmless no-op.
+    fn on_tick(&mut self, _now_ns: u64, _out: &mut Outbox<Self::Msg>) {}
+
+    /// The hosting process restarted after a crash. Endpoints that
+    /// cannot prove their volatile ordering state survived must react
+    /// (halt, rejoin as a follower, …); the default assumes nothing is
+    /// needed.
+    fn on_restart(&mut self, _now_ns: u64, _out: &mut Outbox<Self::Msg>) {}
+
+    /// Overrides the endpoint's failover timeouts (suspicion base and
+    /// cap, in ns). A no-op for protocols without failover machinery.
+    fn set_failover_timeouts(&mut self, _base_ns: u64, _max_ns: u64) {}
+
+    /// A deterministic, human-readable log of view/configuration changes
+    /// this endpoint went through. Empty for static protocols.
+    fn transcript(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// Test support: hosts any [`Abcast`] implementation on the simulator and
@@ -379,6 +410,45 @@ mod tests {
     fn isis_closed_loop_fifo() {
         for seed in 0..4 {
             super::testkit::check_closed_loop_fifo::<IsisAbcast<u64>>(
+                4,
+                5,
+                DelayModel::Uniform { lo: 10, hi: 50_000 },
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn view_properties_fifo_network() {
+        check_properties::<ViewAbcast<u64>>(3, 5, DelayModel::Fixed(100), 1);
+    }
+
+    #[test]
+    fn view_properties_reordering_network() {
+        for seed in 0..8 {
+            check_properties::<ViewAbcast<u64>>(
+                4,
+                6,
+                DelayModel::Uniform { lo: 10, hi: 20_000 },
+                seed,
+            );
+        }
+    }
+
+    #[test]
+    fn view_properties_heavy_tail() {
+        check_properties::<ViewAbcast<u64>>(5, 4, DelayModel::Exponential { mean: 2_000 }, 9);
+    }
+
+    #[test]
+    fn view_single_process_degenerate() {
+        check_properties::<ViewAbcast<u64>>(1, 10, DelayModel::Fixed(5), 2);
+    }
+
+    #[test]
+    fn view_closed_loop_fifo() {
+        for seed in 0..4 {
+            super::testkit::check_closed_loop_fifo::<ViewAbcast<u64>>(
                 4,
                 5,
                 DelayModel::Uniform { lo: 10, hi: 50_000 },

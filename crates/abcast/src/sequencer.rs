@@ -46,6 +46,10 @@ pub struct SequencerAbcast<T> {
     buffer: BTreeMap<u64, (ProcessId, T)>,
     delivered: Vec<Delivery<T>>,
     delivered_count: u64,
+    /// Set when the sequencer restarts after a crash: its `next_to_assign`
+    /// counter is volatile, so a restarted sequencer must stop stamping
+    /// (see [`Abcast::on_restart`]) instead of silently forking the order.
+    halted: bool,
 }
 
 impl<T> SequencerAbcast<T> {
@@ -55,6 +59,11 @@ impl<T> SequencerAbcast<T> {
     /// Whether this endpoint is the sequencer.
     pub fn is_sequencer(&self) -> bool {
         self.me == Self::SEQUENCER
+    }
+
+    /// Whether this endpoint has fail-stopped (a restarted sequencer).
+    pub fn is_halted(&self) -> bool {
+        self.halted
     }
 
     fn pump(&mut self) {
@@ -82,6 +91,7 @@ impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
             buffer: BTreeMap::new(),
             delivered: Vec::new(),
             delivered_count: 0,
+            halted: false,
         }
     }
 
@@ -99,6 +109,15 @@ impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
         match msg {
             SequencerMsg::Submit { origin, item } => {
                 debug_assert!(self.is_sequencer(), "Submit routed to non-sequencer");
+                if self.halted {
+                    // A restarted sequencer cannot trust its volatile
+                    // `next_to_assign`: stamping from a stale value would
+                    // reuse sequence numbers, which followers silently
+                    // drop as duplicates — a *corrupted* order. Refusing
+                    // to stamp turns the damage into a detectable stall
+                    // (unfinished operations) instead.
+                    return;
+                }
                 let seq = self.next_to_assign;
                 self.next_to_assign += 1;
                 out.send_all(SequencerMsg::Ordered { seq, origin, item });
@@ -123,6 +142,28 @@ impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
 
     fn delivered_count(&self) -> u64 {
         self.delivered_count
+    }
+
+    fn on_restart(&mut self, _now_ns: u64, _out: &mut Outbox<Self::Msg>) {
+        // Fail-stop semantics for the single point of failure: a real
+        // sequencer's assignment counter would not survive a crash, and
+        // this protocol has no way to re-establish it safely (any guess
+        // may fork or lose items). Followers keep delivering what was
+        // already stamped; new submissions go unanswered — detectably.
+        if self.is_sequencer() {
+            self.halted = true;
+        }
+    }
+
+    fn transcript(&self) -> Vec<String> {
+        if self.halted {
+            vec![format!(
+                "P{}: sequencer restarted; stamping halted (fail-stop)",
+                self.me.as_u32()
+            )]
+        } else {
+            Vec::new()
+        }
     }
 }
 
@@ -182,6 +223,66 @@ mod tests {
         assert_eq!(got[0].global_seq, 0);
         assert_eq!(got[1].global_seq, 1);
         assert_eq!(follower.delivered_count(), 2);
+    }
+
+    /// Regression (S1): a restarted sequencer must fail-stop, not resume
+    /// stamping from its (volatile, now stale) counter. Pre-fix, the
+    /// restarted endpoint re-assigned sequence numbers from an arbitrary
+    /// point; stamps below a follower's delivery frontier are silently
+    /// ignored as duplicates, so the corruption was *undetectable* at the
+    /// abcast layer. Post-fix the sequencer refuses to stamp, which the
+    /// chaos harness surfaces as unfinished operations.
+    #[test]
+    fn restarted_sequencer_fail_stops_instead_of_restamping() {
+        let n = 2;
+        let mut seqr: SequencerAbcast<u8> = SequencerAbcast::new(pid(0), n);
+        let mut follower: SequencerAbcast<u8> = SequencerAbcast::new(pid(1), n);
+        let mut out = Outbox::new(n);
+
+        // One item is stamped and delivered everywhere before the crash.
+        seqr.on_message(
+            pid(1),
+            SequencerMsg::Submit {
+                origin: pid(1),
+                item: 10,
+            },
+            &mut out,
+        );
+        for (to, m) in out.drain() {
+            if to == pid(1) {
+                follower.on_message(pid(0), m, &mut out);
+            }
+        }
+        out.drain();
+        assert_eq!(follower.drain_delivered().len(), 1);
+
+        // The sequencer crashes and restarts.
+        seqr.on_restart(500_000, &mut out);
+        assert!(seqr.is_halted());
+        assert!(!seqr.transcript().is_empty());
+
+        // A new submission after the restart must NOT be stamped: a fresh
+        // stamp from a stale counter would collide with seq 0, which the
+        // follower would silently drop (duplicate rule) — losing the item
+        // while every endpoint still looks healthy.
+        seqr.on_message(
+            pid(1),
+            SequencerMsg::Submit {
+                origin: pid(1),
+                item: 20,
+            },
+            &mut out,
+        );
+        assert!(
+            out.is_empty(),
+            "halted sequencer must not emit stamps: {:?}",
+            out.len()
+        );
+
+        // Followers that restart are unaffected (their state is a cache
+        // of the agreed order, rebuilt gap-free from stamps).
+        follower.on_restart(500_000, &mut out);
+        assert!(!follower.is_halted());
     }
 
     #[test]

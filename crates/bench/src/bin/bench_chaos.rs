@@ -2,18 +2,25 @@
 //!
 //! Measures what the canned fault plans cost the protocol stack: message
 //! traffic (delivered / dropped / duplicated / retransmitted) and
-//! response-time percentiles under `none`, `lossy-dup` and `storm`,
-//! prints the comparison table and writes the machine-readable results
-//! to `BENCH_chaos.json` at the repository root.
+//! response-time percentiles under `none`, `lossy-dup` and `storm`, plus
+//! the failover latency a leader crash costs under the view-based atomic
+//! broadcast. Prints the comparison tables and writes the
+//! machine-readable results to `BENCH_chaos.json` at the repository
+//! root.
 
-use moc_bench::{chaos_bench_json, chaos_bench_table, experiment_chaos};
+use moc_bench::{
+    chaos_bench_json, chaos_bench_table, experiment_chaos, experiment_failover,
+    failover_bench_table,
+};
 
 fn main() {
     let rows = experiment_chaos(30);
     println!("{}", chaos_bench_table(&rows));
+    let failover = experiment_failover(30);
+    println!("{}", failover_bench_table(&failover));
 
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_chaos.json");
-    let doc = chaos_bench_json(&rows) + "\n";
+    let doc = chaos_bench_json(&rows, &failover) + "\n";
     std::fs::write(out, doc).expect("write BENCH_chaos.json");
     println!("wrote {out}");
 }

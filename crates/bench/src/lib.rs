@@ -22,8 +22,9 @@ use moc_core::mop::MOpClass;
 use moc_core::op::CompletedOp;
 use moc_core::relations::{process_order, reads_from, real_time, Relation};
 use moc_protocol::{
-    run_cluster, AggregateOverSequencer, ClusterConfig, MlinOverSequencer,
-    MlinRelevantOverSequencer, MscOverIsis, MscOverSequencer, ReplicaProtocol, RunReport,
+    run_cluster, AggregateOverSequencer, ClusterConfig, MlinOverSequencer, MlinOverView,
+    MlinRelevantOverSequencer, MscOverIsis, MscOverSequencer, MscOverView, ReplicaProtocol,
+    RunReport,
 };
 use moc_sim::{DelayModel, NetworkConfig};
 use moc_workload::histories::{
@@ -1036,6 +1037,171 @@ pub fn experiment_chaos(seeds: u64) -> Vec<ChaosBenchRow> {
     rows
 }
 
+/// One (fault plan, protocol) cell of the failover benchmark: what a
+/// coordinator crash costs under the view-based atomic broadcast,
+/// aggregated over a seed sweep.
+#[derive(Debug, Clone)]
+pub struct FailoverBenchRow {
+    /// Fault-plan name (a `leader-crash-*` family).
+    pub plan: String,
+    /// Protocol name (`msc`, `mlin`); the broadcast is always `view`.
+    pub protocol: String,
+    /// Seeds aggregated into this row.
+    pub runs: u64,
+    /// Runs in which some replica actually installed a successor view.
+    pub failovers: u64,
+    /// Median update response time across all runs (ns of virtual time).
+    pub update_p50_ns: u64,
+    /// 99th-percentile update response time (ns).
+    pub update_p99_ns: u64,
+    /// Failover latency: in each failed-over run, the slowest update's
+    /// submit→deliver time — the operation stranded across the view
+    /// change. Median over those runs (ns).
+    pub failover_p50_ns: u64,
+    /// 99th-percentile failover latency (ns).
+    pub failover_p99_ns: u64,
+}
+
+impl FailoverBenchRow {
+    /// The row as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("plan".into(), jstr(self.plan.clone())),
+            ("protocol".into(), jstr(self.protocol.clone())),
+            ("abcast".into(), jstr("view")),
+            ("runs".into(), num(self.runs as i64)),
+            ("failovers".into(), num(self.failovers as i64)),
+            (
+                "update_ns".into(),
+                Json::Obj(vec![
+                    ("p50".into(), num(self.update_p50_ns as i64)),
+                    ("p99".into(), num(self.update_p99_ns as i64)),
+                ]),
+            ),
+            (
+                "failover_ns".into(),
+                Json::Obj(vec![
+                    ("p50".into(), num(self.failover_p50_ns as i64)),
+                    ("p99".into(), num(self.failover_p99_ns as i64)),
+                ]),
+            ),
+        ])
+    }
+}
+
+/// E-failover — what a leader crash costs: the view-based broadcast is
+/// swept over the three `leader-crash-*` families and the latency of the
+/// operation stranded across the view change is reported per run. Shape
+/// to reproduce: every run still quiesces cleanly (the crash is masked),
+/// but the stranded update's latency is dominated by the suspicion
+/// timeout plus the view-change handshake, several times the
+/// fair-weather update path.
+pub fn experiment_failover(seeds: u64) -> Vec<FailoverBenchRow> {
+    use moc_protocol::chaos::{run_chaos_cluster, ChaosConfig, ChaosRunReport};
+    use moc_workload::chaos::{FaultFamily, WorkloadFamily};
+
+    const PROCESSES: usize = 3;
+    const OPS: usize = 4;
+    // Same timing discipline as the integration sweep: think time keeps
+    // submissions in flight through the crash windows, and suspicion
+    // sits well below the outage lengths so failover actually fires.
+    const HORIZON_NS: u64 = 240_000;
+    const THINK_NS: u64 = 60_000;
+
+    let run_one = |protocol: &str, family: FaultFamily, seed: u64| -> ChaosRunReport {
+        let spec = WorkloadSpec {
+            think_ns: THINK_NS,
+            ..WorkloadFamily::Mixed.spec(PROCESSES, OPS)
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = scripts(&spec, &mut rng);
+        let config = ChaosConfig::new(spec.num_objects, seed)
+            .with_faults(family.plan(PROCESSES, HORIZON_NS))
+            .with_failover_timeouts(15_000, 120_000);
+        match protocol {
+            "msc" => run_chaos_cluster::<MscOverView>(&config, s),
+            _ => run_chaos_cluster::<MlinOverView>(&config, s),
+        }
+    };
+
+    let mut rows = Vec::new();
+    for family in FaultFamily::LEADER_CRASH {
+        for protocol in ["msc", "mlin"] {
+            let mut failovers = 0u64;
+            let mut updates = Vec::new();
+            let mut stranded = Vec::new();
+            for seed in 0..seeds {
+                let report = run_one(protocol, family, seed);
+                assert!(
+                    report.anomalies.is_clean(),
+                    "failover bench run must be masked ({protocol}, {}, seed {seed}): {:?}",
+                    family.name(),
+                    report.anomalies
+                );
+                let run_updates: Vec<u64> = report
+                    .latencies
+                    .iter()
+                    .filter(|(class, _)| *class == MOpClass::Update)
+                    .map(|&(_, l)| l)
+                    .collect();
+                updates.extend_from_slice(&run_updates);
+                let failed_over = report
+                    .view_transcripts
+                    .iter()
+                    .flatten()
+                    .any(|line| line.contains("install v"));
+                if failed_over {
+                    failovers += 1;
+                    if let Some(&worst) = run_updates.iter().max() {
+                        stranded.push(worst);
+                    }
+                }
+            }
+            assert!(
+                failovers > 0,
+                "failover bench is vacuous ({protocol}, {}): no seed installed a view",
+                family.name()
+            );
+            updates.sort_unstable();
+            stranded.sort_unstable();
+            rows.push(FailoverBenchRow {
+                plan: family.name().into(),
+                protocol: protocol.into(),
+                runs: seeds,
+                failovers,
+                update_p50_ns: percentile(&updates, 50.0),
+                update_p99_ns: percentile(&updates, 99.0),
+                failover_p50_ns: percentile(&stranded, 50.0),
+                failover_p99_ns: percentile(&stranded, 99.0),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the failover rows as a printable table.
+pub fn failover_bench_table(rows: &[FailoverBenchRow]) -> Table {
+    let mut t = Table::new(
+        "failover: leader-crash cost under the view-based broadcast (virtual time; latencies in µs)",
+        &[
+            "plan", "proto", "runs", "failovers", "u p50", "u p99", "fo p50", "fo p99",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.plan.clone(),
+            r.protocol.clone(),
+            r.runs.to_string(),
+            r.failovers.to_string(),
+            us(r.update_p50_ns as f64),
+            us(r.update_p99_ns as f64),
+            us(r.failover_p50_ns as f64),
+            us(r.failover_p99_ns as f64),
+        ]);
+    }
+    t
+}
+
 /// Renders the chaos rows as a printable table.
 pub fn chaos_bench_table(rows: &[ChaosBenchRow]) -> Table {
     let mut t = Table::new(
@@ -1074,15 +1240,19 @@ pub fn chaos_bench_table(rows: &[ChaosBenchRow]) -> Table {
     t
 }
 
-/// The chaos rows as a machine-readable JSON document
-/// (`BENCH_chaos.json`).
-pub fn chaos_bench_json(rows: &[ChaosBenchRow]) -> String {
+/// The chaos and failover rows as a machine-readable JSON document
+/// (`BENCH_chaos.json`). Version 2 added `failover_rows`.
+pub fn chaos_bench_json(rows: &[ChaosBenchRow], failover: &[FailoverBenchRow]) -> String {
     Json::Obj(vec![
         ("bench".into(), jstr("chaos")),
-        ("version".into(), num(1)),
+        ("version".into(), num(2)),
         (
             "rows".into(),
             Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+        ),
+        (
+            "failover_rows".into(),
+            Json::Arr(failover.iter().map(|r| r.to_json()).collect()),
         ),
     ])
     .render()
@@ -1120,6 +1290,27 @@ mod tests {
         assert_eq!(t.rows[0][3], "0");
         assert_ne!(t.rows[1][3], "0");
         assert_eq!(t.rows[2][3], "0");
+    }
+
+    #[test]
+    fn failover_bench_measures_real_view_changes() {
+        let rows = experiment_failover(8);
+        assert_eq!(rows.len(), 6, "3 leader-crash families × 2 protocols");
+        for r in &rows {
+            assert!(r.failovers > 0, "{}/{}: vacuous", r.plan, r.protocol);
+            assert!(
+                r.failover_p50_ns >= r.update_p50_ns,
+                "{}/{}: the stranded op cannot be faster than the median",
+                r.plan,
+                r.protocol
+            );
+        }
+        let doc = chaos_bench_json(&[], &rows);
+        assert!(doc.contains("\"failover_rows\""), "{doc}");
+        assert!(
+            doc.contains("\"version\": 2") || doc.contains("\"version\":2"),
+            "{doc}"
+        );
     }
 
     #[test]

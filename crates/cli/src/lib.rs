@@ -26,7 +26,8 @@ use moc_core::codec::{from_text, to_text};
 use moc_core::history::History;
 use moc_core::render::{render_listing, render_timeline};
 use moc_protocol::{
-    run_cluster, AggregateOverSequencer, ClusterConfig, MlinOverSequencer, MscOverSequencer,
+    run_cluster, AggregateOverSequencer, ClusterConfig, MlinOverSequencer, MlinOverView,
+    MscOverSequencer, MscOverView,
 };
 use moc_sim::{DelayModel, NetworkConfig};
 use moc_workload::histories::{
@@ -120,15 +121,23 @@ USAGE:
   moc audit  <history-file|-> <cert-file>
       Independently re-validate a moc-cert certificate against a history:
       replay the witness, or check the ~H+ refutation cycle edge by edge.
-  moc chaos  [--protocol msc|mlin|both] [--faults none|lossy|lossy-dup|
-             partition|crash|storm|all|LIST] [--workloads mixed|read-heavy|
+  moc chaos  [--protocol msc|mlin|both] [--abcast fixed|view]
+             [--faults none|lossy|lossy-dup|partition|crash|storm|
+             leader-crash-quiet|leader-crash-burst|leader-crash-repeat|
+             all|leader-crash|LIST] [--workloads mixed|read-heavy|
              write-heavy|hot-spot|all|LIST] [--seeds N] [--seed-base S]
              [--processes N] [--ops K] [--objects M] [--sabotage]
       Sweep seeds × fault plans × workloads through the protocols on the
       fault-injecting simulator (reliable-link sublayer on the wire),
       checking every run's history with a certificate and re-validating
       each certificate with the independent auditor. Failing runs print a
-      replay command. With --sabotage the link's dedup/retransmission are
+      replay command. --abcast picks the total-order layer: the fixed
+      sequencer or the view-based failover broadcast (the only one that
+      survives the leader-crash fault families; under `fixed` those
+      families are a negative control and must FAIL detectably, never
+      hang). `--faults all` keeps its historical meaning (the six
+      original families); `leader-crash` selects the three coordinator-
+      crash families. With --sabotage the link's dedup/retransmission are
       disabled and the sweep must instead find an audited refutation.
       See docs/CHAOS.md.
   moc render <file|-> [--width N]
@@ -593,8 +602,19 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
         "both" => vec!["msc", "mlin"],
         other => return Err(format!("unknown protocol {other:?} (msc|mlin|both)")),
     };
+    let abcast = match args
+        .options
+        .get("abcast")
+        .map(String::as_str)
+        .unwrap_or("fixed")
+    {
+        "fixed" => "fixed",
+        "view" => "view",
+        other => return Err(format!("unknown abcast {other:?} (fixed|view)")),
+    };
     let families: Vec<FaultFamily> = match args.options.get("faults").map(String::as_str) {
         None | Some("all") => FaultFamily::ALL.to_vec(),
+        Some("leader-crash") => FaultFamily::LEADER_CRASH.to_vec(),
         Some(list) => list
             .split(',')
             .map(|t| {
@@ -636,8 +656,18 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
                     let seed = seed_base + i;
                     total += 1;
                     let spec = wl.spec(processes, ops);
+                    // The leader-crash windows sit mid-horizon; stretch
+                    // client think time so submissions actually span the
+                    // outage instead of quiescing microseconds in (the
+                    // default think time is 100 ns).
+                    let think_ns = if FaultFamily::LEADER_CRASH.contains(family) {
+                        horizon_ns / (2 * ops.max(1) as u64)
+                    } else {
+                        spec.think_ns
+                    };
                     let spec = WorkloadSpec {
                         num_objects: objects.min(spec.num_objects.max(1)).max(1),
+                        think_ns,
                         ..spec
                     };
                     let mut rng = StdRng::seed_from_u64(seed);
@@ -649,11 +679,25 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
                     } else {
                         (family.plan(processes, horizon_ns), LinkConfig::default())
                     };
-                    let config = ChaosConfig::new(spec.num_objects, seed)
+                    let mut config = ChaosConfig::new(spec.num_objects, seed)
                         .with_faults(plan)
                         .with_link(link);
-                    let outcome = match *proto {
-                        "msc" => chaos_run_one::<MscOverSequencer>(condition, &config, s),
+                    if abcast == "view" {
+                        // Suspicion well below the leader-crash windows
+                        // (which are fractions of the horizon), so
+                        // failover actually fires before the old leader
+                        // returns.
+                        config = config.with_failover_timeouts(30_000, 240_000);
+                    } else if FaultFamily::LEADER_CRASH.contains(family) {
+                        // Negative control: the fixed sequencer cannot
+                        // fail over, so bound the event count — the run
+                        // must FAIL (stall / unfinished ops), not hang.
+                        config = config.with_max_events(2_000_000);
+                    }
+                    let outcome = match (*proto, abcast) {
+                        ("msc", "view") => chaos_run_one::<MscOverView>(condition, &config, s),
+                        ("msc", _) => chaos_run_one::<MscOverSequencer>(condition, &config, s),
+                        (_, "view") => chaos_run_one::<MlinOverView>(condition, &config, s),
                         _ => chaos_run_one::<MlinOverSequencer>(condition, &config, s),
                     };
                     if outcome.audited_refutation {
@@ -663,7 +707,7 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
                         clean += 1;
                     } else if !sabotage {
                         failures.push(format!(
-                            "FAIL {proto} faults={} workload={} seed={seed}: {}\n  replay: moc chaos --protocol {proto} --faults {} --workloads {} --seed-base {seed} --seeds 1 --processes {processes} --ops {ops} --objects {objects}",
+                            "FAIL {proto} abcast={abcast} faults={} workload={} seed={seed}: {}\n  replay: moc chaos --protocol {proto} --abcast {abcast} --faults {} --workloads {} --seed-base {seed} --seeds 1 --processes {processes} --ops {ops} --objects {objects}",
                             family.name(), wl.name(), outcome.detail,
                             family.name(), wl.name(),
                         ));
@@ -672,7 +716,7 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
                 let _ = std::fmt::Write::write_fmt(
                     &mut out,
                     format_args!(
-                        "{proto:4} faults={:<10} workload={:<11} {clean}/{seeds} clean\n",
+                        "{proto:4} abcast={abcast:5} faults={:<18} workload={:<11} {clean}/{seeds} clean\n",
                         family.name(),
                         wl.name(),
                     ),
@@ -1054,9 +1098,62 @@ mod tests {
     }
 
     #[test]
+    fn chaos_view_abcast_survives_leader_crashes() {
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "chaos",
+                "--protocol",
+                "both",
+                "--abcast",
+                "view",
+                "--faults",
+                "leader-crash",
+                "--seeds",
+                "2",
+                "--ops",
+                "3",
+            ]),
+            "",
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("abcast=view"), "{out}");
+        assert!(out.contains("leader-crash-repeat"), "{out}");
+        assert!(out.contains("0 failures"), "{out}");
+    }
+
+    #[test]
+    fn chaos_fixed_abcast_fails_detectably_on_leader_crash() {
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "chaos",
+                "--protocol",
+                "msc",
+                "--faults",
+                "leader-crash-burst",
+                "--workloads",
+                "write-heavy",
+                "--seeds",
+                "2",
+                "--ops",
+                "3",
+            ]),
+            "",
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 1, "negative control must fail, not hang: {out}");
+        assert!(out.contains("FAIL"), "{out}");
+        assert!(
+            out.contains("--abcast fixed"),
+            "replay line carries the abcast flag: {out}"
+        );
+    }
+
+    #[test]
     fn chaos_bad_flags_exit_2() {
         for bad in [
             sv(&["chaos", "--protocol", "nope"]),
+            sv(&["chaos", "--abcast", "nope"]),
             sv(&["chaos", "--faults", "nope"]),
             sv(&["chaos", "--workloads", "nope"]),
             sv(&["chaos", "--processes", "1"]),

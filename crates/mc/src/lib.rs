@@ -48,6 +48,13 @@ pub struct ExploreLimits {
     /// second time, modelling a faulty network *without* the
     /// reliable-link sublayer — and finding the schedules it breaks.
     pub max_duplicates: u32,
+    /// Leader-crash budget per schedule. The default (0) explores only
+    /// crash-free schedules; a budget of 1 lets the explorer fail-stop
+    /// the initial coordinator (P0) at every possible point. A schedule
+    /// in which a *live* process's operation can never complete — even
+    /// after arbitrary time passes (suspicion timers fire at network
+    /// quiescence) — is reported as a liveness violation.
+    pub max_leader_crashes: u32,
 }
 
 impl Default for ExploreLimits {
@@ -56,6 +63,7 @@ impl Default for ExploreLimits {
             max_schedules: 200_000,
             max_depth: 10_000,
             max_duplicates: 0,
+            max_leader_crashes: 0,
         }
     }
 }
@@ -113,6 +121,12 @@ where
     records: Vec<MOpRecord>,
     step: u64,
     duplicates_used: u32,
+    /// The fail-stopped process, if a leader-crash move was taken. It
+    /// never acts again; messages addressed to it vanish.
+    crashed: Option<usize>,
+    /// Virtual clock fed to `on_abcast_tick` during quiescent-time
+    /// phases.
+    clock_ns: u64,
 }
 
 impl<R: ReplicaProtocol + Clone> Clone for State<R>
@@ -138,6 +152,8 @@ where
             records: self.records.clone(),
             step: self.step,
             duplicates_used: self.duplicates_used,
+            crashed: self.crashed,
+            clock_ns: self.clock_ns,
         }
     }
 }
@@ -149,6 +165,9 @@ enum Move {
     /// flight: the network duplicated it.
     Duplicate(usize),
     Invoke(usize),
+    /// Fail-stop the initial coordinator (P0): it never acts again and
+    /// every in-flight message addressed to it is lost.
+    CrashLeader,
 }
 
 struct Explorer<'a, R: ReplicaProtocol + Clone>
@@ -192,6 +211,8 @@ where
         records: Vec::new(),
         step: 0,
         duplicates_used: 0,
+        crashed: None,
+        clock_ns: 0,
     };
     let mut explorer = Explorer::<R> {
         scripts: &scripts,
@@ -221,9 +242,15 @@ where
             moves.extend((0..s.inflight.len()).map(Move::Duplicate));
         }
         for p in 0..s.replicas.len() {
+            if s.crashed == Some(p) {
+                continue;
+            }
             if s.pending[p].is_none() && s.script_pos[p] < self.scripts[p].len() {
                 moves.push(Move::Invoke(p));
             }
+        }
+        if s.crashed.is_none() && self.limits.max_leader_crashes > 0 {
+            moves.push(Move::CrashLeader);
         }
         moves
     }
@@ -260,14 +287,69 @@ where
                 out = Outbox::new(s.replicas.len());
                 s.replicas[p].invoke(mop, &mut out);
             }
+            Move::CrashLeader => {
+                s.crashed = Some(0);
+                s.inflight.retain(|env| env.to.index() != 0);
+                return;
+            }
         }
         let me = ProcessId::new(acting as u32);
         for (to, msg) in out.drain() {
+            if s.crashed == Some(to.index()) {
+                continue;
+            }
             s.inflight.push(Envelope { from: me, to, msg });
         }
         for c in s.replicas[acting].drain_completions() {
             self.complete(s, acting, c);
         }
+    }
+
+    /// Lets virtual time pass at network quiescence: ticks every live
+    /// replica's broadcast with an ever-advancing clock, so suspicion
+    /// timers fire and view changes run. Returns `true` as soon as a
+    /// round emits messages or completes an operation; `false` if the
+    /// system stays silent — genuine lack of progress.
+    fn tick_until_progress(&self, s: &mut State<R>) -> bool {
+        const ROUNDS: u32 = 32;
+        const TICK_NS: u64 = 1_000_000;
+        for _ in 0..ROUNDS {
+            s.step += 1;
+            s.clock_ns += TICK_NS;
+            let mut progressed = false;
+            for p in 0..s.replicas.len() {
+                if s.crashed == Some(p) {
+                    continue;
+                }
+                let mut out = Outbox::new(s.replicas.len());
+                s.replicas[p].on_abcast_tick(s.clock_ns, &mut out);
+                let me = ProcessId::new(p as u32);
+                for (to, msg) in out.drain() {
+                    if s.crashed == Some(to.index()) {
+                        continue;
+                    }
+                    s.inflight.push(Envelope { from: me, to, msg });
+                    progressed = true;
+                }
+                for c in s.replicas[p].drain_completions() {
+                    self.complete(s, p, c);
+                    progressed = true;
+                }
+            }
+            if progressed {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether some process that is still alive has an operation waiting
+    /// for a response.
+    fn live_pending(s: &State<R>) -> bool {
+        s.pending
+            .iter()
+            .enumerate()
+            .any(|(p, pend)| pend.is_some() && s.crashed != Some(p))
     }
 
     fn complete(&self, s: &mut State<R>, p: usize, c: Completion) {
@@ -310,6 +392,27 @@ where
         }
         let moves = self.moves(&s);
         if moves.is_empty() {
+            if Self::live_pending(&s) {
+                // The network is quiescent but a live process is still
+                // waiting. Let time pass: suspicion timers may start a
+                // view change that unblocks it.
+                let mut next = s;
+                if self.tick_until_progress(&mut next) {
+                    self.dfs(next, depth + 1);
+                } else {
+                    let history = History::new(self.num_objects, next.records)
+                        .expect("partial history is well-formed");
+                    self.violations.push(Violation {
+                        history,
+                        reason: Some(
+                            "liveness: a live process's operation can never complete \
+                             (crashed coordinator with no failover?)"
+                                .into(),
+                        ),
+                    });
+                }
+                return;
+            }
             self.finish_schedule(s);
             return;
         }
@@ -326,8 +429,11 @@ where
     fn finish_schedule(&mut self, s: State<R>) {
         self.schedules += 1;
         debug_assert!(
-            s.pending.iter().all(|p| p.is_none()),
-            "quiescent schedule left an operation pending"
+            s.pending
+                .iter()
+                .enumerate()
+                .all(|(p, pend)| pend.is_none() || s.crashed == Some(p)),
+            "quiescent schedule left a live operation pending"
         );
         let delivery_log = s.replicas[0].delivery_log().to_vec();
         let history =
@@ -525,6 +631,68 @@ mod tests {
             ExploreLimits::default(),
         );
         assert!(result.holds(), "{} violations", result.violations.len());
+    }
+
+    /// Tentpole liveness pair, negative half: under a leader-crash move
+    /// the fixed-sequencer stack loses liveness — some schedule crashes
+    /// P0 with an update still unordered, no amount of time recovers it,
+    /// and the explorer reports the liveness violation.
+    #[test]
+    fn leader_crash_violates_liveness_under_the_fixed_sequencer() {
+        let result = explore::<MscOverSequencer>(
+            1,
+            vec![vec![wx(1)], vec![wx(2)], vec![]],
+            Condition::MSequentialConsistency,
+            ExploreLimits {
+                max_leader_crashes: 1,
+                ..ExploreLimits::default()
+            },
+        );
+        assert!(!result.truncated);
+        assert!(
+            !result.holds(),
+            "crashing the fixed sequencer must strand some update"
+        );
+        assert!(
+            result
+                .violations
+                .iter()
+                .any(|v| v.reason.as_deref().is_some_and(|r| r.contains("liveness"))),
+            "the violation must be a liveness report: {:?}",
+            result
+                .violations
+                .iter()
+                .map(|v| &v.reason)
+                .collect::<Vec<_>>()
+        );
+    }
+
+    /// Tentpole liveness pair, positive half: the view-based broadcast
+    /// survives the same move at every crash point — suspicion timers
+    /// fire at quiescence, view 1 installs under P1, unordered updates
+    /// are re-proposed, and every schedule both completes and stays
+    /// m-sequentially consistent.
+    #[test]
+    fn leader_crash_is_masked_by_view_failover() {
+        let result = explore::<moc_protocol::MscOverView>(
+            1,
+            vec![vec![wx(1)], vec![wx(2)], vec![]],
+            Condition::MSequentialConsistency,
+            ExploreLimits {
+                max_leader_crashes: 1,
+                ..ExploreLimits::default()
+            },
+        );
+        assert!(
+            result.holds(),
+            "failover must preserve liveness and safety: {:?}",
+            result
+                .violations
+                .iter()
+                .map(|v| &v.reason)
+                .collect::<Vec<_>>()
+        );
+        assert!(result.schedules > 10, "expected many crash interleavings");
     }
 
     /// The schedule cap is honoured.

@@ -129,6 +129,30 @@ impl<A: Abcast<MOperation>> ReplicaProtocol for AggregateReplica<A> {
     fn delivery_log(&self) -> &[moc_core::ids::MOpId] {
         &self.delivery_log
     }
+
+    fn abcast_deadline(&self) -> Option<u64> {
+        self.abcast.next_deadline()
+    }
+
+    fn on_abcast_tick(&mut self, now_ns: u64, out: &mut Outbox<Self::Msg>) {
+        let mut ab_out = Outbox::new(self.n);
+        self.abcast.on_tick(now_ns, &mut ab_out);
+        self.pump_abcast(&mut ab_out, out, true);
+    }
+
+    fn on_abcast_restart(&mut self, now_ns: u64, out: &mut Outbox<Self::Msg>) {
+        let mut ab_out = Outbox::new(self.n);
+        self.abcast.on_restart(now_ns, &mut ab_out);
+        self.pump_abcast(&mut ab_out, out, true);
+    }
+
+    fn set_failover_timeouts(&mut self, base_ns: u64, max_ns: u64) {
+        self.abcast.set_failover_timeouts(base_ns, max_ns);
+    }
+
+    fn abcast_transcript(&self) -> Vec<String> {
+        self.abcast.transcript()
+    }
 }
 
 #[cfg(test)]

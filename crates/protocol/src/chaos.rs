@@ -57,6 +57,10 @@ pub struct ChaosConfig {
     /// than panicking (a plan that never lets the run quiesce is data,
     /// not a crash).
     pub max_events: u64,
+    /// Failover suspicion timeouts `(base_ns, max_ns)` applied to every
+    /// replica's broadcast before the run, if set. Ignored by broadcasts
+    /// without failover (the fixed sequencer).
+    pub failover_timeouts: Option<(u64, u64)>,
 }
 
 impl ChaosConfig {
@@ -69,6 +73,7 @@ impl ChaosConfig {
             link: LinkConfig::default(),
             seed,
             max_events: 20_000_000,
+            failover_timeouts: None,
         }
     }
 
@@ -87,6 +92,20 @@ impl ChaosConfig {
     /// Overrides the link configuration.
     pub fn with_link(mut self, link: LinkConfig) -> Self {
         self.link = link;
+        self
+    }
+
+    /// Overrides the event budget. Negative controls that crash the fixed
+    /// sequencer *expect* a stall; a small budget keeps them fast.
+    pub fn with_max_events(mut self, max_events: u64) -> Self {
+        self.max_events = max_events;
+        self
+    }
+
+    /// Sets the failover suspicion timeouts (base and cap of the
+    /// exponential backoff) applied to every replica's broadcast.
+    pub fn with_failover_timeouts(mut self, base_ns: u64, max_ns: u64) -> Self {
+        self.failover_timeouts = Some((base_ns, max_ns));
         self
     }
 }
@@ -138,6 +157,10 @@ pub struct ChaosRunReport {
     pub update_order: Vec<MOpId>,
     /// Irregularities observed during the run.
     pub anomalies: ChaosAnomalies,
+    /// Per-replica broadcast transcripts (view changes, failover events).
+    /// Empty vectors for static broadcasts; deterministic per seed, so
+    /// replays must produce identical transcripts.
+    pub view_transcripts: Vec<Vec<String>>,
 }
 
 impl ChaosRunReport {
@@ -230,12 +253,16 @@ impl<R: ReplicaProtocol> ChaosNode<R> {
         }
     }
 
-    /// Arms a tick timer for the link's earliest retransmission deadline,
-    /// unless one at least as early is already armed. Superseded timers
-    /// still fire and run a (harmless, idempotent) early tick.
+    /// Arms a tick timer for the earliest pending deadline — link
+    /// retransmission or broadcast failover suspicion, whichever comes
+    /// first — unless one at least as early is already armed. Superseded
+    /// timers still fire and run a (harmless, idempotent) early tick.
     fn arm_tick(&mut self, ctx: &mut Context<'_, LinkMsg<R::Msg>>) {
-        let Some(d) = self.link.next_deadline() else {
-            return;
+        let d = match (self.link.next_deadline(), self.replica.abcast_deadline()) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => return,
         };
         if self.tick_deadline.is_none_or(|armed| armed > d) {
             let delay = d.saturating_sub(ctx.now().as_nanos()).max(1);
@@ -323,8 +350,8 @@ impl<R: ReplicaProtocol> Node for ChaosNode<R> {
             self.think_timer = None;
             self.invoke_next(ctx);
         } else {
-            // A link tick (possibly superseded or early — on_tick only
-            // acts on deadlines that are actually due).
+            // A link/abcast tick (possibly superseded or early — both
+            // on_tick hooks only act on deadlines that are actually due).
             self.tick_deadline = None;
             let now = ctx.now().as_nanos();
             let mut wire = Vec::new();
@@ -332,6 +359,12 @@ impl<R: ReplicaProtocol> Node for ChaosNode<R> {
             for (to, f) in wire {
                 ctx.send(to, f);
             }
+            // A due suspicion timer can start or escalate a view change,
+            // and a completed change can release buffered deliveries.
+            let mut out = Outbox::new(self.n);
+            self.replica.on_abcast_tick(now, &mut out);
+            self.relay(&mut out, ctx);
+            self.drain(ctx);
             self.arm_tick(ctx);
         }
     }
@@ -345,6 +378,13 @@ impl<R: ReplicaProtocol> Node for ChaosNode<R> {
         for (to, f) in wire {
             ctx.send(to, f);
         }
+        // Let the broadcast react to its own outage: a restarted fixed
+        // sequencer fail-stops, a view-based one resyncs its suspicion
+        // clock and catches up as a follower.
+        let mut out = Outbox::new(self.n);
+        self.replica.on_abcast_restart(now, &mut out);
+        self.relay(&mut out, ctx);
+        self.drain(ctx);
         self.think_timer = None;
         self.tick_deadline = None;
         self.arm_tick(ctx);
@@ -370,7 +410,13 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
         .map(|(p, script)| ChaosNode {
             me: ProcessId::new(p as u32),
             n,
-            replica: R::new(ProcessId::new(p as u32), n, config.num_objects),
+            replica: {
+                let mut r = R::new(ProcessId::new(p as u32), n, config.num_objects);
+                if let Some((base, max)) = config.failover_timeouts {
+                    r.set_failover_timeouts(base, max);
+                }
+                r
+            },
             link: ReliableLink::new(ProcessId::new(p as u32), n, config.link),
             script: script.ops.into(),
             think_ns: script.think_ns,
@@ -411,6 +457,7 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
     let mut latencies = Vec::new();
     let mut replica_metrics = Vec::new();
     let mut link_stats = Vec::new();
+    let mut view_transcripts = Vec::new();
     for node in nodes {
         anomalies.orphan_completions += node.orphan_completions;
         anomalies.unfinished_ops += node.script.len() as u64 + u64::from(node.inflight.is_some());
@@ -418,6 +465,7 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
         latencies.extend(node.latencies);
         replica_metrics.push(node.replica.metrics());
         link_stats.push(node.link.stats());
+        view_transcripts.push(node.replica.abcast_transcript());
     }
     let history = History::new(config.num_objects, records).map_err(|e| e.to_string());
     ChaosRunReport {
@@ -429,13 +477,14 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
         sim,
         update_order,
         anomalies,
+        view_transcripts,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MlinOverSequencer, MscOverSequencer};
+    use crate::{MlinOverSequencer, MscOverSequencer, MscOverView};
     use moc_core::ids::ObjectId;
     use moc_core::program::{reg, ProgramBuilder};
     use moc_sim::DelayModel;
@@ -537,6 +586,78 @@ mod tests {
         assert_eq!(a.fingerprint(), b.fingerprint());
         assert!(a.fingerprint().is_some());
         assert_eq!(a.latencies, b.latencies);
+    }
+
+    /// Like [`scripts`], but paced so the second round of updates is
+    /// still in flight when a crash at ~5µs lands.
+    fn slow_scripts() -> Vec<ClientScript> {
+        scripts()
+            .into_iter()
+            .map(|s| s.with_think_time(10_000))
+            .collect()
+    }
+
+    #[test]
+    fn view_abcast_survives_a_leader_crash() {
+        // Crash the initial leader (P0) mid-run. The survivors must
+        // suspect it, install view 1 under P1, re-propose anything
+        // unordered, and finish every scripted op; P0 rejoins through
+        // the link handshake and catches up as a follower.
+        let cfg = ChaosConfig::new(1, 13)
+            .with_network(NetworkConfig::fifo(1_000))
+            .with_faults(FaultPlan::default().with_crash(ProcessId::new(0), 5_000, 600_000))
+            .with_link(LinkConfig {
+                rto_ns: 20_000,
+                max_rto_ns: 320_000,
+                ..LinkConfig::default()
+            });
+        let report = run_chaos_cluster::<MscOverView>(&cfg, slow_scripts());
+        assert!(report.anomalies.is_clean(), "{:?}", report.anomalies);
+        let h = report.history.as_ref().expect("valid history");
+        assert_eq!(h.len(), 5, "every scripted op completed across failover");
+        let survivors_changed_view = report.view_transcripts[1..].iter().all(|t| {
+            t.iter()
+                .any(|line| line.contains("install v1") || line.contains("adopt v1"))
+        });
+        assert!(
+            survivors_changed_view,
+            "survivors moved to view 1: {:?}",
+            report.view_transcripts
+        );
+    }
+
+    #[test]
+    fn crashed_fixed_sequencer_is_detected_not_silent() {
+        // The same crash under the fixed sequencer: the restarted
+        // sequencer fail-stops instead of restamping from a stale
+        // counter, so the run surfaces unfinished updates rather than a
+        // silently forked order.
+        let cfg = ChaosConfig::new(1, 13)
+            .with_network(NetworkConfig::fifo(1_000))
+            .with_faults(FaultPlan::default().with_crash(ProcessId::new(0), 5_000, 600_000))
+            .with_link(LinkConfig {
+                rto_ns: 20_000,
+                max_rto_ns: 320_000,
+                ..LinkConfig::default()
+            });
+        let report = run_chaos_cluster::<MscOverSequencer>(&cfg, slow_scripts());
+        assert!(
+            !report.anomalies.is_clean(),
+            "a dead coordinator must be detectable: {:?}",
+            report.anomalies
+        );
+        assert!(report.anomalies.unfinished_ops > 0 || report.anomalies.stalled);
+        assert!(
+            report.view_transcripts[0]
+                .iter()
+                .any(|line| line.contains("halted")),
+            "the restarted sequencer recorded its fail-stop: {:?}",
+            report.view_transcripts
+        );
+        assert!(
+            !report.anomalies.delivery_divergence,
+            "fail-stop prevents order corruption"
+        );
     }
 
     #[test]

@@ -231,6 +231,31 @@ pub trait ReplicaProtocol {
     /// guarantees all replicas report the same log (asserted by the
     /// harness).
     fn delivery_log(&self) -> &[MOpId];
+
+    /// Earliest absolute time (ns) the underlying broadcast wants a tick
+    /// (crash-suspicion deadlines), or `None`. Static broadcasts never
+    /// request ticks.
+    fn abcast_deadline(&self) -> Option<u64> {
+        None
+    }
+
+    /// Advances the broadcast's clock and fires its expired deadlines
+    /// (e.g. sequencer-failover suspicion). Harmless when called early.
+    fn on_abcast_tick(&mut self, _now_ns: u64, _out: &mut Outbox<Self::Msg>) {}
+
+    /// The hosting process restarted after a crash; forwarded to the
+    /// broadcast so failover protocols can react.
+    fn on_abcast_restart(&mut self, _now_ns: u64, _out: &mut Outbox<Self::Msg>) {}
+
+    /// Overrides the broadcast's failover timeouts (suspicion base and
+    /// cap, ns). No-op for broadcasts without failover machinery.
+    fn set_failover_timeouts(&mut self, _base_ns: u64, _max_ns: u64) {}
+
+    /// The broadcast's view-change transcript (empty for static
+    /// broadcasts); deterministic, for replay comparison and reports.
+    fn abcast_transcript(&self) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 /// Convenience alias: Figure 4 over the fixed-sequencer broadcast.
@@ -246,6 +271,11 @@ pub type MlinOverIsis = MlinReplica<moc_abcast::IsisAbcast<MOperation>>;
 pub type MlinRelevantOverSequencer = mlin::MlinRelevant<moc_abcast::SequencerAbcast<MOperation>>;
 /// Convenience alias: the aggregate-object baseline over the sequencer.
 pub type AggregateOverSequencer = AggregateReplica<moc_abcast::SequencerAbcast<MOperation>>;
+/// Convenience alias: Figure 4 over the view-based failover broadcast,
+/// which survives sequencer (leader) crashes.
+pub type MscOverView = MscReplica<moc_abcast::ViewAbcast<MOperation>>;
+/// Convenience alias: Figure 6 over the view-based failover broadcast.
+pub type MlinOverView = MlinReplica<moc_abcast::ViewAbcast<MOperation>>;
 
 #[cfg(test)]
 mod tests {

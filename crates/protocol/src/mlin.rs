@@ -251,6 +251,31 @@ impl<A: Abcast<MOperation>> ReplicaProtocol for MlinReplica<A> {
     fn delivery_log(&self) -> &[moc_core::ids::MOpId] {
         &self.delivery_log
     }
+
+    fn abcast_deadline(&self) -> Option<u64> {
+        self.abcast.next_deadline()
+    }
+
+    fn on_abcast_tick(&mut self, now_ns: u64, out: &mut Outbox<Self::Msg>) {
+        let mut ab_out = Outbox::new(self.n);
+        self.abcast.on_tick(now_ns, &mut ab_out);
+        // Ticks can complete a view change, which can release deliveries.
+        self.pump_abcast(&mut ab_out, out);
+    }
+
+    fn on_abcast_restart(&mut self, now_ns: u64, out: &mut Outbox<Self::Msg>) {
+        let mut ab_out = Outbox::new(self.n);
+        self.abcast.on_restart(now_ns, &mut ab_out);
+        self.pump_abcast(&mut ab_out, out);
+    }
+
+    fn set_failover_timeouts(&mut self, base_ns: u64, max_ns: u64) {
+        self.abcast.set_failover_timeouts(base_ns, max_ns);
+    }
+
+    fn abcast_transcript(&self) -> Vec<String> {
+        self.abcast.transcript()
+    }
 }
 
 /// [`MlinReplica`] with [`QueryScope::Relevant`] baked in at construction,
@@ -294,6 +319,26 @@ impl<A: Abcast<MOperation>> ReplicaProtocol for MlinRelevant<A> {
 
     fn delivery_log(&self) -> &[moc_core::ids::MOpId] {
         self.0.delivery_log()
+    }
+
+    fn abcast_deadline(&self) -> Option<u64> {
+        self.0.abcast_deadline()
+    }
+
+    fn on_abcast_tick(&mut self, now_ns: u64, out: &mut Outbox<Self::Msg>) {
+        self.0.on_abcast_tick(now_ns, out);
+    }
+
+    fn on_abcast_restart(&mut self, now_ns: u64, out: &mut Outbox<Self::Msg>) {
+        self.0.on_abcast_restart(now_ns, out);
+    }
+
+    fn set_failover_timeouts(&mut self, base_ns: u64, max_ns: u64) {
+        self.0.set_failover_timeouts(base_ns, max_ns);
+    }
+
+    fn abcast_transcript(&self) -> Vec<String> {
+        self.0.abcast_transcript()
     }
 }
 

@@ -85,6 +85,14 @@ pub struct RuntimeConfig {
     /// absorb OS scheduling jitter; spurious retransmissions are made
     /// harmless by receive-side dedup.
     pub link: LinkConfig,
+    /// Failover suspicion timeouts `(base_ns, max_ns)` for broadcasts
+    /// with view-based failover. The simulator-scale defaults baked into
+    /// the broadcast (tens of microseconds) would suspect a coordinator
+    /// on every OS scheduling hiccup, so the runtime always overrides
+    /// them with wall-clock values (20ms base, 500ms cap). False
+    /// suspicions are safe but churn views. Ignored by broadcasts
+    /// without failover.
+    pub failover_timeouts: (u64, u64),
 }
 
 impl RuntimeConfig {
@@ -101,7 +109,15 @@ impl RuntimeConfig {
                 max_rto_ns: 50_000_000,
                 ..LinkConfig::default()
             },
+            failover_timeouts: (20_000_000, 500_000_000),
         }
+    }
+
+    /// Overrides the failover suspicion timeouts (base and backoff cap).
+    pub fn with_failover_timeouts(mut self, base_ns: u64, max_ns: u64) -> Self {
+        assert!(base_ns > 0 && base_ns <= max_ns, "need 0 < base <= max");
+        self.failover_timeouts = (base_ns, max_ns);
+        self
     }
 
     /// Injects randomized per-message delays (microsecond scale) so the
@@ -215,11 +231,12 @@ where
             let net_tx = net_tx.clone();
             let num_objects = config.num_objects;
             let link_cfg = config.link;
+            let failover = config.failover_timeouts;
             replica_handles.push(
                 std::thread::Builder::new()
                     .name(format!("replica-{p}"))
                     .spawn(move || {
-                        replica_main::<R>(me, n, num_objects, link_cfg, epoch, rx, net_tx)
+                        replica_main::<R>(me, n, num_objects, link_cfg, failover, epoch, rx, net_tx)
                     })
                     .expect("spawn replica thread"),
             );
@@ -301,16 +318,19 @@ where
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn replica_main<R: ReplicaProtocol>(
     me: ProcessId,
     n: usize,
     num_objects: usize,
     link_cfg: LinkConfig,
+    failover: (u64, u64),
     epoch: Instant,
     rx: Receiver<Input<LinkMsg<R::Msg>>>,
     net_tx: Sender<NetCmd<LinkMsg<R::Msg>>>,
 ) -> ReplicaExit {
     let mut replica = R::new(me, n, num_objects);
+    replica.set_failover_timeouts(failover.0, failover.1);
     let mut link: ReliableLink<R::Msg> = ReliableLink::new(me, n, link_cfg);
     let mut next_seq = 0u32;
     let mut inflight: Option<(MOpId, EventTime, Sender<Reply>)> = None;
@@ -319,9 +339,13 @@ fn replica_main<R: ReplicaProtocol>(
     let now = |epoch: Instant| EventTime::from_nanos(epoch.elapsed().as_nanos() as u64);
 
     loop {
-        // Wake for the next input or the link's earliest retransmission
-        // deadline, whichever comes first.
-        let timeout = match link.next_deadline() {
+        // Wake for the next input or the earliest pending deadline —
+        // link retransmission or failover suspicion — whichever first.
+        let deadline = match (link.next_deadline(), replica.abcast_deadline()) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let timeout = match deadline {
             Some(d) => Duration::from_nanos(d.saturating_sub(now(epoch).as_nanos())),
             None => Duration::from_secs(3600),
         };
@@ -351,8 +375,12 @@ fn replica_main<R: ReplicaProtocol>(
                 replica.invoke(MOperation::new(id, program, args), &mut out);
             }
             Some(Input::Shutdown) => break,
-            // Retransmission deadline reached.
-            None => link.on_tick(now(epoch).as_nanos(), &mut wire),
+            // A deadline was reached: run both tick hooks (each only acts
+            // on deadlines that are actually due).
+            None => {
+                link.on_tick(now(epoch).as_nanos(), &mut wire);
+                replica.on_abcast_tick(now(epoch).as_nanos(), &mut out);
+            }
         }
         // Frame the replica's sends through the link, then route. After
         // shutdown began the network may be gone — those messages have no
@@ -651,6 +679,43 @@ mod tests {
                     max_rto_ns: 20_000_000,
                     ..LinkConfig::default()
                 }),
+        );
+        let cluster = Arc::new(cluster);
+        let mut joins = Vec::new();
+        for p in 0..3u32 {
+            let c = Arc::clone(&cluster);
+            joins.push(std::thread::spawn(move || {
+                for i in 0..4 {
+                    if i % 2 == 0 {
+                        c.invoke(ProcessId::new(p), wx(p as i64 * 10 + i), vec![]);
+                    } else {
+                        c.invoke(ProcessId::new(p), rx(), vec![]);
+                    }
+                }
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let cluster = Arc::try_unwrap(cluster).unwrap_or_else(|_| panic!("refs remain"));
+        let report = cluster.shutdown();
+        assert_eq!(report.history.len(), 12, "every invocation completed");
+        let lin = check(&report.history, Condition::MLinearizability, Strategy::Auto).unwrap();
+        assert!(lin.satisfied, "{:?}", lin.reason);
+    }
+
+    #[test]
+    fn view_backend_works_live() {
+        // The view-based broadcast on real threads and wall-clock
+        // suspicion timers: no crash occurs, so view 0 must stay stable
+        // (wall-clock timeouts absorb scheduling jitter) and the history
+        // must be m-linearizable.
+        let cluster: LiveCluster<moc_protocol::MlinOverView> = LiveCluster::start(
+            3,
+            RuntimeConfig::new(1).with_artificial_delay(DelayModel::Uniform {
+                lo: 1_000,
+                hi: 100_000,
+            }),
         );
         let cluster = Arc::new(cluster);
         let mut joins = Vec::new();

@@ -297,6 +297,39 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a crash of the view-`view` coordinator (process `view mod n`)
+    /// over `[at_ns, restart_ns)`. A convenience for sequencer-failover
+    /// schedules that keeps the rotation arithmetic in one place.
+    pub fn with_leader_crash(self, view: u64, n: usize, at_ns: u64, restart_ns: u64) -> Self {
+        self.with_crash(view_leader(view, n), at_ns, restart_ns)
+    }
+
+    /// Schedules `count` successive leader crashes: the coordinator of
+    /// view `first_view + k` goes down at `start_ns + k * period_ns` and
+    /// restarts `down_ns` later. Requires `down_ns < period_ns` so each
+    /// victim is back before the next one falls — the single-failure
+    /// discipline the view-change quorum (every process except the
+    /// suspected leader) depends on.
+    pub fn with_successive_leader_crashes(
+        mut self,
+        first_view: u64,
+        count: u64,
+        n: usize,
+        start_ns: u64,
+        down_ns: u64,
+        period_ns: u64,
+    ) -> Self {
+        assert!(
+            down_ns < period_ns,
+            "victims must restart before the next crash"
+        );
+        for k in 0..count {
+            let at = start_ns + k * period_ns;
+            self = self.with_leader_crash(first_view + k, n, at, at + down_ns);
+        }
+        self
+    }
+
     /// Whether this plan can never perturb an execution (no probabilistic
     /// faults, no scheduled events).
     pub fn is_benign(&self) -> bool {
@@ -305,6 +338,14 @@ impl FaultPlan {
             && self.partitions.is_empty()
             && self.crashes.is_empty()
     }
+}
+
+/// The coordinator of view `view` in an `n`-process cluster under the
+/// deterministic rotation used by the view-based atomic broadcast:
+/// view `v` is led by process `v mod n`.
+pub fn view_leader(view: u64, n: usize) -> ProcessId {
+    assert!(n > 0, "need at least one process");
+    ProcessId::new((view % n as u64) as u32)
 }
 
 /// Handle to a pending timer.
@@ -1202,6 +1243,31 @@ mod tests {
         let s0 = w.run_until_quiescent(10_000);
         assert_eq!(sb, s0);
         assert_eq!(pb, w.into_nodes().remove(0).pongs);
+    }
+
+    #[test]
+    fn leader_crash_helpers_follow_the_rotation() {
+        assert_eq!(view_leader(0, 3), ProcessId::new(0));
+        assert_eq!(view_leader(4, 3), ProcessId::new(1));
+        let plan =
+            FaultPlan::default().with_successive_leader_crashes(0, 2, 3, 10_000, 5_000, 20_000);
+        assert_eq!(
+            plan.crashes,
+            vec![
+                Crash {
+                    process: ProcessId::new(0),
+                    at_ns: 10_000,
+                    restart_ns: 15_000,
+                },
+                Crash {
+                    process: ProcessId::new(1),
+                    at_ns: 30_000,
+                    restart_ns: 35_000,
+                },
+            ],
+            "each victim restarts before the next one falls"
+        );
+        assert!(!plan.is_benign());
     }
 
     #[test]

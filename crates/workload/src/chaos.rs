@@ -35,10 +35,28 @@ pub enum FaultFamily {
     /// Everything at once: drops, duplicates, a healing partition and a
     /// crash-restart.
     Storm,
+    /// The current coordinator (view-0 leader, P0) crashes late in the
+    /// run, when most traffic has drained, and restarts before the
+    /// horizon. Exercises failover at a quiet moment on an otherwise
+    /// clean network.
+    LeaderCrashQuiet,
+    /// The coordinator crashes early, with the submission pipeline full,
+    /// under light drops. Unordered submissions must be re-proposed in
+    /// the new view.
+    LeaderCrashBurst,
+    /// Two successive coordinators (views 0 and 1) crash one after the
+    /// other, each restarting before the next falls — the repeated
+    /// failover case.
+    LeaderCrashRepeat,
 }
 
 impl FaultFamily {
-    /// All families, in sweep order.
+    /// All original families, in sweep order.
+    ///
+    /// Leader-crash families live in [`LEADER_CRASH`](Self::LEADER_CRASH),
+    /// not here: existing sweeps derive their seeds from positions in this
+    /// array, so appending to it would silently reshuffle every replay
+    /// line ever printed.
     pub const ALL: [FaultFamily; 6] = [
         FaultFamily::None,
         FaultFamily::Lossy,
@@ -46,6 +64,15 @@ impl FaultFamily {
         FaultFamily::Partition,
         FaultFamily::Crash,
         FaultFamily::Storm,
+    ];
+
+    /// The coordinator-crash families, in sweep order. Only meaningful
+    /// for runs whose atomic broadcast can survive a leader crash; under
+    /// the fixed sequencer they serve as negative controls.
+    pub const LEADER_CRASH: [FaultFamily; 3] = [
+        FaultFamily::LeaderCrashQuiet,
+        FaultFamily::LeaderCrashBurst,
+        FaultFamily::LeaderCrashRepeat,
     ];
 
     /// The family's stable name (used in replay lines and reports).
@@ -57,12 +84,18 @@ impl FaultFamily {
             FaultFamily::Partition => "partition",
             FaultFamily::Crash => "crash",
             FaultFamily::Storm => "storm",
+            FaultFamily::LeaderCrashQuiet => "leader-crash-quiet",
+            FaultFamily::LeaderCrashBurst => "leader-crash-burst",
+            FaultFamily::LeaderCrashRepeat => "leader-crash-repeat",
         }
     }
 
     /// Looks a family up by [`name`](Self::name).
     pub fn by_name(name: &str) -> Option<FaultFamily> {
-        FaultFamily::ALL.into_iter().find(|f| f.name() == name)
+        FaultFamily::ALL
+            .into_iter()
+            .chain(FaultFamily::LEADER_CRASH)
+            .find(|f| f.name() == name)
     }
 
     /// Instantiates the plan for a cluster of `n` processes whose run is
@@ -91,6 +124,24 @@ impl FaultFamily {
                     .with_partition(from, ProcessId::new(0), h / 5, h / 3)
                     .with_crash(victim, h / 2, (h / 2).saturating_add(h / 6))
             }
+            FaultFamily::LeaderCrashQuiet => {
+                FaultPlan::default().with_leader_crash(0, n, h / 2, (h / 2).saturating_add(h / 4))
+            }
+            FaultFamily::LeaderCrashBurst => {
+                FaultPlan::lossy(0.05).with_leader_crash(0, n, h / 10, h / 3)
+            }
+            // Windows sized so the first outage outlasts the suspicion
+            // timeout (view 1 actually installs under P1) and the second
+            // kills P1 while it is the acting leader with traffic still
+            // in flight.
+            FaultFamily::LeaderCrashRepeat => FaultPlan::default().with_successive_leader_crashes(
+                0,
+                2.min(n as u64),
+                n,
+                h / 4,
+                h / 8,
+                h / 5,
+            ),
         }
     }
 }
@@ -165,9 +216,15 @@ impl WorkloadFamily {
 mod tests {
     use super::*;
 
+    fn all_families() -> impl Iterator<Item = FaultFamily> {
+        FaultFamily::ALL
+            .into_iter()
+            .chain(FaultFamily::LEADER_CRASH)
+    }
+
     #[test]
     fn every_fault_family_is_recoverable() {
-        for fam in FaultFamily::ALL {
+        for fam in all_families() {
             let plan = fam.plan(4, 1_000_000);
             assert!(
                 plan.drop_prob < 1.0,
@@ -194,7 +251,7 @@ mod tests {
 
     #[test]
     fn only_the_control_family_is_benign() {
-        for fam in FaultFamily::ALL {
+        for fam in all_families() {
             let benign = fam.plan(3, 500_000).is_benign();
             assert_eq!(benign, fam == FaultFamily::None, "{}", fam.name());
         }
@@ -202,13 +259,28 @@ mod tests {
 
     #[test]
     fn names_round_trip() {
-        for fam in FaultFamily::ALL {
+        for fam in all_families() {
             assert_eq!(FaultFamily::by_name(fam.name()), Some(fam));
         }
         for fam in WorkloadFamily::ALL {
             assert_eq!(WorkloadFamily::by_name(fam.name()), Some(fam));
         }
         assert_eq!(FaultFamily::by_name("bogus"), None);
+    }
+
+    #[test]
+    fn leader_crash_families_target_the_rotation() {
+        let quiet = FaultFamily::LeaderCrashQuiet.plan(3, 1_000_000);
+        assert_eq!(quiet.crashes.len(), 1);
+        assert_eq!(quiet.crashes[0].process, ProcessId::new(0), "view-0 leader");
+        let repeat = FaultFamily::LeaderCrashRepeat.plan(3, 1_000_000);
+        assert_eq!(repeat.crashes.len(), 2);
+        assert_eq!(repeat.crashes[0].process, ProcessId::new(0));
+        assert_eq!(repeat.crashes[1].process, ProcessId::new(1));
+        assert!(
+            repeat.crashes[0].restart_ns <= repeat.crashes[1].at_ns,
+            "single-failure discipline: P0 is back before P1 falls"
+        );
     }
 
     #[test]

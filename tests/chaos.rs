@@ -26,7 +26,9 @@ use moc_checker::admissible::SearchLimits;
 use moc_checker::certificate::check_certified;
 use moc_checker::conditions::Condition;
 use moc_protocol::chaos::{run_chaos_cluster, ChaosConfig, ChaosRunReport, LinkConfig};
-use moc_protocol::{ClientScript, MlinOverSequencer, MscOverSequencer, ReplicaProtocol};
+use moc_protocol::{
+    ClientScript, MlinOverSequencer, MlinOverView, MscOverSequencer, MscOverView, ReplicaProtocol,
+};
 use moc_sim::FaultPlan;
 use moc_workload::chaos::{FaultFamily, WorkloadFamily};
 use moc_workload::scripts;
@@ -188,6 +190,147 @@ fn sabotaged_link_yields_an_audited_refutation() {
         refuted,
         "no seed in 0..300 produced an audited sc refutation under the sabotaged link"
     );
+}
+
+/// Horizon for the leader-crash sweeps. Think-time-stretched scripts put
+/// the second and third invocation waves inside the crash windows, so
+/// the coordinator really dies with work in flight.
+const LEADER_HORIZON_NS: u64 = 240_000;
+const LEADER_THINK_NS: u64 = 60_000;
+
+fn run_leader_one<R: ReplicaProtocol + 'static>(
+    family: FaultFamily,
+    wl: WorkloadFamily,
+    seed: u64,
+) -> ChaosRunReport {
+    let (num_objects, s) = sweep_scripts(wl, seed);
+    let s = s
+        .into_iter()
+        .map(|c| c.with_think_time(LEADER_THINK_NS))
+        .collect();
+    let config = ChaosConfig::new(num_objects, seed)
+        .with_faults(family.plan(PROCESSES, LEADER_HORIZON_NS))
+        // Suspicion well below the outage lengths, so failover fires
+        // inside every crash window instead of waiting out the victim.
+        .with_failover_timeouts(15_000, 120_000);
+    run_chaos_cluster::<R>(&config, s)
+}
+
+/// Sweeps the leader-crash families through a view-based run of
+/// protocol `R`, verifying each surviving history end to end and
+/// demanding that every family actually exercised a view change on at
+/// least one seed (no vacuous passes).
+fn leader_crash_sweep<R: ReplicaProtocol + 'static>(condition: Condition, seed_base: u64) {
+    for (i, family) in FaultFamily::LEADER_CRASH.into_iter().enumerate() {
+        let mut failovers = 0u64;
+        for s in 0..SEEDS_PER_FAMILY {
+            let seed = seed_base + s * FaultFamily::LEADER_CRASH.len() as u64 + i as u64;
+            let wl = WorkloadFamily::ALL[(seed as usize) % WorkloadFamily::ALL.len()];
+            let report = run_leader_one::<R>(family, wl, seed);
+            verify_masked(&report, condition, family, wl, seed);
+            if report
+                .view_transcripts
+                .iter()
+                .flatten()
+                .any(|line| line.contains("install v"))
+            {
+                failovers += 1;
+            }
+        }
+        assert!(
+            failovers > 0,
+            "{}: no seed exercised a view change — the sweep is vacuous",
+            family.name()
+        );
+    }
+}
+
+/// Tentpole positive path, Figure 4: crash the current coordinator
+/// mid-run — the initial leader, and (in the repeat family) two
+/// successive leaders — and demand a complete, certified,
+/// audit-accepted m-sequentially-consistent history every time.
+#[test]
+fn msc_leader_crash_sweep() {
+    leader_crash_sweep::<MscOverView>(Condition::MSequentialConsistency, 200_000);
+}
+
+/// Tentpole positive path, Figure 6: the same leader-crash sweep against
+/// m-linearizability.
+#[test]
+fn mlin_leader_crash_sweep() {
+    leader_crash_sweep::<MlinOverView>(Condition::MLinearizability, 300_000);
+}
+
+/// S1/S3 negative control: the same mid-burst coordinator crash under
+/// the *fixed* sequencer must be detected — a restarted sequencer
+/// fail-stops, so the run surfaces unfinished operations (or a stall)
+/// rather than silently forking the agreed order.
+#[test]
+fn crashed_fixed_sequencer_is_detected_not_silent() {
+    for seed in 0..6u64 {
+        // All-update scripts guarantee ordering work is pending through
+        // the outage regardless of the seed.
+        let spec = moc_workload::WorkloadSpec {
+            processes: PROCESSES,
+            ops_per_process: OPS_PER_PROCESS,
+            update_fraction: 1.0,
+            ..moc_workload::WorkloadSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s: Vec<ClientScript> = scripts(&spec, &mut rng)
+            .into_iter()
+            .map(|c| c.with_think_time(LEADER_THINK_NS))
+            .collect();
+        let config = ChaosConfig::new(spec.num_objects, seed)
+            .with_faults(FaultFamily::LeaderCrashBurst.plan(PROCESSES, LEADER_HORIZON_NS))
+            .with_max_events(2_000_000);
+        let report = run_chaos_cluster::<MscOverSequencer>(&config, s);
+        assert!(
+            !report.anomalies.is_clean(),
+            "seed {seed}: a dead coordinator must be detectable: {:?}",
+            report.anomalies
+        );
+        assert!(report.anomalies.unfinished_ops > 0 || report.anomalies.stalled);
+        assert!(
+            !report.anomalies.delivery_divergence,
+            "seed {seed}: fail-stop must prevent a forked order"
+        );
+        assert!(
+            report.view_transcripts[0]
+                .iter()
+                .any(|line| line.contains("halted")),
+            "seed {seed}: the restarted sequencer recorded its fail-stop"
+        );
+    }
+}
+
+/// S6 — failover determinism: the same seed and leader-crash plan must
+/// reproduce identical history fingerprints *and* identical view-change
+/// transcripts.
+#[test]
+fn leader_crash_replays_identically() {
+    for family in FaultFamily::LEADER_CRASH {
+        for seed in [7u64, 99] {
+            let a = run_leader_one::<MscOverView>(family, WorkloadFamily::Mixed, seed);
+            let b = run_leader_one::<MscOverView>(family, WorkloadFamily::Mixed, seed);
+            assert_eq!(a.sim, b.sim, "{}/{seed}: RunStats diverged", family.name());
+            assert_eq!(
+                a.fingerprint(),
+                b.fingerprint(),
+                "{}/{seed}: history fingerprint diverged",
+                family.name()
+            );
+            assert!(a.fingerprint().is_some(), "{}/{seed}", family.name());
+            assert_eq!(
+                a.view_transcripts,
+                b.view_transcripts,
+                "{}/{seed}: view-change transcripts must replay byte-identically",
+                family.name()
+            );
+            assert_eq!(a.update_order, b.update_order);
+            assert_eq!(a.latencies, b.latencies);
+        }
+    }
 }
 
 /// S2 — determinism regression: the same `(seed, FaultPlan)` must give a
