@@ -65,13 +65,18 @@ pub enum Verdict {
     CycleVerified,
     /// The exhaustion attestation is well-formed and correctly bound; its
     /// search cannot be independently replayed in polynomial time.
-    ExhaustionAttested,
+    ExhaustionAttested {
+        /// The checker's transposition table saturated during the search:
+        /// memo entries were evicted, so the node budget may have been
+        /// consumed by re-exploration rather than by genuinely new states.
+        memo_limited: bool,
+    },
 }
 
 impl Verdict {
     /// Whether the proof was fully re-validated (vs merely attested).
     pub fn is_verified(self) -> bool {
-        !matches!(self, Verdict::ExhaustionAttested)
+        !matches!(self, Verdict::ExhaustionAttested { .. })
     }
 }
 
@@ -148,10 +153,20 @@ pub fn audit_document(h: &History, doc: &Json) -> Result<Verdict, String> {
             if admissible {
                 return Err("exhaustion proof with an admissible verdict".into());
             }
-            for key in ["nodes", "memo_hits", "components", "peeled", "forced_edges"] {
+            for key in [
+                "nodes",
+                "memo_hits",
+                "memo_peak",
+                "components",
+                "peeled",
+                "forced_edges",
+            ] {
                 uint(proof, key)?;
             }
-            Ok(Verdict::ExhaustionAttested)
+            let memo_limited = field(proof, "memo_saturated")?
+                .as_bool()
+                .ok_or("field \"memo_saturated\" must be a boolean")?;
+            Ok(Verdict::ExhaustionAttested { memo_limited })
         }
         _ => Err("proof kind must be \"witness\", \"cycle\" or \"exhaustion\"".into()),
     }
@@ -574,12 +589,28 @@ mod tests {
     fn exhaustion_is_attested_not_verified() {
         let h = stale_read();
         let proof = "{\"kind\":\"exhaustion\",\"nodes\":3,\"memo_hits\":0,\
+                     \"memo_peak\":2,\"memo_saturated\":false,\
                      \"components\":1,\"peeled\":0,\"forced_edges\":1}";
         let v = audit(&h, &cert("sc", "inadmissible", &h, proof)).unwrap();
-        assert_eq!(v, Verdict::ExhaustionAttested);
+        assert_eq!(
+            v,
+            Verdict::ExhaustionAttested {
+                memo_limited: false
+            }
+        );
         assert!(!v.is_verified());
+        // A saturated table is surfaced as memo-limited.
+        let proof = "{\"kind\":\"exhaustion\",\"nodes\":3,\"memo_hits\":0,\
+                     \"memo_peak\":2,\"memo_saturated\":true,\
+                     \"components\":1,\"peeled\":0,\"forced_edges\":1}";
+        let v = audit(&h, &cert("sc", "inadmissible", &h, proof)).unwrap();
+        assert_eq!(v, Verdict::ExhaustionAttested { memo_limited: true });
         // Missing a statistics field rejects.
         let proof = "{\"kind\":\"exhaustion\",\"nodes\":3}";
+        assert!(audit(&h, &cert("sc", "inadmissible", &h, proof)).is_err());
+        // Missing the saturation flag rejects.
+        let proof = "{\"kind\":\"exhaustion\",\"nodes\":3,\"memo_hits\":0,\
+                     \"memo_peak\":2,\"components\":1,\"peeled\":0,\"forced_edges\":1}";
         assert!(audit(&h, &cert("sc", "inadmissible", &h, proof)).is_err());
     }
 

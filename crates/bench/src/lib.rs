@@ -609,24 +609,28 @@ pub fn experiment_validation(seed: u64) -> Table {
 }
 
 /// One measured configuration of the certified-checker benchmark behind
-/// `BENCH_checker.json`: the same history decided by the naive search, the
-/// precedence-pruned search and (where the writer order is known sound)
+/// `BENCH_checker.json`: the same history decided by the naive search
+/// (under a per-family node budget), the precedence-pruned parallel engine
+/// at several thread counts, and (where the writer order is known sound)
 /// the Theorem 7 fast path.
 #[derive(Debug, Clone)]
 pub struct CheckerBenchRow {
-    /// Family label (`writers-KxM`, `multi-CxK`, `torn-CxK`, `poisoned-CxK`).
+    /// Family label (`writers-KxM`, `multi-CxK`, `torn-CxK`,
+    /// `shred-CxK`, `poisoned-CxK`).
     pub family: String,
     /// History size in m-operations.
     pub m_ops: usize,
-    /// Agreed verdict (`admissible` / `inadmissible` / `budget`).
+    /// The pruned engine's verdict (`admissible` / `inadmissible` /
+    /// `budget`); the naive search, when it completes, must agree.
     pub verdict: String,
-    /// Naive-search wall time (ms) and DFS nodes expanded.
-    pub naive_ms: f64,
-    /// Nodes the naive search expanded.
-    pub naive_nodes: u64,
-    /// Pruned-search wall time (ms).
+    /// Naive-search wall time (ms) and DFS nodes, or `None` when the
+    /// naive search exceeded [`Self::naive_budget`].
+    pub naive: Option<(f64, u64)>,
+    /// Node budget the naive search ran under.
+    pub naive_budget: u64,
+    /// Pruned-search wall time (ms), single-threaded.
     pub pruned_ms: f64,
-    /// Nodes the pruned search expanded.
+    /// Nodes the pruned search expanded (identical at every thread count).
     pub pruned_nodes: u64,
     /// Interaction components the pruned search solved independently.
     pub components: u64,
@@ -634,28 +638,43 @@ pub struct CheckerBenchRow {
     pub peeled: u64,
     /// `~rw` edges forced by the precedence saturation.
     pub forced_edges: u64,
-    /// Theorem 7 fast-path wall time (ms), when applicable.
-    pub fast_ms: Option<f64>,
-    /// `naive_nodes / max(pruned_nodes, 1)`.
-    pub node_speedup: f64,
-    /// `naive_ms / pruned_ms`.
-    pub wall_speedup: f64,
+    /// Transposition-table hits charged on the fold's decision path.
+    pub memo_hits: u64,
+    /// Peak transposition-table occupancy over the decision path.
+    pub memo_peak: u64,
+    /// Theorem 7 fast-path wall time (ms); `None` = not applicable (the
+    /// torn/shredded families reuse version numbers across writers, which
+    /// the version-based legality scan cannot arbitrate).
+    pub fast: Option<f64>,
+    /// Pruned wall time (ms) per thread count, `(threads, ms)`.
+    pub parallel: Vec<(usize, f64)>,
+    /// `naive_nodes / max(pruned_nodes, 1)`; `None` when the naive search
+    /// was budget-capped (the true ratio is only bounded below).
+    pub node_speedup: Option<f64>,
+    /// `naive_ms / pruned_ms`; `None` when naive was budget-capped.
+    pub wall_speedup: Option<f64>,
 }
 
 impl CheckerBenchRow {
-    /// The row as a JSON object.
+    /// The row as a JSON object (`BENCH_checker.json` version 2 schema).
     pub fn to_json(&self) -> Json {
-        let mut fields = vec![
+        let naive = match self.naive {
+            Some((ms, nodes)) => Json::Obj(vec![
+                ("ms".into(), Json::Num(ms)),
+                ("nodes".into(), num(nodes as i64)),
+            ]),
+            None => jstr("budget"),
+        };
+        let fast = match self.fast {
+            Some(ms) => Json::Obj(vec![("ms".into(), Json::Num(ms))]),
+            None => jstr("n/a"),
+        };
+        Json::Obj(vec![
             ("family".into(), jstr(self.family.clone())),
             ("m_ops".into(), num(self.m_ops as i64)),
             ("verdict".into(), jstr(self.verdict.clone())),
-            (
-                "naive".into(),
-                Json::Obj(vec![
-                    ("ms".into(), Json::Num(self.naive_ms)),
-                    ("nodes".into(), num(self.naive_nodes as i64)),
-                ]),
-            ),
+            ("naive".into(), naive),
+            ("naive_budget".into(), num(self.naive_budget as i64)),
             (
                 "pruned".into(),
                 Json::Obj(vec![
@@ -664,19 +683,34 @@ impl CheckerBenchRow {
                     ("components".into(), num(self.components as i64)),
                     ("peeled".into(), num(self.peeled as i64)),
                     ("forced_edges".into(), num(self.forced_edges as i64)),
+                    ("memo_hits".into(), num(self.memo_hits as i64)),
+                    ("memo_peak".into(), num(self.memo_peak as i64)),
                 ]),
             ),
-        ];
-        fields.push((
-            "fast_ms".into(),
-            match self.fast_ms {
-                Some(ms) => Json::Num(ms),
-                None => Json::Null,
-            },
-        ));
-        fields.push(("node_speedup".into(), Json::Num(self.node_speedup)));
-        fields.push(("wall_speedup".into(), Json::Num(self.wall_speedup)));
-        Json::Obj(fields)
+            ("fast".into(), fast),
+            (
+                "parallel".into(),
+                Json::Arr(
+                    self.parallel
+                        .iter()
+                        .map(|&(threads, ms)| {
+                            Json::Obj(vec![
+                                ("threads".into(), num(threads as i64)),
+                                ("ms".into(), Json::Num(ms)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "node_speedup".into(),
+                self.node_speedup.map_or(Json::Null, Json::Num),
+            ),
+            (
+                "wall_speedup".into(),
+                self.wall_speedup.map_or(Json::Null, Json::Num),
+            ),
+        ])
     }
 }
 
@@ -719,64 +753,165 @@ fn torn_multi_component(components: usize, k: usize, seed: u64) -> History {
     History::new(h.num_objects(), records).expect("torn history stays well-formed")
 }
 
-/// The benchmark behind `BENCH_checker.json`: naive vs precedence-pruned
-/// vs Theorem 7 fast path over the generator families. `budget` caps the
-/// naive search's node count.
-///
-/// The fast path is only timed on families whose index order is a sound
-/// writer order for the plain-relation question (the admissible families,
-/// and the poisoned one, where the stale read is illegal under *any*
-/// writer order); the torn families reuse version numbers across writers,
-/// which the version-based legality scan cannot arbitrate, so they report
-/// `fast_ms = null`.
-pub fn experiment_certified_checker(budget: u64) -> Vec<CheckerBenchRow> {
-    let mut rows = Vec::new();
+/// [`multi_component_history`] with *every* component's first reader torn
+/// the way [`torn_multi_component`] tears component 0: object `2c` from
+/// writer 0, object `2c+1` from writer 1 of component `c`. Each component
+/// is independently inadmissible, so a component-aware search must
+/// exhaustively refute every one of them — the workload whose wall-clock
+/// benefit from the parallel engine comes from fanning disjoint component
+/// refutations out across workers.
+fn shredded_multi_component(components: usize, k: usize, seed: u64) -> History {
+    assert!(k >= 2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let h = multi_component_history(components, k, 2, &mut rng);
+    let mut records = h.records().to_vec();
+    for c in 0..components {
+        let proc_base = (c * 2 * k) as u32;
+        let w0 = MOpId::new(ProcessId::new(proc_base), 0);
+        let w1 = MOpId::new(ProcessId::new(proc_base + 1), 0);
+        let label = format!("c{c}reader0");
+        let reader = records
+            .iter_mut()
+            .find(|r| r.label == label)
+            .expect("every component has a first reader");
+        reader.ops[0] = CompletedOp::read(ObjectId::new((2 * c) as u32), 1, w0, 1);
+        reader.ops[1] = CompletedOp::read(ObjectId::new((2 * c + 1) as u32), 2, w1, 1);
+    }
+    History::new(h.num_objects(), records).expect("shredded history stays well-formed")
+}
+
+/// Thread counts every family's pruned search is timed at.
+pub const BENCH_THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// The benchmark families: label, history, whether the Theorem 7 fast path
+/// applies, and an optional per-family naive node budget overriding the
+/// experiment-wide one (the ≥4x4 families' naive product spaces are far
+/// past any practical budget, so they run under a small cap that documents
+/// the blow-up without dominating the run).
+fn checker_families(default_budget: u64) -> Vec<(String, History, bool, u64)> {
     let mut rng = StdRng::seed_from_u64(42);
-    let families: Vec<(String, History, bool)> = vec![
+    let big = default_budget.min(200_000);
+    vec![
         (
             "writers-3x3".into(),
             concurrent_writers_history(3, 3, &mut rng),
             true,
+            default_budget,
         ),
         (
             "multi-2x3".into(),
             multi_component_history(2, 3, 2, &mut rng),
             true,
+            default_budget,
         ),
         (
             "multi-3x3".into(),
             multi_component_history(3, 3, 2, &mut rng),
             true,
+            default_budget,
         ),
-        ("torn-2x3".into(), torn_multi_component(2, 3, 7), false),
-        ("torn-3x3".into(), torn_multi_component(3, 3, 7), false),
+        (
+            "torn-2x3".into(),
+            torn_multi_component(2, 3, 7),
+            false,
+            default_budget,
+        ),
+        (
+            "torn-3x3".into(),
+            torn_multi_component(3, 3, 7),
+            false,
+            default_budget,
+        ),
+        ("torn-4x4".into(), torn_multi_component(4, 4, 7), false, big),
+        (
+            "shred-4x5".into(),
+            shredded_multi_component(4, 5, 7),
+            false,
+            big,
+        ),
+        (
+            "shred-4x6".into(),
+            shredded_multi_component(4, 6, 7),
+            false,
+            big,
+        ),
         (
             "poisoned-2x3".into(),
             poisoned_multi_component_history(2, 3, 2, &mut rng),
             true,
+            default_budget,
         ),
-    ];
-    for (family, h, fast_applies) in families {
+    ]
+}
+
+/// The benchmark behind `BENCH_checker.json`: naive vs the precedence-
+/// pruned parallel engine (at 1/2/4/8 threads) vs the Theorem 7 fast path
+/// over the generator families. `budget` caps the naive search's node
+/// count (per-family overrides apply, see [`checker_families`]).
+///
+/// Wall times are the best of three runs; node counts and verdicts are
+/// deterministic, and the experiment asserts they agree across thread
+/// counts and engines.
+///
+/// The fast path is only timed on families whose index order is a sound
+/// writer order for the plain-relation question (the admissible families,
+/// and the poisoned one, where the stale read is illegal under *any*
+/// writer order); the torn/shredded families reuse version numbers across
+/// writers, which the version-based legality scan cannot arbitrate, so
+/// they report `fast: "n/a"`.
+pub fn experiment_certified_checker(budget: u64) -> Vec<CheckerBenchRow> {
+    let mut rows = Vec::new();
+    for (family, h, fast_applies, naive_budget) in checker_families(budget) {
         let rel = process_order(&h).union(&reads_from(&h));
-        let limits = SearchLimits::with_max_nodes(budget);
+        let naive_limits = SearchLimits::with_max_nodes(naive_budget);
 
         let start = Instant::now();
-        let (naive_out, naive_stats) = find_legal_extension(&h, &rel, limits);
+        let (naive_out, naive_stats) = find_legal_extension(&h, &rel, naive_limits);
         let naive_ms = start.elapsed().as_secs_f64() * 1_000.0;
 
-        let start = Instant::now();
-        let (pruned_out, pruned_stats) = find_legal_extension_pruned(&h, &rel, limits);
-        let pruned_ms = start.elapsed().as_secs_f64() * 1_000.0;
+        let limits = SearchLimits::with_max_nodes(budget);
+        let mut pruned_ms = f64::INFINITY;
+        let mut pruned = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let result = find_legal_extension_pruned(&h, &rel, limits);
+            pruned_ms = pruned_ms.min(start.elapsed().as_secs_f64() * 1_000.0);
+            pruned = Some(result);
+        }
+        let (pruned_out, pruned_stats) = pruned.expect("three timed runs");
 
-        let verdict = match (&naive_out, &pruned_out) {
-            (SearchOutcome::LimitExceeded, _) | (_, SearchOutcome::LimitExceeded) => "budget",
-            (n, p) => {
+        let mut parallel = Vec::new();
+        for threads in BENCH_THREAD_COUNTS {
+            let t_limits = limits.with_threads(threads);
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let start = Instant::now();
+                let (t_out, t_stats) = find_legal_extension_pruned(&h, &rel, t_limits);
+                best = best.min(start.elapsed().as_secs_f64() * 1_000.0);
                 assert_eq!(
-                    n.is_admissible(),
-                    p.is_admissible(),
-                    "{family}: naive and pruned verdicts must agree"
+                    t_out.is_admissible(),
+                    pruned_out.is_admissible(),
+                    "{family}: verdict must not depend on thread count"
                 );
-                if n.is_admissible() {
+                assert_eq!(
+                    t_stats.nodes, pruned_stats.nodes,
+                    "{family}: node count must not depend on thread count"
+                );
+            }
+            parallel.push((threads, best));
+        }
+
+        let verdict = match &pruned_out {
+            SearchOutcome::LimitExceeded => "budget",
+            out => {
+                if !matches!(naive_out, SearchOutcome::LimitExceeded) {
+                    assert_eq!(
+                        naive_out.is_admissible(),
+                        out.is_admissible(),
+                        "{family}: naive and pruned verdicts must agree"
+                    );
+                }
+                if out.is_admissible() {
                     "admissible"
                 } else {
                     "inadmissible"
@@ -784,7 +919,7 @@ pub fn experiment_certified_checker(budget: u64) -> Vec<CheckerBenchRow> {
             }
         };
 
-        let fast_ms = if fast_applies {
+        let fast = if fast_applies {
             let augmented = index_ww_relation(&h);
             let start = Instant::now();
             let fast = check_under_constraint(&h, &augmented, Constraint::Ww)
@@ -802,20 +937,27 @@ pub fn experiment_certified_checker(budget: u64) -> Vec<CheckerBenchRow> {
             None
         };
 
+        let naive = match naive_out {
+            SearchOutcome::LimitExceeded => None,
+            _ => Some((naive_ms, naive_stats.nodes)),
+        };
         rows.push(CheckerBenchRow {
             family,
             m_ops: h.len(),
             verdict: verdict.into(),
-            naive_ms,
-            naive_nodes: naive_stats.nodes,
+            naive,
+            naive_budget,
             pruned_ms,
             pruned_nodes: pruned_stats.nodes,
             components: pruned_stats.components,
             peeled: pruned_stats.peeled,
             forced_edges: pruned_stats.forced_edges,
-            fast_ms,
-            node_speedup: naive_stats.nodes as f64 / pruned_stats.nodes.max(1) as f64,
-            wall_speedup: naive_ms / pruned_ms.max(1e-6),
+            memo_hits: pruned_stats.memo_hits,
+            memo_peak: pruned_stats.memo_peak,
+            fast,
+            parallel,
+            node_speedup: naive.map(|(_, nodes)| nodes as f64 / pruned_stats.nodes.max(1) as f64),
+            wall_speedup: naive.map(|(ms, _)| ms / pruned_ms.max(1e-6)),
         });
     }
     rows
@@ -824,7 +966,7 @@ pub fn experiment_certified_checker(budget: u64) -> Vec<CheckerBenchRow> {
 /// Renders the certified-checker rows as a printable table.
 pub fn checker_bench_table(rows: &[CheckerBenchRow]) -> Table {
     let mut t = Table::new(
-        "Certified checker: naive vs precedence-pruned vs Theorem 7 fast path",
+        "Certified checker: naive vs parallel pruned engine vs Theorem 7 fast path",
         &[
             "family",
             "m-ops",
@@ -836,41 +978,73 @@ pub fn checker_bench_table(rows: &[CheckerBenchRow]) -> Table {
             "comps",
             "peeled",
             "rw edges",
+            "memo hits",
+            "memo peak",
             "fast ms",
+            "t2/t4/t8 ms",
             "node speedup",
         ],
     );
     for r in rows {
+        let threaded = r
+            .parallel
+            .iter()
+            .filter(|(threads, _)| *threads > 1)
+            .map(|(_, ms)| format!("{ms:.2}"))
+            .collect::<Vec<_>>()
+            .join("/");
         t.row(vec![
             r.family.clone(),
             r.m_ops.to_string(),
             r.verdict.clone(),
-            format!("{:.3}", r.naive_ms),
-            r.naive_nodes.to_string(),
+            r.naive
+                .map(|(ms, _)| format!("{ms:.3}"))
+                .unwrap_or_else(|| "budget".into()),
+            r.naive
+                .map(|(_, nodes)| nodes.to_string())
+                .unwrap_or_else(|| format!(">{}", r.naive_budget)),
             format!("{:.3}", r.pruned_ms),
             r.pruned_nodes.to_string(),
             r.components.to_string(),
             r.peeled.to_string(),
             r.forced_edges.to_string(),
-            r.fast_ms
+            r.memo_hits.to_string(),
+            r.memo_peak.to_string(),
+            r.fast
                 .map(|ms| format!("{ms:.3}"))
+                .unwrap_or_else(|| "n/a".into()),
+            threaded,
+            r.node_speedup
+                .map(|s| format!("{s:.1}x"))
                 .unwrap_or_else(|| "-".into()),
-            format!("{:.1}x", r.node_speedup),
         ]);
     }
     t
 }
 
 /// Serializes the certified-checker rows as the `BENCH_checker.json`
-/// document, headlined by the best multi-component node speedup.
+/// version 2 document, headlined by the best completed-naive node speedup
+/// among the component families and stamped with the parallelism the
+/// machine actually offered.
 pub fn checker_bench_json(rows: &[CheckerBenchRow]) -> String {
     let headline = rows
         .iter()
-        .filter(|r| r.family.starts_with("multi-") || r.family.starts_with("torn-"))
-        .max_by(|a, b| a.node_speedup.total_cmp(&b.node_speedup));
+        .filter(|r| {
+            r.family.starts_with("multi-")
+                || r.family.starts_with("torn-")
+                || r.family.starts_with("shred-")
+        })
+        .filter(|r| r.node_speedup.is_some())
+        .max_by(|a, b| {
+            a.node_speedup
+                .unwrap_or(0.0)
+                .total_cmp(&b.node_speedup.unwrap_or(0.0))
+        });
+    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut fields = vec![
         ("bench".into(), jstr("checker")),
-        ("version".into(), num(1)),
+        ("version".into(), num(2)),
+        ("cpus".into(), num(cpus as i64)),
         (
             "rows".into(),
             Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
@@ -881,12 +1055,72 @@ pub fn checker_bench_json(rows: &[CheckerBenchRow]) -> String {
             "headline".into(),
             Json::Obj(vec![
                 ("family".into(), jstr(best.family.clone())),
-                ("node_speedup".into(), Json::Num(best.node_speedup)),
-                ("wall_speedup".into(), Json::Num(best.wall_speedup)),
+                (
+                    "node_speedup".into(),
+                    best.node_speedup.map_or(Json::Null, Json::Num),
+                ),
+                (
+                    "wall_speedup".into(),
+                    best.wall_speedup.map_or(Json::Null, Json::Num),
+                ),
             ]),
         ));
     }
     Json::Obj(fields).render()
+}
+
+/// Golden per-family caps on the pruned engine's deterministic node count.
+/// The counts are exactly reproducible (fixed seeds, fixed Zobrist keys),
+/// so the caps hold a little slack only for future *intentional* pruning
+/// improvements — a regression that explores past a cap fails CI.
+pub const CHECKER_NODE_CAPS: [(&str, u64); 9] = [
+    ("writers-3x3", 50),
+    ("multi-2x3", 50),
+    ("multi-3x3", 80),
+    ("torn-2x3", 120),
+    ("torn-3x3", 120),
+    ("torn-4x4", 500),
+    ("shred-4x5", 3_000),
+    ("shred-4x6", 20_000),
+    ("poisoned-2x3", 0),
+];
+
+/// CI perf-smoke gate: runs the checker families under a small naive
+/// budget, checks every family's pruned node count against its golden cap,
+/// and re-checks thread-count determinism (which
+/// [`experiment_certified_checker`] asserts internally for 1/2/4/8
+/// threads). Returns the offending families on failure.
+pub fn checker_smoke() -> Result<Vec<CheckerBenchRow>, String> {
+    let rows = experiment_certified_checker(200_000);
+    let mut failures = Vec::new();
+    for (family, cap) in CHECKER_NODE_CAPS {
+        match rows.iter().find(|r| r.family == family) {
+            Some(row) => {
+                if row.pruned_nodes > cap {
+                    failures.push(format!(
+                        "{family}: pruned explored {} nodes, golden cap is {cap}",
+                        row.pruned_nodes
+                    ));
+                }
+                if row.verdict == "budget" {
+                    failures.push(format!("{family}: pruned engine exceeded the budget"));
+                }
+            }
+            None => failures.push(format!("{family}: missing from the experiment")),
+        }
+    }
+    if rows.len() != CHECKER_NODE_CAPS.len() {
+        failures.push(format!(
+            "expected {} families, experiment produced {}",
+            CHECKER_NODE_CAPS.len(),
+            rows.len()
+        ));
+    }
+    if failures.is_empty() {
+        Ok(rows)
+    } else {
+        Err(failures.join("\n"))
+    }
 }
 
 /// One (fault plan, protocol) cell of the chaos benchmark: network and
@@ -1316,12 +1550,20 @@ mod tests {
     #[test]
     fn certified_checker_bench_shows_component_speedup() {
         let rows = experiment_certified_checker(20_000_000);
-        assert_eq!(rows.len(), 6);
+        assert_eq!(rows.len(), 9);
         for r in &rows {
-            assert_ne!(r.verdict, "budget", "{}", r.family);
-            assert!(
-                r.pruned_nodes <= r.naive_nodes,
-                "{}: pruning never explores more",
+            assert_ne!(r.verdict, "budget", "{}: pruned must complete", r.family);
+            if let Some((_, naive_nodes)) = r.naive {
+                assert!(
+                    r.pruned_nodes <= naive_nodes,
+                    "{}: pruning never explores more",
+                    r.family
+                );
+            }
+            assert_eq!(
+                r.parallel.iter().map(|&(t, _)| t).collect::<Vec<_>>(),
+                BENCH_THREAD_COUNTS.to_vec(),
+                "{}: every thread count is timed",
                 r.family
             );
         }
@@ -1330,23 +1572,61 @@ mod tests {
         assert_eq!(torn3.verdict, "inadmissible");
         assert!(torn3.components >= 3);
         assert!(
-            torn3.node_speedup >= 10.0,
+            torn3.node_speedup.unwrap() >= 10.0,
             "naive explores the product of component spaces: {:.1}x",
-            torn3.node_speedup
+            torn3.node_speedup.unwrap()
         );
+        // The ≥4x4 families: naive blows its budget, the pruned engine
+        // completes with a verdict.
+        for family in ["torn-4x4", "shred-4x5", "shred-4x6"] {
+            let r = rows.iter().find(|r| r.family == family).unwrap();
+            assert!(r.naive.is_none(), "{family}: naive must exceed its budget");
+            assert_eq!(r.verdict, "inadmissible", "{family}");
+            assert!(r.node_speedup.is_none(), "{family}: speedup only bounded");
+        }
         // The poisoned family is refuted statically — zero search nodes.
         let poisoned = rows.iter().find(|r| r.family == "poisoned-2x3").unwrap();
         assert_eq!(poisoned.verdict, "inadmissible");
         assert_eq!(poisoned.pruned_nodes, 0);
         assert!(poisoned.forced_edges > 0);
-        // The JSON document round-trips and carries the headline.
+        // The JSON document round-trips and carries the v2 fields.
         let doc = moc_core::json::parse(&checker_bench_json(&rows)).unwrap();
         assert_eq!(doc.get("bench").and_then(Json::as_str), Some("checker"));
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(2));
+        assert!(doc.get("cpus").and_then(Json::as_u64).unwrap() >= 1);
         assert_eq!(
             doc.get("rows").and_then(Json::as_arr).map(|a| a.len()),
-            Some(6)
+            Some(9)
         );
         assert!(doc.get("headline").is_some());
+        let first = &doc.get("rows").and_then(Json::as_arr).unwrap()[0];
+        assert!(first.get("fast").is_some(), "explicit fast cell");
+        assert!(first.get("parallel").is_some(), "parallel timings");
+        let pruned = first.get("pruned").unwrap();
+        assert!(pruned.get("memo_hits").is_some());
+        assert!(pruned.get("memo_peak").is_some());
+        // The torn families mark the fast path inapplicable explicitly.
+        let torn_json = doc
+            .get("rows")
+            .and_then(Json::as_arr)
+            .unwrap()
+            .iter()
+            .find(|r| r.get("family").and_then(Json::as_str) == Some("torn-3x3"))
+            .unwrap();
+        assert_eq!(torn_json.get("fast").and_then(Json::as_str), Some("n/a"));
+        assert!(
+            torn_json
+                .get("naive")
+                .and_then(|n| n.get("nodes"))
+                .is_some(),
+            "torn-3x3's naive search completes under the default budget"
+        );
+    }
+
+    #[test]
+    fn checker_smoke_gate_passes_on_golden_caps() {
+        let rows = checker_smoke().expect("golden caps hold");
+        assert_eq!(rows.len(), CHECKER_NODE_CAPS.len());
     }
 
     #[test]
@@ -1354,5 +1634,60 @@ mod tests {
     fn mismatched_rows_rejected() {
         let mut t = Table::new("demo", &["a"]);
         t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    #[ignore = "sizing probe, run manually"]
+    fn probe_shred_sizes() {
+        use moc_checker::find_legal_extension_pruned;
+        let time_best = |f: &dyn Fn() -> (bool, u64)| {
+            let mut best = f64::INFINITY;
+            let mut last = (false, 0);
+            for _ in 0..5 {
+                let start = Instant::now();
+                last = f();
+                best = best.min(start.elapsed().as_secs_f64() * 1e3);
+            }
+            (best, last)
+        };
+        let mut cases: Vec<(String, History)> = Vec::new();
+        for &(c, k) in &[(4usize, 4usize), (4, 5), (4, 6)] {
+            cases.push((format!("shred-{c}x{k}"), shredded_multi_component(c, k, 7)));
+        }
+        for &k in &[7usize, 8] {
+            cases.push((format!("knot-1x{k}"), shredded_multi_component(1, k, 7)));
+        }
+        let mut rng = StdRng::seed_from_u64(42);
+        for &(c, k) in &[(4usize, 6usize), (4, 7)] {
+            cases.push((
+                format!("multi-{c}x{k}"),
+                multi_component_history(c, k, 2, &mut rng),
+            ));
+        }
+        cases.push(("torn-4x4".into(), torn_multi_component(4, 4, 7)));
+        for (name, h) in cases {
+            let rel = process_order(&h).union(&reads_from(&h));
+            let limits = SearchLimits::with_max_nodes(50_000_000);
+            let (ms, (adm, nodes)) = time_best(&|| {
+                let (out, stats) = find_legal_extension_pruned(&h, &rel, limits);
+                (out.is_admissible(), stats.nodes)
+            });
+            println!("{name}: t1 {ms:.3} ms, nodes {nodes}, admissible {adm}");
+            for threads in [2usize, 4, 8] {
+                let limits = SearchLimits::with_max_nodes(50_000_000).with_threads(threads);
+                let (ms_t, (adm_t, nodes_t)) = time_best(&|| {
+                    let (out, stats) = find_legal_extension_pruned(&h, &rel, limits);
+                    (out.is_admissible(), stats.nodes)
+                });
+                println!("  t{threads}: {ms_t:.3} ms");
+                assert_eq!((adm_t, nodes_t), (adm, nodes), "{name} t{threads}");
+            }
+            let nlimits = SearchLimits::with_max_nodes(2_000_000);
+            let (nms, (nadm, nnodes)) = time_best(&|| {
+                let (out, stats) = moc_checker::find_legal_extension(&h, &rel, nlimits);
+                (out.is_admissible(), stats.nodes)
+            });
+            println!("  naive: {nms:.3} ms, nodes {nnodes}, admissible {nadm}");
+        }
     }
 }

@@ -9,16 +9,17 @@
 //! m-operation only when (a) all its `~H`-predecessors are scheduled and
 //! (b) all its external reads are legal against the current
 //! last-writer-per-object state. Visited configurations — the pair of
-//! (scheduled set, last-writer map) — are memoized, in the style of
+//! (scheduled set, last-writer map) — are memoized through the Zobrist
+//! transposition table of [`crate::engine`], in the style of
 //! Wing–Gong/Lowe linearizability checkers. The worst case is exponential,
 //! and must be unless P = NP: Theorem 1 (m-sequential consistency) and
 //! Theorem 2 (m-linearizability, even with the reads-from relation known)
 //! show these problems NP-complete.
 
-use std::collections::HashSet;
-
 use moc_core::history::{History, MOpIdx};
 use moc_core::relations::Relation;
+
+use crate::engine::{self, ComponentPlan, SearchProblem};
 
 /// Resource limits and tuning for the search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,20 +30,42 @@ pub struct SearchLimits {
     /// configurations. Always sound; disabling it exists only for the
     /// memoization ablation benchmark.
     pub memoize: bool,
+    /// Capacity bound on the transposition table, in entries. When a
+    /// branch's table fills past this bound it is evicted wholesale (a
+    /// generation bump) and the run is reported as memo-saturated in
+    /// [`SearchStats::memo_saturated`].
+    pub max_memo_entries: u64,
+    /// Worker threads for the component/branch fan-out of
+    /// [`crate::precedence::pruned_search`]. Verdicts, witnesses and stats
+    /// are identical for every value; this knob only trades wall clock.
+    pub threads: usize,
 }
 
 impl SearchLimits {
-    /// Creates limits with the given node budget and memoization on.
+    /// Creates limits with the given node budget and everything else at
+    /// the defaults (memoization on, bounded table, one thread).
     pub fn with_max_nodes(max_nodes: u64) -> Self {
         SearchLimits {
             max_nodes,
-            memoize: true,
+            ..SearchLimits::default()
         }
     }
 
     /// Disables the memo table (ablation).
     pub fn without_memo(mut self) -> Self {
         self.memoize = false;
+        self
+    }
+
+    /// Sets the worker-thread count (0 is clamped to 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the transposition-table capacity bound (clamped to ≥ 16).
+    pub fn with_max_memo_entries(mut self, entries: u64) -> Self {
+        self.max_memo_entries = entries.max(16);
         self
     }
 }
@@ -52,18 +75,21 @@ impl Default for SearchLimits {
         SearchLimits {
             max_nodes: 50_000_000,
             memoize: true,
+            max_memo_entries: 1 << 20,
+            threads: 1,
         }
     }
 }
 
-/// Statistics from a search run. The last three fields are only populated
-/// by the statically-pruned search ([`crate::precedence::pruned_search`]);
-/// the naive search leaves them zero.
+/// Statistics from a search run. `components`, `peeled` and `forced_edges`
+/// are only populated by the statically-pruned search
+/// ([`crate::precedence::pruned_search`]); the naive search leaves them
+/// zero.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// DFS nodes expanded.
     pub nodes: u64,
-    /// Configurations pruned by the memo table.
+    /// Configurations pruned by the transposition table.
     pub memo_hits: u64,
     /// Independent interaction components searched separately.
     pub components: u64,
@@ -72,6 +98,13 @@ pub struct SearchStats {
     /// `~rw` edges the precedence saturation forced beyond the base
     /// relation.
     pub forced_edges: u64,
+    /// Peak transposition-table occupancy over the counted branches.
+    pub memo_peak: u64,
+    /// Whether any counted branch filled its table past
+    /// [`SearchLimits::max_memo_entries`] and fell back to generation
+    /// eviction. Distinguishes a genuinely exhausted search from a
+    /// memo-limited one in exhaustion certificates.
+    pub memo_saturated: bool,
 }
 
 /// Result of the admissibility search.
@@ -112,149 +145,30 @@ pub fn find_legal_extension(
     limits: SearchLimits,
 ) -> (SearchOutcome, SearchStats) {
     let n = h.len();
-    let mut stats = SearchStats::default();
+    let stats = SearchStats::default();
     if n == 0 {
         return (SearchOutcome::Admissible(Vec::new()), stats);
     }
 
-    // Direct predecessor lists (linear extensions of the edge set coincide
-    // with linear extensions of its transitive closure).
-    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
+    // Direct edges only (linear extensions of the edge set coincide with
+    // linear extensions of its transitive closure), with an up-front
+    // acyclicity guard.
+    let mut edges: Vec<(u32, u32)> = Vec::new();
     let mut succs: Vec<Vec<u32>> = vec![Vec::new(); n];
     for (i, j) in relation.edges() {
         if i == j {
             return (SearchOutcome::NotAdmissible, stats);
         }
-        preds[j.0].push(i.0 as u32);
+        edges.push((i.0 as u32, j.0 as u32));
         succs[i.0].push(j.0 as u32);
     }
     if crate::precedence::adjacency_has_cycle(&succs) {
         return (SearchOutcome::NotAdmissible, stats);
     }
 
-    // Per-op read requirements and write sets, resolved to dense indices.
-    const NONE: u32 = u32::MAX;
-    let read_reqs: Vec<Vec<(u32, u32)>> = (0..n)
-        .map(|i| {
-            h.read_sources(MOpIdx(i))
-                .iter()
-                .map(|&(obj, w)| (obj.index() as u32, w.map_or(NONE, |w| w.0 as u32)))
-                .collect()
-        })
-        .collect();
-    let write_sets: Vec<Vec<u32>> = (0..n)
-        .map(|i| {
-            h.wobjects(MOpIdx(i))
-                .iter()
-                .map(|o| o.index() as u32)
-                .collect()
-        })
-        .collect();
-
-    let words = n.div_ceil(64);
-    let mut scheduled = vec![0u64; words];
-    let mut sched_flags = vec![false; n];
-    let mut last_writer: Vec<u32> = vec![NONE; h.num_objects()];
-    let mut order: Vec<MOpIdx> = Vec::with_capacity(n);
-    let mut memo: HashSet<(Vec<u64>, Vec<u32>)> = HashSet::new();
-
-    let outcome = dfs(
-        &preds,
-        &read_reqs,
-        &write_sets,
-        &mut scheduled,
-        &mut sched_flags,
-        &mut last_writer,
-        &mut order,
-        &mut memo,
-        &mut stats,
-        limits,
-        n,
-    );
-    (outcome, stats)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn dfs(
-    preds: &[Vec<u32>],
-    read_reqs: &[Vec<(u32, u32)>],
-    write_sets: &[Vec<u32>],
-    scheduled: &mut Vec<u64>,
-    sched_flags: &mut Vec<bool>,
-    last_writer: &mut Vec<u32>,
-    order: &mut Vec<MOpIdx>,
-    memo: &mut HashSet<(Vec<u64>, Vec<u32>)>,
-    stats: &mut SearchStats,
-    limits: SearchLimits,
-    n: usize,
-) -> SearchOutcome {
-    if order.len() == n {
-        return SearchOutcome::Admissible(order.clone());
-    }
-    stats.nodes += 1;
-    if stats.nodes > limits.max_nodes {
-        return SearchOutcome::LimitExceeded;
-    }
-    if limits.memoize && !memo.insert((scheduled.clone(), last_writer.clone())) {
-        stats.memo_hits += 1;
-        return SearchOutcome::NotAdmissible;
-    }
-
-    for i in 0..n {
-        if sched_flags[i] {
-            continue;
-        }
-        // All predecessors scheduled?
-        if !preds[i].iter().all(|&p| sched_flags[p as usize]) {
-            continue;
-        }
-        // All external reads legal against the current state?
-        if !read_reqs[i]
-            .iter()
-            .all(|&(obj, w)| last_writer[obj as usize] == w)
-        {
-            continue;
-        }
-
-        // Schedule i.
-        sched_flags[i] = true;
-        scheduled[i / 64] |= 1 << (i % 64);
-        order.push(MOpIdx(i));
-        let saved: Vec<(u32, u32)> = write_sets[i]
-            .iter()
-            .map(|&o| (o, last_writer[o as usize]))
-            .collect();
-        for &o in &write_sets[i] {
-            last_writer[o as usize] = i as u32;
-        }
-
-        let sub = dfs(
-            preds,
-            read_reqs,
-            write_sets,
-            scheduled,
-            sched_flags,
-            last_writer,
-            order,
-            memo,
-            stats,
-            limits,
-            n,
-        );
-        match sub {
-            SearchOutcome::NotAdmissible => {}
-            done => return done,
-        }
-
-        // Undo.
-        for &(o, w) in saved.iter().rev() {
-            last_writer[o as usize] = w;
-        }
-        order.pop();
-        scheduled[i / 64] &= !(1 << (i % 64));
-        sched_flags[i] = false;
-    }
-    SearchOutcome::NotAdmissible
+    let problem = SearchProblem::new(h, &edges);
+    let plan = ComponentPlan::root(&problem);
+    engine::execute(&problem, std::slice::from_ref(&plan), limits)
 }
 
 #[cfg(test)]

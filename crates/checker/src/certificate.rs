@@ -190,6 +190,8 @@ fn proof_to_json(proof: &Proof) -> Json {
             ("kind".into(), json::str("exhaustion")),
             ("nodes".into(), json::num(stats.nodes as i64)),
             ("memo_hits".into(), json::num(stats.memo_hits as i64)),
+            ("memo_peak".into(), json::num(stats.memo_peak as i64)),
+            ("memo_saturated".into(), Json::Bool(stats.memo_saturated)),
             ("components".into(), json::num(stats.components as i64)),
             ("peeled".into(), json::num(stats.peeled as i64)),
             ("forced_edges".into(), json::num(stats.forced_edges as i64)),

@@ -1,0 +1,924 @@
+//! The parallel, allocation-lean admissibility engine.
+//!
+//! Both public searches ([`crate::admissible::find_legal_extension`] and
+//! [`crate::precedence::pruned_search`]) compile their input down to a
+//! [`SearchProblem`] — CSR adjacency, CSR read requirements and write sets,
+//! plus a table of Zobrist keys — and a list of [`ComponentPlan`]s, then
+//! hand both to [`execute`]. The engine owns everything from there:
+//!
+//! * **Zobrist transposition table.** Search states are pairs of
+//!   (scheduled set, last-writer map). Instead of cloning that pair into a
+//!   `HashSet` per DFS node, the engine maintains a 64-bit Zobrist hash
+//!   incrementally — XOR one key per scheduled m-operation and one per
+//!   (object, writer) assignment — and memoizes fingerprints in an
+//!   open-addressed table with a configurable capacity bound
+//!   (`SearchLimits::max_memo_entries`) and O(1) generation-based eviction.
+//! * **Allocation-lean state.** The scheduled set is a fixed-width
+//!   [`BitSet`], adjacency lives in [`Csr`] arenas, and undo information
+//!   goes through one reusable stack: the DFS hot path performs no heap
+//!   allocation.
+//! * **Work-stealing parallelism.** Interaction components fan out across a
+//!   `crossbeam::thread::scope`; within a component the top-level branch
+//!   frontier (the legal first moves after forced-prefix peeling) is split
+//!   into per-branch tasks that workers steal from each other. A shared
+//!   atomic node budget, charged as branches complete into the decided
+//!   prefix, plus first-witness-wins cancellation keep the wall clock down.
+//!
+//! ## Determinism
+//!
+//! Verdicts, witnesses and statistics are identical for every thread count.
+//! Each branch task is searched in isolation (own transposition table, own
+//! node counter capped at `max_nodes`), so its result is a pure function of
+//! the problem. The overall result is a deterministic *fold* over those
+//! results in (component, branch) order: the canonical witness comes from
+//! the smallest admissible branch index, and the node budget is charged
+//! cumulatively in fold order — a run is `LimitExceeded` exactly when the
+//! cumulative count crosses `max_nodes`, regardless of which worker
+//! explored what. Cancellation only ever discards branches the fold can no
+//! longer reach (larger branch indices than a found witness, components
+//! past a refutation), so racing workers cannot perturb the outcome.
+//!
+//! The lone theoretical caveat is shared with every Zobrist-keyed checker
+//! (Wing–Gong descendants included): two distinct states may collide in 64
+//! bits. The keys come from a fixed-seed SplitMix64 stream, so a collision
+//! — vanishingly unlikely at reachable node counts — would at least be the
+//! same collision in every run and at every thread count.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use moc_core::bitset::BitSet;
+use moc_core::csr::{predecessor_csr, Csr};
+use moc_core::history::{History, MOpIdx};
+
+use crate::admissible::{SearchLimits, SearchOutcome, SearchStats};
+
+/// "No writer yet" marker in last-writer maps and read requirements.
+pub(crate) const NONE: u32 = u32::MAX;
+
+/// Branch sentinel: search the whole frontier from the root instead of
+/// forcing a first move (the naive engine's single task).
+pub(crate) const ROOT: u32 = u32::MAX;
+
+/// Fixed seed for the Zobrist key stream: keys must be identical across
+/// runs, processes and thread counts for certificates to be reproducible.
+const ZOBRIST_SEED: u64 = 0x6d6f_632d_6571_7531; // "moc-equ1"
+
+/// How often (in nodes) a branch checks for cancellation and flushes its
+/// node count into the shared budget counter. Power of two minus one.
+const CANCEL_CHECK_MASK: u64 = 0x3FF;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Precomputed Zobrist keys: one per m-operation (membership in the
+/// scheduled set) and one per (object, writer) pair, where "writer" ranges
+/// over every m-operation plus the initial no-writer state.
+pub(crate) struct ZobristKeys {
+    op_keys: Vec<u64>,
+    writer_keys: Vec<u64>,
+    /// Keys per object: one per m-operation plus the trailing NONE slot.
+    stride: usize,
+}
+
+impl ZobristKeys {
+    pub(crate) fn new(n: usize, num_objects: usize) -> Self {
+        let mut state = ZOBRIST_SEED;
+        let stride = n + 1;
+        let op_keys = (0..n).map(|_| splitmix64(&mut state)).collect();
+        let writer_keys = (0..num_objects * stride)
+            .map(|_| splitmix64(&mut state))
+            .collect();
+        ZobristKeys {
+            op_keys,
+            writer_keys,
+            stride,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn op(&self, i: usize) -> u64 {
+        self.op_keys[i]
+    }
+
+    #[inline]
+    pub(crate) fn writer(&self, obj: u32, writer: u32) -> u64 {
+        let w = if writer == NONE {
+            self.stride - 1
+        } else {
+            writer as usize
+        };
+        self.writer_keys[obj as usize * self.stride + w]
+    }
+}
+
+/// Open-addressed set of 64-bit state fingerprints with a capacity bound
+/// and generation-based eviction.
+///
+/// A slot is live iff its generation tag equals the current generation, so
+/// both eviction (at the capacity bound) and per-branch reuse are O(1)
+/// generation bumps — no memset on the hot path. The table starts small
+/// and doubles (rehashing live entries) until the slot count covers
+/// `max_entries` at a ≤ 7/8 load factor; past the bound it evicts instead
+/// of growing, and records that it saturated.
+pub(crate) struct TranspositionTable {
+    fingerprints: Vec<u64>,
+    generations: Vec<u32>,
+    generation: u32,
+    mask: usize,
+    occupancy: usize,
+    target_len: usize,
+    capacity_limit: usize,
+    hits: u64,
+    peak_occupancy: usize,
+    saturated: bool,
+}
+
+impl TranspositionTable {
+    pub(crate) fn new(max_entries: u64) -> Self {
+        let capacity_limit = usize::try_from(max_entries).unwrap_or(usize::MAX).max(16);
+        let target_len = capacity_limit
+            .saturating_add(capacity_limit / 4)
+            .saturating_add(16)
+            .checked_next_power_of_two()
+            .unwrap_or(1 << 62);
+        let initial = 1024.min(target_len);
+        TranspositionTable {
+            fingerprints: vec![0; initial],
+            generations: vec![0; initial],
+            generation: 1,
+            mask: initial - 1,
+            occupancy: 0,
+            target_len,
+            capacity_limit,
+            hits: 0,
+            peak_occupancy: 0,
+            saturated: false,
+        }
+    }
+
+    /// Returns whether `hash` was already present (a memo hit); records it
+    /// otherwise.
+    pub(crate) fn check_and_insert(&mut self, hash: u64) -> bool {
+        let mut idx = (hash as usize) & self.mask;
+        loop {
+            if self.generations[idx] != self.generation {
+                self.fingerprints[idx] = hash;
+                self.generations[idx] = self.generation;
+                self.occupancy += 1;
+                if self.occupancy > self.peak_occupancy {
+                    self.peak_occupancy = self.occupancy;
+                }
+                if self.occupancy >= self.insert_threshold() {
+                    self.grow_or_evict();
+                }
+                return false;
+            }
+            if self.fingerprints[idx] == hash {
+                self.hits += 1;
+                return true;
+            }
+            idx = (idx + 1) & self.mask;
+        }
+    }
+
+    fn insert_threshold(&self) -> usize {
+        let len = self.fingerprints.len();
+        (len - len / 8).min(self.capacity_limit)
+    }
+
+    fn grow_or_evict(&mut self) {
+        let len = self.fingerprints.len();
+        if self.occupancy >= self.capacity_limit || len >= self.target_len {
+            // Generation-based eviction: the table is logically cleared in
+            // O(1); stale slots are overwritten lazily.
+            self.saturated = true;
+            self.bump_generation();
+            return;
+        }
+        let new_len = len * 2;
+        let new_mask = new_len - 1;
+        let mut fingerprints = vec![0u64; new_len];
+        let mut generations = vec![0u32; new_len];
+        for i in 0..len {
+            if self.generations[i] == self.generation {
+                let h = self.fingerprints[i];
+                let mut idx = (h as usize) & new_mask;
+                while generations[idx] == self.generation {
+                    idx = (idx + 1) & new_mask;
+                }
+                fingerprints[idx] = h;
+                generations[idx] = self.generation;
+            }
+        }
+        self.fingerprints = fingerprints;
+        self.generations = generations;
+        self.mask = new_mask;
+    }
+
+    fn bump_generation(&mut self) {
+        self.occupancy = 0;
+        if self.generation == u32::MAX {
+            self.generations.fill(0);
+            self.generation = 1;
+        } else {
+            self.generation += 1;
+        }
+    }
+
+    /// Clears the table and its per-branch stats for the next branch.
+    pub(crate) fn reset(&mut self) {
+        self.bump_generation();
+        self.hits = 0;
+        self.peak_occupancy = 0;
+        self.saturated = false;
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn peak_occupancy(&self) -> usize {
+        self.peak_occupancy
+    }
+
+    pub(crate) fn saturated(&self) -> bool {
+        self.saturated
+    }
+}
+
+/// The immutable, thread-shared compilation of one admissibility question.
+pub(crate) struct SearchProblem {
+    pub(crate) n: usize,
+    pub(crate) num_objects: usize,
+    /// Direct predecessors per m-operation under the search relation.
+    pub(crate) preds: Csr<u32>,
+    /// External read requirements per m-operation: (object, writer|NONE).
+    pub(crate) read_reqs: Csr<(u32, u32)>,
+    /// Objects written per m-operation.
+    pub(crate) write_sets: Csr<u32>,
+    pub(crate) keys: ZobristKeys,
+}
+
+impl SearchProblem {
+    /// Compiles `h` and a relation edge list into CSR form plus keys.
+    pub(crate) fn new(h: &History, edges: &[(u32, u32)]) -> Self {
+        let n = h.len();
+        let preds = predecessor_csr(n, edges.iter().copied());
+        let read_reqs = Csr::from_fn(n, |i| {
+            h.read_sources(MOpIdx(i))
+                .iter()
+                .map(|&(obj, w)| (obj.index() as u32, w.map_or(NONE, |w| w.0 as u32)))
+                .collect()
+        });
+        let write_sets = Csr::from_fn(n, |i| {
+            h.wobjects(MOpIdx(i))
+                .iter()
+                .map(|o| o.index() as u32)
+                .collect()
+        });
+        let keys = ZobristKeys::new(n, h.num_objects());
+        SearchProblem {
+            n,
+            num_objects: h.num_objects(),
+            preds,
+            read_reqs,
+            write_sets,
+            keys,
+        }
+    }
+}
+
+/// One interaction component, compiled to its post-peel start state and
+/// branch frontier. Built by the callers (which own the peeling policy),
+/// executed by [`execute`].
+pub(crate) struct ComponentPlan {
+    /// Members left to schedule after peeling, ascending.
+    pub(crate) members: Vec<u32>,
+    /// The forced prefix, in the order it was peeled.
+    pub(crate) peeled_order: Vec<u32>,
+    /// Peel steps the fold charges to `SearchStats::peeled`.
+    pub(crate) peeled: u64,
+    /// Scheduled set after the peel (this component's members only).
+    pub(crate) sched: BitSet,
+    /// Last-writer map after the peel.
+    pub(crate) last_writer: Vec<u32>,
+    /// Zobrist hash of (`sched`, `last_writer`).
+    pub(crate) hash: u64,
+    /// Branch frontier: the legal first moves, ascending — or the single
+    /// [`ROOT`] sentinel for an unsplit whole-frontier search.
+    pub(crate) branches: Vec<u32>,
+    /// The peel refuted the component (a forced-next op has illegal reads).
+    pub(crate) refuted_in_peel: bool,
+}
+
+impl ComponentPlan {
+    /// Builds a component plan by replaying `peeled_order` and then
+    /// enumerating the branch frontier over `members`.
+    pub(crate) fn build(
+        problem: &SearchProblem,
+        peeled_order: Vec<u32>,
+        members: Vec<u32>,
+        refuted_in_peel: bool,
+        peeled: u64,
+    ) -> Self {
+        let mut sched = BitSet::new(problem.n);
+        let mut last_writer = vec![NONE; problem.num_objects];
+        let mut hash = 0u64;
+        for &u in &peeled_order {
+            sched.insert(u as usize);
+            hash ^= problem.keys.op(u as usize);
+            for &o in problem.write_sets.row(u as usize) {
+                hash ^= problem.keys.writer(o, last_writer[o as usize]) ^ problem.keys.writer(o, u);
+                last_writer[o as usize] = u;
+            }
+        }
+        let mut branches = Vec::new();
+        if !refuted_in_peel {
+            for &iu in &members {
+                let i = iu as usize;
+                let ready = problem
+                    .preds
+                    .row(i)
+                    .iter()
+                    .all(|&q| sched.contains(q as usize));
+                let legal = problem
+                    .read_reqs
+                    .row(i)
+                    .iter()
+                    .all(|&(o, w)| last_writer[o as usize] == w);
+                if ready && legal {
+                    branches.push(iu);
+                }
+            }
+        }
+        ComponentPlan {
+            members,
+            peeled_order,
+            peeled,
+            sched,
+            last_writer,
+            hash,
+            branches,
+            refuted_in_peel,
+        }
+    }
+
+    /// The naive engine's plan: every m-operation in one component, one
+    /// unsplit root task, nothing peeled.
+    pub(crate) fn root(problem: &SearchProblem) -> Self {
+        ComponentPlan {
+            members: (0..problem.n as u32).collect(),
+            peeled_order: Vec::new(),
+            peeled: 0,
+            sched: BitSet::new(problem.n),
+            last_writer: vec![NONE; problem.num_objects],
+            hash: 0,
+            branches: vec![ROOT],
+            refuted_in_peel: false,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Step {
+    Admissible,
+    Refuted,
+    Limit,
+    Cancelled,
+}
+
+#[derive(Clone, Copy)]
+struct Task {
+    comp: usize,
+    branch: usize,
+    first: u32,
+}
+
+struct BranchResult {
+    step: Step,
+    nodes: u64,
+    memo_hits: u64,
+    memo_peak: u64,
+    memo_saturated: bool,
+    /// Schedule of the branch (first move included) when admissible.
+    order: Vec<u32>,
+}
+
+/// Shared coordination state: results, cancellation cuts, abort flag and
+/// the shared node-budget counter.
+struct Board {
+    results: Mutex<Vec<Vec<Option<BranchResult>>>>,
+    /// Per component: branches with index ≥ this are cancelled.
+    cancel_from: Vec<AtomicUsize>,
+    /// Components with index > this are cancelled.
+    comp_stop: AtomicUsize,
+    abort: AtomicBool,
+    /// Total nodes expanded across all workers (observability; the binding
+    /// budget decision is the deterministic fold).
+    spent: AtomicU64,
+}
+
+impl Board {
+    fn new(plans: &[ComponentPlan], comp_stop: usize) -> Self {
+        Board {
+            results: Mutex::new(
+                plans
+                    .iter()
+                    .map(|p| (0..p.branches.len()).map(|_| None).collect())
+                    .collect(),
+            ),
+            cancel_from: plans.iter().map(|_| AtomicUsize::new(usize::MAX)).collect(),
+            comp_stop: AtomicUsize::new(comp_stop),
+            abort: AtomicBool::new(false),
+            spent: AtomicU64::new(0),
+        }
+    }
+
+    fn is_cancelled(&self, comp: usize, branch: usize) -> bool {
+        self.abort.load(Ordering::Relaxed)
+            || comp > self.comp_stop.load(Ordering::Relaxed)
+            || branch >= self.cancel_from[comp].load(Ordering::Relaxed)
+    }
+
+    /// Records a finished branch and updates the cancellation frontier.
+    fn on_done(
+        &self,
+        task: Task,
+        result: BranchResult,
+        plans: &[ComponentPlan],
+        limits: SearchLimits,
+    ) {
+        if result.step == Step::Admissible {
+            // First-witness-wins: branches after an admissible one can
+            // never be the canonical (smallest-index) witness.
+            self.cancel_from[task.comp].fetch_min(task.branch + 1, Ordering::Relaxed);
+        }
+        let mut results = self.results.lock().expect("engine board poisoned");
+        results[task.comp][task.branch] = Some(result);
+        // A component whose branches are all refuted decides the overall
+        // verdict at its index at the latest; later components are moot.
+        if results[task.comp]
+            .iter()
+            .all(|r| matches!(r, Some(b) if b.step == Step::Refuted))
+        {
+            self.comp_stop.fetch_min(task.comp, Ordering::Relaxed);
+        }
+        if fold(plans, &results, limits).outcome.is_some() {
+            self.abort.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Outcome of the deterministic fold over (component, branch) results.
+struct Fold {
+    /// `Some` once every result the decision path needs is present.
+    outcome: Option<SearchOutcome>,
+    nodes: u64,
+    memo_hits: u64,
+    memo_peak: u64,
+    memo_saturated: bool,
+    peeled: u64,
+}
+
+fn fold(
+    plans: &[ComponentPlan],
+    results: &[Vec<Option<BranchResult>>],
+    limits: SearchLimits,
+) -> Fold {
+    let mut f = Fold {
+        outcome: None,
+        nodes: 0,
+        memo_hits: 0,
+        memo_peak: 0,
+        memo_saturated: false,
+        peeled: 0,
+    };
+    let mut winners: Vec<Option<usize>> = vec![None; plans.len()];
+    for (c, plan) in plans.iter().enumerate() {
+        f.peeled += plan.peeled;
+        if plan.refuted_in_peel {
+            f.outcome = Some(SearchOutcome::NotAdmissible);
+            return f;
+        }
+        if plan.members.is_empty() {
+            continue;
+        }
+        // The component root: one node, exactly like the sequential
+        // search's entry into the component (ROOT tasks count their own).
+        if plan.branches != [ROOT] {
+            f.nodes += 1;
+            if f.nodes > limits.max_nodes {
+                f.outcome = Some(SearchOutcome::LimitExceeded);
+                return f;
+            }
+        }
+        if plan.branches.is_empty() {
+            f.outcome = Some(SearchOutcome::NotAdmissible);
+            return f;
+        }
+        let mut decided = false;
+        for b in 0..plan.branches.len() {
+            let Some(r) = &results[c][b] else {
+                // Outstanding result on the decision path: undecided. The
+                // cumulative count here is always ≤ max_nodes (any excess
+                // already decided the fold at an earlier branch).
+                return f;
+            };
+            f.nodes += r.nodes;
+            f.memo_hits += r.memo_hits;
+            f.memo_peak = f.memo_peak.max(r.memo_peak);
+            f.memo_saturated |= r.memo_saturated;
+            if f.nodes > limits.max_nodes {
+                f.outcome = Some(SearchOutcome::LimitExceeded);
+                return f;
+            }
+            match r.step {
+                Step::Admissible => {
+                    winners[c] = Some(b);
+                    decided = true;
+                    break;
+                }
+                Step::Refuted => {}
+                Step::Limit => {
+                    // A branch at its own cap has nodes > max_nodes, so the
+                    // cumulative check above already returned.
+                    f.outcome = Some(SearchOutcome::LimitExceeded);
+                    return f;
+                }
+                Step::Cancelled => unreachable!("cancelled branches are never recorded"),
+            }
+        }
+        if !decided {
+            f.outcome = Some(SearchOutcome::NotAdmissible);
+            return f;
+        }
+    }
+    // Every component admissible: assemble the canonical witness.
+    let mut order: Vec<MOpIdx> = Vec::new();
+    for (c, plan) in plans.iter().enumerate() {
+        order.extend(plan.peeled_order.iter().map(|&u| MOpIdx(u as usize)));
+        if let Some(w) = winners[c] {
+            let r = results[c][w].as_ref().expect("winner recorded");
+            order.extend(r.order.iter().map(|&u| MOpIdx(u as usize)));
+        }
+    }
+    f.outcome = Some(SearchOutcome::Admissible(order));
+    f
+}
+
+/// Per-worker mutable search state, reused across branch tasks.
+struct SearchContext<'p> {
+    p: &'p SearchProblem,
+    scheduled: BitSet,
+    last_writer: Vec<u32>,
+    order: Vec<u32>,
+    undo: Vec<(u32, u32)>,
+    hash: u64,
+    table: TranspositionTable,
+    memoize: bool,
+    nodes: u64,
+    max_nodes: u64,
+    remaining: usize,
+}
+
+/// Cancellation scope of one branch task.
+struct CancelCtx<'a> {
+    board: &'a Board,
+    comp: usize,
+    branch: usize,
+}
+
+impl CancelCtx<'_> {
+    #[inline]
+    fn cancelled(&self) -> bool {
+        self.board.is_cancelled(self.comp, self.branch)
+    }
+}
+
+impl<'p> SearchContext<'p> {
+    fn new(p: &'p SearchProblem, limits: SearchLimits) -> Self {
+        SearchContext {
+            p,
+            scheduled: BitSet::new(p.n),
+            last_writer: vec![NONE; p.num_objects],
+            order: Vec::with_capacity(p.n),
+            undo: Vec::with_capacity(p.n),
+            hash: 0,
+            table: TranspositionTable::new(limits.max_memo_entries),
+            memoize: limits.memoize,
+            nodes: 0,
+            max_nodes: limits.max_nodes,
+            remaining: 0,
+        }
+    }
+
+    fn load(&mut self, plan: &ComponentPlan) {
+        self.scheduled.copy_from(&plan.sched);
+        self.last_writer.copy_from_slice(&plan.last_writer);
+        self.order.clear();
+        self.undo.clear();
+        self.hash = plan.hash;
+        self.table.reset();
+        self.nodes = 0;
+        self.remaining = plan.members.len();
+    }
+
+    #[inline]
+    fn schedule(&mut self, i: usize) {
+        self.scheduled.insert(i);
+        self.remaining -= 1;
+        self.order.push(i as u32);
+        self.hash ^= self.p.keys.op(i);
+        for &o in self.p.write_sets.row(i) {
+            let old = self.last_writer[o as usize];
+            self.undo.push((o, old));
+            self.hash ^= self.p.keys.writer(o, old) ^ self.p.keys.writer(o, i as u32);
+            self.last_writer[o as usize] = i as u32;
+        }
+    }
+
+    #[inline]
+    fn unschedule(&mut self, i: usize, undo_mark: usize) {
+        while self.undo.len() > undo_mark {
+            let (o, old) = self.undo.pop().expect("undo frame");
+            let cur = self.last_writer[o as usize];
+            self.hash ^= self.p.keys.writer(o, cur) ^ self.p.keys.writer(o, old);
+            self.last_writer[o as usize] = old;
+        }
+        self.hash ^= self.p.keys.op(i);
+        self.order.pop();
+        self.remaining += 1;
+        self.scheduled.remove(i);
+    }
+
+    fn run_task(&mut self, members: &[u32], first: u32, cancel: &CancelCtx<'_>) -> Step {
+        if first != ROOT {
+            self.schedule(first as usize);
+        }
+        self.dfs(members, cancel)
+    }
+
+    fn dfs(&mut self, members: &[u32], cancel: &CancelCtx<'_>) -> Step {
+        if self.remaining == 0 {
+            return Step::Admissible;
+        }
+        self.nodes += 1;
+        if self.nodes > self.max_nodes {
+            return Step::Limit;
+        }
+        if self.nodes & CANCEL_CHECK_MASK == 0 {
+            cancel
+                .board
+                .spent
+                .fetch_add(CANCEL_CHECK_MASK + 1, Ordering::Relaxed);
+            if cancel.cancelled() {
+                return Step::Cancelled;
+            }
+        }
+        if self.memoize && self.table.check_and_insert(self.hash) {
+            return Step::Refuted;
+        }
+        for &iu in members {
+            let i = iu as usize;
+            if self.scheduled.contains(i) {
+                continue;
+            }
+            if !self
+                .p
+                .preds
+                .row(i)
+                .iter()
+                .all(|&q| self.scheduled.contains(q as usize))
+            {
+                continue;
+            }
+            if !self
+                .p
+                .read_reqs
+                .row(i)
+                .iter()
+                .all(|&(o, w)| self.last_writer[o as usize] == w)
+            {
+                continue;
+            }
+            let mark = self.undo.len();
+            self.schedule(i);
+            match self.dfs(members, cancel) {
+                Step::Refuted => self.unschedule(i, mark),
+                done => return done,
+            }
+        }
+        Step::Refuted
+    }
+}
+
+fn worker_loop(
+    me: usize,
+    queues: &[Mutex<VecDeque<Task>>],
+    board: &Board,
+    plans: &[ComponentPlan],
+    problem: &SearchProblem,
+    limits: SearchLimits,
+) {
+    let mut ctx = SearchContext::new(problem, limits);
+    loop {
+        // Own queue first (front), then steal from the back of others.
+        let mut task = queues[me].lock().expect("task queue").pop_front();
+        if task.is_none() {
+            for other in queues.iter() {
+                task = other.lock().expect("task queue").pop_back();
+                if task.is_some() {
+                    break;
+                }
+            }
+        }
+        let Some(task) = task else { break };
+        if board.is_cancelled(task.comp, task.branch) {
+            continue;
+        }
+        let plan = &plans[task.comp];
+        ctx.load(plan);
+        let cancel = CancelCtx {
+            board,
+            comp: task.comp,
+            branch: task.branch,
+        };
+        let step = ctx.run_task(&plan.members, task.first, &cancel);
+        board
+            .spent
+            .fetch_add(ctx.nodes & CANCEL_CHECK_MASK, Ordering::Relaxed);
+        if step == Step::Cancelled {
+            continue;
+        }
+        let result = BranchResult {
+            step,
+            nodes: ctx.nodes,
+            memo_hits: ctx.table.hits(),
+            memo_peak: ctx.table.peak_occupancy() as u64,
+            memo_saturated: ctx.table.saturated(),
+            order: if step == Step::Admissible {
+                ctx.order.clone()
+            } else {
+                Vec::new()
+            },
+        };
+        board.on_done(task, result, plans, limits);
+    }
+}
+
+/// Runs the component plans to a verdict. Returns the engine's share of the
+/// statistics (`nodes`, `memo_hits`, `memo_peak`, `memo_saturated`,
+/// `peeled`); callers fill in `components` and `forced_edges`.
+pub(crate) fn execute(
+    problem: &SearchProblem,
+    plans: &[ComponentPlan],
+    limits: SearchLimits,
+) -> (SearchOutcome, SearchStats) {
+    // Components at or past the first peel refutation never run: the fold
+    // stops there.
+    let comp_stop = plans
+        .iter()
+        .position(|p| p.refuted_in_peel)
+        .unwrap_or(usize::MAX);
+    let mut tasks = Vec::new();
+    for (c, plan) in plans.iter().enumerate() {
+        if c >= comp_stop && comp_stop != usize::MAX {
+            break;
+        }
+        for (b, &first) in plan.branches.iter().enumerate() {
+            tasks.push(Task {
+                comp: c,
+                branch: b,
+                first,
+            });
+        }
+    }
+
+    let board = Board::new(plans, comp_stop);
+    let threads = limits.threads.max(1).min(tasks.len().max(1));
+    if threads > 1 {
+        // Breadth-first deal order: every component's branch 0 (the likely
+        // canonical winner) before any branch 1, so workers fan out across
+        // components instead of all grinding the first component's
+        // alternatives. Sequentially the fold order itself is waste-free,
+        // so the single-threaded path keeps it.
+        tasks.sort_by_key(|t| (t.branch, t.comp));
+    }
+    let queues: Vec<Mutex<VecDeque<Task>>> = (0..threads)
+        .map(|w| {
+            Mutex::new(
+                tasks
+                    .iter()
+                    .skip(w)
+                    .step_by(threads)
+                    .copied()
+                    .collect::<VecDeque<_>>(),
+            )
+        })
+        .collect();
+
+    if threads <= 1 {
+        worker_loop(0, &queues, &board, plans, problem, limits);
+    } else {
+        crossbeam::thread::scope(|s| {
+            for w in 0..threads {
+                let queues = &queues;
+                let board = &board;
+                s.spawn(move || worker_loop(w, queues, board, plans, problem, limits));
+            }
+        });
+    }
+
+    let results = board.results.into_inner().expect("engine board poisoned");
+    let f = fold(plans, &results, limits);
+    let outcome = f
+        .outcome
+        .expect("every result on the decision path is recorded");
+    let stats = SearchStats {
+        nodes: f.nodes,
+        memo_hits: f.memo_hits,
+        memo_peak: f.memo_peak,
+        memo_saturated: f.memo_saturated,
+        peeled: f.peeled,
+        ..SearchStats::default()
+    };
+    (outcome, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zobrist_keys_are_deterministic_and_distinct() {
+        let a = ZobristKeys::new(8, 3);
+        let b = ZobristKeys::new(8, 3);
+        for i in 0..8 {
+            assert_eq!(a.op(i), b.op(i));
+        }
+        assert_eq!(a.writer(2, NONE), b.writer(2, NONE));
+        let mut all: Vec<u64> = (0..8).map(|i| a.op(i)).collect();
+        for obj in 0..3u32 {
+            all.push(a.writer(obj, NONE));
+            for w in 0..8u32 {
+                all.push(a.writer(obj, w));
+            }
+        }
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), n, "keys collide");
+    }
+
+    #[test]
+    fn transposition_table_hits_on_reinsert() {
+        let mut t = TranspositionTable::new(1 << 10);
+        assert!(!t.check_and_insert(42));
+        assert!(t.check_and_insert(42));
+        assert_eq!(t.hits(), 1);
+        assert!(!t.check_and_insert(43));
+        assert_eq!(t.peak_occupancy(), 2);
+        assert!(!t.saturated());
+    }
+
+    #[test]
+    fn transposition_table_grows_then_evicts_at_cap() {
+        let mut t = TranspositionTable::new(64);
+        for h in 0..64u64 {
+            assert!(!t.check_and_insert(h.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1));
+        }
+        assert!(t.saturated(), "cap of 64 entries forces eviction");
+        // Post-eviction the table is logically empty again.
+        assert!(!t.check_and_insert(12345));
+        assert!(t.check_and_insert(12345));
+    }
+
+    #[test]
+    fn table_reset_clears_stats_and_entries() {
+        let mut t = TranspositionTable::new(1 << 10);
+        t.check_and_insert(7);
+        t.check_and_insert(7);
+        t.reset();
+        assert_eq!(t.hits(), 0);
+        assert_eq!(t.peak_occupancy(), 0);
+        assert!(!t.check_and_insert(7), "entries evicted by reset");
+    }
+
+    #[test]
+    fn generation_eviction_survives_many_resets() {
+        let mut t = TranspositionTable::new(32);
+        for round in 0..100u64 {
+            t.reset();
+            for h in 0..16u64 {
+                assert!(!t.check_and_insert((round << 32) | (h + 1)));
+            }
+        }
+    }
+}

@@ -50,6 +50,7 @@ pub mod admissible;
 pub mod causal;
 pub mod certificate;
 pub mod conditions;
+pub(crate) mod engine;
 pub mod fast;
 pub mod minimize;
 pub mod precedence;

@@ -31,6 +31,7 @@ use moc_core::relations::{object_order, real_time, Relation};
 
 use crate::admissible::{SearchLimits, SearchOutcome, SearchStats};
 use crate::conditions::Condition;
+use crate::engine::{self, ComponentPlan, SearchProblem};
 
 /// Why an edge is in the precedence graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -604,6 +605,13 @@ pub fn find_legal_extension_pruned(
 
 /// Like [`find_legal_extension_pruned`], but over a pre-built graph (so
 /// callers that also need certificates saturate only once).
+///
+/// Execution is delegated to the parallel engine ([`crate::engine`]): each
+/// interaction component is peeled to its forced prefix, its branch
+/// frontier (the legal first moves) becomes work-stealable tasks, and the
+/// deterministic fold over (component, branch) results yields the same
+/// verdict, canonical witness and statistics at every
+/// [`SearchLimits::threads`] setting.
 pub fn pruned_search(
     h: &History,
     graph: &PrecedenceGraph,
@@ -623,39 +631,25 @@ pub fn pruned_search(
         return (SearchOutcome::NotAdmissible, stats);
     }
 
-    const NONE: u32 = u32::MAX;
-    let read_reqs: Vec<Vec<(u32, u32)>> = (0..n)
-        .map(|i| {
-            h.read_sources(MOpIdx(i))
-                .iter()
-                .map(|&(obj, w)| (obj.index() as u32, w.map_or(NONE, |w| w.0 as u32)))
-                .collect()
-        })
+    let edges: Vec<(u32, u32)> = graph
+        .edges()
+        .iter()
+        .map(|e| (e.from.0 as u32, e.to.0 as u32))
         .collect();
-    let write_sets: Vec<Vec<u32>> = (0..n)
-        .map(|i| {
-            h.wobjects(MOpIdx(i))
-                .iter()
-                .map(|o| o.index() as u32)
-                .collect()
-        })
-        .collect();
-    let mut preds: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for e in graph.edges() {
-        preds[e.to.0].push(e.from.0 as u32);
-    }
+    let problem = SearchProblem::new(h, &edges);
 
     let comps = graph.interaction_components(h);
     stats.components = comps.len() as u64;
 
-    let words = n.div_ceil(64);
-    let mut scheduled = vec![0u64; words];
-    let mut sched_flags = vec![false; n];
-    let mut last_writer: Vec<u32> = vec![NONE; h.num_objects()];
-    let mut order: Vec<MOpIdx> = Vec::with_capacity(n);
-
+    // Compile each component: peel the forced prefix, then enumerate the
+    // branch frontier. Objects never span components, so each component's
+    // last-writer state is independent of the others.
+    let mut plans = Vec::with_capacity(comps.len());
     for comp in &comps {
         let mut remaining: Vec<usize> = comp.clone();
+        let mut peeled_order: Vec<u32> = Vec::new();
+        let mut last_writer: Vec<u32> = vec![engine::NONE; h.num_objects()];
+        let mut refuted = false;
 
         // Forced-prefix peeling: an element ordered (in ~H+) before every
         // other remaining member must come next in every witness — schedule
@@ -666,132 +660,42 @@ pub fn pruned_search(
                 .all(|&v| v == u || graph.closed.contains(MOpIdx(u), MOpIdx(v)))
         }) {
             let u = remaining.swap_remove(pos);
-            if !read_reqs[u]
+            if !problem
+                .read_reqs
+                .row(u)
                 .iter()
                 .all(|&(obj, w)| last_writer[obj as usize] == w)
             {
-                return (SearchOutcome::NotAdmissible, stats);
+                refuted = true;
+                break;
             }
-            sched_flags[u] = true;
-            scheduled[u / 64] |= 1 << (u % 64);
-            order.push(MOpIdx(u));
-            for &o in &write_sets[u] {
+            for &o in problem.write_sets.row(u) {
                 last_writer[o as usize] = u as u32;
             }
-            stats.peeled += 1;
+            peeled_order.push(u as u32);
             if remaining.is_empty() {
                 break;
             }
         }
-        if remaining.is_empty() {
-            continue;
-        }
-
         remaining.sort_unstable();
-        let mut memo: HashSet<(Vec<u64>, Vec<u32>)> = HashSet::new();
-        let before = order.len();
-        let outcome = dfs_members(
-            &remaining,
-            &preds,
-            &read_reqs,
-            &write_sets,
-            &mut scheduled,
-            &mut sched_flags,
-            &mut last_writer,
-            &mut order,
-            &mut memo,
-            &mut stats,
-            limits,
-        );
-        match outcome {
-            SearchOutcome::Admissible(_) => {
-                debug_assert_eq!(order.len() - before, remaining.len());
-                // Leave the component's schedule applied (flags, bits and
-                // last_writer stay; objects are disjoint across components).
-            }
-            other => return (other, stats),
-        }
-    }
-    (SearchOutcome::Admissible(order), stats)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn dfs_members(
-    members: &[usize],
-    preds: &[Vec<u32>],
-    read_reqs: &[Vec<(u32, u32)>],
-    write_sets: &[Vec<u32>],
-    scheduled: &mut Vec<u64>,
-    sched_flags: &mut Vec<bool>,
-    last_writer: &mut Vec<u32>,
-    order: &mut Vec<MOpIdx>,
-    memo: &mut HashSet<(Vec<u64>, Vec<u32>)>,
-    stats: &mut SearchStats,
-    limits: SearchLimits,
-) -> SearchOutcome {
-    if members.iter().all(|&i| sched_flags[i]) {
-        return SearchOutcome::Admissible(order.clone());
-    }
-    stats.nodes += 1;
-    if stats.nodes > limits.max_nodes {
-        return SearchOutcome::LimitExceeded;
-    }
-    if limits.memoize && !memo.insert((scheduled.clone(), last_writer.clone())) {
-        stats.memo_hits += 1;
-        return SearchOutcome::NotAdmissible;
-    }
-
-    for &i in members {
-        if sched_flags[i] {
-            continue;
-        }
-        if !preds[i].iter().all(|&p| sched_flags[p as usize]) {
-            continue;
-        }
-        if !read_reqs[i]
-            .iter()
-            .all(|&(obj, w)| last_writer[obj as usize] == w)
-        {
-            continue;
-        }
-
-        sched_flags[i] = true;
-        scheduled[i / 64] |= 1 << (i % 64);
-        order.push(MOpIdx(i));
-        let saved: Vec<(u32, u32)> = write_sets[i]
-            .iter()
-            .map(|&o| (o, last_writer[o as usize]))
-            .collect();
-        for &o in &write_sets[i] {
-            last_writer[o as usize] = i as u32;
-        }
-
-        let sub = dfs_members(
+        let members: Vec<u32> = remaining.iter().map(|&u| u as u32).collect();
+        let peeled = peeled_order.len() as u64;
+        plans.push(ComponentPlan::build(
+            &problem,
+            peeled_order,
             members,
-            preds,
-            read_reqs,
-            write_sets,
-            scheduled,
-            sched_flags,
-            last_writer,
-            order,
-            memo,
-            stats,
-            limits,
-        );
-        match sub {
-            SearchOutcome::NotAdmissible => {}
-            done => return done,
-        }
-
-        for &(o, w) in saved.iter().rev() {
-            last_writer[o as usize] = w;
-        }
-        order.pop();
-        scheduled[i / 64] &= !(1 << (i % 64));
-        sched_flags[i] = false;
+            refuted,
+            peeled,
+        ));
     }
-    SearchOutcome::NotAdmissible
+
+    let (outcome, engine_stats) = engine::execute(&problem, &plans, limits);
+    stats.nodes = engine_stats.nodes;
+    stats.memo_hits = engine_stats.memo_hits;
+    stats.memo_peak = engine_stats.memo_peak;
+    stats.memo_saturated = engine_stats.memo_saturated;
+    stats.peeled = engine_stats.peeled;
+    (outcome, stats)
 }
 
 #[cfg(test)]

@@ -113,11 +113,17 @@ USAGE:
              [--objects M] [--seed S] [--update-frac F] [--k K]
       Generate a synthetic history; print it.
   moc check  <file|-> [--condition sc|lin|normal|causal] [--brute]
-             [--max-nodes N] [--witness] [--minimize] [--certificate PATH|-]
-      Check a history against a consistency condition. With --minimize, a
-      violating history is shrunk to its 1-minimal core and printed. With
-      --certificate, the verdict's moc-cert proof document is written to
-      PATH (or printed with `-`); see docs/CERTIFICATES.md.
+             [--max-nodes N] [--threads N] [--witness] [--minimize]
+             [--certificate PATH|-]
+      Check a history against a consistency condition. --max-nodes caps
+      the search's node budget (default 5000000); --threads fans the
+      component/branch search out across N workers (default 1) — verdicts,
+      witnesses and certificates are identical at every thread count. The
+      output ends with a replay line echoing the effective search flags.
+      With --minimize, a violating history is shrunk to its 1-minimal core
+      and printed. With --certificate, the verdict's moc-cert proof
+      document is written to PATH (or printed with `-`); see
+      docs/CERTIFICATES.md and docs/CHECKER-PERF.md.
   moc audit  <history-file|-> <cert-file>
       Independently re-validate a moc-cert certificate against a history:
       replay the witness, or check the ~H+ refutation cycle edge by edge.
@@ -279,12 +285,25 @@ fn cmd_gen(args: &Args) -> Result<String, String> {
 fn cmd_check(args: &Args, stdin: &str) -> Result<String, String> {
     let h = load_history(args, stdin)?;
     let max_nodes = args.get_u64("max-nodes", 5_000_000)?;
-    let limits = SearchLimits::with_max_nodes(max_nodes);
+    let threads = args.get_usize("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let limits = SearchLimits::with_max_nodes(max_nodes).with_threads(threads);
     let condition_name = args
         .options
         .get("condition")
         .map(String::as_str)
         .unwrap_or("lin");
+    let source = args
+        .positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "-".into());
+    let replay = format!(
+        "replay: moc check {source} --condition {condition_name}{} --threads {threads} --max-nodes {max_nodes}\n",
+        if args.flag("brute") { " --brute" } else { "" },
+    );
 
     if condition_name == "causal" {
         let report = check_m_causal(&h, limits).map_err(|e| e.to_string())?;
@@ -311,6 +330,7 @@ fn cmd_check(args: &Args, stdin: &str) -> Result<String, String> {
                 ),
             );
         }
+        out.push_str(&replay);
         return Ok(out);
     }
 
@@ -400,6 +420,7 @@ fn cmd_check(args: &Args, stdin: &str) -> Result<String, String> {
             );
         }
     }
+    out.push_str(&replay);
     if let Some(text) = cert_text {
         out.push_str(&text);
         out.push('\n');
@@ -428,8 +449,13 @@ fn cmd_audit(args: &Args, stdin: &str) -> Result<(String, i32), String> {
                     "witness linearization replayed and legality trace matched"
                 }
                 moc_audit::Verdict::CycleVerified => "~H+ refutation cycle checked edge by edge",
-                moc_audit::Verdict::ExhaustionAttested => {
-                    "exhaustion attestation well-formed and bound (not replayable)"
+                moc_audit::Verdict::ExhaustionAttested {
+                    memo_limited: false,
+                } => "exhaustion attestation well-formed and bound (not replayable)",
+                moc_audit::Verdict::ExhaustionAttested { memo_limited: true } => {
+                    "exhaustion attestation well-formed and bound (not replayable); \
+                     the transposition table saturated, so the node budget may reflect \
+                     re-exploration rather than state-space size"
                 }
             };
             Ok((format!("certificate VALID: {what}\n"), 0))
@@ -892,6 +918,40 @@ mod tests {
             // budget; both surface as clean errors.
             Err(e) => assert!(e.contains("budget") || e.contains("cyclic"), "{e}"),
         }
+    }
+
+    #[test]
+    fn check_threads_flag_and_replay_echo() {
+        let text = dispatch(&sv(&["gen", "--kind", "writers", "--k", "3"]), "").unwrap();
+        let base = dispatch(&sv(&["check", "-", "--condition", "sc"]), &text).unwrap();
+        assert!(
+            base.contains("replay: moc check - --condition sc --threads 1 --max-nodes 5000000"),
+            "{base}"
+        );
+        for threads in ["2", "4", "8"] {
+            let out = dispatch(
+                &sv(&[
+                    "check",
+                    "-",
+                    "--condition",
+                    "sc",
+                    "--threads",
+                    threads,
+                    "--witness",
+                ]),
+                &text,
+            )
+            .unwrap();
+            // Identical verdict and witness at every thread count; the
+            // replay line echoes the effective flags.
+            assert_eq!(
+                base.lines().next().unwrap(),
+                out.lines().next().unwrap(),
+                "t{threads}"
+            );
+            assert!(out.contains(&format!("--threads {threads} ")), "{out}");
+        }
+        assert!(dispatch(&sv(&["check", "-", "--threads", "0"]), &text).is_err());
     }
 
     #[test]

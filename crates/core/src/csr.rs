@@ -1,0 +1,115 @@
+//! Compressed sparse row (CSR) adjacency storage.
+//!
+//! The admissibility engine walks predecessor lists, read requirements and
+//! write sets for every DFS node. Storing them as `Vec<Vec<_>>` scatters
+//! each row in its own heap allocation; a [`Csr`] packs all rows into one
+//! arena (`data`) indexed by an offsets table, so row access is a pair of
+//! loads with no pointer chasing and construction is the only allocation.
+
+/// Rows of `T` packed back-to-back, addressed through an offsets table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr<T> {
+    offsets: Vec<u32>,
+    data: Vec<T>,
+}
+
+impl<T> Csr<T> {
+    /// Builds a CSR with `n` rows, where row `i` holds the items yielded by
+    /// `row(i)` in order.
+    pub fn from_fn(n: usize, mut row: impl FnMut(usize) -> Vec<T>) -> Self {
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut data = Vec::new();
+        offsets.push(0);
+        for i in 0..n {
+            data.extend(row(i));
+            let end = u32::try_from(data.len()).expect("CSR arena fits in u32 offsets");
+            offsets.push(end);
+        }
+        Csr { offsets, data }
+    }
+
+    /// Builds a CSR from per-row vectors.
+    pub fn from_rows(rows: &[Vec<T>]) -> Self
+    where
+        T: Clone,
+    {
+        Self::from_fn(rows.len(), |i| rows[i].clone())
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Total number of stored items across all rows.
+    pub fn num_items(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[T] {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        &self.data[lo..hi]
+    }
+}
+
+/// Builds the predecessor CSR of a digraph on `n` vertices from an edge
+/// iterator. Edge `(from, to)` contributes `from` to `to`'s row.
+pub fn predecessor_csr(n: usize, edges: impl Iterator<Item = (u32, u32)> + Clone) -> Csr<u32> {
+    let mut counts = vec![0u32; n];
+    for (_, to) in edges.clone() {
+        counts[to as usize] += 1;
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0u32;
+    offsets.push(0);
+    for &c in &counts {
+        acc += c;
+        offsets.push(acc);
+    }
+    let mut data = vec![0u32; acc as usize];
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    for (from, to) in edges {
+        let slot = cursor[to as usize];
+        data[slot as usize] = from;
+        cursor[to as usize] += 1;
+    }
+    Csr { offsets, data }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_fn_packs_rows() {
+        let c = Csr::from_fn(3, |i| vec![i as u32; i]);
+        assert_eq!(c.num_rows(), 3);
+        assert_eq!(c.row(0), &[] as &[u32]);
+        assert_eq!(c.row(1), &[1]);
+        assert_eq!(c.row(2), &[2, 2]);
+        assert_eq!(c.num_items(), 3);
+    }
+
+    #[test]
+    fn predecessor_csr_groups_by_target() {
+        let edges = [(0u32, 2u32), (1, 2), (2, 0)];
+        let c = predecessor_csr(3, edges.iter().copied());
+        assert_eq!(c.row(0), &[2]);
+        assert_eq!(c.row(1), &[] as &[u32]);
+        let mut r2 = c.row(2).to_vec();
+        r2.sort_unstable();
+        assert_eq!(r2, vec![0, 1]);
+    }
+
+    #[test]
+    fn from_rows_matches_inputs() {
+        let rows = vec![vec![(1u32, 2u32)], vec![], vec![(3, 4), (5, 6)]];
+        let c = Csr::from_rows(&rows);
+        for (i, r) in rows.iter().enumerate() {
+            assert_eq!(c.row(i), r.as_slice());
+        }
+    }
+}

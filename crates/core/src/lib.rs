@@ -27,6 +27,9 @@
 //! * [`legality`] — legal histories (D 4.6), the logical read-write
 //!   precedence `~rw` (D 4.11), and the extended relation `~H+` (D 4.12).
 //! * [`constraints`] — the OO-, WW- and WO-constraints (D 4.8–4.10).
+//! * [`bitset`], [`csr`] — fixed-width bitsets and compressed sparse row
+//!   adjacency, the allocation-lean layouts behind the checker's search
+//!   engine.
 //! * [`codec`], [`json`] — the `history v1` text format plus a minimal
 //!   JSON codec for the checker/auditor certificate pipeline.
 //!
@@ -62,8 +65,10 @@
 
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod codec;
 pub mod constraints;
+pub mod csr;
 pub mod error;
 pub mod history;
 pub mod ids;

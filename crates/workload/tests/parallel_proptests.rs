@@ -1,0 +1,131 @@
+//! Thread-count determinism across the workload families.
+//!
+//! The parallel engine promises that `SearchLimits::threads` is invisible
+//! in every observable output: for each generator family and each of the
+//! three conditions, running the certified checker at 1, 2, 4 and 8
+//! threads must produce
+//!
+//! * the identical verdict,
+//! * the identical canonical witness (smallest branch index wins,
+//!   regardless of which worker found a witness first),
+//! * a byte-identical certificate, and
+//! * a certificate the *independent* auditor (`moc-audit`, which imports
+//!   only `moc-core`) accepts.
+//!
+//! Sequential (`threads == 1`) output is the reference; any divergence at
+//! a higher thread count is a cancellation or fold-order bug.
+
+use moc_checker::certificate::check_certified;
+use moc_checker::conditions::Condition;
+use moc_checker::SearchLimits;
+use moc_core::history::History;
+use moc_workload::histories::{
+    concurrent_writers_history, multi_component_history, poisoned_multi_component_history,
+    random_history, serial_history, HistorySpec,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const THREADS: [usize; 3] = [2, 4, 8];
+
+const CONDITIONS: [Condition; 3] = [
+    Condition::MSequentialConsistency,
+    Condition::MNormality,
+    Condition::MLinearizability,
+];
+
+/// One history from each generator family, seeded deterministically.
+fn families(seed: u64) -> Vec<(&'static str, History)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = HistorySpec {
+        processes: 3,
+        ops_per_process: 3,
+        num_objects: 3,
+        update_fraction: 0.5,
+        max_span: 2,
+    };
+    vec![
+        ("serial", serial_history(&spec, &mut rng)),
+        ("random", random_history(&spec, &mut rng)),
+        ("writers", concurrent_writers_history(2, 2, &mut rng)),
+        ("multi", multi_component_history(2, 2, 2, &mut rng)),
+        (
+            "poisoned",
+            poisoned_multi_component_history(2, 2, 2, &mut rng),
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn thread_count_is_invisible_in_all_outputs(seed in any::<u64>()) {
+        for (family, h) in families(seed) {
+            for condition in CONDITIONS {
+                let base = SearchLimits::with_max_nodes(300_000);
+                let reference = check_certified(&h, condition, base);
+
+                // The sequential run is the reference; budget exhaustion
+                // surfaces as Err and must reproduce identically too.
+                let (ref_report, ref_text) = match &reference {
+                    Ok((report, cert)) => (Some(report), Some(cert.to_text())),
+                    Err(_) => (None, None),
+                };
+
+                if let (Some(report), Some(text)) = (&ref_report, &ref_text) {
+                    let verdict = moc_audit::audit(&h, text).unwrap_or_else(|e| {
+                        panic!("{family}/{condition}: sequential cert rejected: {e}")
+                    });
+                    if report.satisfied {
+                        prop_assert!(verdict.is_verified(), "{family}/{condition}");
+                    }
+                }
+
+                for threads in THREADS {
+                    let limits = base.with_threads(threads);
+                    let run = check_certified(&h, condition, limits);
+                    match (&reference, &run) {
+                        (Ok((r0, c0)), Ok((r1, c1))) => {
+                            prop_assert_eq!(
+                                r0.satisfied, r1.satisfied,
+                                "{}/{} verdict differs at {} threads",
+                                family, condition, threads
+                            );
+                            prop_assert_eq!(
+                                &r0.witness, &r1.witness,
+                                "{}/{} canonical witness differs at {} threads",
+                                family, condition, threads
+                            );
+                            let t1 = c1.to_text();
+                            prop_assert_eq!(
+                                c0.to_text(), t1.clone(),
+                                "{}/{} certificate differs at {} threads",
+                                family, condition, threads
+                            );
+                            let verdict = moc_audit::audit(&h, &t1).unwrap_or_else(|e| {
+                                panic!(
+                                    "{family}/{condition}@{threads}: cert rejected: {e}"
+                                )
+                            });
+                            if r1.satisfied {
+                                prop_assert!(
+                                    verdict.is_verified(),
+                                    "{}/{} at {} threads",
+                                    family, condition, threads
+                                );
+                            }
+                        }
+                        (Err(_), Err(_)) => {}
+                        _ => prop_assert!(
+                            false,
+                            "{}/{} limit behaviour differs at {} threads",
+                            family, condition, threads
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,6 +1,18 @@
-//! Offline stub of `crossbeam` backed by `std::sync::mpsc`. Covers the
-//! `crossbeam::channel` surface this repository uses: `bounded`,
-//! `unbounded`, `Sender`, `Receiver`, and `recv_timeout` errors.
+//! Offline stub of `crossbeam` backed by the standard library. Covers the
+//! `crossbeam::channel` surface this repository uses (`bounded`,
+//! `unbounded`, `Sender`, `Receiver`, and `recv_timeout` errors) plus
+//! `crossbeam::thread::scope` for scoped worker fan-out.
+
+/// Scoped threads (stand-in for `crossbeam::thread`).
+///
+/// Delegates to `std::thread::scope` (stable since Rust 1.63), which
+/// provides the same guarantee the real crate pioneered: spawned threads
+/// may borrow from the caller's stack because the scope joins them all
+/// before returning. The API follows the std shape — `spawn` returns a
+/// `ScopedJoinHandle` directly rather than crossbeam's `Result`.
+pub mod thread {
+    pub use std::thread::{scope, Scope, ScopedJoinHandle};
+}
 
 /// Multi-producer channels (stand-in for `crossbeam::channel`).
 pub mod channel {
