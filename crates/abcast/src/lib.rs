@@ -41,11 +41,13 @@ use moc_core::ids::ProcessId;
 pub mod isis;
 pub mod link;
 pub mod sequencer;
+pub mod sharded;
 pub mod view;
 
 pub use isis::IsisAbcast;
 pub use link::{LinkConfig, LinkMsg, LinkStats, ReliableLink};
 pub use sequencer::SequencerAbcast;
+pub use sharded::{ShardItem, ShardedAbcast, ShardedMsg};
 pub use view::{ViewAbcast, ViewConfig, ViewMsg};
 
 /// Buffered outgoing messages produced by a state-machine step.
@@ -162,6 +164,20 @@ pub trait Abcast<T> {
     /// Overrides the endpoint's failover timeouts (suspicion base and
     /// cap, in ns). A no-op for protocols without failover machinery.
     fn set_failover_timeouts(&mut self, _base_ns: u64, _max_ns: u64) {}
+
+    /// Installs a certified shard partition ([`moc_core::shard::ShardPlan`]).
+    /// Only conflict-sharded implementations ([`ShardedAbcast`]) react;
+    /// single-order protocols ignore it. Must be called uniformly on every
+    /// endpoint before any traffic flows.
+    fn set_shard_plan(&mut self, _plan: moc_core::shard::ShardPlan) {}
+
+    /// For multi-channel (sharded) implementations: the ordering channel
+    /// each delivery so far came from, aligned with the cumulative
+    /// delivery order. `None` means the protocol has a single global
+    /// channel, so cross-replica delivery logs must be identical.
+    fn delivery_channels(&self) -> Option<Vec<u32>> {
+        None
+    }
 
     /// A deterministic, human-readable log of view/configuration changes
     /// this endpoint went through. Empty for static protocols.

@@ -38,6 +38,9 @@ pub enum SequencerMsg<T> {
 #[derive(Debug, Clone)]
 pub struct SequencerAbcast<T> {
     me: ProcessId,
+    /// The process acting as this channel's sequencer (process 0 unless
+    /// overridden with [`SequencerAbcast::with_sequencer`]).
+    sequencer: ProcessId,
     /// Next sequence number to assign (meaningful only at the sequencer).
     next_to_assign: u64,
     /// Next sequence number to deliver locally.
@@ -53,12 +56,25 @@ pub struct SequencerAbcast<T> {
 }
 
 impl<T> SequencerAbcast<T> {
-    /// The sequencer's identity (process 0 by convention).
+    /// The default sequencer identity (process 0 by convention).
     pub const SEQUENCER: ProcessId = ProcessId::new(0);
+
+    /// Re-homes the channel's sequencer role. Every endpoint of a channel
+    /// must agree on the sequencer, so call this uniformly right after
+    /// [`Abcast::new`], before any traffic flows.
+    pub fn with_sequencer(mut self, sequencer: ProcessId) -> Self {
+        self.sequencer = sequencer;
+        self
+    }
+
+    /// The process currently acting as sequencer for this channel.
+    pub fn sequencer(&self) -> ProcessId {
+        self.sequencer
+    }
 
     /// Whether this endpoint is the sequencer.
     pub fn is_sequencer(&self) -> bool {
-        self.me == Self::SEQUENCER
+        self.me == self.sequencer
     }
 
     /// Whether this endpoint has fail-stopped (a restarted sequencer).
@@ -86,6 +102,7 @@ impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
     fn new(me: ProcessId, _n: usize) -> Self {
         SequencerAbcast {
             me,
+            sequencer: Self::SEQUENCER,
             next_to_assign: 0,
             next_to_deliver: 0,
             buffer: BTreeMap::new(),
@@ -97,7 +114,7 @@ impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
 
     fn broadcast(&mut self, item: T, out: &mut Outbox<Self::Msg>) {
         out.send(
-            Self::SEQUENCER,
+            self.sequencer,
             SequencerMsg::Submit {
                 origin: self.me,
                 item,

@@ -50,6 +50,15 @@ pub enum Lint {
     ConstraintNotCertified,
     /// MOC0008: a constraint certificate (vacuous or protocol-enforced).
     Certificate,
+    /// MOC0009: a program's footprint straddles shard boundaries, forcing
+    /// its m-operations onto the global order.
+    ProgramStraddlesShards,
+    /// MOC0010: a single hub object connects otherwise-independent object
+    /// groups, collapsing the partition into one shard.
+    HubObjectCollapsesPartition,
+    /// MOC0011: a query's read footprint pins two (or more) shards,
+    /// blocking the OO composition verdict.
+    QueryPinsTwoShards,
 }
 
 impl Lint {
@@ -64,6 +73,9 @@ impl Lint {
             Lint::RefinedClassification => "MOC0006",
             Lint::ConstraintNotCertified => "MOC0007",
             Lint::Certificate => "MOC0008",
+            Lint::ProgramStraddlesShards => "MOC0009",
+            Lint::HubObjectCollapsesPartition => "MOC0010",
+            Lint::QueryPinsTwoShards => "MOC0011",
         }
     }
 
@@ -78,13 +90,19 @@ impl Lint {
             Lint::RefinedClassification => "refined-classification",
             Lint::ConstraintNotCertified => "constraint-not-certified",
             Lint::Certificate => "constraint-certificate",
+            Lint::ProgramStraddlesShards => "program-straddles-shards",
+            Lint::HubObjectCollapsesPartition => "hub-object-collapses-partition",
+            Lint::QueryPinsTwoShards => "query-pins-two-shards",
         }
     }
 
     /// Default severity of the lint.
     pub fn severity(self) -> Severity {
         match self {
-            Lint::UnreachableInstruction | Lint::UninitializedRead => Severity::Warn,
+            Lint::UnreachableInstruction
+            | Lint::UninitializedRead
+            | Lint::ProgramStraddlesShards
+            | Lint::HubObjectCollapsesPartition => Severity::Warn,
             Lint::ConstraintNotCertified => Severity::Error,
             _ => Severity::Info,
         }
@@ -200,6 +218,18 @@ mod tests {
         assert_eq!(Lint::RefinedClassification.code(), "MOC0006");
         assert_eq!(Lint::ConstraintNotCertified.code(), "MOC0007");
         assert_eq!(Lint::Certificate.code(), "MOC0008");
+        assert_eq!(Lint::ProgramStraddlesShards.code(), "MOC0009");
+        assert_eq!(Lint::HubObjectCollapsesPartition.code(), "MOC0010");
+        assert_eq!(Lint::QueryPinsTwoShards.code(), "MOC0011");
+        assert_eq!(
+            Lint::ProgramStraddlesShards.name(),
+            "program-straddles-shards"
+        );
+        assert_eq!(
+            Lint::HubObjectCollapsesPartition.name(),
+            "hub-object-collapses-partition"
+        );
+        assert_eq!(Lint::QueryPinsTwoShards.name(), "query-pins-two-shards");
     }
 
     #[test]

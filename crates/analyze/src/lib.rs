@@ -44,6 +44,7 @@ pub mod conflict;
 pub mod dataflow;
 pub mod diagnostics;
 pub mod passes;
+pub mod shard;
 
 pub use cfg::Cfg;
 pub use conflict::{
@@ -51,6 +52,7 @@ pub use conflict::{
 };
 pub use diagnostics::{max_severity, Finding, Lint, Severity};
 pub use passes::{analyze_program, Classification, ProgramAnalysis, ProgramSummary, Termination};
+pub use shard::{shard_set, ShardAnalysis, ShardOptions};
 
 use diagnostics::{finding_json, json_escape};
 use moc_core::ids::ObjectId;
@@ -159,6 +161,29 @@ impl SetAnalysis {
             })
             .collect::<Vec<_>>()
             .join(",");
+        // Flat per-object edge list: one entry per (pair, object, kind),
+        // ordered by (a, b), then ww before rw, then object id — the
+        // deterministic source of truth the shard pass and external tools
+        // consume.
+        let flat_edges = self
+            .graph
+            .edges
+            .iter()
+            .flat_map(|e| {
+                e.write_write
+                    .iter()
+                    .map(move |o| (e.a, e.b, o.index(), "ww"))
+                    .chain(
+                        e.read_write
+                            .iter()
+                            .map(move |o| (e.a, e.b, o.index(), "rw")),
+                    )
+            })
+            .map(|(a, b, o, kind)| {
+                format!("{{\"a\":{a},\"b\":{b},\"object\":{o},\"kind\":\"{kind}\"}}")
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         let certs = self
             .certificates
             .iter()
@@ -197,8 +222,72 @@ impl SetAnalysis {
             .collect::<Vec<_>>()
             .join(",");
         format!(
-            "{{\"programs\":[{programs}],\"conflicts\":[{edges}],\"certificates\":[{certs}],\"fast_path\":{},\"findings\":[{findings}]}}",
+            "{{\"programs\":[{programs}],\"conflicts\":[{edges}],\"edges\":[{flat_edges}],\"certificates\":[{certs}],\"fast_path\":{},\"findings\":[{findings}]}}",
             self.fast_path
+        )
+    }
+}
+
+impl ShardAnalysis {
+    /// Renders the shard report for terminals.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for (s, objs) in self.cert.shards.iter().enumerate() {
+            let objs: BTreeSet<ObjectId> = objs.iter().copied().collect();
+            out.push_str(&format!("shard {s}: {{{}}}\n", objects_human(&objs)));
+        }
+        for p in &self.cert.programs {
+            let place = match p.shard {
+                Some(s) => format!("shard {s}"),
+                None if p.spans.is_empty() => "global (empty footprint)".to_string(),
+                None => format!(
+                    "cross-shard {{{}}} → global order",
+                    p.spans
+                        .iter()
+                        .map(|s| s.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            };
+            out.push_str(&format!(
+                "program {}: {} | {}\n",
+                p.name,
+                if p.update { "update" } else { "query" },
+                place
+            ));
+        }
+        for e in &self.cert.cross_edges {
+            out.push_str(&format!(
+                "cross edge {} ~ {}: {} on {}\n",
+                self.cert.programs[e.a].name, self.cert.programs[e.b].name, e.kind, e.object
+            ));
+        }
+        let c = &self.cert.composition;
+        out.push_str(&format!(
+            "composition: oo={} ww={} wo={} | m-sc: {} | m-lin: {}\n",
+            c.oo, c.ww, c.wo, c.msc, c.mlin
+        ));
+        for f in self.all_findings() {
+            out.push_str(&f.render_human());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the shard report as a JSON document wrapping the
+    /// certificate (the `certificate` value is exactly what `moc audit`
+    /// re-validates).
+    pub fn render_json(&self) -> String {
+        let findings = self
+            .all_findings()
+            .iter()
+            .map(finding_json)
+            .collect::<Vec<_>>()
+            .join(",");
+        format!(
+            "{{\"certificate\":{},\"num_shards\":{},\"findings\":[{findings}]}}",
+            self.cert.to_json(),
+            self.plan.num_shards()
         )
     }
 }
@@ -228,6 +317,12 @@ mod tests {
         assert!(json.contains("\"fast_path\":true"));
         assert!(json.contains("\"constraint\":\"oo\""));
         assert!(json.contains("not-certified"));
+        // Flat per-object edge list with kinds: the writer's self-pair
+        // (two instances of wx both write x) precedes the wx–qx RW edge.
+        assert!(json.contains(
+            "\"edges\":[{\"a\":0,\"b\":0,\"object\":0,\"kind\":\"ww\"},\
+             {\"a\":0,\"b\":1,\"object\":0,\"kind\":\"rw\"}]"
+        ));
         // Smoke: balanced braces.
         let opens = json.matches('{').count();
         let closes = json.matches('}').count();

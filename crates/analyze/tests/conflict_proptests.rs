@@ -1,0 +1,158 @@
+//! Property tests for the conflict-graph invariants of
+//! `moc_analyze::conflict`.
+//!
+//! Random straight-line programs over a small object universe exercise
+//! three contracts of `analyze_set`:
+//!
+//! * the conflict graph is canonical (edges stored with `a <= b`, never
+//!   vacuous, WW dominating RW) and `edge(a, b)` is symmetric;
+//! * `CertificateStatus::certified()` agrees exactly with the
+//!   `ConstraintNotCertified` findings for a required constraint; and
+//! * adding a program that cannot conflict with anything (a query on a
+//!   fresh object) never changes any certificate or the fast-path
+//!   verdict — certification is monotone under neutral extension.
+
+use moc_analyze::{analyze_set, CertificateStatus, Lint};
+use moc_core::constraints::Constraint;
+use moc_core::ids::ObjectId;
+use moc_core::program::{imm, reg, Program, ProgramBuilder};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Object universe for generated programs; the neutral program reads
+/// outside it.
+const UNIVERSE: u32 = 4;
+
+#[derive(Debug, Clone)]
+enum Step {
+    Read(u32),
+    Write(u32, i64),
+}
+
+fn step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0..UNIVERSE).prop_map(Step::Read),
+        (0..UNIVERSE, -4i64..4).prop_map(|(o, v)| Step::Write(o, v)),
+    ]
+}
+
+/// One random program set: 1–5 programs of 0–4 reads/writes each.
+fn program_set() -> impl Strategy<Value = Vec<Vec<Step>>> {
+    vec(vec(step(), 0..4), 1..5)
+}
+
+fn build(name: &str, steps: &[Step]) -> Program {
+    let mut b = ProgramBuilder::new(name);
+    let mut regs = Vec::new();
+    for (i, s) in steps.iter().enumerate() {
+        match s {
+            Step::Read(o) => {
+                b.read(ObjectId::new(*o), i as u8);
+                regs.push(reg(i as u8));
+            }
+            Step::Write(o, v) => {
+                b.write(ObjectId::new(*o), imm(*v));
+            }
+        }
+    }
+    b.ret(regs);
+    b.build().expect("generated programs are well-formed")
+}
+
+fn build_set(sets: &[Vec<Step>]) -> Vec<Program> {
+    sets.iter()
+        .enumerate()
+        .map(|(i, steps)| build(&format!("p{i}"), steps))
+        .collect()
+}
+
+/// A query on an object no generated program touches: conflicts with
+/// nothing, including its own second instance.
+fn neutral_query() -> Program {
+    let mut b = ProgramBuilder::new("neutral");
+    b.read(ObjectId::new(UNIVERSE + 3), 0).ret(vec![reg(0)]);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn conflict_graph_is_canonical_and_edge_lookup_symmetric(sets in program_set()) {
+        let programs = build_set(&sets);
+        let refs: Vec<&Program> = programs.iter().collect();
+        let s = analyze_set(&refs, &[]);
+
+        for e in &s.graph.edges {
+            prop_assert!(e.a <= e.b, "edges are stored with a <= b");
+            prop_assert!(e.conflicts(), "vacuous edges are omitted");
+            prop_assert!(
+                e.write_write.is_disjoint(&e.read_write),
+                "a WW conflict dominates the RW edge on the same object"
+            );
+        }
+        for w in s.graph.edges.windows(2) {
+            prop_assert!(
+                (w[0].a, w[0].b) < (w[1].a, w[1].b),
+                "edges are sorted lexicographically without duplicates"
+            );
+        }
+        for a in 0..programs.len() {
+            for b in 0..programs.len() {
+                match (s.graph.edge(a, b), s.graph.edge(b, a)) {
+                    (Some(ab), Some(ba)) => prop_assert_eq!(ab, ba),
+                    (None, None) => {}
+                    _ => prop_assert!(false, "edge({a},{b}) asymmetric"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn certified_agrees_with_required_findings(sets in program_set()) {
+        let programs = build_set(&sets);
+        let refs: Vec<&Program> = programs.iter().collect();
+        for required in [Constraint::Oo, Constraint::Ww, Constraint::Wo] {
+            let s = analyze_set(&refs, &[required]);
+            let flagged = s
+                .all_findings()
+                .iter()
+                .any(|f| f.lint == Lint::ConstraintNotCertified);
+            prop_assert_eq!(
+                s.certificate(required).status.certified(),
+                !flagged,
+                "{} certification must match its findings",
+                required
+            );
+        }
+    }
+
+    #[test]
+    fn neutral_program_never_flips_a_certificate(sets in program_set()) {
+        let programs = build_set(&sets);
+        let refs: Vec<&Program> = programs.iter().collect();
+        let before = analyze_set(&refs, &[]);
+
+        let neutral = neutral_query();
+        let mut extended = refs.clone();
+        extended.push(&neutral);
+        let after = analyze_set(&extended, &[]);
+
+        prop_assert_eq!(
+            before.graph.edges.len(),
+            after.graph.edges.len(),
+            "a never-conflicting program adds no edges"
+        );
+        for (b, a) in before.certificates.iter().zip(&after.certificates) {
+            prop_assert_eq!(b, a, "certificate for {} changed", b.constraint);
+            // In particular NotCertified pairs keep their indices: the
+            // neutral program is appended, never interleaved.
+            if let CertificateStatus::NotCertified { pairs } = &a.status {
+                for &(q, u) in pairs {
+                    prop_assert!(q < refs.len() && u < refs.len());
+                }
+            }
+        }
+        prop_assert_eq!(before.fast_path, after.fast_path);
+    }
+}

@@ -27,12 +27,16 @@
 //! canonical text encoding; a certificate presented with any other history
 //! is rejected before any proof checking happens.
 
+use std::collections::BTreeSet;
+
 use moc_core::codec;
 use moc_core::history::{History, MOpIdx};
 use moc_core::ids::ObjectId;
 use moc_core::json::{self, Json};
 use moc_core::legality::sequence_is_legal;
+use moc_core::program::Program;
 use moc_core::relations::{object_order, process_order, reads_from, real_time, Relation};
+use moc_core::shard::{fingerprint_programs, ShardCert, ShardComposition, ShardEdgeKind};
 
 /// The condition named by a certificate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,6 +167,12 @@ pub fn audit_document(h: &History, doc: &Json) -> Result<Verdict, String> {
             ] {
                 uint(proof, key)?;
             }
+            // Run metadata recorded since the `--threads auto` default:
+            // optional (older certificates omit it), but nonsensical
+            // values reject.
+            if proof.get("threads").is_some() && uint(proof, "threads")? == 0 {
+                return Err("field \"threads\" must be at least 1".into());
+            }
             let memo_limited = field(proof, "memo_saturated")?
                 .as_bool()
                 .ok_or("field \"memo_saturated\" must be a boolean")?;
@@ -181,6 +191,205 @@ pub fn audit_document(h: &History, doc: &Json) -> Result<Verdict, String> {
 pub fn audit_texts(history_text: &str, cert_text: &str) -> Result<Verdict, String> {
     let h = codec::from_text(history_text).map_err(|e| format!("cannot parse history: {e}"))?;
     audit(&h, cert_text)
+}
+
+/// A successful shard-certificate audit: what was re-validated.
+///
+/// Like [`Verdict::ExhaustionAttested`], refined footprint claims are
+/// *attested* (checked sound against the syntactic footprint, not
+/// re-derived — re-deriving would require the analyzer this crate must
+/// not depend on); everything else is fully recomputed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardVerdict {
+    /// Number of shards in the validated partition.
+    pub num_shards: u32,
+    /// Programs whose claimed footprint is closed within one shard.
+    pub single_shard_programs: usize,
+    /// Cross-shard conflict edges the audit re-derived and matched.
+    pub cross_edges: usize,
+    /// Whether any entry carries attested (refined) claims.
+    pub refined_attested: bool,
+}
+
+/// Audits a `moc-shard-cert` document against the program set it claims
+/// to describe. Linear in the certificate plus quadratic in the number of
+/// *programs* (the edge recomputation) — never in any history.
+///
+/// Checks, in order: schema + version, program-set fingerprint binding,
+/// partition well-formedness (total, disjoint, dense), per-program
+/// footprint soundness (claims never exceed the syntactic footprint;
+/// unrefined claims equal it exactly) and closure (recomputed shard spans
+/// must match, and a single-shard claim must be closed in that shard),
+/// cross-shard edge coverage (the certificate must list *exactly* the
+/// conflict edges touching a straddling program — a silently dropped
+/// conflict and a fabricated edge both reject), and the composition
+/// verdict (re-derived from certificate data alone).
+///
+/// # Errors
+///
+/// Any malformation, binding mismatch, or violated obligation rejects
+/// with the first reason found.
+pub fn audit_shard(programs: &[&Program], cert_text: &str) -> Result<ShardVerdict, String> {
+    let cert = ShardCert::parse(cert_text)?;
+
+    // Binding: computed from exactly this program set, in this order.
+    let expected_fp = fingerprint_programs(programs);
+    if cert.programs_fp != expected_fp {
+        return Err(format!(
+            "program-set fingerprint mismatch: certificate is bound to {:016x}, \
+             input set fingerprints to {expected_fp:016x}",
+            cert.programs_fp
+        ));
+    }
+    if cert.programs.len() != programs.len() {
+        return Err(format!(
+            "certificate lists {} programs, input set has {}",
+            cert.programs.len(),
+            programs.len()
+        ));
+    }
+
+    // Partition well-formedness: every object in exactly one shard,
+    // shard ids dense.
+    let plan = cert.plan()?;
+
+    let mut single_shard_programs = 0usize;
+    let mut refined_attested = false;
+    for (i, entry) in cert.programs.iter().enumerate() {
+        let prog = programs[i];
+        let fail = |msg: String| Err(format!("program {i} ({}): {msg}", entry.name));
+        if entry.name != prog.name() {
+            return fail(format!(
+                "name mismatch (input program is {:?})",
+                prog.name()
+            ));
+        }
+        for (what, claim) in [("reads", &entry.reads), ("writes", &entry.writes)] {
+            if !claim.windows(2).all(|w| w[0] < w[1]) {
+                return fail(format!("claimed {what} must be strictly ascending"));
+            }
+        }
+        let claim_r: BTreeSet<ObjectId> = entry.reads.iter().copied().collect();
+        let claim_w: BTreeSet<ObjectId> = entry.writes.iter().copied().collect();
+        // Soundness: refinement may only shrink the syntactic footprint.
+        if !claim_r.is_subset(&prog.potential_reads()) {
+            return fail("claimed read footprint exceeds the syntactic one".into());
+        }
+        if !claim_w.is_subset(&prog.potential_writes()) {
+            return fail("claimed write footprint exceeds the syntactic one".into());
+        }
+        if entry.refined {
+            refined_attested = true;
+        } else if claim_r != prog.potential_reads() || claim_w != prog.potential_writes() {
+            return fail(
+                "claims differ from the syntactic footprint but are not marked refined".into(),
+            );
+        }
+        if entry.update == claim_w.is_empty() {
+            return fail("update flag contradicts the claimed write footprint".into());
+        }
+        // Footprint closure: bounds-check, then the spans recomputed
+        // from the claimed footprint must match the entry.
+        let mut spans: Vec<u32> = Vec::new();
+        for &o in claim_r.union(&claim_w) {
+            if o.index() >= cert.num_objects {
+                return fail(format!("object {o} outside the certificate's universe"));
+            }
+            spans.push(plan.shard_of(o));
+        }
+        spans.sort_unstable();
+        spans.dedup();
+        if spans != entry.spans {
+            return fail(format!(
+                "footprint closure violated: footprint touches shards {spans:?}, \
+                 certificate says {:?}",
+                entry.spans
+            ));
+        }
+        match entry.shard {
+            Some(s) => {
+                if entry.spans != [s] {
+                    return fail(format!(
+                        "claimed closed within shard {s} but spans {:?}",
+                        entry.spans
+                    ));
+                }
+                single_shard_programs += 1;
+            }
+            None => {
+                if entry.spans.len() == 1 {
+                    return fail("single-shard footprint recorded as straddling".into());
+                }
+            }
+        }
+    }
+
+    // Edge coverage: recompute, from the (now-validated) claimed
+    // footprints, every conflict edge touching a straddling program —
+    // exactly the pairs per-shard sequencing cannot order. Pairs of
+    // single-shard programs need no entry: a shared object pins both
+    // footprints to its one shard, so that shard's order covers them.
+    let straddles = |i: usize| cert.programs[i].spans.len() >= 2;
+    let objs = |v: &[ObjectId]| v.iter().copied().collect::<BTreeSet<_>>();
+    let mut expected: BTreeSet<(usize, usize, ObjectId, &'static str)> = BTreeSet::new();
+    for i in 0..cert.programs.len() {
+        for j in i..cert.programs.len() {
+            if !(straddles(i) || straddles(j)) {
+                continue;
+            }
+            let (p, q) = (&cert.programs[i], &cert.programs[j]);
+            let (wi, wj) = (objs(&p.writes), objs(&q.writes));
+            let ww: BTreeSet<ObjectId> = wi.intersection(&wj).copied().collect();
+            let mut rw: BTreeSet<ObjectId> = wi.intersection(&objs(&q.reads)).copied().collect();
+            rw.extend(wj.intersection(&objs(&p.reads)).copied());
+            for &o in &ww {
+                expected.insert((i, j, o, "ww"));
+            }
+            for &o in rw.difference(&ww) {
+                expected.insert((i, j, o, "rw"));
+            }
+        }
+    }
+    let mut listed: BTreeSet<(usize, usize, ObjectId, &'static str)> = BTreeSet::new();
+    for (k, e) in cert.cross_edges.iter().enumerate() {
+        if e.a > e.b || e.b >= cert.programs.len() {
+            return Err(format!(
+                "cross edge {k}: program indices out of order or range"
+            ));
+        }
+        let kind = match e.kind {
+            ShardEdgeKind::Ww => "ww",
+            ShardEdgeKind::Rw => "rw",
+        };
+        if !listed.insert((e.a, e.b, e.object, kind)) {
+            return Err(format!("cross edge {k} is listed twice"));
+        }
+    }
+    if let Some((a, b, o, kind)) = expected.difference(&listed).next() {
+        return Err(format!(
+            "silently dropped cross-shard conflict: {} ~ {} on object {o} ({kind})",
+            cert.programs[*a].name, cert.programs[*b].name
+        ));
+    }
+    if let Some((a, b, o, kind)) = listed.difference(&expected).next() {
+        return Err(format!(
+            "fabricated cross-shard edge: {} ~ {} on object {o} ({kind})",
+            cert.programs[*a].name, cert.programs[*b].name
+        ));
+    }
+
+    // Composition verdict: re-derivable from certificate data alone.
+    let derived = ShardComposition::derive(plan.num_shards(), &cert.programs, &cert.cross_edges);
+    if derived != cert.composition {
+        return Err("composition verdict does not match the partition and edge set".into());
+    }
+
+    Ok(ShardVerdict {
+        num_shards: plan.num_shards(),
+        single_shard_programs,
+        cross_edges: cert.cross_edges.len(),
+        refined_attested,
+    })
 }
 
 fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
@@ -605,6 +814,17 @@ mod tests {
                      \"components\":1,\"peeled\":0,\"forced_edges\":1}";
         let v = audit(&h, &cert("sc", "inadmissible", &h, proof)).unwrap();
         assert_eq!(v, Verdict::ExhaustionAttested { memo_limited: true });
+        // The recorded thread count is optional metadata, validated when
+        // present: positive accepts, zero rejects.
+        let proof = "{\"kind\":\"exhaustion\",\"threads\":4,\"nodes\":3,\
+                     \"memo_hits\":0,\"memo_peak\":2,\"memo_saturated\":false,\
+                     \"components\":1,\"peeled\":0,\"forced_edges\":1}";
+        assert!(audit(&h, &cert("sc", "inadmissible", &h, proof)).is_ok());
+        let proof = "{\"kind\":\"exhaustion\",\"threads\":0,\"nodes\":3,\
+                     \"memo_hits\":0,\"memo_peak\":2,\"memo_saturated\":false,\
+                     \"components\":1,\"peeled\":0,\"forced_edges\":1}";
+        let err = audit(&h, &cert("sc", "inadmissible", &h, proof)).unwrap_err();
+        assert!(err.contains("threads"), "{err}");
         // Missing a statistics field rejects.
         let proof = "{\"kind\":\"exhaustion\",\"nodes\":3}";
         assert!(audit(&h, &cert("sc", "inadmissible", &h, proof)).is_err());
@@ -625,5 +845,208 @@ mod tests {
         assert!(audit_texts("garbage", "{}")
             .unwrap_err()
             .contains("history"));
+    }
+}
+
+#[cfg(test)]
+mod shard_tests {
+    use super::*;
+    use moc_core::program::{imm, reg, Program, ProgramBuilder};
+    use moc_core::shard::{ShardCrossEdge, ShardProgramEntry};
+
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    fn writer(name: &str, objs: &[u32]) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        for &o in objs {
+            b.write(oid(o), imm(1));
+        }
+        b.ret(vec![]);
+        b.build().unwrap()
+    }
+
+    fn reader(name: &str, objs: &[u32]) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        for (i, &o) in objs.iter().enumerate() {
+            b.read(oid(o), i as u8);
+        }
+        b.ret(vec![reg(0)]);
+        b.build().unwrap()
+    }
+
+    fn entry(p: &Program, shard: Option<u32>, spans: &[u32]) -> ShardProgramEntry {
+        ShardProgramEntry {
+            name: p.name().to_string(),
+            update: p.is_potential_update(),
+            refined: false,
+            reads: p.potential_reads().into_iter().collect(),
+            writes: p.potential_writes().into_iter().collect(),
+            shard,
+            spans: spans.to_vec(),
+        }
+    }
+
+    /// Two disjoint object groups, cleanly sharded, no cross edges.
+    fn disjoint_cert() -> (Vec<Program>, ShardCert) {
+        let progs = vec![
+            writer("w01", &[0, 1]),
+            reader("q0", &[0]),
+            writer("w23", &[2, 3]),
+        ];
+        let refs: Vec<&Program> = progs.iter().collect();
+        let programs = vec![
+            entry(&progs[0], Some(0), &[0]),
+            entry(&progs[1], Some(0), &[0]),
+            entry(&progs[2], Some(1), &[1]),
+        ];
+        let composition = ShardComposition::derive(2, &programs, &[]);
+        let cert = ShardCert {
+            num_objects: 4,
+            programs_fp: fingerprint_programs(&refs),
+            shards: vec![vec![oid(0), oid(1)], vec![oid(2), oid(3)]],
+            programs,
+            cross_edges: vec![],
+            composition,
+        };
+        (progs, cert)
+    }
+
+    /// A straddling writer bridging two shards, with its full edge set
+    /// (including the self-pair: two concurrent instances conflict).
+    fn straddling_cert() -> (Vec<Program>, ShardCert) {
+        let progs = vec![writer("w01", &[0, 1]), writer("w1", &[1])];
+        let refs: Vec<&Program> = progs.iter().collect();
+        let programs = vec![
+            entry(&progs[0], None, &[0, 1]),
+            entry(&progs[1], Some(1), &[1]),
+        ];
+        let cross_edges = vec![
+            ShardCrossEdge {
+                a: 0,
+                b: 0,
+                object: oid(0),
+                kind: ShardEdgeKind::Ww,
+            },
+            ShardCrossEdge {
+                a: 0,
+                b: 0,
+                object: oid(1),
+                kind: ShardEdgeKind::Ww,
+            },
+            ShardCrossEdge {
+                a: 0,
+                b: 1,
+                object: oid(1),
+                kind: ShardEdgeKind::Ww,
+            },
+        ];
+        let composition = ShardComposition::derive(2, &programs, &cross_edges);
+        let cert = ShardCert {
+            num_objects: 2,
+            programs_fp: fingerprint_programs(&refs),
+            shards: vec![vec![oid(0)], vec![oid(1)]],
+            programs,
+            cross_edges,
+            composition,
+        };
+        (progs, cert)
+    }
+
+    #[test]
+    fn accepts_consistent_certificates() {
+        let (progs, cert) = disjoint_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+        let v = audit_shard(&refs, &cert.to_json()).unwrap();
+        assert_eq!(v.num_shards, 2);
+        assert_eq!(v.single_shard_programs, 3);
+        assert_eq!(v.cross_edges, 0);
+        assert!(!v.refined_attested);
+
+        let (progs, cert) = straddling_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+        let v = audit_shard(&refs, &cert.to_json()).unwrap();
+        assert_eq!(v.single_shard_programs, 1);
+        assert_eq!(v.cross_edges, 3);
+    }
+
+    #[test]
+    fn rejects_a_moved_object() {
+        let (progs, mut cert) = disjoint_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+        // Move object 1 into shard 1: w01's footprint now straddles,
+        // contradicting its single-shard claim.
+        cert.shards = vec![vec![oid(0)], vec![oid(1), oid(2), oid(3)]];
+        let err = audit_shard(&refs, &cert.to_json()).unwrap_err();
+        assert!(err.contains("footprint closure"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_dropped_cross_edge() {
+        let (progs, mut cert) = straddling_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+        cert.cross_edges.pop();
+        let err = audit_shard(&refs, &cert.to_json()).unwrap_err();
+        assert!(err.contains("silently dropped"), "{err}");
+        assert!(err.contains("w01") && err.contains("w1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_fabricated_edges_and_tampered_composition() {
+        let (progs, cert) = disjoint_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+
+        let mut fab = cert.clone();
+        fab.cross_edges.push(ShardCrossEdge {
+            a: 0,
+            b: 2,
+            object: oid(0),
+            kind: ShardEdgeKind::Rw,
+        });
+        let err = audit_shard(&refs, &fab.to_json()).unwrap_err();
+        assert!(err.contains("fabricated"), "{err}");
+
+        let mut comp = cert;
+        comp.composition.ww = false;
+        let err = audit_shard(&refs, &comp.to_json()).unwrap_err();
+        assert!(err.contains("composition"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_program_binding() {
+        let (progs, cert) = disjoint_cert();
+        // Reordered program set → fingerprint mismatch before anything
+        // else is even looked at.
+        let refs: Vec<&Program> = vec![&progs[2], &progs[1], &progs[0]];
+        let err = audit_shard(&refs, &cert.to_json()).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn refined_claims_are_attested_but_bounded() {
+        let (progs, cert) = disjoint_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+
+        // Shrunken claim without the refined flag rejects.
+        let mut c = cert.clone();
+        c.programs[0].writes = vec![oid(0)];
+        let err = audit_shard(&refs, &c.to_json()).unwrap_err();
+        assert!(err.contains("not marked refined"), "{err}");
+
+        // With the flag, a sound shrink is attested (spans still check).
+        let mut c = cert.clone();
+        c.programs[0].writes = vec![oid(0)];
+        c.programs[0].refined = true;
+        let v = audit_shard(&refs, &c.to_json()).unwrap();
+        assert!(v.refined_attested);
+
+        // An inflated claim rejects even when marked refined.
+        let mut c = cert.clone();
+        c.programs[1].writes = vec![oid(0)];
+        c.programs[1].update = true;
+        c.programs[1].refined = true;
+        let err = audit_shard(&refs, &c.to_json()).unwrap_err();
+        assert!(err.contains("exceeds the syntactic"), "{err}");
     }
 }

@@ -81,6 +81,32 @@ impl Default for SearchLimits {
     }
 }
 
+/// Histories shorter than this search single-threaded under
+/// [`auto_threads`]: the component/branch fan-out's thread spawn and
+/// work-queue overhead dominates any speedup on small instances.
+pub const AUTO_THREADS_MIN_OPS: usize = 32;
+
+/// Upper bound on what [`auto_threads`] resolves to; the branch frontier
+/// rarely keeps more workers busy, and oversubscription only churns the
+/// transposition tables.
+pub const AUTO_THREADS_MAX: usize = 8;
+
+/// Resolves a `threads = auto` request for a history of `history_len`
+/// m-operations: `1` below [`AUTO_THREADS_MIN_OPS`], otherwise the
+/// machine's available parallelism capped at [`AUTO_THREADS_MAX`].
+///
+/// Verdicts, witnesses and stats are identical at every thread count, so
+/// the resolution only trades wall clock; callers that need reproducible
+/// *timing* should pass an explicit count instead.
+pub fn auto_threads(history_len: usize) -> usize {
+    if history_len < AUTO_THREADS_MIN_OPS {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map_or(1, usize::from)
+        .min(AUTO_THREADS_MAX)
+}
+
 /// Statistics from a search run. `components`, `peeled` and `forced_edges`
 /// are only populated by the statically-pruned search
 /// ([`crate::precedence::pruned_search`]); the naive search leaves them
@@ -184,6 +210,14 @@ mod tests {
     }
     fn oid(i: u32) -> ObjectId {
         ObjectId::new(i)
+    }
+
+    #[test]
+    fn auto_threads_is_one_below_the_threshold_and_bounded_above() {
+        assert_eq!(auto_threads(0), 1);
+        assert_eq!(auto_threads(AUTO_THREADS_MIN_OPS - 1), 1);
+        let big = auto_threads(10_000);
+        assert!((1..=AUTO_THREADS_MAX).contains(&big));
     }
 
     #[test]

@@ -113,13 +113,15 @@ USAGE:
              [--objects M] [--seed S] [--update-frac F] [--k K]
       Generate a synthetic history; print it.
   moc check  <file|-> [--condition sc|lin|normal|causal] [--brute]
-             [--max-nodes N] [--threads N] [--witness] [--minimize]
+             [--max-nodes N] [--threads N|auto] [--witness] [--minimize]
              [--certificate PATH|-]
       Check a history against a consistency condition. --max-nodes caps
       the search's node budget (default 5000000); --threads fans the
-      component/branch search out across N workers (default 1) — verdicts,
-      witnesses and certificates are identical at every thread count. The
-      output ends with a replay line echoing the effective search flags.
+      component/branch search out across N workers (default auto: 1 below
+      32 m-operations, else the machine's cores capped at 8) — verdicts,
+      witnesses and certificates are identical at every thread count,
+      modulo the recorded thread count in exhaustion proofs. The output
+      ends with a replay line echoing the resolved search flags.
       With --minimize, a violating history is shrunk to its 1-minimal core
       and printed. With --certificate, the verdict's moc-cert proof
       document is written to PATH (or printed with `-`); see
@@ -127,6 +129,12 @@ USAGE:
   moc audit  <history-file|-> <cert-file>
       Independently re-validate a moc-cert certificate against a history:
       replay the witness, or check the ~H+ refutation cycle edge by edge.
+  moc audit  <shard-cert-file|-> --programs demo|disjoint|protocol|
+             shardable|hub [--shards N]
+      Re-validate a moc-shard-cert document against the named workload's
+      program set: fingerprint binding, partition well-formedness,
+      footprint closure, cross-shard edge coverage (a dropped or
+      fabricated edge rejects) and the composition verdict.
   moc chaos  [--protocol msc|mlin|both] [--abcast fixed|view]
              [--faults none|lossy|lossy-dup|partition|crash|storm|
              leader-crash-quiet|leader-crash-burst|leader-crash-repeat|
@@ -148,11 +156,23 @@ USAGE:
       See docs/CHAOS.md.
   moc render <file|-> [--width N]
       Draw the history as per-process timelines plus a listing.
-  moc analyze [--workload demo|disjoint|protocol] [--format human|json]
-             [--require oo,ww,wo] [--processes N] [--ops K] [--objects M]
-             [--seed S] [--update-frac F]
+  moc analyze [--workload demo|disjoint|protocol|shardable|hub]
+             [--format human|json] [--require oo,ww,wo] [--processes N]
+             [--ops K] [--objects M] [--seed S] [--update-frac F]
+             [--shards N]
       Statically analyze a workload's program set: lints, refined
       read/write sets, conflict graph and constraint certificates.
+  moc shard  [--workload demo|disjoint|protocol|shardable|hub]
+             [--format human|json] [--max-shard-size N] [--shards N]
+             [--require-composition oo,ww,wo] [--certificate PATH|-]
+             [--objects M]
+      Run the shardability pass: partition the object universe along the
+      static conflict graph, enumerate every cross-shard conflict edge,
+      and emit a versioned moc-shard-cert document (re-validatable with
+      `moc audit --programs`). --max-shard-size splits oversized
+      components (greedy min-cut, at the cost of straddling programs);
+      --require-composition exits 1 unless the named constraint classes
+      stay enforced under per-shard sequencing. See docs/ANALYZER.md.
   moc help
       Print this text.
 
@@ -193,6 +213,10 @@ pub fn dispatch_with_status(raw: &[String], stdin: &str) -> (Result<String, Stri
             Err(e) => Err(e),
         },
         "audit" => match cmd_audit(&args, stdin) {
+            Ok((out, code)) => return (Ok(out), code),
+            Err(e) => Err(e),
+        },
+        "shard" => match cmd_shard(&args) {
             Ok((out, code)) => return (Ok(out), code),
             Err(e) => Err(e),
         },
@@ -285,10 +309,21 @@ fn cmd_gen(args: &Args) -> Result<String, String> {
 fn cmd_check(args: &Args, stdin: &str) -> Result<String, String> {
     let h = load_history(args, stdin)?;
     let max_nodes = args.get_u64("max-nodes", 5_000_000)?;
-    let threads = args.get_usize("threads", 1)?;
-    if threads == 0 {
-        return Err("--threads must be at least 1".into());
-    }
+    let threads = match args.options.get("threads").map(String::as_str) {
+        // Auto (the default): small histories search single-threaded,
+        // larger ones fan out across the machine's cores (capped). The
+        // replay line echoes the resolved numeric count.
+        None | Some("auto") => moc_checker::auto_threads(h.len()),
+        Some(raw) => {
+            let threads: usize = raw.parse().map_err(|_| {
+                format!("--threads must be a positive integer or \"auto\", got {raw:?}")
+            })?;
+            if threads == 0 {
+                return Err("--threads must be at least 1".into());
+            }
+            threads
+        }
+    };
     let limits = SearchLimits::with_max_nodes(max_nodes).with_threads(threads);
     let condition_name = args
         .options
@@ -428,7 +463,82 @@ fn cmd_check(args: &Args, stdin: &str) -> Result<String, String> {
     Ok(out)
 }
 
+/// Resolves a named workload to its program set (shared by `analyze`,
+/// `shard` and the shard-certificate mode of `audit`, so all three see
+/// one source of truth).
+fn workload_programs(
+    args: &Args,
+    workload: &str,
+) -> Result<Vec<std::sync::Arc<moc_core::program::Program>>, String> {
+    match workload {
+        "demo" => Ok(moc_workload::demo_programs()),
+        "disjoint" => Ok(moc_workload::disjoint_programs()),
+        "shardable" => Ok(moc_workload::shardable_programs(
+            args.get_usize("shards", 2)?,
+        )),
+        "hub" => Ok(moc_workload::hub_programs()),
+        "protocol" => {
+            // The program set a `moc run` with the same options would
+            // actually issue (one representative per program name).
+            let spec = WorkloadSpec {
+                processes: args.get_usize("processes", 3)?,
+                ops_per_process: args.get_usize("ops", 5)?,
+                num_objects: args.get_usize("objects", 4)?,
+                update_fraction: args.get_f64("update-frac", 0.5)?,
+                ..WorkloadSpec::default()
+            };
+            let mut rng = StdRng::seed_from_u64(args.get_u64("seed", 0)?);
+            let mut seen = std::collections::BTreeSet::new();
+            Ok(scripts(&spec, &mut rng)
+                .into_iter()
+                .flat_map(|s| s.ops)
+                .filter(|op| seen.insert(op.program.name().to_string()))
+                .map(|op| op.program)
+                .collect())
+        }
+        other => Err(format!(
+            "unknown workload {other:?} (demo|disjoint|protocol|shardable|hub)"
+        )),
+    }
+}
+
 fn cmd_audit(args: &Args, stdin: &str) -> Result<(String, i32), String> {
+    // Shard-certificate mode: `moc audit <cert-file|-> --programs <workload>`
+    // re-validates a moc-shard-cert document against the named workload's
+    // program set (no history involved).
+    if let Some(workload) = args.options.get("programs").cloned() {
+        let cert_path = args
+            .positional
+            .first()
+            .ok_or("expected a shard-certificate file (or `-` for stdin)")?;
+        let cert_text = if cert_path == "-" {
+            stdin.to_string()
+        } else {
+            std::fs::read_to_string(cert_path)
+                .map_err(|e| format!("cannot read {cert_path}: {e}"))?
+        };
+        let programs = workload_programs(args, &workload)?;
+        let refs: Vec<&moc_core::program::Program> = programs.iter().map(|p| p.as_ref()).collect();
+        return match moc_audit::audit_shard(&refs, &cert_text) {
+            Ok(v) => Ok((
+                format!(
+                    "shard certificate VALID: {} shard(s), {}/{} single-shard program(s), \
+                     {} cross-shard edge(s){}\n",
+                    v.num_shards,
+                    v.single_shard_programs,
+                    refs.len(),
+                    v.cross_edges,
+                    if v.refined_attested {
+                        "; refined footprints attested"
+                    } else {
+                        ""
+                    }
+                ),
+                0,
+            )),
+            Err(reason) => Ok((format!("shard certificate REJECTED: {reason}\n"), 1)),
+        };
+    }
     let h = load_history(args, stdin)?;
     let cert_path = args
         .positional
@@ -470,34 +580,7 @@ fn cmd_analyze(args: &Args) -> Result<(String, i32), String> {
         .get("workload")
         .map(String::as_str)
         .unwrap_or("demo");
-    let programs: Vec<std::sync::Arc<moc_core::program::Program>> = match workload {
-        "demo" => moc_workload::demo_programs(),
-        "disjoint" => moc_workload::disjoint_programs(),
-        "protocol" => {
-            // Analyze the program set a `moc run` with the same options
-            // would actually issue (one representative per program name).
-            let spec = WorkloadSpec {
-                processes: args.get_usize("processes", 3)?,
-                ops_per_process: args.get_usize("ops", 5)?,
-                num_objects: args.get_usize("objects", 4)?,
-                update_fraction: args.get_f64("update-frac", 0.5)?,
-                ..WorkloadSpec::default()
-            };
-            let mut rng = StdRng::seed_from_u64(args.get_u64("seed", 0)?);
-            let mut seen = std::collections::BTreeSet::new();
-            scripts(&spec, &mut rng)
-                .into_iter()
-                .flat_map(|s| s.ops)
-                .filter(|op| seen.insert(op.program.name().to_string()))
-                .map(|op| op.program)
-                .collect()
-        }
-        other => {
-            return Err(format!(
-                "unknown workload {other:?} (demo|disjoint|protocol)"
-            ))
-        }
-    };
+    let programs = workload_programs(args, workload)?;
     let mut required = Vec::new();
     if let Some(list) = args.options.get("require") {
         for tok in list.split(',') {
@@ -529,6 +612,76 @@ fn cmd_analyze(args: &Args) -> Result<(String, i32), String> {
         }
         other => return Err(format!("unknown format {other:?} (human|json)")),
     };
+    Ok((out, code))
+}
+
+fn cmd_shard(args: &Args) -> Result<(String, i32), String> {
+    let workload = args
+        .options
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("demo");
+    let programs = workload_programs(args, workload)?;
+    let refs: Vec<&moc_core::program::Program> = programs.iter().map(|p| p.as_ref()).collect();
+    let opts = moc_analyze::ShardOptions {
+        max_shard_size: match args.get_usize("max-shard-size", 0)? {
+            0 => None,
+            n => Some(n),
+        },
+    };
+    let objects = args.get_usize("objects", 0)?;
+    let analysis = moc_analyze::shard_set(&refs, objects, opts);
+
+    let mut code = match moc_analyze::max_severity(&analysis.all_findings()) {
+        Some(Severity::Error) => 1,
+        _ => 0,
+    };
+    let mut unenforced = Vec::new();
+    if let Some(list) = args.options.get("require-composition") {
+        for tok in list.split(',') {
+            let tok = tok.trim();
+            match analysis.cert.composition.enforced(tok) {
+                Some(true) => {}
+                Some(false) => {
+                    code = 1;
+                    unenforced.push(tok.to_string());
+                }
+                None => return Err(format!("unknown composition class {tok:?} (oo|ww|wo)")),
+            }
+        }
+    }
+    let format = args
+        .options
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("human");
+    let mut out = match format {
+        "human" => {
+            let mut o = analysis.render_human();
+            for tok in &unenforced {
+                let _ = std::fmt::Write::write_fmt(
+                    &mut o,
+                    format_args!("required composition class {tok} is NOT enforced per-shard\n"),
+                );
+            }
+            o
+        }
+        "json" => {
+            let mut j = analysis.render_json();
+            j.push('\n');
+            j
+        }
+        other => return Err(format!("unknown format {other:?} (human|json)")),
+    };
+    if let Some(dest) = args.options.get("certificate") {
+        let text = analysis.cert.to_json();
+        if dest == "-" {
+            out.push_str(&text);
+            out.push('\n');
+        } else {
+            std::fs::write(dest, text + "\n").map_err(|e| format!("cannot write {dest}: {e}"))?;
+        }
+    }
     Ok((out, code))
 }
 
@@ -924,10 +1077,18 @@ mod tests {
     fn check_threads_flag_and_replay_echo() {
         let text = dispatch(&sv(&["gen", "--kind", "writers", "--k", "3"]), "").unwrap();
         let base = dispatch(&sv(&["check", "-", "--condition", "sc"]), &text).unwrap();
+        // Default is `auto`; this history is below the size threshold, so
+        // the replay line echoes the resolved single-threaded count.
         assert!(
             base.contains("replay: moc check - --condition sc --threads 1 --max-nodes 5000000"),
             "{base}"
         );
+        let auto = dispatch(
+            &sv(&["check", "-", "--condition", "sc", "--threads", "auto"]),
+            &text,
+        )
+        .unwrap();
+        assert_eq!(auto, base, "explicit auto matches the default");
         for threads in ["2", "4", "8"] {
             let out = dispatch(
                 &sv(&[
@@ -952,6 +1113,7 @@ mod tests {
             assert!(out.contains(&format!("--threads {threads} ")), "{out}");
         }
         assert!(dispatch(&sv(&["check", "-", "--threads", "0"]), &text).is_err());
+        assert!(dispatch(&sv(&["check", "-", "--threads", "many"]), &text).is_err());
     }
 
     #[test]
@@ -1028,6 +1190,129 @@ mod tests {
         assert!(json.starts_with('{') && json.ends_with("}\n"), "{json}");
         assert!(json.contains("\"certificates\""), "{json}");
         assert!(json.contains("\"fast_path\""), "{json}");
+    }
+
+    #[test]
+    fn shard_emits_a_certificate_the_auditor_revalidates() {
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "shard",
+                "--workload",
+                "shardable",
+                "--shards",
+                "3",
+                "--certificate",
+                "-",
+            ]),
+            "",
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("shard 0"), "{out}");
+        assert!(out.contains("MOC0008"), "summary finding:\n{out}");
+        let cert_line = out
+            .lines()
+            .rev()
+            .find(|l| l.starts_with('{'))
+            .expect("certificate JSON in output")
+            .to_string();
+        assert!(cert_line.contains("moc-shard-cert"), "{cert_line}");
+
+        // The independent auditor re-validates the emitted document.
+        let (res, code) = dispatch_with_status(
+            &sv(&["audit", "-", "--programs", "shardable", "--shards", "3"]),
+            &cert_line,
+        );
+        assert_eq!(code, 0, "{res:?}");
+        assert!(res.unwrap().contains("shard certificate VALID"));
+
+        // A mutated certificate (object moved between shards) is rejected.
+        let mut cert = moc_core::shard::ShardCert::parse(&cert_line).unwrap();
+        let moved = cert.shards[0].pop().unwrap();
+        cert.shards[1].push(moved);
+        let (res, code) = dispatch_with_status(
+            &sv(&["audit", "-", "--programs", "shardable", "--shards", "3"]),
+            &cert.to_json(),
+        );
+        assert_eq!(code, 1);
+        assert!(res.unwrap().contains("REJECTED"));
+
+        // Same for a silently dropped cross-shard edge (forced by a cap).
+        let (out, _) = dispatch_with_status(
+            &sv(&[
+                "shard",
+                "--workload",
+                "hub",
+                "--max-shard-size",
+                "2",
+                "--certificate",
+                "-",
+            ]),
+            "",
+        );
+        let cert_line = out
+            .unwrap()
+            .lines()
+            .rev()
+            .find(|l| l.starts_with('{'))
+            .unwrap()
+            .to_string();
+        let mut cert = moc_core::shard::ShardCert::parse(&cert_line).unwrap();
+        assert!(!cert.cross_edges.is_empty(), "cap forces cross edges");
+        cert.cross_edges.pop();
+        let (res, code) =
+            dispatch_with_status(&sv(&["audit", "-", "--programs", "hub"]), &cert.to_json());
+        assert_eq!(code, 1);
+        assert!(res.unwrap().contains("dropped"));
+    }
+
+    #[test]
+    fn shard_gate_accepts_shardable_and_rejects_hub() {
+        // Golden accept: the shardable family composes WW and WO
+        // per-shard.
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "shard",
+                "--workload",
+                "shardable",
+                "--require-composition",
+                "ww,wo",
+            ]),
+            "",
+        );
+        assert_eq!(code, 0, "{out:?}");
+
+        // Reject: the hub workload, capped, loses per-shard WW and says
+        // why (MOC0010 names the hub object).
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "shard",
+                "--workload",
+                "hub",
+                "--max-shard-size",
+                "2",
+                "--require-composition",
+                "ww",
+            ]),
+            "",
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("NOT enforced"), "{out}");
+        assert!(out.contains("MOC0010"), "hub diagnosis:\n{out}");
+    }
+
+    #[test]
+    fn shard_json_wraps_the_certificate() {
+        let (out, code) = dispatch_with_status(
+            &sv(&["shard", "--workload", "disjoint", "--format", "json"]),
+            "",
+        );
+        let json = out.unwrap();
+        assert_eq!(code, 0);
+        assert!(json.contains("\"certificate\""), "{json}");
+        assert!(json.contains("moc-shard-cert"), "{json}");
+        assert!(json.contains("\"num_shards\""), "{json}");
     }
 
     #[test]

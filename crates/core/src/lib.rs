@@ -79,6 +79,7 @@ pub mod op;
 pub mod program;
 pub mod relations;
 pub mod render;
+pub mod shard;
 pub mod value;
 pub mod vv;
 
@@ -89,5 +90,6 @@ pub use mop::MOpRecord;
 pub use op::{CompletedOp, OpKind};
 pub use program::Program;
 pub use relations::Relation;
+pub use shard::{Footprinted, Route, RoutePolicy, ShardCert, ShardPlan};
 pub use value::{Value, Versioned};
 pub use vv::VersionVector;

@@ -61,6 +61,9 @@ pub struct ChaosConfig {
     /// replica's broadcast before the run, if set. Ignored by broadcasts
     /// without failover (the fixed sequencer).
     pub failover_timeouts: Option<(u64, u64)>,
+    /// A certified shard partition installed on every replica's broadcast
+    /// before the run, if set. Ignored by single-order broadcasts.
+    pub shard_plan: Option<moc_core::shard::ShardPlan>,
 }
 
 impl ChaosConfig {
@@ -74,6 +77,7 @@ impl ChaosConfig {
             seed,
             max_events: 20_000_000,
             failover_timeouts: None,
+            shard_plan: None,
         }
     }
 
@@ -108,6 +112,13 @@ impl ChaosConfig {
         self.failover_timeouts = Some((base_ns, max_ns));
         self
     }
+
+    /// Installs a shard partition on every replica's broadcast (see
+    /// [`crate::ReplicaProtocol::set_shard_plan`]).
+    pub fn with_shard_plan(mut self, plan: moc_core::shard::ShardPlan) -> Self {
+        self.shard_plan = Some(plan);
+        self
+    }
 }
 
 /// Irregularities observed during a chaos run. All zero/false on a
@@ -121,8 +132,15 @@ pub struct ChaosAnomalies {
     /// Scripted m-operations that never finished (still queued or
     /// inflight at the end of the run).
     pub unfinished_ops: u64,
-    /// Replicas disagreed on the atomic-broadcast delivery order.
+    /// Replicas disagreed on the atomic-broadcast delivery order (for
+    /// sharded broadcasts: on some channel's order).
     pub delivery_divergence: bool,
+    /// Replica object stores did not converge at the end of the run. On
+    /// a quiescent run with every update delivered everywhere, stores
+    /// must agree; divergence is how a *mis-sharded* partition (two
+    /// conflicting writers routed to different shard channels) surfaces
+    /// even when every individual channel's order is agreed.
+    pub store_divergence: bool,
     /// The run exhausted its event budget before quiescing.
     pub stalled: bool,
 }
@@ -155,6 +173,11 @@ pub struct ChaosRunReport {
     pub sim: RunStats,
     /// Replica 0's atomic-broadcast delivery order.
     pub update_order: Vec<MOpId>,
+    /// Replica 0's delivery order split by ordering channel (trailing
+    /// empty channels trimmed; see
+    /// [`crate::ReplicaProtocol::channel_logs`]). One entry — the whole
+    /// log — for single-order broadcasts.
+    pub channel_logs: Vec<Vec<MOpId>>,
     /// Irregularities observed during the run.
     pub anomalies: ChaosAnomalies,
     /// Per-replica broadcast transcripts (view changes, failover events).
@@ -415,6 +438,9 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
                 if let Some((base, max)) = config.failover_timeouts {
                     r.set_failover_timeouts(base, max);
                 }
+                if let Some(plan) = &config.shard_plan {
+                    r.set_shard_plan(plan.clone());
+                }
                 r
             },
             link: ReliableLink::new(ProcessId::new(p as u32), n, config.link),
@@ -448,9 +474,17 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
         ..ChaosAnomalies::default()
     };
     let update_order: Vec<MOpId> = nodes[0].replica.delivery_log().to_vec();
+    // Agreement is per ordering channel: single-order broadcasts report
+    // one channel (the whole log, so this is the old whole-log check);
+    // sharded broadcasts may legitimately interleave commuting channels
+    // differently per replica, but each channel's log must be identical.
+    let reference_channels = nodes[0].replica.channel_logs();
     for node in &nodes {
-        if node.replica.delivery_log() != update_order.as_slice() {
+        if node.replica.channel_logs() != reference_channels {
             anomalies.delivery_divergence = true;
+        }
+        if node.replica.store() != nodes[0].replica.store() {
+            anomalies.store_divergence = true;
         }
     }
     let mut records = Vec::new();
@@ -476,6 +510,7 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
         link_stats,
         sim,
         update_order,
+        channel_logs: reference_channels,
         anomalies,
         view_transcripts,
     }

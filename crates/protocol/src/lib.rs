@@ -126,6 +126,16 @@ impl MOperation {
     }
 }
 
+impl moc_core::shard::Footprinted for MOperation {
+    /// The syntactic object footprint used for shard routing. This
+    /// over-approximates the dynamic footprint, so routing stays sound:
+    /// an object the refined analysis would exclude can only push the
+    /// m-operation toward the conservative global channel.
+    fn footprint(&self) -> Vec<moc_core::ids::ObjectId> {
+        self.program.referenced_objects().into_iter().collect()
+    }
+}
+
 impl fmt::Display for MOperation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}:{}{:?}", self.id, self.program.name(), self.args)
@@ -256,6 +266,19 @@ pub trait ReplicaProtocol {
     fn abcast_transcript(&self) -> Vec<String> {
         Vec::new()
     }
+
+    /// Installs a certified shard partition on the underlying broadcast.
+    /// Only conflict-sharded broadcasts react; the default ignores it.
+    fn set_shard_plan(&mut self, _plan: moc_core::shard::ShardPlan) {}
+
+    /// The delivery log split by ordering channel, trailing empty
+    /// channels trimmed. Single-order protocols report one channel (the
+    /// whole log); sharded protocols report one log per channel. Within
+    /// a channel the log is an agreed total order, so the harness
+    /// compares replicas per channel, not on the merged log.
+    fn channel_logs(&self) -> Vec<Vec<MOpId>> {
+        vec![self.delivery_log().to_vec()]
+    }
 }
 
 /// Convenience alias: Figure 4 over the fixed-sequencer broadcast.
@@ -271,6 +294,10 @@ pub type MlinOverIsis = MlinReplica<moc_abcast::IsisAbcast<MOperation>>;
 pub type MlinRelevantOverSequencer = mlin::MlinRelevant<moc_abcast::SequencerAbcast<MOperation>>;
 /// Convenience alias: the aggregate-object baseline over the sequencer.
 pub type AggregateOverSequencer = AggregateReplica<moc_abcast::SequencerAbcast<MOperation>>;
+/// Convenience alias: Figure 4 over the conflict-sharded broadcast, which
+/// routes single-shard updates through shard-local sequencers (install a
+/// certified partition with [`ReplicaProtocol::set_shard_plan`]).
+pub type MscOverSharded = MscReplica<moc_abcast::ShardedAbcast<MOperation>>;
 /// Convenience alias: Figure 4 over the view-based failover broadcast,
 /// which survives sequencer (leader) crashes.
 pub type MscOverView = MscReplica<moc_abcast::ViewAbcast<MOperation>>;

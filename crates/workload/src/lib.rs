@@ -193,6 +193,123 @@ pub fn disjoint_programs() -> Vec<Arc<Program>> {
     ]
 }
 
+/// Programs for a cleanly shardable deployment: `num_shards` disjoint
+/// object groups (objects `2s` and `2s+1` for group `s`), each with a
+/// two-object writer, an rmw and a query, and no program bridging groups.
+/// `moc shard` partitions this into exactly `num_shards` shards with no
+/// cross-shard edges — the golden accept fixture of the shard gate.
+pub fn shardable_programs(num_shards: usize) -> Vec<Arc<Program>> {
+    let mut out = Vec::new();
+    for s in 0..num_shards.max(1) {
+        let x = ObjectId::new((2 * s) as u32);
+        let y = ObjectId::new((2 * s + 1) as u32);
+        let mut b = ProgramBuilder::new(format!("s{s}-w"));
+        b.write(x, arg(0)).write(y, arg(1)).ret(vec![]);
+        out.push(Arc::new(b.build().expect("shard writer is well-formed")));
+        let mut b = ProgramBuilder::new(format!("s{s}-rmw"));
+        b.read(x, 0)
+            .add(0, reg(0), imm(1))
+            .write(x, reg(0))
+            .ret(vec![]);
+        out.push(Arc::new(b.build().expect("shard rmw is well-formed")));
+        let mut b = ProgramBuilder::new(format!("s{s}-q"));
+        b.read(x, 0).read(y, 1).ret(vec![reg(0), reg(1)]);
+        out.push(Arc::new(b.build().expect("shard query is well-formed")));
+    }
+    out
+}
+
+/// Programs collapsed by one hub object: two otherwise-independent
+/// groups ({0} and {1}) whose writers both also write the hub, object 2.
+/// The interaction graph is a single component held together by the hub,
+/// so `moc shard` finds one shard and flags MOC0010 — the reject fixture
+/// of the shard gate. The hub is deliberately the *highest* object id:
+/// under the sabotage [`moc_core::shard::RoutePolicy::FirstObject`] the
+/// two writers' footprints start at different objects, so a mis-sharded
+/// plan routes the conflicting hub writes into different channels.
+pub fn hub_programs() -> Vec<Arc<Program>> {
+    let a = ObjectId::new(0);
+    let b_obj = ObjectId::new(1);
+    let hub = ObjectId::new(2);
+    let mut out = Vec::new();
+    let mut b = ProgramBuilder::new("hub-w0");
+    b.write(a, arg(0)).write(hub, arg(1)).ret(vec![]);
+    out.push(Arc::new(b.build().expect("hub writer 0 is well-formed")));
+    let mut b = ProgramBuilder::new("hub-w1");
+    b.write(b_obj, arg(0)).write(hub, arg(1)).ret(vec![]);
+    out.push(Arc::new(b.build().expect("hub writer 1 is well-formed")));
+    let mut b = ProgramBuilder::new("hub-q0");
+    b.read(a, 0).ret(vec![reg(0)]);
+    out.push(Arc::new(b.build().expect("hub query 0 is well-formed")));
+    let mut b = ProgramBuilder::new("hub-q1");
+    b.read(b_obj, 0).ret(vec![reg(0)]);
+    out.push(Arc::new(b.build().expect("hub query 1 is well-formed")));
+    out
+}
+
+/// Process-confined client scripts over [`shardable_programs`]: process
+/// `p` only ever touches shard `p % num_shards`'s objects. This is the
+/// process-confinement side condition under which m-SC survives
+/// per-shard sequencing (the certificate's `msc` verdict for multi-shard
+/// plans); without it an IRIW-style split across shards is observable.
+pub fn confined_scripts(
+    num_shards: usize,
+    processes: usize,
+    ops_per_process: usize,
+    think_ns: u64,
+    rng: &mut StdRng,
+) -> Vec<ClientScript> {
+    let num_shards = num_shards.max(1);
+    let programs = shardable_programs(num_shards);
+    (0..processes)
+        .map(|p| {
+            let s = p % num_shards;
+            let (w, rmw, q) = (&programs[3 * s], &programs[3 * s + 1], &programs[3 * s + 2]);
+            let ops = (0..ops_per_process)
+                .map(|_| match rng.gen_range(0..3u8) {
+                    0 => OpSpec::new(
+                        w.clone(),
+                        vec![rng.gen_range(0..1_000), rng.gen_range(0..1_000)],
+                    ),
+                    1 => OpSpec::new(rmw.clone(), vec![]),
+                    _ => OpSpec::new(q.clone(), vec![]),
+                })
+                .collect();
+            ClientScript::new(ops).with_think_time(think_ns)
+        })
+        .collect()
+}
+
+/// Client scripts over [`hub_programs`] for the sabotage control: every
+/// process alternates the two hub writers (whose hub-object writes
+/// conflict) with a query on its own group.
+pub fn hub_scripts(
+    processes: usize,
+    ops_per_process: usize,
+    think_ns: u64,
+    rng: &mut StdRng,
+) -> Vec<ClientScript> {
+    let programs = hub_programs();
+    (0..processes)
+        .map(|p| {
+            let ops = (0..ops_per_process)
+                .map(|i| match i % 3 {
+                    0 => OpSpec::new(
+                        programs[0].clone(),
+                        vec![rng.gen_range(0..1_000), rng.gen_range(0..1_000)],
+                    ),
+                    1 => OpSpec::new(
+                        programs[1].clone(),
+                        vec![rng.gen_range(0..1_000), rng.gen_range(0..1_000)],
+                    ),
+                    _ => OpSpec::new(programs[2 + p % 2].clone(), vec![]),
+                })
+                .collect();
+            ClientScript::new(ops).with_think_time(think_ns)
+        })
+        .collect()
+}
+
 /// Generates one random operation.
 fn random_op(spec: &WorkloadSpec, rng: &mut StdRng) -> OpSpec {
     if rng.gen_bool(spec.update_fraction.clamp(0.0, 1.0)) {
@@ -342,6 +459,72 @@ mod tests {
             .flat_map(|p| p.referenced_objects())
             .collect();
         assert!(q_objs.is_disjoint(&u_objs));
+    }
+
+    #[test]
+    fn shardable_programs_keep_groups_disjoint() {
+        let progs = shardable_programs(3);
+        assert_eq!(progs.len(), 9);
+        let names: std::collections::BTreeSet<_> =
+            progs.iter().map(|p| p.name().to_string()).collect();
+        assert_eq!(names.len(), progs.len(), "names are unique");
+        // Group s touches exactly objects {2s, 2s+1}.
+        for s in 0..3usize {
+            let group: std::collections::BTreeSet<_> = progs[3 * s..3 * s + 3]
+                .iter()
+                .flat_map(|p| p.referenced_objects())
+                .collect();
+            let want: std::collections::BTreeSet<_> =
+                [ObjectId::new(2 * s as u32), ObjectId::new(2 * s as u32 + 1)]
+                    .into_iter()
+                    .collect();
+            assert_eq!(group, want);
+        }
+    }
+
+    #[test]
+    fn hub_programs_share_only_the_hub() {
+        let progs = hub_programs();
+        let hub = ObjectId::new(2);
+        let writers: Vec<_> = progs.iter().filter(|p| p.is_potential_update()).collect();
+        assert_eq!(writers.len(), 2);
+        for w in &writers {
+            assert!(w.potential_writes().contains(&hub));
+        }
+        // The writers' non-hub footprints are disjoint.
+        let rest: Vec<std::collections::BTreeSet<_>> = writers
+            .iter()
+            .map(|w| {
+                w.referenced_objects()
+                    .into_iter()
+                    .filter(|&o| o != hub)
+                    .collect()
+            })
+            .collect();
+        assert!(rest[0].is_disjoint(&rest[1]));
+    }
+
+    #[test]
+    fn confined_scripts_respect_process_confinement() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let s = confined_scripts(2, 4, 6, 100, &mut rng);
+        assert_eq!(s.len(), 4);
+        for (p, script) in s.iter().enumerate() {
+            let shard = p % 2;
+            let allowed: std::collections::BTreeSet<_> = [
+                ObjectId::new(2 * shard as u32),
+                ObjectId::new(2 * shard as u32 + 1),
+            ]
+            .into_iter()
+            .collect();
+            for op in &script.ops {
+                assert!(op
+                    .program
+                    .referenced_objects()
+                    .iter()
+                    .all(|o| allowed.contains(o)));
+            }
+        }
     }
 
     #[test]

@@ -356,6 +356,214 @@ fn chaos_runs_replay_identically() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Conflict-sharded ordering over a certified partition.
+// ---------------------------------------------------------------------
+
+use moc_analyze::{shard_set, ShardOptions};
+use moc_core::shard::{RoutePolicy, ShardPlan};
+use moc_protocol::MscOverSharded;
+use moc_workload::{confined_scripts, hub_programs, hub_scripts};
+
+/// Derives the certified shard plan for the shardable workload with
+/// `num_shards` groups, insisting the analysis is clean and the emitted
+/// certificate survives the independent auditor — the same gate `moc
+/// shard` + `moc audit` enforce in CI.
+fn certified_plan(num_shards: usize) -> ShardPlan {
+    let programs = moc_workload::shardable_programs(num_shards);
+    let refs: Vec<&moc_core::program::Program> = programs.iter().map(|p| p.as_ref()).collect();
+    let analysis = shard_set(&refs, 0, ShardOptions::default());
+    assert!(
+        analysis
+            .all_findings()
+            .iter()
+            .all(|f| f.severity < moc_analyze::Severity::Error),
+        "shardable workload must analyze cleanly"
+    );
+    let verdict = moc_audit::audit_shard(&refs, &analysis.cert.to_json())
+        .expect("auditor accepts the analyzer's own certificate");
+    assert_eq!(verdict.num_shards as usize, num_shards);
+    assert_eq!(verdict.cross_edges, 0, "groups are disjoint");
+    analysis.cert.plan().expect("certificate yields a plan")
+}
+
+/// Tentpole positive path: the Figure 4 protocol over the conflict-
+/// sharded broadcast, with the partition taken from an audited
+/// certificate and clients confined to their own shard (the m-SC side
+/// condition the certificate states). 2–4 shards × 6 fault families ×
+/// seeds ≥ 108 (seed, plan) runs; every history must be complete,
+/// m-sequentially consistent, and its proof audit-accepted — while
+/// single-shard updates demonstrably flow through shard-local channels,
+/// never the global one.
+#[test]
+fn sharded_msc_conformance_sweep() {
+    let mut pairs = 0u64;
+    for num_shards in 2..=4usize {
+        let plan = certified_plan(num_shards);
+        let processes = num_shards.max(3);
+        for (i, family) in FaultFamily::ALL.into_iter().enumerate() {
+            for s in 0..6u64 {
+                let seed = 400_000
+                    + num_shards as u64 * 10_000
+                    + s * FaultFamily::ALL.len() as u64
+                    + i as u64;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let scripts = confined_scripts(num_shards, processes, OPS_PER_PROCESS, 1, &mut rng);
+                let config = ChaosConfig::new(2 * num_shards, seed)
+                    .with_faults(family.plan(processes, HORIZON_NS))
+                    .with_shard_plan(plan.clone());
+                let report = run_chaos_cluster::<MscOverSharded>(&config, scripts);
+                let tuple = format!(
+                    "(protocol=msc-sharded, shards={num_shards}, faults={}, seed={seed})",
+                    family.name()
+                );
+                assert!(
+                    report.anomalies.is_clean(),
+                    "{tuple}: anomalies {:?}",
+                    report.anomalies
+                );
+                let history = report
+                    .history
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{tuple}: invalid history: {e}"));
+                assert_eq!(
+                    history.len(),
+                    processes * OPS_PER_PROCESS,
+                    "{tuple}: missing completions"
+                );
+                let (verdict, cert) = check_certified(
+                    history,
+                    Condition::MSequentialConsistency,
+                    SearchLimits::default(),
+                )
+                .unwrap_or_else(|e| panic!("{tuple}: checker error: {e}"));
+                assert!(
+                    verdict.satisfied,
+                    "{tuple}: m-sc VIOLATED: {:?}",
+                    verdict.reason
+                );
+                audit(history, &cert.to_text())
+                    .unwrap_or_else(|e| panic!("{tuple}: auditor rejected the certificate: {e}"));
+                // Shard-local ordering: confined clients never produce a
+                // cross-shard footprint, so the global channel stays idle
+                // and every shard channel that got updates kept them.
+                let updates = report.update_order.len();
+                let per_channel: usize = report.channel_logs.iter().map(|l| l.len()).sum();
+                assert_eq!(per_channel, updates, "{tuple}: channel logs cover the log");
+                assert!(
+                    report.channel_logs.len() <= num_shards,
+                    "{tuple}: confined updates must not reach the global channel"
+                );
+                if updates > 0 {
+                    assert!(
+                        report.channel_logs.iter().any(|l| !l.is_empty()),
+                        "{tuple}: updates flowed through shard channels"
+                    );
+                }
+                pairs += 1;
+            }
+        }
+    }
+    assert!(pairs >= 100, "sweep too small: {pairs}");
+}
+
+/// Sharded runs replay deterministically, like every other chaos run.
+#[test]
+fn sharded_runs_replay_identically() {
+    let plan = certified_plan(3);
+    let mk = |seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scripts = confined_scripts(3, 3, 4, 1, &mut rng);
+        let config = ChaosConfig::new(6, seed)
+            .with_faults(FaultPlan::lossy(0.15).with_dup(0.1))
+            .with_shard_plan(plan.clone());
+        run_chaos_cluster::<MscOverSharded>(&config, scripts)
+    };
+    for seed in [5u64, 431] {
+        let (a, b) = (mk(seed), mk(seed));
+        assert_eq!(a.sim, b.sim);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert!(a.fingerprint().is_some());
+        assert_eq!(a.channel_logs, b.channel_logs);
+        assert_eq!(a.latencies, b.latencies);
+    }
+}
+
+/// Sabotage control: mis-shard the hub workload. The certificate auditor
+/// rejects the doctored partition up front; forcing the protocol to run
+/// it anyway (first-object routing splits the two conflicting hub
+/// writers across channels) corrupts real executions detectably —
+/// replica stores diverge even though every individual channel's order
+/// is still agreed.
+#[test]
+fn missharded_hub_object_is_caught() {
+    let programs = hub_programs();
+    let refs: Vec<&moc_core::program::Program> = programs.iter().map(|p| p.as_ref()).collect();
+
+    // The honest analysis refuses to split the hub component: one shard.
+    let honest = shard_set(&refs, 0, ShardOptions::default());
+    assert_eq!(
+        honest.cert.shards.len(),
+        1,
+        "hub holds the component together"
+    );
+    moc_audit::audit_shard(&refs, &honest.cert.to_json())
+        .expect("the honest single-shard certificate audits clean");
+
+    // A doctored certificate claiming the split is rejected up front.
+    let mut doctored = moc_core::shard::ShardCert::parse(&honest.cert.to_json()).unwrap();
+    doctored.shards = vec![
+        vec![
+            moc_core::ids::ObjectId::new(0),
+            moc_core::ids::ObjectId::new(2),
+        ],
+        vec![moc_core::ids::ObjectId::new(1)],
+    ];
+    let err = moc_audit::audit_shard(&refs, &doctored.to_json())
+        .expect_err("a mis-sharded hub certificate must be rejected");
+    assert!(
+        err.contains("footprint closure") || err.contains("shard"),
+        "rejection names the partition defect: {err}"
+    );
+
+    // Run the uncertifiable partition anyway, with the sabotage routing
+    // policy that sends each hub writer to its first object's shard.
+    let missharded = ShardPlan::new(vec![0, 1, 0])
+        .unwrap()
+        .with_route_policy(RoutePolicy::FirstObject);
+    let mut corrupted = 0u64;
+    let mut runs = 0u64;
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scripts = hub_scripts(3, 4, 1, &mut rng);
+        let config = ChaosConfig::new(3, seed).with_shard_plan(missharded.clone());
+        let report = run_chaos_cluster::<MscOverSharded>(&config, scripts);
+        runs += 1;
+        if report.anomalies.store_divergence {
+            corrupted += 1;
+        }
+    }
+    assert!(
+        corrupted > 0,
+        "the mis-sharded hub never corrupted a run in {runs} seeds — the control is inert"
+    );
+
+    // Control of the control: the same workload under the honest
+    // single-shard plan is clean on the same seeds.
+    let honest_plan = honest.cert.plan().unwrap();
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scripts = hub_scripts(3, 4, 1, &mut rng);
+        let config = ChaosConfig::new(3, seed).with_shard_plan(honest_plan.clone());
+        let report = run_chaos_cluster::<MscOverSharded>(&config, scripts);
+        assert!(
+            report.anomalies.is_clean(),
+            "seed {seed}: honest plan must be clean: {:?}",
+            report.anomalies
+        );
+    }
+}
+
 /// S2 (explorer half): exhaustive exploration with a duplicate budget is
 /// deterministic — two identical invocations enumerate the same
 /// schedules and find the same violations.
