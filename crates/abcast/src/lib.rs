@@ -171,6 +171,22 @@ pub trait Abcast<T> {
     /// endpoint before any traffic flows.
     fn set_shard_plan(&mut self, _plan: moc_core::shard::ShardPlan) {}
 
+    /// Installs the delivery-time view of a certified commutativity
+    /// analysis ([`moc_core::commute::CommutePlan`]). Only the
+    /// conflict-sharded implementation reacts: cross-shard items skip the
+    /// barrier frontiers of shards they provably commute with, and items
+    /// with an empty write footprint self-deliver without sequencer
+    /// stamping. Must be installed uniformly before any traffic flows;
+    /// soundness is exactly the certificate's — install only plans
+    /// derived from an audited `moc-commute-cert`.
+    fn set_commute_plan(&mut self, _plan: moc_core::commute::CommutePlan) {}
+
+    /// How many deliveries so far bypassed an ordering wait via the
+    /// commute plan (zero for protocols without the fast path).
+    fn commute_fast_applied(&self) -> u64 {
+        0
+    }
+
     /// For multi-channel (sharded) implementations: the ordering channel
     /// each delivery so far came from, aligned with the cumulative
     /// delivery order. `None` means the protocol has a single global

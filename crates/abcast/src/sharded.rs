@@ -49,10 +49,35 @@
 //! certificate's `per-shard-with-process-confinement` side condition —
 //! IRIW shows per-shard total orders alone are too weak); m-linearizability
 //! composes unconditionally by locality.
+//!
+//! ## Commutativity fast paths
+//!
+//! An audited `moc-commute-cert` can be installed as a delivery-time
+//! [`CommutePlan`] ([`Abcast::set_commute_plan`]), enabling two
+//! out-of-order shortcuts the certificate proves harmless:
+//!
+//! * **Barrier skipping** — a global item need only wait for the barrier
+//!   frontiers of shards it can actually conflict with. For a shard `s`
+//!   where the plan shows the item writes nothing `s`'s programs may
+//!   touch and touches nothing they may write, both relative orders
+//!   yield identical states, so the frontier check is skipped.
+//! * **Read-only self-delivery** — an item whose [`write_footprint`]
+//!   [`Footprinted::write_footprint`] is empty changes no replica state,
+//!   so it is applied locally at submission, without sequencer stamping
+//!   or any messages at all. Such deliveries are **replica-private**:
+//!   they appear only in the issuing endpoint's merged order, on a
+//!   pseudo-channel one past the global channel, and are excluded from
+//!   the cross-replica channel-agreement property.
+//!
+//! Installing a plan that *overclaims* commutation (see
+//! [`CommutePlan::vacuous`]) re-creates exactly the divergence the
+//! barriers exist to prevent — the chaos suite keeps a negative control
+//! proving the damage is detectable.
 
 use std::collections::VecDeque;
 use std::fmt;
 
+use moc_core::commute::CommutePlan;
 use moc_core::ids::{ObjectId, ProcessId};
 use moc_core::shard::{Footprinted, Route, ShardPlan};
 
@@ -89,6 +114,11 @@ pub struct ShardedAbcast<T> {
     me: ProcessId,
     n: usize,
     plan: Option<ShardPlan>,
+    /// Delivery-time view of an audited commute certificate; gates the
+    /// out-of-order fast paths. `None` disables both.
+    commute: Option<CommutePlan>,
+    /// Deliveries that bypassed an ordering wait via `commute`.
+    fast_applied: u64,
     /// `channels[0..num_shards]` are shard channels; the last entry is
     /// always the global channel.
     channels: Vec<SequencerAbcast<ShardItem<T>>>,
@@ -105,7 +135,7 @@ pub struct ShardedAbcast<T> {
     channel_trace: Vec<u32>,
 }
 
-impl<T: Clone + fmt::Debug> ShardedAbcast<T> {
+impl<T: Clone + fmt::Debug + Footprinted> ShardedAbcast<T> {
     /// Total number of ordering channels (shards + the global channel).
     pub fn num_channels(&self) -> usize {
         self.channels.len()
@@ -119,6 +149,12 @@ impl<T: Clone + fmt::Debug> ShardedAbcast<T> {
     /// The installed shard plan, if any.
     pub fn plan(&self) -> Option<&ShardPlan> {
         self.plan.as_ref()
+    }
+
+    /// Index of the replica-private pseudo-channel carrying read-only
+    /// self-deliveries (one past the global channel; never on the wire).
+    pub fn local_channel(&self) -> u32 {
+        self.channels.len() as u32
     }
 
     /// Channels whose sequencer has fail-stopped after a restart.
@@ -201,10 +237,32 @@ impl<T: Clone + fmt::Debug> ShardedAbcast<T> {
             }
             while let Some(head) = self.pending[global].front() {
                 let k = head.global_seq;
-                if self.barrier_front.iter().all(|&f| f > k) {
+                // Fast path: a frontier that hasn't covered `k` yet may
+                // still be skipped when the commute plan proves the item
+                // commutes with everything that shard's channel carries.
+                let (clear, bypassed) =
+                    if let (Some(cp), ShardItem::Op(it)) = (&self.commute, &head.item) {
+                        let touches = it.footprint();
+                        let writes = it.write_footprint();
+                        let mut bypassed = false;
+                        let clear = self.barrier_front.iter().enumerate().all(|(s, &f)| {
+                            f > k || {
+                                let c = cp.commutes_with_shard(s, &touches, &writes);
+                                bypassed |= c;
+                                c
+                            }
+                        });
+                        (clear, clear && bypassed)
+                    } else {
+                        (self.barrier_front.iter().all(|&f| f > k), false)
+                    };
+                if clear {
                     let d = self.pending[global].pop_front().unwrap();
                     self.apply(global, d);
                     self.global_applied = k + 1;
+                    if bypassed {
+                        self.fast_applied += 1;
+                    }
                     progress = true;
                 } else {
                     break;
@@ -252,6 +310,8 @@ impl<T: Clone + fmt::Debug + Footprinted> Abcast<T> for ShardedAbcast<T> {
             me,
             n,
             plan: None,
+            commute: None,
+            fast_applied: 0,
             channels: vec![SequencerAbcast::new(me, n)],
             pending: vec![VecDeque::new()],
             barrier_front: Vec::new(),
@@ -283,7 +343,40 @@ impl<T: Clone + fmt::Debug + Footprinted> Abcast<T> for ShardedAbcast<T> {
         self.plan = Some(plan);
     }
 
+    fn set_commute_plan(&mut self, plan: CommutePlan) {
+        debug_assert!(
+            self.merged_count == 0 && self.channels.iter().all(|c| c.delivered_count() == 0),
+            "commute plan must be installed before any traffic"
+        );
+        debug_assert_eq!(
+            plan.num_shards(),
+            self.num_shards(),
+            "commute plan must match the installed shard partition"
+        );
+        self.commute = Some(plan);
+    }
+
+    fn commute_fast_applied(&self) -> u64 {
+        self.fast_applied
+    }
+
     fn broadcast(&mut self, item: T, out: &mut Outbox<Self::Msg>) {
+        // Read-only self-delivery: with a commute certificate installed,
+        // an item that may write nothing changes no replica state, so it
+        // needs no agreed slot — apply it here, now, with no messages.
+        // The delivery is replica-private (pseudo-channel past global).
+        if self.commute.is_some() && item.write_footprint().is_empty() {
+            let channel = self.local_channel();
+            self.merged.push(Delivery {
+                origin: self.me,
+                global_seq: self.merged_count,
+                item,
+            });
+            self.channel_trace.push(channel);
+            self.merged_count += 1;
+            self.fast_applied += 1;
+            return;
+        }
         let c = self.channel_for(&item.footprint());
         let mut inner = Outbox::new(out.num_processes());
         self.channels[c].broadcast(ShardItem::Op(item), &mut inner);
@@ -353,16 +446,22 @@ mod tests {
     use super::*;
     use moc_sim::{Context, DelayModel, NetworkConfig, Node, World};
 
-    /// A payload with an explicit object footprint.
+    /// A payload with an explicit object footprint (and, separately, an
+    /// explicit write footprint — empty for read-only items).
     #[derive(Debug, Clone, PartialEq, Eq)]
     struct Item {
         id: u64,
         objs: Vec<u32>,
+        writes: Vec<u32>,
     }
 
     impl Footprinted for Item {
         fn footprint(&self) -> Vec<ObjectId> {
             self.objs.iter().map(|&o| ObjectId::new(o)).collect()
+        }
+
+        fn write_footprint(&self) -> Vec<ObjectId> {
+            self.writes.iter().map(|&o| ObjectId::new(o)).collect()
         }
     }
 
@@ -370,6 +469,25 @@ mod tests {
         Item {
             id,
             objs: objs.to_vec(),
+            writes: objs.to_vec(),
+        }
+    }
+
+    fn read_item(id: u64, objs: &[u32]) -> Item {
+        Item {
+            id,
+            objs: objs.to_vec(),
+            writes: Vec::new(),
+        }
+    }
+
+    /// The honest delivery-time plan for a partition in which each
+    /// shard's programs touch and write exactly the shard's own objects.
+    fn commute_plan_for(plan: &ShardPlan) -> CommutePlan {
+        let shards = plan.shards();
+        CommutePlan {
+            shard_touch: shards.clone(),
+            shard_write: shards,
         }
     }
 
@@ -380,10 +498,18 @@ mod tests {
     }
 
     impl ShardNode {
-        fn new(me: ProcessId, n: usize, plan: Option<ShardPlan>) -> Self {
+        fn new(
+            me: ProcessId,
+            n: usize,
+            plan: Option<ShardPlan>,
+            commute: Option<CommutePlan>,
+        ) -> Self {
             let mut inner = ShardedAbcast::new(me, n);
             if let Some(p) = plan {
                 inner.set_shard_plan(p);
+            }
+            if let Some(cp) = commute {
+                inner.set_commute_plan(cp);
             }
             ShardNode {
                 inner,
@@ -436,8 +562,18 @@ mod tests {
         submissions: Vec<(u64, u32, Item)>, // (time, process, item)
         seed: u64,
     ) -> Vec<ShardNode> {
+        run_with_commute(n, plan, None, submissions, seed)
+    }
+
+    fn run_with_commute(
+        n: usize,
+        plan: Option<ShardPlan>,
+        commute: Option<CommutePlan>,
+        submissions: Vec<(u64, u32, Item)>, // (time, process, item)
+        seed: u64,
+    ) -> Vec<ShardNode> {
         let nodes: Vec<ShardNode> = (0..n)
-            .map(|p| ShardNode::new(ProcessId::new(p as u32), n, plan.clone()))
+            .map(|p| ShardNode::new(ProcessId::new(p as u32), n, plan.clone(), commute.clone()))
             .collect();
         let mut world = World::new(
             nodes,
@@ -614,6 +750,148 @@ mod tests {
             .map(|(to, m)| (m.channel, to.as_u32()))
             .collect();
         assert_eq!(targets, vec![(0, 1), (1, 2), (2, 0)]);
+    }
+
+    /// Three shards: objects {0,1}, {2,3}, {4,5}.
+    fn three_shard_plan() -> ShardPlan {
+        ShardPlan::new(vec![0, 0, 1, 1, 2, 2]).unwrap()
+    }
+
+    /// With an honest commute plan, cross-shard items skip the barrier
+    /// frontiers of shards they provably commute with — the fast path
+    /// demonstrably engages — while every conflicting pair stays
+    /// consistently ordered at every replica.
+    #[test]
+    fn commuting_global_items_skip_barrier_waits() {
+        let plan = three_shard_plan();
+        let commute = commute_plan_for(&plan);
+        let mut subs = Vec::new();
+        let mut id = 0;
+        for round in 0..5u64 {
+            for p in 0..3u32 {
+                // Shard traffic on every shard plus cross items spanning
+                // shards 0 and 1 — those conflict with shards 0/1 but
+                // commute with shard 2, so only two of the three barrier
+                // frontiers gate them.
+                let objs: &[u32] = match id % 4 {
+                    0 => &[0, 1],
+                    1 => &[2, 3],
+                    2 => &[4, 5],
+                    _ => &[1, 2],
+                };
+                subs.push((round * 47 + p as u64 * 11, p, item(id, objs)));
+                id += 1;
+            }
+        }
+        let mut bypasses = 0u64;
+        for seed in 0..8 {
+            let nodes = run_with_commute(
+                3,
+                Some(plan.clone()),
+                Some(commute.clone()),
+                subs.clone(),
+                seed,
+            );
+            assert_conflict_consistent(&nodes, 15);
+            bypasses += nodes
+                .iter()
+                .map(|n| n.inner.commute_fast_applied())
+                .sum::<u64>();
+        }
+        assert!(
+            bypasses > 0,
+            "the certified fast path never engaged across the sweep"
+        );
+    }
+
+    /// Read-only items self-deliver: no messages, no stamping, immediate
+    /// local application on the replica-private pseudo-channel.
+    #[test]
+    fn read_only_items_self_deliver_without_messages() {
+        let plan = two_shard_plan();
+        let mut a: ShardedAbcast<Item> = ShardedAbcast::new(ProcessId::new(1), 3);
+        a.set_shard_plan(plan.clone());
+        a.set_commute_plan(commute_plan_for(&plan));
+        let mut out = Outbox::new(3);
+        a.broadcast(read_item(7, &[0, 1]), &mut out);
+        assert!(out.is_empty(), "read-only items send nothing");
+        let delivered = a.drain_delivered();
+        assert_eq!(delivered.len(), 1);
+        assert_eq!(delivered[0].item.id, 7);
+        assert_eq!(a.delivery_channels().unwrap(), vec![a.local_channel()]);
+        assert_eq!(a.commute_fast_applied(), 1);
+
+        // Without a commute plan the same item is stamped normally.
+        let mut b: ShardedAbcast<Item> = ShardedAbcast::new(ProcessId::new(1), 3);
+        b.set_shard_plan(two_shard_plan());
+        let mut out = Outbox::new(3);
+        b.broadcast(read_item(8, &[0, 1]), &mut out);
+        assert!(!out.is_empty(), "no certificate, no fast path");
+        assert!(b.drain_delivered().is_empty());
+    }
+
+    /// Negative control: a vacuous plan (fabricated certificate claiming
+    /// everything commutes) lets cross-shard items apply before their
+    /// barriers, and some seed exhibits the divergence the barriers
+    /// exist to prevent — conflicting items ordered differently at
+    /// different replicas.
+    #[test]
+    fn vacuous_commute_plan_breaks_conflict_ordering_detectably() {
+        let mut subs = Vec::new();
+        let mut id = 0;
+        for round in 0..5u64 {
+            for p in 0..3u32 {
+                let objs: &[u32] = match (id + round) % 3 {
+                    0 => &[0, 1],
+                    1 => &[2, 3],
+                    _ => &[1, 2],
+                };
+                subs.push((round * 41 + p as u64 * 13, p, item(id, objs)));
+                id += 1;
+            }
+        }
+        let diverged = |nodes: &[ShardNode]| {
+            let reference = &nodes[0];
+            let pos = |node: &ShardNode| -> std::collections::BTreeMap<u64, usize> {
+                node.delivered
+                    .iter()
+                    .enumerate()
+                    .map(|(i, it)| (it.id, i))
+                    .collect()
+            };
+            let ref_pos = pos(reference);
+            nodes[1..].iter().any(|node| {
+                let p = pos(node);
+                reference.delivered.iter().any(|a| {
+                    reference.delivered.iter().any(|b| {
+                        a.id < b.id
+                            && conflicting(a, b)
+                            && (ref_pos[&a.id] < ref_pos[&b.id]) != (p[&a.id] < p[&b.id])
+                    })
+                })
+            })
+        };
+        let mut detected = 0u64;
+        for seed in 0..12 {
+            let nodes = run_with_commute(
+                3,
+                Some(two_shard_plan()),
+                Some(CommutePlan::vacuous(2)),
+                subs.clone(),
+                seed,
+            );
+            // Validity/integrity still hold — only ordering is damaged.
+            for node in &nodes {
+                assert_eq!(node.delivered.len(), 15);
+            }
+            if diverged(&nodes) {
+                detected += 1;
+            }
+        }
+        assert!(
+            detected > 0,
+            "the vacuous plan never diverged in 12 seeds — the control is inert"
+        );
     }
 
     #[test]

@@ -59,6 +59,16 @@ pub enum Lint {
     /// MOC0011: a query's read footprint pins two (or more) shards,
     /// blocking the OO composition verdict.
     QueryPinsTwoShards,
+    /// MOC0012: every distinct pair of programs conflicts, so the
+    /// commutativity fast path cannot apply anywhere.
+    AllPairsConflict,
+    /// MOC0013: a read-only program would still ride the global broadcast
+    /// order under the syntactic classification; the commute certificate
+    /// lets it skip sequencer stamping entirely.
+    ReadOnlyProgramInGlobalOrder,
+    /// MOC0014: a commuting pair straddles shard boundaries — the
+    /// cross-shard barrier is unnecessary for this pair.
+    CommutingPairStraddlesShards,
 }
 
 impl Lint {
@@ -76,6 +86,9 @@ impl Lint {
             Lint::ProgramStraddlesShards => "MOC0009",
             Lint::HubObjectCollapsesPartition => "MOC0010",
             Lint::QueryPinsTwoShards => "MOC0011",
+            Lint::AllPairsConflict => "MOC0012",
+            Lint::ReadOnlyProgramInGlobalOrder => "MOC0013",
+            Lint::CommutingPairStraddlesShards => "MOC0014",
         }
     }
 
@@ -93,6 +106,9 @@ impl Lint {
             Lint::ProgramStraddlesShards => "program-straddles-shards",
             Lint::HubObjectCollapsesPartition => "hub-object-collapses-partition",
             Lint::QueryPinsTwoShards => "query-pins-two-shards",
+            Lint::AllPairsConflict => "all-pairs-conflict",
+            Lint::ReadOnlyProgramInGlobalOrder => "read-only-program-in-global-order",
+            Lint::CommutingPairStraddlesShards => "commuting-pair-straddles-shards",
         }
     }
 
@@ -102,7 +118,9 @@ impl Lint {
             Lint::UnreachableInstruction
             | Lint::UninitializedRead
             | Lint::ProgramStraddlesShards
-            | Lint::HubObjectCollapsesPartition => Severity::Warn,
+            | Lint::HubObjectCollapsesPartition
+            | Lint::AllPairsConflict
+            | Lint::ReadOnlyProgramInGlobalOrder => Severity::Warn,
             Lint::ConstraintNotCertified => Severity::Error,
             _ => Severity::Info,
         }
@@ -204,6 +222,27 @@ pub fn max_severity(findings: &[Finding]) -> Option<Severity> {
     findings.iter().map(|f| f.severity).max()
 }
 
+/// Renders findings as terminal lines, one per finding — the single
+/// human renderer shared by `moc analyze`, `moc shard` and `moc commute`.
+pub fn render_findings_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.render_human());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders findings as a JSON array body (no surrounding brackets) — the
+/// single JSON renderer shared by the report subcommands.
+pub fn render_findings_json(findings: &[Finding]) -> String {
+    findings
+        .iter()
+        .map(finding_json)
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +269,43 @@ mod tests {
             "hub-object-collapses-partition"
         );
         assert_eq!(Lint::QueryPinsTwoShards.name(), "query-pins-two-shards");
+        assert_eq!(Lint::AllPairsConflict.code(), "MOC0012");
+        assert_eq!(Lint::ReadOnlyProgramInGlobalOrder.code(), "MOC0013");
+        assert_eq!(Lint::CommutingPairStraddlesShards.code(), "MOC0014");
+        assert_eq!(Lint::AllPairsConflict.name(), "all-pairs-conflict");
+        assert_eq!(
+            Lint::ReadOnlyProgramInGlobalOrder.name(),
+            "read-only-program-in-global-order"
+        );
+        assert_eq!(
+            Lint::CommutingPairStraddlesShards.name(),
+            "commuting-pair-straddles-shards"
+        );
+        assert_eq!(Lint::AllPairsConflict.severity(), Severity::Warn);
+        assert_eq!(
+            Lint::ReadOnlyProgramInGlobalOrder.severity(),
+            Severity::Warn
+        );
+        assert_eq!(
+            Lint::CommutingPairStraddlesShards.severity(),
+            Severity::Info
+        );
+    }
+
+    #[test]
+    fn shared_renderers_cover_all_findings() {
+        let fs = vec![
+            Finding::new(Lint::AllPairsConflict, "", None, "no commuting pair"),
+            Finding::new(Lint::DeadStore, "p", Some(1), "r2"),
+        ];
+        let human = render_findings_human(&fs);
+        assert!(human.contains("MOC0012"));
+        assert!(human.contains("MOC0004"));
+        assert_eq!(human.lines().count(), 2);
+        let json = render_findings_json(&fs);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches("\"code\"").count(), 2);
+        assert_eq!(render_findings_json(&[]), "");
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod cfg;
 pub mod conflict;
 pub mod dataflow;
 pub mod diagnostics;
+pub mod movers;
 pub mod passes;
 pub mod shard;
 
@@ -51,10 +52,11 @@ pub use conflict::{
     analyze_set, Certificate, CertificateStatus, ConflictEdge, ConflictGraph, SetAnalysis,
 };
 pub use diagnostics::{max_severity, Finding, Lint, Severity};
+pub use movers::{commute_set, commute_set_with, MoverAnalysis};
 pub use passes::{analyze_program, Classification, ProgramAnalysis, ProgramSummary, Termination};
 pub use shard::{shard_set, ShardAnalysis, ShardOptions};
 
-use diagnostics::{finding_json, json_escape};
+use diagnostics::{json_escape, render_findings_human, render_findings_json};
 use moc_core::ids::ObjectId;
 use std::collections::BTreeSet;
 
@@ -113,10 +115,7 @@ impl SetAnalysis {
                 ));
             }
         }
-        for f in self.all_findings() {
-            out.push_str(&f.render_human());
-            out.push('\n');
-        }
+        out.push_str(&render_findings_human(&self.all_findings()));
         out
     }
 
@@ -215,12 +214,7 @@ impl SetAnalysis {
             })
             .collect::<Vec<_>>()
             .join(",");
-        let findings = self
-            .all_findings()
-            .iter()
-            .map(finding_json)
-            .collect::<Vec<_>>()
-            .join(",");
+        let findings = render_findings_json(&self.all_findings());
         format!(
             "{{\"programs\":[{programs}],\"conflicts\":[{edges}],\"edges\":[{flat_edges}],\"certificates\":[{certs}],\"fast_path\":{},\"findings\":[{findings}]}}",
             self.fast_path
@@ -267,10 +261,7 @@ impl ShardAnalysis {
             "composition: oo={} ww={} wo={} | m-sc: {} | m-lin: {}\n",
             c.oo, c.ww, c.wo, c.msc, c.mlin
         ));
-        for f in self.all_findings() {
-            out.push_str(&f.render_human());
-            out.push('\n');
-        }
+        out.push_str(&render_findings_human(&self.all_findings()));
         out
     }
 
@@ -278,16 +269,63 @@ impl ShardAnalysis {
     /// certificate (the `certificate` value is exactly what `moc audit`
     /// re-validates).
     pub fn render_json(&self) -> String {
-        let findings = self
-            .all_findings()
-            .iter()
-            .map(finding_json)
-            .collect::<Vec<_>>()
-            .join(",");
+        let findings = render_findings_json(&self.all_findings());
         format!(
             "{{\"certificate\":{},\"num_shards\":{},\"findings\":[{findings}]}}",
             self.cert.to_json(),
             self.plan.num_shards()
+        )
+    }
+}
+
+impl MoverAnalysis {
+    /// Renders the mover report for terminals.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for p in &self.cert.programs {
+            let reads: BTreeSet<ObjectId> = p.reads.iter().copied().collect();
+            let writes: BTreeSet<ObjectId> = p.writes.iter().copied().collect();
+            out.push_str(&format!(
+                "program {}: {} | {} | reads {{{}}} writes {{{}}}\n",
+                p.name,
+                if p.update { "update" } else { "query" },
+                p.class,
+                objects_human(&reads),
+                objects_human(&writes),
+            ));
+        }
+        let n = self.cert.programs.len();
+        for i in 0..n {
+            let partners: Vec<&str> = self
+                .cert
+                .matrix
+                .row(i)
+                .iter()
+                .map(|&j| self.cert.programs[j as usize].name.as_str())
+                .collect();
+            out.push_str(&format!(
+                "commutes {}: {}\n",
+                self.cert.programs[i].name,
+                if partners.is_empty() {
+                    "∅".to_string()
+                } else {
+                    partners.join(", ")
+                }
+            ));
+        }
+        out.push_str(&render_findings_human(&self.all_findings()));
+        out
+    }
+
+    /// Renders the mover report as a JSON document wrapping the
+    /// certificate (the `certificate` value is exactly what `moc audit`
+    /// re-validates).
+    pub fn render_json(&self) -> String {
+        let findings = render_findings_json(&self.all_findings());
+        format!(
+            "{{\"certificate\":{},\"commuting_pairs\":{},\"findings\":[{findings}]}}",
+            self.cert.to_json(),
+            self.cert.matrix.num_commuting_pairs()
         )
     }
 }

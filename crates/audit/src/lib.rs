@@ -30,6 +30,9 @@
 use std::collections::BTreeSet;
 
 use moc_core::codec;
+use moc_core::commute::{
+    derive_class, CommuteCert, CommuteMatrix, MoverClass, COMMUTE_SIDE_CONDITIONS,
+};
 use moc_core::history::{History, MOpIdx};
 use moc_core::ids::ObjectId;
 use moc_core::json::{self, Json};
@@ -172,6 +175,12 @@ pub fn audit_document(h: &History, doc: &Json) -> Result<Verdict, String> {
             // values reject.
             if proof.get("threads").is_some() && uint(proof, "threads")? == 0 {
                 return Err("field \"threads\" must be at least 1".into());
+            }
+            // Symmetry-reduction statistics, recorded since the reduction
+            // landed: optional (older certificates omit it), but when
+            // present it must be a well-formed count.
+            if proof.get("symmetry_skips").is_some() {
+                uint(proof, "symmetry_skips")?;
             }
             let memo_limited = field(proof, "memo_saturated")?
                 .as_bool()
@@ -388,6 +397,170 @@ pub fn audit_shard(programs: &[&Program], cert_text: &str) -> Result<ShardVerdic
         num_shards: plan.num_shards(),
         single_shard_programs,
         cross_edges: cert.cross_edges.len(),
+        refined_attested,
+    })
+}
+
+/// A successful commutativity-certificate audit: what was re-validated.
+///
+/// As with [`ShardVerdict`], refined footprint claims are *attested*
+/// (checked sound against the syntactic footprint), while the
+/// commutativity matrix and every mover class are fully recomputed from
+/// the claimed footprints and compared entry-for-entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommuteVerdict {
+    /// Number of programs the certificate covers.
+    pub num_programs: usize,
+    /// Commuting pairs `(i, j)` with `i <= j` (self-pairs model two
+    /// concurrent instances of the same program).
+    pub commuting_pairs: usize,
+    /// Programs recomputed as read-only.
+    pub read_only: usize,
+    /// Programs recomputed as non-movers.
+    pub non_movers: usize,
+    /// Whether any entry carries attested (refined) claims.
+    pub refined_attested: bool,
+}
+
+/// Audits a `moc-commute-cert` document against the program set it
+/// claims to describe. Quadratic in the number of *programs* (the
+/// pairwise matrix recomputation) — never in any history.
+///
+/// Checks, in order: schema + version, program-set fingerprint binding,
+/// per-program footprint soundness (claims never exceed the syntactic
+/// footprint; unrefined claims equal it exactly; the update flag must
+/// match the claimed write footprint), matrix well-formedness (CSR
+/// shape, sorted rows, symmetry), an exact recomputation of the
+/// commutativity matrix from the claimed footprints (a dropped conflict
+/// and a fabricated commutation both reject), an exact recomputation of
+/// every mover class, and the side-condition list that scopes the
+/// certificate to register semantics.
+///
+/// # Errors
+///
+/// Any malformation, binding mismatch, or violated obligation rejects
+/// with the first reason found.
+pub fn audit_commute(programs: &[&Program], cert_text: &str) -> Result<CommuteVerdict, String> {
+    let cert = CommuteCert::parse(cert_text)?;
+
+    // Binding: computed from exactly this program set, in this order.
+    let expected_fp = fingerprint_programs(programs);
+    if cert.programs_fp != expected_fp {
+        return Err(format!(
+            "program-set fingerprint mismatch: certificate is bound to {:016x}, \
+             input set fingerprints to {expected_fp:016x}",
+            cert.programs_fp
+        ));
+    }
+    if cert.programs.len() != programs.len() {
+        return Err(format!(
+            "certificate lists {} programs, input set has {}",
+            cert.programs.len(),
+            programs.len()
+        ));
+    }
+
+    let mut refined_attested = false;
+    for (i, entry) in cert.programs.iter().enumerate() {
+        let prog = programs[i];
+        let fail = |msg: String| Err(format!("program {i} ({}): {msg}", entry.name));
+        if entry.name != prog.name() {
+            return fail(format!(
+                "name mismatch (input program is {:?})",
+                prog.name()
+            ));
+        }
+        for (what, claim) in [("reads", &entry.reads), ("writes", &entry.writes)] {
+            if !claim.windows(2).all(|w| w[0] < w[1]) {
+                return fail(format!("claimed {what} must be strictly ascending"));
+            }
+        }
+        let claim_r: BTreeSet<ObjectId> = entry.reads.iter().copied().collect();
+        let claim_w: BTreeSet<ObjectId> = entry.writes.iter().copied().collect();
+        // Soundness: refinement may only shrink the syntactic footprint.
+        if !claim_r.is_subset(&prog.potential_reads()) {
+            return fail("claimed read footprint exceeds the syntactic one".into());
+        }
+        if !claim_w.is_subset(&prog.potential_writes()) {
+            return fail("claimed write footprint exceeds the syntactic one".into());
+        }
+        if entry.refined {
+            refined_attested = true;
+        } else if claim_r != prog.potential_reads() || claim_w != prog.potential_writes() {
+            return fail(
+                "claims differ from the syntactic footprint but are not marked refined".into(),
+            );
+        }
+        if entry.update == claim_w.is_empty() {
+            return fail("update flag contradicts the claimed write footprint".into());
+        }
+        for &o in claim_r.union(&claim_w) {
+            if o.index() >= cert.num_objects {
+                return fail(format!("object {o} outside the certificate's universe"));
+            }
+        }
+    }
+
+    // Matrix: structurally well-formed, then byte-for-byte equal to the
+    // one recomputed from the (now-validated) claimed footprints. A
+    // missing pair is a silently dropped conflict the fast paths would
+    // exploit unsoundly; an extra pair is a fabricated commutation.
+    cert.matrix.validate(cert.programs.len())?;
+    let derived = CommuteMatrix::derive(&cert.programs);
+    if derived != cert.matrix {
+        for i in 0..cert.programs.len() {
+            for j in 0..cert.programs.len() {
+                let (claimed, actual) = (cert.matrix.commutes(i, j), derived.commutes(i, j));
+                if claimed && !actual {
+                    return Err(format!(
+                        "fabricated commutation: {} ~ {} conflict on the claimed footprints",
+                        cert.programs[i].name, cert.programs[j].name
+                    ));
+                }
+                if actual && !claimed {
+                    return Err(format!(
+                        "silently dropped commutation: {} ~ {} commute on the claimed footprints",
+                        cert.programs[i].name, cert.programs[j].name
+                    ));
+                }
+            }
+        }
+        return Err("commutativity matrix does not match the claimed footprints".into());
+    }
+
+    // Mover classes: every class fully recomputed from the footprints.
+    let mut read_only = 0usize;
+    let mut non_movers = 0usize;
+    for (i, entry) in cert.programs.iter().enumerate() {
+        let actual = derive_class(&cert.programs, i);
+        if entry.class != actual {
+            return Err(format!(
+                "program {i} ({}): mover class claims {} but footprints derive {}",
+                entry.name, entry.class, actual
+            ));
+        }
+        match actual {
+            MoverClass::ReadOnly => read_only += 1,
+            MoverClass::NonMover => non_movers += 1,
+            _ => {}
+        }
+    }
+
+    // Side conditions scope the certificate to register semantics; a
+    // consumer under different object semantics must not accept it.
+    if cert.side_conditions != COMMUTE_SIDE_CONDITIONS {
+        return Err(format!(
+            "side conditions must be exactly {COMMUTE_SIDE_CONDITIONS:?}, \
+             certificate lists {:?}",
+            cert.side_conditions
+        ));
+    }
+
+    Ok(CommuteVerdict {
+        num_programs: cert.programs.len(),
+        commuting_pairs: cert.matrix.num_commuting_pairs(),
+        read_only,
+        non_movers,
         refined_attested,
     })
 }
@@ -1048,5 +1221,224 @@ mod shard_tests {
         c.programs[1].refined = true;
         let err = audit_shard(&refs, &c.to_json()).unwrap_err();
         assert!(err.contains("exceeds the syntactic"), "{err}");
+    }
+}
+
+#[cfg(test)]
+mod commute_tests {
+    use super::*;
+    use moc_core::commute::CommuteProgramEntry;
+    use moc_core::program::{imm, reg, Program, ProgramBuilder};
+
+    fn oid(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    fn writer(name: &str, objs: &[u32]) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        for &o in objs {
+            b.write(oid(o), imm(1));
+        }
+        b.ret(vec![]);
+        b.build().unwrap()
+    }
+
+    fn reader(name: &str, objs: &[u32]) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        for (i, &o) in objs.iter().enumerate() {
+            b.read(oid(o), i as u8);
+        }
+        b.ret(vec![reg(0)]);
+        b.build().unwrap()
+    }
+
+    fn rmw(name: &str, read: u32, write: u32) -> Program {
+        let mut b = ProgramBuilder::new(name);
+        b.read(oid(read), 0);
+        b.write(oid(write), reg(0));
+        b.ret(vec![]);
+        b.build().unwrap()
+    }
+
+    /// One program per reachable mover class: `q0` read-only, `wp`
+    /// both-mover (private object), `wq` right-mover (conflicts only
+    /// with the query), `wu`/`wu2` left-movers (conflict only with
+    /// each other, both updates).
+    fn genuine_cert() -> (Vec<Program>, CommuteCert) {
+        let progs = vec![
+            reader("q0", &[0]),
+            writer("wq", &[0]),
+            writer("wp", &[5]),
+            writer("wu", &[1]),
+            rmw("wu2", 1, 2),
+        ];
+        let refs: Vec<&Program> = progs.iter().collect();
+        let mut programs: Vec<CommuteProgramEntry> = progs
+            .iter()
+            .map(|p| CommuteProgramEntry {
+                name: p.name().to_string(),
+                update: p.is_potential_update(),
+                refined: false,
+                reads: p.potential_reads().into_iter().collect(),
+                writes: p.potential_writes().into_iter().collect(),
+                class: MoverClass::NonMover,
+            })
+            .collect();
+        for i in 0..programs.len() {
+            programs[i].class = derive_class(&programs, i);
+        }
+        let matrix = CommuteMatrix::derive(&programs);
+        let cert = CommuteCert {
+            num_objects: 6,
+            programs_fp: fingerprint_programs(&refs),
+            programs,
+            matrix,
+            side_conditions: COMMUTE_SIDE_CONDITIONS
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        };
+        (progs, cert)
+    }
+
+    #[test]
+    fn accepts_genuine_certificate() {
+        let (progs, cert) = genuine_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+        let v = audit_commute(&refs, &cert.to_json()).unwrap();
+        assert_eq!(v.num_programs, 5);
+        assert_eq!(v.read_only, 1);
+        assert_eq!(v.non_movers, 0);
+        assert!(v.commuting_pairs > 0);
+        assert!(!v.refined_attested);
+        assert_eq!(cert.programs[0].class, MoverClass::ReadOnly);
+        assert_eq!(cert.programs[1].class, MoverClass::RightMover);
+        assert_eq!(cert.programs[2].class, MoverClass::BothMover);
+        assert_eq!(cert.programs[3].class, MoverClass::LeftMover);
+        assert_eq!(cert.programs[4].class, MoverClass::LeftMover);
+    }
+
+    #[test]
+    fn rejects_a_fabricated_commutation() {
+        let (progs, mut cert) = genuine_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+        // Pretend the conflicting wq has no writes *for matrix purposes
+        // only*: the listed matrix gains pairs its footprints refute.
+        let mut forged = cert.programs.clone();
+        forged[1].writes.clear();
+        cert.matrix = CommuteMatrix::derive(&forged);
+        let err = audit_commute(&refs, &cert.to_json()).unwrap_err();
+        assert!(err.contains("fabricated commutation"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_dropped_commutation() {
+        let (progs, mut cert) = genuine_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+        // Derive the matrix from footprints with an extra conflict: the
+        // listed matrix now *misses* pairs the real footprints admit.
+        let mut forged = cert.programs.clone();
+        forged[2].writes = vec![oid(0), oid(5)];
+        cert.matrix = CommuteMatrix::derive(&forged);
+        let err = audit_commute(&refs, &cert.to_json()).unwrap_err();
+        assert!(err.contains("silently dropped commutation"), "{err}");
+    }
+
+    #[test]
+    fn rejects_a_mutated_mover_class() {
+        let (progs, mut cert) = genuine_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+        cert.programs[0].class = MoverClass::BothMover;
+        let err = audit_commute(&refs, &cert.to_json()).unwrap_err();
+        assert!(err.contains("mover class"), "{err}");
+    }
+
+    #[test]
+    fn rejects_wrong_program_binding() {
+        let (progs, cert) = genuine_cert();
+        let refs: Vec<&Program> = vec![&progs[1], &progs[0], &progs[2], &progs[3], &progs[4]];
+        let err = audit_commute(&refs, &cert.to_json()).unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn rejects_tampered_side_conditions() {
+        let (progs, cert) = genuine_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+
+        let mut c = cert.clone();
+        c.side_conditions.pop();
+        let err = audit_commute(&refs, &c.to_json()).unwrap_err();
+        assert!(err.contains("side conditions"), "{err}");
+
+        let mut c = cert;
+        c.side_conditions[0] = "footprints-are-exact".into();
+        let err = audit_commute(&refs, &c.to_json()).unwrap_err();
+        assert!(err.contains("side conditions"), "{err}");
+    }
+
+    #[test]
+    fn refined_claims_are_attested_but_bounded() {
+        let (progs, cert) = genuine_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+
+        // Shrunken claim without the refined flag rejects.
+        let mut c = cert.clone();
+        c.programs[4].reads.clear();
+        let err = audit_commute(&refs, &c.to_json()).unwrap_err();
+        assert!(err.contains("not marked refined"), "{err}");
+
+        // With the flag, a sound shrink is attested — but the matrix
+        // and classes must be recomputed over the shrunken footprints.
+        let mut c = cert.clone();
+        c.programs[4].reads.clear();
+        c.programs[4].refined = true;
+        for i in 0..c.programs.len() {
+            c.programs[i].class = derive_class(&c.programs, i);
+        }
+        c.matrix = CommuteMatrix::derive(&c.programs);
+        let v = audit_commute(&refs, &c.to_json()).unwrap();
+        assert!(v.refined_attested);
+
+        // An inflated claim rejects even when marked refined.
+        let mut c = cert;
+        c.programs[2].writes = vec![oid(4), oid(5)];
+        c.programs[2].refined = true;
+        let err = audit_commute(&refs, &c.to_json()).unwrap_err();
+        assert!(err.contains("exceeds the syntactic"), "{err}");
+    }
+
+    #[test]
+    fn rejects_structural_damage() {
+        let (progs, cert) = genuine_cert();
+        let refs: Vec<&Program> = progs.iter().collect();
+
+        // Asymmetric matrix: drop one direction of a commuting pair.
+        let mut c = cert.clone();
+        let row0: Vec<u32> = c.matrix.row(0).to_vec();
+        let partner = row0.iter().copied().find(|&j| j != 0).unwrap();
+        let cols: Vec<u32> = c
+            .matrix
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|&(k, &j)| {
+                !(j == partner
+                    && (c.matrix.offsets[0] as usize..c.matrix.offsets[1] as usize).contains(&k))
+            })
+            .map(|(_, &j)| j)
+            .collect();
+        for o in c.matrix.offsets.iter_mut().skip(1) {
+            *o -= 1;
+        }
+        c.matrix.cols = cols;
+        let err = audit_commute(&refs, &c.to_json()).unwrap_err();
+        assert!(err.contains("symmetric"), "{err}");
+
+        // Universe too small for the footprints.
+        let mut c = cert;
+        c.num_objects = 2;
+        let err = audit_commute(&refs, &c.to_json()).unwrap_err();
+        assert!(err.contains("universe"), "{err}");
     }
 }

@@ -653,10 +653,20 @@ pub struct CheckerBenchRow {
     pub node_speedup: Option<f64>,
     /// `naive_ms / pruned_ms`; `None` when naive was budget-capped.
     pub wall_speedup: Option<f64>,
+    /// Commutativity skips the default (symmetry-on) search charged:
+    /// extension steps refused because a provably-independent lower-index
+    /// m-operation was schedulable (the canonical representative covers
+    /// the skipped interleaving).
+    pub symmetry_skips: u64,
+    /// Nodes the same search expands with symmetry reduction ablated
+    /// (`SearchLimits::without_symmetry`) — the PR 5 engine's behavior.
+    pub nosym_nodes: u64,
+    /// Wall time (ms) of the ablated search, single-threaded, best of 3.
+    pub nosym_ms: f64,
 }
 
 impl CheckerBenchRow {
-    /// The row as a JSON object (`BENCH_checker.json` version 2 schema).
+    /// The row as a JSON object (`BENCH_checker.json` version 3 schema).
     pub fn to_json(&self) -> Json {
         let naive = match self.naive {
             Some((ms, nodes)) => Json::Obj(vec![
@@ -709,6 +719,18 @@ impl CheckerBenchRow {
             (
                 "wall_speedup".into(),
                 self.wall_speedup.map_or(Json::Null, Json::Num),
+            ),
+            (
+                "symmetry".into(),
+                Json::Obj(vec![
+                    ("skips".into(), num(self.symmetry_skips as i64)),
+                    ("nodes_without".into(), num(self.nosym_nodes as i64)),
+                    ("ms_without".into(), Json::Num(self.nosym_ms)),
+                    (
+                        "node_reduction".into(),
+                        Json::Num(self.nosym_nodes as f64 / self.pruned_nodes.max(1) as f64),
+                    ),
+                ]),
             ),
         ])
     }
@@ -880,6 +902,30 @@ pub fn experiment_certified_checker(budget: u64) -> Vec<CheckerBenchRow> {
         }
         let (pruned_out, pruned_stats) = pruned.expect("three timed runs");
 
+        // Symmetry ablation: the same pruned search with the
+        // commutativity-aware reduction disabled (the pre-symmetry
+        // engine). Verdicts must agree; the node delta is the measured
+        // value of the commute certificate inside the checker.
+        let nosym_limits = limits.without_symmetry();
+        let mut nosym_ms = f64::INFINITY;
+        let mut nosym = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let result = find_legal_extension_pruned(&h, &rel, nosym_limits);
+            nosym_ms = nosym_ms.min(start.elapsed().as_secs_f64() * 1_000.0);
+            nosym = Some(result);
+        }
+        let (nosym_out, nosym_stats) = nosym.expect("three timed runs");
+        if !matches!(nosym_out, SearchOutcome::LimitExceeded)
+            && !matches!(pruned_out, SearchOutcome::LimitExceeded)
+        {
+            assert_eq!(
+                nosym_out.is_admissible(),
+                pruned_out.is_admissible(),
+                "{family}: symmetry reduction must not change the verdict"
+            );
+        }
+
         let mut parallel = Vec::new();
         for threads in BENCH_THREAD_COUNTS {
             let t_limits = limits.with_threads(threads);
@@ -958,6 +1004,9 @@ pub fn experiment_certified_checker(budget: u64) -> Vec<CheckerBenchRow> {
             parallel,
             node_speedup: naive.map(|(_, nodes)| nodes as f64 / pruned_stats.nodes.max(1) as f64),
             wall_speedup: naive.map(|(ms, _)| ms / pruned_ms.max(1e-6)),
+            symmetry_skips: pruned_stats.symmetry_skips,
+            nosym_nodes: nosym_stats.nodes,
+            nosym_ms,
         });
     }
     rows
@@ -983,6 +1032,8 @@ pub fn checker_bench_table(rows: &[CheckerBenchRow]) -> Table {
             "fast ms",
             "t2/t4/t8 ms",
             "node speedup",
+            "sym skips",
+            "nosym nodes",
         ],
     );
     for r in rows {
@@ -1017,15 +1068,18 @@ pub fn checker_bench_table(rows: &[CheckerBenchRow]) -> Table {
             r.node_speedup
                 .map(|s| format!("{s:.1}x"))
                 .unwrap_or_else(|| "-".into()),
+            r.symmetry_skips.to_string(),
+            r.nosym_nodes.to_string(),
         ]);
     }
     t
 }
 
 /// Serializes the certified-checker rows as the `BENCH_checker.json`
-/// version 2 document, headlined by the best completed-naive node speedup
-/// among the component families and stamped with the parallelism the
-/// machine actually offered.
+/// version 3 document (version 2 plus per-row `symmetry` ablation
+/// objects), headlined by the best completed-naive node speedup among
+/// the component families and stamped with the parallelism the machine
+/// actually offered.
 pub fn checker_bench_json(rows: &[CheckerBenchRow]) -> String {
     let headline = rows
         .iter()
@@ -1043,7 +1097,7 @@ pub fn checker_bench_json(rows: &[CheckerBenchRow]) -> String {
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut fields = vec![
         ("bench".into(), jstr("checker")),
-        ("version".into(), num(2)),
+        ("version".into(), num(3)),
         ("cpus".into(), num(cpus as i64)),
         (
             "rows".into(),
@@ -1589,10 +1643,19 @@ mod tests {
         assert_eq!(poisoned.verdict, "inadmissible");
         assert_eq!(poisoned.pruned_nodes, 0);
         assert!(poisoned.forced_edges > 0);
-        // The JSON document round-trips and carries the v2 fields.
+        // The symmetry ablation: verdict-preserving by construction, and
+        // at least one torn/shred family must show a measured node-count
+        // reduction over the symmetry-off engine.
+        assert!(
+            rows.iter()
+                .filter(|r| r.family.starts_with("torn-") || r.family.starts_with("shred-"))
+                .any(|r| r.symmetry_skips > 0 && r.nosym_nodes > r.pruned_nodes),
+            "no torn/shred family shows a symmetry node reduction"
+        );
+        // The JSON document round-trips and carries the v3 fields.
         let doc = moc_core::json::parse(&checker_bench_json(&rows)).unwrap();
         assert_eq!(doc.get("bench").and_then(Json::as_str), Some("checker"));
-        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(3));
         assert!(doc.get("cpus").and_then(Json::as_u64).unwrap() >= 1);
         assert_eq!(
             doc.get("rows").and_then(Json::as_arr).map(|a| a.len()),
@@ -1605,6 +1668,10 @@ mod tests {
         let pruned = first.get("pruned").unwrap();
         assert!(pruned.get("memo_hits").is_some());
         assert!(pruned.get("memo_peak").is_some());
+        let symmetry = first.get("symmetry").expect("v3 symmetry object");
+        assert!(symmetry.get("skips").is_some());
+        assert!(symmetry.get("nodes_without").is_some());
+        assert!(symmetry.get("node_reduction").is_some());
         // The torn families mark the fast path inapplicable explicitly.
         let torn_json = doc
             .get("rows")

@@ -39,6 +39,13 @@ pub struct SearchLimits {
     /// [`crate::precedence::pruned_search`]. Verdicts, witnesses and stats
     /// are identical for every value; this knob only trades wall clock.
     pub threads: usize,
+    /// Whether to apply the commutativity-based symmetry reduction: among
+    /// adjacent schedule positions holding *independent* m-operations (no
+    /// precedence edge either way, commuting footprints), only the
+    /// canonical ascending order is explored. Always sound — every
+    /// schedule canonicalizes to an explored one by adjacent swaps that
+    /// preserve legality — and disabled only for the ablation benchmark.
+    pub symmetry: bool,
 }
 
 impl SearchLimits {
@@ -54,6 +61,12 @@ impl SearchLimits {
     /// Disables the memo table (ablation).
     pub fn without_memo(mut self) -> Self {
         self.memoize = false;
+        self
+    }
+
+    /// Disables the symmetry reduction (ablation).
+    pub fn without_symmetry(mut self) -> Self {
+        self.symmetry = false;
         self
     }
 
@@ -77,6 +90,7 @@ impl Default for SearchLimits {
             memoize: true,
             max_memo_entries: 1 << 20,
             threads: 1,
+            symmetry: true,
         }
     }
 }
@@ -131,6 +145,10 @@ pub struct SearchStats {
     /// eviction. Distinguishes a genuinely exhausted search from a
     /// memo-limited one in exhaustion certificates.
     pub memo_saturated: bool,
+    /// Candidate expansions skipped by the symmetry reduction: schedulable
+    /// m-operations not explored because the commuting adjacent pair is
+    /// covered in its canonical (ascending) order.
+    pub symmetry_skips: u64,
 }
 
 /// Result of the admissibility search.
@@ -388,6 +406,37 @@ mod tests {
             "memo can only prune: {s1:?} vs {s2:?}"
         );
         assert_eq!(s2.memo_hits, 0);
+    }
+
+    #[test]
+    fn symmetry_reduction_prunes_but_agrees() {
+        // The classic SC litmus (inadmissible, forcing exhaustion) padded
+        // with independent writers of distinct objects: without the
+        // reduction the search permutes the independent writers, with it
+        // only their ascending order survives.
+        let x = oid(0);
+        let y = oid(1);
+        let mut b = HistoryBuilder::new(6);
+        b.mop(pid(0)).at(0, 10).write(x, 1).finish();
+        b.mop(pid(0)).at(20, 30).read_init(y).finish();
+        b.mop(pid(1)).at(0, 10).write(y, 1).finish();
+        b.mop(pid(1)).at(20, 30).read_init(x).finish();
+        for k in 0..4u32 {
+            b.mop(pid(10 + k)).at(0, 10).write(oid(2 + k), 7).finish();
+        }
+        let h = b.build().unwrap();
+        let rel = process_order(&h).union(&reads_from(&h));
+        let (on, s_on) = find_legal_extension(&h, &rel, SearchLimits::default());
+        let (off, s_off) =
+            find_legal_extension(&h, &rel, SearchLimits::default().without_symmetry());
+        assert_eq!(on, SearchOutcome::NotAdmissible);
+        assert_eq!(off, SearchOutcome::NotAdmissible);
+        assert!(s_on.symmetry_skips > 0, "{s_on:?}");
+        assert_eq!(s_off.symmetry_skips, 0);
+        assert!(
+            s_on.nodes < s_off.nodes,
+            "reduction must shrink the explored tree: {s_on:?} vs {s_off:?}"
+        );
     }
 
     #[test]

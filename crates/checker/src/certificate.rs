@@ -202,6 +202,10 @@ fn proof_to_json(proof: &Proof) -> Json {
             ("components".into(), json::num(stats.components as i64)),
             ("peeled".into(), json::num(stats.peeled as i64)),
             ("forced_edges".into(), json::num(stats.forced_edges as i64)),
+            (
+                "symmetry_skips".into(),
+                json::num(stats.symmetry_skips as i64),
+            ),
         ]),
     }
 }

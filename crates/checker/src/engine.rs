@@ -17,6 +17,16 @@
 //!   [`BitSet`], adjacency lives in [`Csr`] arenas, and undo information
 //!   goes through one reusable stack: the DFS hot path performs no heap
 //!   allocation.
+//! * **Commutativity symmetry reduction.** From the history's concrete
+//!   footprints the problem precomputes a pairwise *independence* matrix
+//!   (no relation edge either way, commuting footprints). The DFS then
+//!   explores only the canonical ascending order of adjacent independent
+//!   m-operations: with `p` scheduled last, a schedulable `j < p`
+//!   independent of `p` is skipped, because the schedule continuing
+//!   `…, j, p` reaches the identical state and is explored instead. To keep
+//!   memoization sound under the skip rule (whose successor set depends on
+//!   the last move), the identity of the last scheduled m-operation is
+//!   folded into the state hash via a third Zobrist key family.
 //! * **Work-stealing parallelism.** Interaction components fan out across a
 //!   `crossbeam::thread::scope`; within a component the top-level branch
 //!   frontier (the legal first moves after forced-prefix peeling) is split
@@ -83,6 +93,13 @@ fn splitmix64(state: &mut u64) -> u64 {
 pub(crate) struct ZobristKeys {
     op_keys: Vec<u64>,
     writer_keys: Vec<u64>,
+    /// Keys for "scheduled last": one per m-operation. Folded into the
+    /// hash only under the symmetry reduction, whose skip set depends on
+    /// the last scheduled m-operation — without them, two states equal in
+    /// (scheduled set, last-writer map) but reached through different
+    /// last moves would share a memo entry despite exploring different
+    /// successor sets, and a memo hit would be unsound.
+    last_keys: Vec<u64>,
     /// Keys per object: one per m-operation plus the trailing NONE slot.
     stride: usize,
 }
@@ -95,9 +112,12 @@ impl ZobristKeys {
         let writer_keys = (0..num_objects * stride)
             .map(|_| splitmix64(&mut state))
             .collect();
+        // Drawn after the op/writer keys so those streams are unchanged.
+        let last_keys = (0..n).map(|_| splitmix64(&mut state)).collect();
         ZobristKeys {
             op_keys,
             writer_keys,
+            last_keys,
             stride,
         }
     }
@@ -105,6 +125,11 @@ impl ZobristKeys {
     #[inline]
     pub(crate) fn op(&self, i: usize) -> u64 {
         self.op_keys[i]
+    }
+
+    #[inline]
+    pub(crate) fn last_op(&self, i: u32) -> u64 {
+        self.last_keys[i as usize]
     }
 
     #[inline]
@@ -263,6 +288,14 @@ pub(crate) struct SearchProblem {
     pub(crate) read_reqs: Csr<(u32, u32)>,
     /// Objects written per m-operation.
     pub(crate) write_sets: Csr<u32>,
+    /// Pairwise independence for the symmetry reduction: `indep[i]`
+    /// contains `j` iff `i != j`, no direct relation edge connects them in
+    /// either direction, and their footprints commute (disjoint writes,
+    /// neither writing what the other reads). Swapping an adjacent
+    /// independent pair in a schedule preserves both legality and the
+    /// resulting last-writer state, so only the ascending order of such a
+    /// pair needs exploring.
+    pub(crate) indep: Vec<BitSet>,
     pub(crate) keys: ZobristKeys,
 }
 
@@ -283,6 +316,7 @@ impl SearchProblem {
                 .map(|o| o.index() as u32)
                 .collect()
         });
+        let indep = independence(h.num_objects(), n, &read_reqs, &write_sets, edges);
         let keys = ZobristKeys::new(n, h.num_objects());
         SearchProblem {
             n,
@@ -290,9 +324,54 @@ impl SearchProblem {
             preds,
             read_reqs,
             write_sets,
+            indep,
             keys,
         }
     }
+}
+
+/// Builds the pairwise independence matrix (see [`SearchProblem::indep`]).
+/// Footprints here are the *history's* concrete footprints — external read
+/// requirements plus write sets — so the reduction is exact, not an
+/// over-approximation.
+fn independence(
+    num_objects: usize,
+    n: usize,
+    read_reqs: &Csr<(u32, u32)>,
+    write_sets: &Csr<u32>,
+    edges: &[(u32, u32)],
+) -> Vec<BitSet> {
+    let mut touch: Vec<BitSet> = (0..n).map(|_| BitSet::new(num_objects)).collect();
+    let mut writes: Vec<BitSet> = (0..n).map(|_| BitSet::new(num_objects)).collect();
+    for i in 0..n {
+        for &(o, _) in read_reqs.row(i) {
+            touch[i].insert(o as usize);
+        }
+        for &o in write_sets.row(i) {
+            touch[i].insert(o as usize);
+            writes[i].insert(o as usize);
+        }
+    }
+    let mut related: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    for &(a, b) in edges {
+        related[a as usize].insert(b as usize);
+        related[b as usize].insert(a as usize);
+    }
+    let disjoint =
+        |a: &BitSet, b: &BitSet| a.words().iter().zip(b.words()).all(|(&x, &y)| x & y == 0);
+    let mut indep: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+    for i in 0..n {
+        for j in i + 1..n {
+            if !related[i].contains(j)
+                && disjoint(&writes[i], &touch[j])
+                && disjoint(&writes[j], &touch[i])
+            {
+                indep[i].insert(j);
+                indep[j].insert(i);
+            }
+        }
+    }
+    indep
 }
 
 /// One interaction component, compiled to its post-peel start state and
@@ -407,6 +486,7 @@ struct BranchResult {
     memo_hits: u64,
     memo_peak: u64,
     memo_saturated: bool,
+    symmetry_skips: u64,
     /// Schedule of the branch (first move included) when admissible.
     order: Vec<u32>,
 }
@@ -484,6 +564,7 @@ struct Fold {
     memo_hits: u64,
     memo_peak: u64,
     memo_saturated: bool,
+    symmetry_skips: u64,
     peeled: u64,
 }
 
@@ -498,6 +579,7 @@ fn fold(
         memo_hits: 0,
         memo_peak: 0,
         memo_saturated: false,
+        symmetry_skips: 0,
         peeled: 0,
     };
     let mut winners: Vec<Option<usize>> = vec![None; plans.len()];
@@ -535,6 +617,7 @@ fn fold(
             f.memo_hits += r.memo_hits;
             f.memo_peak = f.memo_peak.max(r.memo_peak);
             f.memo_saturated |= r.memo_saturated;
+            f.symmetry_skips += r.symmetry_skips;
             if f.nodes > limits.max_nodes {
                 f.outcome = Some(SearchOutcome::LimitExceeded);
                 return f;
@@ -583,6 +666,8 @@ struct SearchContext<'p> {
     hash: u64,
     table: TranspositionTable,
     memoize: bool,
+    symmetry: bool,
+    symmetry_skips: u64,
     nodes: u64,
     max_nodes: u64,
     remaining: usize,
@@ -613,6 +698,8 @@ impl<'p> SearchContext<'p> {
             hash: 0,
             table: TranspositionTable::new(limits.max_memo_entries),
             memoize: limits.memoize,
+            symmetry: limits.symmetry,
+            symmetry_skips: 0,
             nodes: 0,
             max_nodes: limits.max_nodes,
             remaining: 0,
@@ -626,12 +713,23 @@ impl<'p> SearchContext<'p> {
         self.undo.clear();
         self.hash = plan.hash;
         self.table.reset();
+        self.symmetry_skips = 0;
         self.nodes = 0;
         self.remaining = plan.members.len();
     }
 
+    /// Key of the branch-local last scheduled m-operation (0 at the
+    /// branch root, where the skip rule is inactive anyway).
+    #[inline]
+    fn last_op_key(&self) -> u64 {
+        self.order.last().map_or(0, |&p| self.p.keys.last_op(p))
+    }
+
     #[inline]
     fn schedule(&mut self, i: usize) {
+        if self.symmetry {
+            self.hash ^= self.last_op_key() ^ self.p.keys.last_op(i as u32);
+        }
         self.scheduled.insert(i);
         self.remaining -= 1;
         self.order.push(i as u32);
@@ -656,6 +754,9 @@ impl<'p> SearchContext<'p> {
         self.order.pop();
         self.remaining += 1;
         self.scheduled.remove(i);
+        if self.symmetry {
+            self.hash ^= self.p.keys.last_op(i as u32) ^ self.last_op_key();
+        }
     }
 
     fn run_task(&mut self, members: &[u32], first: u32, cancel: &CancelCtx<'_>) -> Step {
@@ -685,6 +786,14 @@ impl<'p> SearchContext<'p> {
         if self.memoize && self.table.check_and_insert(self.hash) {
             return Step::Refuted;
         }
+        // Symmetry reduction: with `p` scheduled last, a schedulable `j < p`
+        // independent of `p` is skipped — the schedule continuing `…, j, p`
+        // (identical state, canonical order) covers it.
+        let last = if self.symmetry {
+            self.order.last().copied()
+        } else {
+            None
+        };
         for &iu in members {
             let i = iu as usize;
             if self.scheduled.contains(i) {
@@ -707,6 +816,12 @@ impl<'p> SearchContext<'p> {
                 .all(|&(o, w)| self.last_writer[o as usize] == w)
             {
                 continue;
+            }
+            if let Some(p) = last {
+                if iu < p && self.p.indep[p as usize].contains(i) {
+                    self.symmetry_skips += 1;
+                    continue;
+                }
             }
             let mark = self.undo.len();
             self.schedule(i);
@@ -763,6 +878,7 @@ fn worker_loop(
             memo_hits: ctx.table.hits(),
             memo_peak: ctx.table.peak_occupancy() as u64,
             memo_saturated: ctx.table.saturated(),
+            symmetry_skips: ctx.symmetry_skips,
             order: if step == Step::Admissible {
                 ctx.order.clone()
             } else {
@@ -846,6 +962,7 @@ pub(crate) fn execute(
         memo_hits: f.memo_hits,
         memo_peak: f.memo_peak,
         memo_saturated: f.memo_saturated,
+        symmetry_skips: f.symmetry_skips,
         peeled: f.peeled,
         ..SearchStats::default()
     };

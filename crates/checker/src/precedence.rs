@@ -694,6 +694,7 @@ pub fn pruned_search(
     stats.memo_hits = engine_stats.memo_hits;
     stats.memo_peak = engine_stats.memo_peak;
     stats.memo_saturated = engine_stats.memo_saturated;
+    stats.symmetry_skips = engine_stats.symmetry_skips;
     stats.peeled = engine_stats.peeled;
     (outcome, stats)
 }

@@ -173,6 +173,24 @@ proptest! {
     }
 
     #[test]
+    fn symmetry_reduction_agrees_with_its_ablation(
+        plan in proptest::collection::vec(step_strategy(), 1..9),
+        choices in proptest::collection::vec(any::<u8>(), 1..16),
+    ) {
+        let h = scramble(&serial_from_plan(&plan), &choices);
+        let rel = process_order(&h).union(&reads_from(&h));
+        let limits = SearchLimits::with_max_nodes(300_000);
+        let (on, _) = find_legal_extension(&h, &rel, limits);
+        let (off, s_off) = find_legal_extension(&h, &rel, limits.without_symmetry());
+        if !matches!(on, SearchOutcome::LimitExceeded)
+            && !matches!(off, SearchOutcome::LimitExceeded)
+        {
+            prop_assert_eq!(on.is_admissible(), off.is_admissible());
+            prop_assert_eq!(s_off.symmetry_skips, 0);
+        }
+    }
+
+    #[test]
     fn emitted_certificates_pass_the_independent_audit(
         plan in proptest::collection::vec(step_strategy(), 1..8),
         choices in proptest::collection::vec(any::<u8>(), 1..12),

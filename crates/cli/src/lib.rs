@@ -129,12 +129,28 @@ USAGE:
   moc audit  <history-file|-> <cert-file>
       Independently re-validate a moc-cert certificate against a history:
       replay the witness, or check the ~H+ refutation cycle edge by edge.
-  moc audit  <shard-cert-file|-> --programs demo|disjoint|protocol|
+  moc audit  <cert-file|-> --programs demo|disjoint|protocol|
              shardable|hub [--shards N]
-      Re-validate a moc-shard-cert document against the named workload's
-      program set: fingerprint binding, partition well-formedness,
-      footprint closure, cross-shard edge coverage (a dropped or
-      fabricated edge rejects) and the composition verdict.
+      Re-validate a program-set certificate against the named workload,
+      dispatching on its format tag. moc-shard-cert: fingerprint binding,
+      partition well-formedness, footprint closure, cross-shard edge
+      coverage (a dropped or fabricated edge rejects) and the composition
+      verdict. moc-commute-cert: fingerprint binding, footprint bounds,
+      full matrix recomputation (a fabricated or dropped commutation
+      rejects) and every mover class re-derived.
+  moc commute [--workload demo|disjoint|protocol|shardable|hub]
+             [--format human|json] [--max-shard-size N] [--shards N]
+             [--objects M] [--certificate PATH|-] [--require-progress]
+      Run the commutativity & mover pass: derive the pairwise commutation
+      matrix from the refined may/must footprints, classify every program
+      read-only / left- / right- / both- / non-mover (Lipton), lint the
+      configuration (MOC0012 all-pairs-conflict, MOC0013 read-only in
+      global order, MOC0014 commuting pair straddles shards) and emit a
+      versioned moc-commute-cert document (re-validatable with
+      `moc audit --programs`). --require-progress exits 1 when no
+      distinct pair commutes (MOC0012 territory: nothing for the
+      symmetry-pruned checker or the delivery fast path to exploit).
+      See docs/ANALYZER.md.
   moc chaos  [--protocol msc|mlin|both] [--abcast fixed|view]
              [--faults none|lossy|lossy-dup|partition|crash|storm|
              leader-crash-quiet|leader-crash-burst|leader-crash-repeat|
@@ -217,6 +233,10 @@ pub fn dispatch_with_status(raw: &[String], stdin: &str) -> (Result<String, Stri
             Err(e) => Err(e),
         },
         "shard" => match cmd_shard(&args) {
+            Ok((out, code)) => return (Ok(out), code),
+            Err(e) => Err(e),
+        },
+        "commute" => match cmd_commute(&args) {
             Ok((out, code)) => return (Ok(out), code),
             Err(e) => Err(e),
         },
@@ -503,14 +523,15 @@ fn workload_programs(
 }
 
 fn cmd_audit(args: &Args, stdin: &str) -> Result<(String, i32), String> {
-    // Shard-certificate mode: `moc audit <cert-file|-> --programs <workload>`
-    // re-validates a moc-shard-cert document against the named workload's
-    // program set (no history involved).
+    // Program-set certificate mode: `moc audit <cert-file|-> --programs
+    // <workload>` re-validates a moc-shard-cert or moc-commute-cert
+    // document (dispatched on its format tag) against the named
+    // workload's program set (no history involved).
     if let Some(workload) = args.options.get("programs").cloned() {
         let cert_path = args
             .positional
             .first()
-            .ok_or("expected a shard-certificate file (or `-` for stdin)")?;
+            .ok_or("expected a certificate file (or `-` for stdin)")?;
         let cert_text = if cert_path == "-" {
             stdin.to_string()
         } else {
@@ -519,24 +540,54 @@ fn cmd_audit(args: &Args, stdin: &str) -> Result<(String, i32), String> {
         };
         let programs = workload_programs(args, &workload)?;
         let refs: Vec<&moc_core::program::Program> = programs.iter().map(|p| p.as_ref()).collect();
-        return match moc_audit::audit_shard(&refs, &cert_text) {
-            Ok(v) => Ok((
-                format!(
-                    "shard certificate VALID: {} shard(s), {}/{} single-shard program(s), \
-                     {} cross-shard edge(s){}\n",
-                    v.num_shards,
-                    v.single_shard_programs,
-                    refs.len(),
-                    v.cross_edges,
-                    if v.refined_attested {
-                        "; refined footprints attested"
-                    } else {
-                        ""
-                    }
-                ),
-                0,
+        let format = moc_core::json::parse(&cert_text)
+            .map_err(|e| format!("cannot parse {cert_path}: {e}"))?
+            .get("format")
+            .and_then(moc_core::json::Json::as_str)
+            .map(str::to_string)
+            .ok_or("certificate has no \"format\" tag")?;
+        return match format.as_str() {
+            "moc-shard-cert" => match moc_audit::audit_shard(&refs, &cert_text) {
+                Ok(v) => Ok((
+                    format!(
+                        "shard certificate VALID: {} shard(s), {}/{} single-shard program(s), \
+                         {} cross-shard edge(s){}\n",
+                        v.num_shards,
+                        v.single_shard_programs,
+                        refs.len(),
+                        v.cross_edges,
+                        if v.refined_attested {
+                            "; refined footprints attested"
+                        } else {
+                            ""
+                        }
+                    ),
+                    0,
+                )),
+                Err(reason) => Ok((format!("shard certificate REJECTED: {reason}\n"), 1)),
+            },
+            "moc-commute-cert" => match moc_audit::audit_commute(&refs, &cert_text) {
+                Ok(v) => Ok((
+                    format!(
+                        "commute certificate VALID: {} program(s), {} commuting pair(s), \
+                         {} read-only, {} non-mover(s){}\n",
+                        v.num_programs,
+                        v.commuting_pairs,
+                        v.read_only,
+                        v.non_movers,
+                        if v.refined_attested {
+                            "; refined footprints attested"
+                        } else {
+                            ""
+                        }
+                    ),
+                    0,
+                )),
+                Err(reason) => Ok((format!("commute certificate REJECTED: {reason}\n"), 1)),
+            },
+            other => Err(format!(
+                "unknown certificate format {other:?} (moc-shard-cert|moc-commute-cert)"
             )),
-            Err(reason) => Ok((format!("shard certificate REJECTED: {reason}\n"), 1)),
         };
     }
     let h = load_history(args, stdin)?;
@@ -663,6 +714,76 @@ fn cmd_shard(args: &Args) -> Result<(String, i32), String> {
                     &mut o,
                     format_args!("required composition class {tok} is NOT enforced per-shard\n"),
                 );
+            }
+            o
+        }
+        "json" => {
+            let mut j = analysis.render_json();
+            j.push('\n');
+            j
+        }
+        other => return Err(format!("unknown format {other:?} (human|json)")),
+    };
+    if let Some(dest) = args.options.get("certificate") {
+        let text = analysis.cert.to_json();
+        if dest == "-" {
+            out.push_str(&text);
+            out.push('\n');
+        } else {
+            std::fs::write(dest, text + "\n").map_err(|e| format!("cannot write {dest}: {e}"))?;
+        }
+    }
+    Ok((out, code))
+}
+
+fn cmd_commute(args: &Args) -> Result<(String, i32), String> {
+    let workload = args
+        .options
+        .get("workload")
+        .map(String::as_str)
+        .unwrap_or("demo");
+    let programs = workload_programs(args, workload)?;
+    let refs: Vec<&moc_core::program::Program> = programs.iter().map(|p| p.as_ref()).collect();
+    let opts = moc_analyze::ShardOptions {
+        max_shard_size: match args.get_usize("max-shard-size", 0)? {
+            0 => None,
+            n => Some(n),
+        },
+    };
+    let objects = args.get_usize("objects", 0)?;
+    let analysis = moc_analyze::commute_set_with(&refs, objects, opts);
+
+    let mut code = match moc_analyze::max_severity(&analysis.all_findings()) {
+        Some(Severity::Error) => 1,
+        _ => 0,
+    };
+    // "Progress" means a *distinct* commuting pair — the same notion
+    // MOC0012 lints on (self-pairs don't let anything reorder).
+    let distinct_commuting: usize = (0..analysis.cert.programs.len())
+        .map(|i| {
+            analysis
+                .cert
+                .matrix
+                .row(i)
+                .iter()
+                .filter(|&&j| (j as usize) > i)
+                .count()
+        })
+        .sum();
+    let progress_missing = args.flag("require-progress") && distinct_commuting == 0;
+    if progress_missing {
+        code = 1;
+    }
+    let format = args
+        .options
+        .get("format")
+        .map(String::as_str)
+        .unwrap_or("human");
+    let mut out = match format {
+        "human" => {
+            let mut o = analysis.render_human();
+            if progress_missing {
+                o.push_str("required commutation progress is ABSENT: no distinct pair commutes\n");
             }
             o
         }
@@ -1264,6 +1385,103 @@ mod tests {
             dispatch_with_status(&sv(&["audit", "-", "--programs", "hub"]), &cert.to_json());
         assert_eq!(code, 1);
         assert!(res.unwrap().contains("dropped"));
+    }
+
+    #[test]
+    fn commute_emits_a_certificate_the_auditor_revalidates() {
+        let (out, code) = dispatch_with_status(
+            &sv(&["commute", "--workload", "disjoint", "--certificate", "-"]),
+            "",
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("commutes"), "{out}");
+        let cert_line = out
+            .lines()
+            .rev()
+            .find(|l| l.starts_with('{'))
+            .expect("certificate JSON in output")
+            .to_string();
+        assert!(cert_line.contains("moc-commute-cert"), "{cert_line}");
+
+        // The auditor dispatches on the format tag and re-validates.
+        let (res, code) =
+            dispatch_with_status(&sv(&["audit", "-", "--programs", "disjoint"]), &cert_line);
+        assert_eq!(code, 0, "{res:?}");
+        assert!(res.unwrap().contains("commute certificate VALID"));
+
+        // A mutated certificate (a mover class flipped) is rejected.
+        let mut cert = moc_core::commute::CommuteCert::parse(&cert_line).unwrap();
+        use moc_core::commute::MoverClass;
+        cert.programs[0].class = match cert.programs[0].class {
+            MoverClass::BothMover => MoverClass::NonMover,
+            _ => MoverClass::BothMover,
+        };
+        let (res, code) = dispatch_with_status(
+            &sv(&["audit", "-", "--programs", "disjoint"]),
+            &cert.to_json(),
+        );
+        assert_eq!(code, 1);
+        assert!(res.unwrap().contains("REJECTED"));
+
+        // Binding it to the wrong workload is rejected too.
+        let (res, code) =
+            dispatch_with_status(&sv(&["audit", "-", "--programs", "hub"]), &cert_line);
+        assert_eq!(code, 1);
+        assert!(res.unwrap().contains("fingerprint"));
+    }
+
+    #[test]
+    fn commute_progress_gate_splits_the_workloads() {
+        // Disjoint programs commute freely: the gate passes.
+        let (out, code) = dispatch_with_status(
+            &sv(&["commute", "--workload", "disjoint", "--require-progress"]),
+            "",
+        );
+        assert_eq!(code, 0, "{out:?}");
+
+        // A one-object universe funnels every program through object 0:
+        // no distinct pair commutes (q1's self-pair doesn't count),
+        // MOC0012 fires, and the gate fails.
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "commute",
+                "--workload",
+                "protocol",
+                "--objects",
+                "1",
+                "--require-progress",
+            ]),
+            "",
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 1, "{out}");
+        assert!(out.contains("MOC0012"), "{out}");
+        assert!(out.contains("ABSENT"), "{out}");
+    }
+
+    #[test]
+    fn commute_json_wraps_the_certificate() {
+        let (out, code) = dispatch_with_status(
+            &sv(&["commute", "--workload", "shardable", "--format", "json"]),
+            "",
+        );
+        let json = out.unwrap();
+        assert_eq!(code, 0);
+        assert!(json.contains("\"certificate\""), "{json}");
+        assert!(json.contains("moc-commute-cert"), "{json}");
+        assert!(json.contains("\"commuting_pairs\""), "{json}");
+        let (result, code) = dispatch_with_status(&sv(&["commute", "--format", "nope"]), "");
+        assert!(result.is_err());
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn audit_programs_rejects_untagged_documents() {
+        let (result, code) =
+            dispatch_with_status(&sv(&["audit", "-", "--programs", "demo"]), "{\"x\":1}");
+        assert!(result.is_err());
+        assert_eq!(code, 2);
     }
 
     #[test]

@@ -67,6 +67,7 @@
 
 pub mod bitset;
 pub mod codec;
+pub mod commute;
 pub mod constraints;
 pub mod csr;
 pub mod error;
@@ -83,6 +84,7 @@ pub mod shard;
 pub mod value;
 pub mod vv;
 
+pub use commute::{CommuteCert, CommuteMatrix, CommutePlan, MoverClass};
 pub use error::CoreError;
 pub use history::History;
 pub use ids::{MOpId, ObjectId, ProcessId};

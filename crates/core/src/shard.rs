@@ -161,6 +161,15 @@ impl ShardPlan {
 pub trait Footprinted {
     /// The objects the value may touch.
     fn footprint(&self) -> Vec<ObjectId>;
+
+    /// The objects the value may *write* — must over-approximate every
+    /// dynamic write. The default claims the whole touch footprint,
+    /// which is always sound; implementations with a tighter may-write
+    /// set override this so commutativity-gated delivery (an item with
+    /// disjoint writes may apply out of order) can actually engage.
+    fn write_footprint(&self) -> Vec<ObjectId> {
+        self.footprint()
+    }
 }
 
 /// Conflict kind of a cross-shard edge, mirroring the conflict graph.

@@ -64,6 +64,10 @@ pub struct ChaosConfig {
     /// A certified shard partition installed on every replica's broadcast
     /// before the run, if set. Ignored by single-order broadcasts.
     pub shard_plan: Option<moc_core::shard::ShardPlan>,
+    /// A commute certificate's delivery plan installed on every replica's
+    /// broadcast before the run, if set. Ignored by broadcasts without
+    /// commutativity fast paths.
+    pub commute_plan: Option<moc_core::commute::CommutePlan>,
 }
 
 impl ChaosConfig {
@@ -78,6 +82,7 @@ impl ChaosConfig {
             max_events: 20_000_000,
             failover_timeouts: None,
             shard_plan: None,
+            commute_plan: None,
         }
     }
 
@@ -117,6 +122,13 @@ impl ChaosConfig {
     /// [`crate::ReplicaProtocol::set_shard_plan`]).
     pub fn with_shard_plan(mut self, plan: moc_core::shard::ShardPlan) -> Self {
         self.shard_plan = Some(plan);
+        self
+    }
+
+    /// Installs a commute certificate's delivery plan on every replica's
+    /// broadcast (see [`crate::ReplicaProtocol::set_commute_plan`]).
+    pub fn with_commute_plan(mut self, plan: moc_core::commute::CommutePlan) -> Self {
+        self.commute_plan = Some(plan);
         self
     }
 }
@@ -184,6 +196,9 @@ pub struct ChaosRunReport {
     /// Empty vectors for static broadcasts; deterministic per seed, so
     /// replays must produce identical transcripts.
     pub view_transcripts: Vec<Vec<String>>,
+    /// Per-replica count of deliveries the broadcast applied through a
+    /// commute fast path (all zero without a commute plan installed).
+    pub commute_fast_applied: Vec<u64>,
 }
 
 impl ChaosRunReport {
@@ -441,6 +456,9 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
                 if let Some(plan) = &config.shard_plan {
                     r.set_shard_plan(plan.clone());
                 }
+                if let Some(plan) = &config.commute_plan {
+                    r.set_commute_plan(plan.clone());
+                }
                 r
             },
             link: ReliableLink::new(ProcessId::new(p as u32), n, config.link),
@@ -492,6 +510,7 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
     let mut replica_metrics = Vec::new();
     let mut link_stats = Vec::new();
     let mut view_transcripts = Vec::new();
+    let mut commute_fast_applied = Vec::new();
     for node in nodes {
         anomalies.orphan_completions += node.orphan_completions;
         anomalies.unfinished_ops += node.script.len() as u64 + u64::from(node.inflight.is_some());
@@ -500,6 +519,7 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
         replica_metrics.push(node.replica.metrics());
         link_stats.push(node.link.stats());
         view_transcripts.push(node.replica.abcast_transcript());
+        commute_fast_applied.push(node.replica.commute_fast_applied());
     }
     let history = History::new(config.num_objects, records).map_err(|e| e.to_string());
     ChaosRunReport {
@@ -513,6 +533,7 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
         channel_logs: reference_channels,
         anomalies,
         view_transcripts,
+        commute_fast_applied,
     }
 }
 

@@ -134,6 +134,15 @@ impl moc_core::shard::Footprinted for MOperation {
     fn footprint(&self) -> Vec<moc_core::ids::ObjectId> {
         self.program.referenced_objects().into_iter().collect()
     }
+
+    /// The syntactic may-write set. Tighter than the default (the full
+    /// footprint) yet still a sound over-approximation of what any
+    /// execution can write, so a commute certificate's delivery plan may
+    /// compare it against claimed shard footprints without re-running
+    /// the refinement analysis at delivery time.
+    fn write_footprint(&self) -> Vec<moc_core::ids::ObjectId> {
+        self.program.potential_writes().into_iter().collect()
+    }
 }
 
 impl fmt::Display for MOperation {
@@ -270,6 +279,17 @@ pub trait ReplicaProtocol {
     /// Installs a certified shard partition on the underlying broadcast.
     /// Only conflict-sharded broadcasts react; the default ignores it.
     fn set_shard_plan(&mut self, _plan: moc_core::shard::ShardPlan) {}
+
+    /// Installs a commute certificate's delivery plan on the underlying
+    /// broadcast, unlocking its out-of-order fast paths. Only broadcasts
+    /// with such fast paths react; the default ignores it.
+    fn set_commute_plan(&mut self, _plan: moc_core::commute::CommutePlan) {}
+
+    /// Deliveries the underlying broadcast applied through a commute
+    /// fast path (0 for broadcasts without one).
+    fn commute_fast_applied(&self) -> u64 {
+        0
+    }
 
     /// The delivery log split by ordering channel, trailing empty
     /// channels trimmed. Single-order protocols report one channel (the

@@ -169,6 +169,14 @@ impl<A: Abcast<MOperation>> ReplicaProtocol for MscReplica<A> {
         self.abcast.set_shard_plan(plan);
     }
 
+    fn set_commute_plan(&mut self, plan: moc_core::commute::CommutePlan) {
+        self.abcast.set_commute_plan(plan);
+    }
+
+    fn commute_fast_applied(&self) -> u64 {
+        self.abcast.commute_fast_applied()
+    }
+
     fn channel_logs(&self) -> Vec<Vec<moc_core::ids::MOpId>> {
         match self.abcast.delivery_channels() {
             None => vec![self.delivery_log.clone()],

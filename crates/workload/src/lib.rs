@@ -219,6 +219,23 @@ pub fn shardable_programs(num_shards: usize) -> Vec<Arc<Program>> {
     out
 }
 
+/// A blind cross-shard writer spanning the first two shards of the
+/// [`shardable_programs`] layout (objects 0 and 2): it writes both and
+/// reads nothing. Under a shard plan it routes to the global channel and
+/// conflicts only with shards 0 and 1, so a commute certificate's
+/// delivery plan lets replicas skip every other shard's barrier when
+/// applying it — the fast-path fixture of the commute-gated delivery
+/// tests. Being read-free matters: a cross-shard *reader* could observe
+/// an IRIW-style split between shard channels, which is exactly what the
+/// mover analysis (MOC0014 aside) refuses to certify away.
+pub fn cross_shard_writer_program() -> Arc<Program> {
+    let mut b = ProgramBuilder::new("x-w");
+    b.write(ObjectId::new(0), arg(0))
+        .write(ObjectId::new(2), arg(1))
+        .ret(vec![]);
+    Arc::new(b.build().expect("cross-shard writer is well-formed"))
+}
+
 /// Programs collapsed by one hub object: two otherwise-independent
 /// groups ({0} and {1}) whose writers both also write the hub, object 2.
 /// The interaction graph is a single component held together by the hub,
@@ -273,6 +290,51 @@ pub fn confined_scripts(
                     ),
                     1 => OpSpec::new(rmw.clone(), vec![]),
                     _ => OpSpec::new(q.clone(), vec![]),
+                })
+                .collect();
+            ClientScript::new(ops).with_think_time(think_ns)
+        })
+        .collect()
+}
+
+/// [`confined_scripts`] with cross-shard traffic mixed in: each process
+/// works its own shard but issues a [`cross_shard_writer_program`] write
+/// every fourth operation. The cross writes route to the global channel
+/// and conflict with shards 0 and 1 only, so with a commute plan
+/// installed their delivery may bypass the barriers of shards `>= 2` —
+/// the workload that exercises the certified delivery fast path while
+/// keeping every data conflict barrier-ordered.
+pub fn commuting_scripts(
+    num_shards: usize,
+    processes: usize,
+    ops_per_process: usize,
+    think_ns: u64,
+    rng: &mut StdRng,
+) -> Vec<ClientScript> {
+    let num_shards = num_shards.max(1);
+    let programs = shardable_programs(num_shards);
+    let cross = cross_shard_writer_program();
+    (0..processes)
+        .map(|p| {
+            let s = p % num_shards;
+            let (w, rmw, q) = (&programs[3 * s], &programs[3 * s + 1], &programs[3 * s + 2]);
+            let ops = (0..ops_per_process)
+                .map(|i| {
+                    if i % 4 == 3 {
+                        OpSpec::new(
+                            cross.clone(),
+                            vec![rng.gen_range(0..1_000), rng.gen_range(0..1_000)],
+                        )
+                    } else {
+                        match rng.gen_range(0..3u8) {
+                            0 => OpSpec::new(
+                                w.clone(),
+                                vec![rng.gen_range(0..1_000), rng.gen_range(0..1_000)],
+                            ),
+                            1 => OpSpec::new(rmw.clone(), vec![]),
+                            _ => OpSpec::new(q.clone(), vec![]),
+                        }
+                    }
                 })
                 .collect();
             ClientScript::new(ops).with_think_time(think_ns)

@@ -564,6 +564,175 @@ fn missharded_hub_object_is_caught() {
     }
 }
 
+// ---------------------------------------------------------------------
+// Certificate-gated out-of-order delivery (the commute fast path).
+// ---------------------------------------------------------------------
+
+use moc_core::commute::{CommuteCert, CommutePlan, MoverClass};
+use moc_workload::{commuting_scripts, cross_shard_writer_program, shardable_programs};
+
+/// The audited commute certificate for the commuting workload: every
+/// shard-confined program plus the blind cross-shard writer. Mirrors the
+/// `moc commute` + `moc audit` gate: the analysis must be Error-free and
+/// the certificate must survive the independent auditor.
+fn certified_commute_cert(num_shards: usize) -> CommuteCert {
+    let mut programs = shardable_programs(num_shards);
+    programs.push(cross_shard_writer_program());
+    let refs: Vec<&moc_core::program::Program> = programs.iter().map(|p| p.as_ref()).collect();
+    let analysis = moc_analyze::commute_set(&refs, 2 * num_shards);
+    assert!(
+        analysis
+            .all_findings()
+            .iter()
+            .all(|f| f.severity < moc_analyze::Severity::Error),
+        "commuting workload must analyze cleanly"
+    );
+    moc_audit::audit_commute(&refs, &analysis.cert.to_json())
+        .expect("auditor accepts the analyzer's own commute certificate");
+    analysis.cert
+}
+
+/// Tentpole positive path, delivery half: Figure 4 over the conflict-
+/// sharded broadcast with BOTH certificates installed — the shard plan
+/// and the commute certificate's delivery plan. Cross-shard writes may
+/// then bypass the barriers of shards they provably commute with. Every
+/// run must stay anomaly-free, complete, m-sequentially consistent and
+/// audit-accepted, and the fast path must demonstrably engage somewhere
+/// in the sweep.
+#[test]
+fn commute_fast_path_conformance_sweep() {
+    let mut pairs = 0u64;
+    let mut fast_applied = 0u64;
+    for num_shards in 3..=4usize {
+        let shard_plan = certified_plan(num_shards);
+        let commute_plan = certified_commute_cert(num_shards).delivery_plan(&shard_plan);
+        let processes = num_shards;
+        for (i, family) in FaultFamily::ALL.into_iter().enumerate() {
+            for s in 0..4u64 {
+                let seed = 700_000
+                    + num_shards as u64 * 10_000
+                    + s * FaultFamily::ALL.len() as u64
+                    + i as u64;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let scripts =
+                    commuting_scripts(num_shards, processes, OPS_PER_PROCESS + 1, 1, &mut rng);
+                let config = ChaosConfig::new(2 * num_shards, seed)
+                    .with_faults(family.plan(processes, HORIZON_NS))
+                    .with_shard_plan(shard_plan.clone())
+                    .with_commute_plan(commute_plan.clone());
+                let report = run_chaos_cluster::<MscOverSharded>(&config, scripts);
+                let tuple = format!(
+                    "(protocol=msc-sharded+commute, shards={num_shards}, faults={}, seed={seed})",
+                    family.name()
+                );
+                assert!(
+                    report.anomalies.is_clean(),
+                    "{tuple}: anomalies {:?}",
+                    report.anomalies
+                );
+                let history = report
+                    .history
+                    .as_ref()
+                    .unwrap_or_else(|e| panic!("{tuple}: invalid history: {e}"));
+                assert_eq!(
+                    history.len(),
+                    processes * (OPS_PER_PROCESS + 1),
+                    "{tuple}: missing completions"
+                );
+                let (verdict, cert) = check_certified(
+                    history,
+                    Condition::MSequentialConsistency,
+                    SearchLimits::default(),
+                )
+                .unwrap_or_else(|e| panic!("{tuple}: checker error: {e}"));
+                assert!(
+                    verdict.satisfied,
+                    "{tuple}: m-sc VIOLATED: {:?}",
+                    verdict.reason
+                );
+                audit(history, &cert.to_text())
+                    .unwrap_or_else(|e| panic!("{tuple}: auditor rejected the certificate: {e}"));
+                fast_applied += report.commute_fast_applied.iter().sum::<u64>();
+                pairs += 1;
+            }
+        }
+    }
+    assert!(pairs >= 48, "sweep too small: {pairs}");
+    assert!(
+        fast_applied > 0,
+        "the certified fast path never engaged across {pairs} runs"
+    );
+}
+
+/// Sabotage control for the delivery fast path. A doctored certificate
+/// claiming the cross-shard writer commutes with everything is rejected
+/// by the auditor up front; forcing delivery to honor a fabricated
+/// everything-commutes plan anyway corrupts real executions detectably —
+/// replica stores diverge — while the honest plan stays clean on the
+/// same seeds.
+#[test]
+fn fabricated_commute_cert_is_caught() {
+    let num_shards = 2usize;
+    let honest = certified_commute_cert(num_shards);
+
+    // Doctoring the cross writer into a both-mover breaks the internal
+    // consistency the auditor re-derives in O(pairs): rejected up front.
+    let mut doctored = CommuteCert::parse(&honest.to_json()).unwrap();
+    let cross = doctored
+        .programs
+        .iter_mut()
+        .find(|p| p.name == "x-w")
+        .expect("the cross writer is in the certificate");
+    assert_eq!(cross.class, MoverClass::NonMover);
+    cross.class = MoverClass::BothMover;
+    let programs: Vec<_> = shardable_programs(num_shards)
+        .into_iter()
+        .chain([cross_shard_writer_program()])
+        .collect();
+    let refs: Vec<&moc_core::program::Program> = programs.iter().map(|p| p.as_ref()).collect();
+    moc_audit::audit_commute(&refs, &doctored.to_json())
+        .expect_err("a doctored mover class must be rejected");
+
+    // Run the fabricated plan anyway: with every barrier skippable, the
+    // cross writes race the shard channels and replicas disagree.
+    let shard_plan = certified_plan(num_shards);
+    let mut corrupted = 0u64;
+    let mut runs = 0u64;
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scripts = commuting_scripts(num_shards, 3, 4, 1, &mut rng);
+        let config = ChaosConfig::new(2 * num_shards, seed)
+            .with_shard_plan(shard_plan.clone())
+            .with_commute_plan(CommutePlan::vacuous(num_shards));
+        let report = run_chaos_cluster::<MscOverSharded>(&config, scripts);
+        runs += 1;
+        if report.anomalies.store_divergence {
+            corrupted += 1;
+        }
+    }
+    assert!(
+        corrupted > 0,
+        "the fabricated commute plan never corrupted a run in {runs} seeds — the control is inert"
+    );
+
+    // Control of the control: the honest delivery plan is clean on the
+    // same seeds.
+    let commute_plan = honest.delivery_plan(&shard_plan);
+    for seed in 0..10u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scripts = commuting_scripts(num_shards, 3, 4, 1, &mut rng);
+        let config = ChaosConfig::new(2 * num_shards, seed)
+            .with_shard_plan(shard_plan.clone())
+            .with_commute_plan(commute_plan.clone());
+        let report = run_chaos_cluster::<MscOverSharded>(&config, scripts);
+        assert!(
+            report.anomalies.is_clean(),
+            "seed {seed}: honest commute plan must be clean: {:?}",
+            report.anomalies
+        );
+    }
+}
+
 /// S2 (explorer half): exhaustive exploration with a duplicate budget is
 /// deterministic — two identical invocations enumerate the same
 /// schedules and find the same violations.
