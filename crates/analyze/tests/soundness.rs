@@ -1,76 +1,34 @@
 //! Soundness of the analyzer against the interpreter: the refined static
 //! sets really do over-approximate every dynamic execution, and the
 //! must-write set under-approximates every completed one.
+//!
+//! Programs are drawn from the shared grammar in `moc_workload::arb` —
+//! the same one `moc synth` enumerates — so any seed that falsifies a
+//! property here replays directly through the synthesis tooling (and
+//! shrinks via `arb::minimize`/`arb::shrink_program`).
 
 use std::collections::BTreeSet;
 
 use moc_analyze::analyze_program;
 use moc_core::ids::ObjectId;
 use moc_core::program::{
-    arg, execute, imm, reg, BinaryOp, CmpOp, Instr, MContext, Operand, Program, ProgramBuilder,
-    VecContext, NUM_REGS,
+    arg, execute, imm, reg, CmpOp, MContext, Program, ProgramBuilder, VecContext,
 };
 use moc_core::value::Value;
+use moc_workload::arb::{self, ProgramBounds};
 use proptest::prelude::*;
 
 const PROP_OBJECTS: u32 = 4;
 
-fn operand_strategy() -> impl Strategy<Value = Operand> {
-    prop_oneof![
-        (0u8..NUM_REGS as u8).prop_map(Operand::Reg),
-        (-100i64..100).prop_map(Operand::Imm),
-        (0u8..3).prop_map(Operand::Arg),
-    ]
-}
-
-fn instr_strategy(len: usize) -> impl Strategy<Value = Instr> {
-    let obj = (0u32..PROP_OBJECTS).prop_map(ObjectId::new);
-    let binop = prop_oneof![
-        Just(BinaryOp::Add),
-        Just(BinaryOp::Sub),
-        Just(BinaryOp::Mul),
-        Just(BinaryOp::Min),
-        Just(BinaryOp::Max)
-    ];
-    let cmp = prop_oneof![
-        Just(CmpOp::Eq),
-        Just(CmpOp::Ne),
-        Just(CmpOp::Lt),
-        Just(CmpOp::Le),
-        Just(CmpOp::Gt),
-        Just(CmpOp::Ge)
-    ];
-    prop_oneof![
-        (obj.clone(), 0u8..NUM_REGS as u8).prop_map(|(object, dst)| Instr::Read { object, dst }),
-        (obj, operand_strategy()).prop_map(|(object, src)| Instr::Write { object, src }),
-        (0u8..NUM_REGS as u8, operand_strategy()).prop_map(|(dst, src)| Instr::Mov { dst, src }),
-        (
-            binop,
-            0u8..NUM_REGS as u8,
-            operand_strategy(),
-            operand_strategy()
-        )
-            .prop_map(|(op, dst, lhs, rhs)| Instr::Binary { op, dst, lhs, rhs }),
-        (0..len).prop_map(|target| Instr::Jump { target }),
-        (operand_strategy(), cmp, operand_strategy(), 0..len).prop_map(
-            |(lhs, cmp, rhs, target)| Instr::JumpIf {
-                lhs,
-                cmp,
-                rhs,
-                target
-            }
-        ),
-        proptest::collection::vec(operand_strategy(), 0..3)
-            .prop_map(|outputs| Instr::Return { outputs }),
-    ]
-}
-
 fn program_strategy() -> impl Strategy<Value = Program> {
-    (1usize..12).prop_flat_map(|len| {
-        proptest::collection::vec(instr_strategy(len), len).prop_map(|mut instrs| {
-            instrs.push(Instr::Return { outputs: vec![] });
-            Program::new("prop", instrs).expect("targets within range")
-        })
+    any::<u64>().prop_map(|seed| {
+        arb::program_from_seed(
+            seed,
+            &ProgramBounds {
+                objects: PROP_OBJECTS,
+                max_len: 12,
+            },
+        )
     })
 }
 

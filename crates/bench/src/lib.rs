@@ -30,6 +30,7 @@ use moc_sim::{DelayModel, NetworkConfig};
 use moc_workload::histories::{
     concurrent_writers_history, multi_component_history, poisoned_multi_component_history,
 };
+use moc_workload::synth::{tiled, SynthFamily};
 use moc_workload::{scripts, WorkloadSpec};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -666,7 +667,7 @@ pub struct CheckerBenchRow {
 }
 
 impl CheckerBenchRow {
-    /// The row as a JSON object (`BENCH_checker.json` version 3 schema).
+    /// The row as a JSON object (`BENCH_checker.json` version 4 schema).
     pub fn to_json(&self) -> Json {
         let naive = match self.naive {
             Some((ms, nodes)) => Json::Obj(vec![
@@ -862,6 +863,37 @@ fn checker_families(default_budget: u64) -> Vec<(String, History, bool, u64)> {
             poisoned_multi_component_history(2, 3, 2, &mut rng),
             true,
             default_budget,
+        ),
+        // Synthesized stress rows: boundary specimens `moc synth` hunted
+        // out of the history grammar (see docs/SYNTH.md), tiled into
+        // disjoint copies so interaction components multiply while the
+        // per-component structure stays pinned by the seed. The fast path
+        // is off: raw synthesized histories do not promise that index
+        // order satisfies their WW obligations. Replay any base with
+        // `moc synth --family NAME`.
+        (
+            "synth-peak0-x4".into(),
+            tiled(
+                &SynthFamily::by_name("peak-0").expect("pinned").history(),
+                4,
+            ),
+            false,
+            big,
+        ),
+        (
+            "synth-lbi0-x4".into(),
+            tiled(&SynthFamily::by_name("lbi-0").expect("pinned").history(), 4),
+            false,
+            big,
+        ),
+        (
+            "synth-cycle0-x4".into(),
+            tiled(
+                &SynthFamily::by_name("cycle-0").expect("pinned").history(),
+                4,
+            ),
+            false,
+            big,
         ),
     ]
 }
@@ -1076,10 +1108,10 @@ pub fn checker_bench_table(rows: &[CheckerBenchRow]) -> Table {
 }
 
 /// Serializes the certified-checker rows as the `BENCH_checker.json`
-/// version 3 document (version 2 plus per-row `symmetry` ablation
-/// objects), headlined by the best completed-naive node speedup among
-/// the component families and stamped with the parallelism the machine
-/// actually offered.
+/// version 4 document (version 3 plus the `synth-*` stress rows tiled
+/// from synthesized boundary specimens), headlined by the best
+/// completed-naive node speedup among the component families and stamped
+/// with the parallelism the machine actually offered.
 pub fn checker_bench_json(rows: &[CheckerBenchRow]) -> String {
     let headline = rows
         .iter()
@@ -1097,7 +1129,7 @@ pub fn checker_bench_json(rows: &[CheckerBenchRow]) -> String {
     let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut fields = vec![
         ("bench".into(), jstr("checker")),
-        ("version".into(), num(3)),
+        ("version".into(), num(4)),
         ("cpus".into(), num(cpus as i64)),
         (
             "rows".into(),
@@ -1127,7 +1159,7 @@ pub fn checker_bench_json(rows: &[CheckerBenchRow]) -> String {
 /// The counts are exactly reproducible (fixed seeds, fixed Zobrist keys),
 /// so the caps hold a little slack only for future *intentional* pruning
 /// improvements — a regression that explores past a cap fails CI.
-pub const CHECKER_NODE_CAPS: [(&str, u64); 9] = [
+pub const CHECKER_NODE_CAPS: [(&str, u64); 12] = [
     ("writers-3x3", 50),
     ("multi-2x3", 50),
     ("multi-3x3", 80),
@@ -1137,6 +1169,9 @@ pub const CHECKER_NODE_CAPS: [(&str, u64); 9] = [
     ("shred-4x5", 3_000),
     ("shred-4x6", 20_000),
     ("poisoned-2x3", 0),
+    ("synth-peak0-x4", 500),
+    ("synth-lbi0-x4", 120),
+    ("synth-cycle0-x4", 0),
 ];
 
 /// CI perf-smoke gate: runs the checker families under a small naive
@@ -1604,7 +1639,7 @@ mod tests {
     #[test]
     fn certified_checker_bench_shows_component_speedup() {
         let rows = experiment_certified_checker(20_000_000);
-        assert_eq!(rows.len(), 9);
+        assert_eq!(rows.len(), 12);
         for r in &rows {
             assert_ne!(r.verdict, "budget", "{}: pruned must complete", r.family);
             if let Some((_, naive_nodes)) = r.naive {
@@ -1652,14 +1687,29 @@ mod tests {
                 .any(|r| r.symmetry_skips > 0 && r.nosym_nodes > r.pruned_nodes),
             "no torn/shred family shows a symmetry node reduction"
         );
-        // The JSON document round-trips and carries the v3 fields.
+        // The synthesized stress rows behave like their pinned bases:
+        // the cycle tile is refuted statically (zero search nodes, the
+        // zero-search parallel base), the lbi tile stays inadmissible by
+        // exhaustion, and the peak tile stays admissible.
+        let cycle = rows.iter().find(|r| r.family == "synth-cycle0-x4").unwrap();
+        assert_eq!(cycle.verdict, "inadmissible");
+        assert_eq!(cycle.pruned_nodes, 0);
+        assert!(cycle.forced_edges > 0);
+        let lbi = rows.iter().find(|r| r.family == "synth-lbi0-x4").unwrap();
+        assert_eq!(lbi.verdict, "inadmissible");
+        assert!(lbi.pruned_nodes > 0);
+        let peak = rows.iter().find(|r| r.family == "synth-peak0-x4").unwrap();
+        assert_eq!(peak.verdict, "admissible");
+        assert!(peak.components >= 4, "tiling multiplies components");
+
+        // The JSON document round-trips and carries the v4 fields.
         let doc = moc_core::json::parse(&checker_bench_json(&rows)).unwrap();
         assert_eq!(doc.get("bench").and_then(Json::as_str), Some("checker"));
-        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(3));
+        assert_eq!(doc.get("version").and_then(Json::as_u64), Some(4));
         assert!(doc.get("cpus").and_then(Json::as_u64).unwrap() >= 1);
         assert_eq!(
             doc.get("rows").and_then(Json::as_arr).map(|a| a.len()),
-            Some(9)
+            Some(12)
         );
         assert!(doc.get("headline").is_some());
         let first = &doc.get("rows").and_then(Json::as_arr).unwrap()[0];
@@ -1668,7 +1718,7 @@ mod tests {
         let pruned = first.get("pruned").unwrap();
         assert!(pruned.get("memo_hits").is_some());
         assert!(pruned.get("memo_peak").is_some());
-        let symmetry = first.get("symmetry").expect("v3 symmetry object");
+        let symmetry = first.get("symmetry").expect("symmetry ablation object");
         assert!(symmetry.get("skips").is_some());
         assert!(symmetry.get("nodes_without").is_some());
         assert!(symmetry.get("node_reduction").is_some());

@@ -170,6 +170,21 @@ USAGE:
       crash families. With --sabotage the link's dedup/retransmission are
       disabled and the sweep must instead find an audited refutation.
       See docs/CHAOS.md.
+  moc synth  [--smoke] [--seeds N] [--seed-base S] [--max-nodes N]
+             [--out DIR] [--verify DIR] [--list] [--family NAME]
+      Grammar-driven adversarial synthesis: enumerate the shared
+      moc-workload history grammar, dedupe isomorphic candidates
+      (Weisfeiler–Leman canonicalization over the commute/conflict
+      structure), classify each through the analyzer and the certified
+      checker, and select boundary specimens — legal-but-inadmissible
+      histories, configurations one conflict edge from the Theorem 7
+      fast path, pruned-engine node maxima and static ~H+ cycles.
+      --smoke runs the pinned corpus grammar (256 seeds, bounded);
+      --out writes the survivors as a golden corpus (manifest, history
+      files, certificates); --verify re-hunts and diffs against a
+      checked-in corpus, exiting 1 on any drift; --list prints the
+      pinned registry families; --family NAME prints one pinned
+      family's history (the replay entry point). See docs/SYNTH.md.
   moc render <file|-> [--width N]
       Draw the history as per-process timelines plus a listing.
   moc analyze [--workload demo|disjoint|protocol|shardable|hub]
@@ -241,6 +256,10 @@ pub fn dispatch_with_status(raw: &[String], stdin: &str) -> (Result<String, Stri
             Err(e) => Err(e),
         },
         "chaos" => match cmd_chaos(&args) {
+            Ok((out, code)) => return (Ok(out), code),
+            Err(e) => Err(e),
+        },
+        "synth" => match cmd_synth(&args) {
             Ok((out, code)) => return (Ok(out), code),
             Err(e) => Err(e),
         },
@@ -1061,6 +1080,78 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
     Ok((out, if failures.is_empty() { 0 } else { 1 }))
 }
 
+fn cmd_synth(args: &Args) -> Result<(String, i32), String> {
+    // Replay one pinned registry family.
+    if let Some(name) = args.options.get("family") {
+        let family = moc_workload::synth::SynthFamily::by_name(name)
+            .ok_or_else(|| format!("unknown synth family {name:?}; try `moc synth --list`"))?;
+        return Ok((moc_core::codec::to_text(&family.history()), 0));
+    }
+    // List the pinned registry.
+    if args.flag("list") {
+        let mut out = String::new();
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "{:<8} {:>8} {:>5}  {}\n",
+                "name", "category", "seed", "replay"
+            ),
+        );
+        for f in moc_workload::synth::SynthFamily::ALL {
+            let _ = std::fmt::Write::write_fmt(
+                &mut out,
+                format_args!(
+                    "{:<8} {:>8} {:>5}  {}\n",
+                    f.name,
+                    f.category.tag(),
+                    f.seed,
+                    f.replay_line()
+                ),
+            );
+        }
+        return Ok((out, 0));
+    }
+    // Verify a checked-in corpus against a fresh hunt.
+    if let Some(dir) = args.options.get("verify") {
+        let problems = moc_synth::verify_corpus(std::path::Path::new(dir))?;
+        if problems.is_empty() {
+            return Ok((format!("synth corpus {dir}: verified, no drift\n"), 0));
+        }
+        let mut out = format!("synth corpus {dir}: {} problems\n", problems.len());
+        for p in &problems {
+            out.push_str(p);
+            out.push('\n');
+        }
+        return Ok((out, 1));
+    }
+    // Hunt. --smoke pins the corpus grammar; otherwise the grammar knobs
+    // are free.
+    let grammar = if args.flag("smoke") {
+        moc_synth::Grammar::smoke()
+    } else {
+        moc_synth::Grammar {
+            seed_base: args.get_u64("seed-base", 0)?,
+            seeds: args.get_u64("seeds", 256)?,
+            max_nodes: args.get_u64("max-nodes", 200_000)?,
+            ..moc_synth::Grammar::smoke()
+        }
+    };
+    let report = moc_synth::hunt(&grammar);
+    let mut out = moc_synth::render_report(&report);
+    if let Some(dir) = args.options.get("out") {
+        moc_synth::write_corpus(std::path::Path::new(dir), &report)
+            .map_err(|e| format!("writing corpus to {dir}: {e}"))?;
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "corpus written to {dir}: manifest + {} specimens\n",
+                report.specimens.len()
+            ),
+        );
+    }
+    Ok((out, 0))
+}
+
 fn cmd_render(args: &Args, stdin: &str) -> Result<String, String> {
     let h = load_history(args, stdin)?;
     let width = args.get_usize("width", 72)?;
@@ -1725,6 +1816,57 @@ mod tests {
             assert!(result.is_err(), "{bad:?}");
             assert_eq!(code, 2);
         }
+    }
+
+    #[test]
+    fn synth_list_names_every_pinned_family() {
+        let (out, code) = dispatch_with_status(&sv(&["synth", "--list"]), "");
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        for f in moc_workload::synth::SynthFamily::ALL {
+            assert!(out.contains(f.name), "{}: missing from --list", f.name);
+            assert!(out.contains(&f.replay_line()), "{}", f.name);
+        }
+    }
+
+    #[test]
+    fn synth_family_replays_through_the_codec() {
+        let (out, code) = dispatch_with_status(&sv(&["synth", "--family", "lbi-0"]), "");
+        let text = out.unwrap();
+        assert_eq!(code, 0);
+        let h = moc_core::codec::from_text(&text).expect("replay output parses");
+        let pinned = moc_workload::synth::SynthFamily::by_name("lbi-0")
+            .unwrap()
+            .history();
+        assert_eq!(
+            moc_core::codec::fingerprint(&h),
+            moc_core::codec::fingerprint(&pinned),
+            "replayed history matches registry regeneration"
+        );
+    }
+
+    #[test]
+    fn synth_unknown_family_exits_2() {
+        let (result, code) = dispatch_with_status(&sv(&["synth", "--family", "nope-9"]), "");
+        assert!(result.unwrap_err().contains("unknown synth family"));
+        assert_eq!(code, 2);
+    }
+
+    #[test]
+    fn synth_verify_passes_on_the_golden_corpus() {
+        let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/fixtures/synth");
+        let (out, code) = dispatch_with_status(&sv(&["synth", "--verify", dir]), "");
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("no drift"), "{out}");
+    }
+
+    #[test]
+    fn synth_verify_missing_corpus_errors() {
+        let (result, code) =
+            dispatch_with_status(&sv(&["synth", "--verify", "/no/such/corpus"]), "");
+        assert!(result.is_err());
+        assert_eq!(code, 2);
     }
 
     #[test]

@@ -21,8 +21,10 @@ use moc_protocol::{ClientScript, OpSpec};
 use rand::rngs::StdRng;
 use rand::Rng;
 
+pub mod arb;
 pub mod chaos;
 pub mod histories;
+pub mod synth;
 
 /// Parameters of a randomized protocol workload.
 #[derive(Debug, Clone, Copy)]

@@ -1,0 +1,107 @@
+//! Consistency of every named-family registry in the crate: the fault
+//! families (original + leader-crash), the workload-shape families and
+//! the synthesized boundary families. A replay line printed by any
+//! sweep or by `moc synth` is only as good as these invariants — names
+//! must round-trip through `by_name`, and regeneration from the name
+//! (plus a seed where one applies) must be deterministic.
+
+use moc_workload::chaos::{FaultFamily, WorkloadFamily};
+use moc_workload::synth::SynthFamily;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn fault_families() -> impl Iterator<Item = FaultFamily> {
+    FaultFamily::ALL
+        .into_iter()
+        .chain(FaultFamily::LEADER_CRASH)
+}
+
+#[test]
+fn fault_family_names_are_unique_and_round_trip() {
+    let mut names: Vec<&str> = fault_families().map(|f| f.name()).collect();
+    for f in fault_families() {
+        assert_eq!(FaultFamily::by_name(f.name()), Some(f));
+    }
+    assert!(FaultFamily::by_name("no-such-family").is_none());
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), fault_families().count());
+}
+
+#[test]
+fn fault_family_plans_are_deterministic() {
+    // The plan is a pure function of (family, n, horizon): two
+    // instantiations must be equal, and scale with the horizon only
+    // through scheduled-event placement — never by losing recoverability.
+    for f in fault_families() {
+        for &(n, h) in &[(3usize, 500_000u64), (4, 1_000_000), (7, 123_457)] {
+            assert_eq!(f.plan(n, h), f.plan(n, h), "{}", f.name());
+        }
+    }
+}
+
+#[test]
+fn workload_family_names_are_unique_and_round_trip() {
+    let mut names: Vec<&str> = WorkloadFamily::ALL.iter().map(|f| f.name()).collect();
+    for f in WorkloadFamily::ALL {
+        assert_eq!(WorkloadFamily::by_name(f.name()), Some(f));
+    }
+    assert!(WorkloadFamily::by_name("no-such-family").is_none());
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), WorkloadFamily::ALL.len());
+}
+
+#[test]
+fn workload_family_scripts_are_seed_deterministic() {
+    // `ClientScript` carries no PartialEq; the Debug rendering is a
+    // faithful structural view, so equality of renderings is equality
+    // of generated workloads.
+    for f in WorkloadFamily::ALL {
+        let spec = f.spec(3, 4);
+        for seed in [0u64, 7, 99] {
+            let a = moc_workload::scripts(&spec, &mut StdRng::seed_from_u64(seed));
+            let b = moc_workload::scripts(&spec, &mut StdRng::seed_from_u64(seed));
+            assert_eq!(
+                format!("{a:?}"),
+                format!("{b:?}"),
+                "{} seed {seed}",
+                f.name()
+            );
+        }
+        // The family honours its declared shape: one script per process,
+        // each issuing the requested number of m-operations.
+        let scripts = moc_workload::scripts(&spec, &mut StdRng::seed_from_u64(1));
+        assert_eq!(scripts.len(), spec.processes, "{}", f.name());
+        for s in &scripts {
+            assert_eq!(s.ops.len(), spec.ops_per_process, "{}", f.name());
+        }
+    }
+}
+
+#[test]
+fn synth_family_names_are_unique_and_round_trip() {
+    let mut names: Vec<&str> = SynthFamily::ALL.iter().map(|f| f.name).collect();
+    for f in SynthFamily::ALL {
+        assert_eq!(SynthFamily::by_name(f.name), Some(f));
+        assert!(
+            f.replay_line().contains(f.name),
+            "replay line names the family"
+        );
+        assert!(f.replay_line().starts_with("moc synth --family "));
+    }
+    assert!(SynthFamily::by_name("no-such-family").is_none());
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), SynthFamily::ALL.len());
+}
+
+#[test]
+fn synth_families_regenerate_deterministically_and_well_formed() {
+    for f in SynthFamily::ALL {
+        let a = f.history();
+        let b = f.history();
+        assert_eq!(a.records(), b.records(), "{}", f.name);
+        assert!(!a.records().is_empty(), "{}", f.name);
+    }
+}
