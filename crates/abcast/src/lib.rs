@@ -195,6 +195,16 @@ pub trait Abcast<T> {
         None
     }
 
+    /// The index of the replica-private pseudo-channel carrying read-only
+    /// fast-path self-deliveries, if this implementation has one *armed*
+    /// (a commute plan installed). Entries on this channel never cross
+    /// the wire, so they legitimately differ across replicas — but every
+    /// one of them must be locally issued and write-free, which harnesses
+    /// verify instead of comparing the channel for equality.
+    fn private_channel(&self) -> Option<u32> {
+        None
+    }
+
     /// A deterministic, human-readable log of view/configuration changes
     /// this endpoint went through. Empty for static protocols.
     fn transcript(&self) -> Vec<String> {

@@ -13,9 +13,13 @@
 //!   **sequence number** and is kept until cumulatively acknowledged;
 //! * receivers **deduplicate** and reorder into gap-free per-sender
 //!   sequence order, acknowledging cumulatively ([`LinkMsg::Ack`]);
-//! * unacknowledged data is **retransmitted** on a timer with exponential
-//!   backoff ([`LinkConfig::rto_ns`] doubling up to
-//!   [`LinkConfig::max_rto_ns`]);
+//! * unacknowledged data is **retransmitted** on a timer with
+//!   *decorrelated-jitter* backoff: each retry draws a fresh timeout
+//!   uniformly from `[rto_ns, min(max_rto_ns, 3 × previous)]` using a
+//!   per-endpoint deterministic stream, so peers that lost traffic at the
+//!   same instant (e.g. across a healed partition) do not fire their
+//!   retransmissions in synchronized storms the way pure exponential
+//!   doubling would;
 //! * after a crash window, [`ReliableLink::on_restart`] runs a
 //!   **rejoin handshake**: the returning process retransmits its own
 //!   unacked data and sends [`LinkMsg::Rejoin`], prompting each peer to
@@ -40,7 +44,8 @@ use moc_core::ids::ProcessId;
 pub struct LinkConfig {
     /// Initial retransmission timeout (virtual ns in the simulator).
     pub rto_ns: u64,
-    /// Backoff cap: the RTO doubles per retry up to this value.
+    /// Backoff cap: each retry draws a decorrelated-jitter RTO in
+    /// `[rto_ns, min(max_rto_ns, 3 × previous RTO)]`, never above this.
     pub max_rto_ns: u64,
     /// Receive-side deduplication + per-sender reordering. Disabling it
     /// forwards raw wire arrivals — duplicates and all — to the layer
@@ -183,6 +188,20 @@ pub struct ReliableLink<M> {
     senders: BTreeMap<ProcessId, SenderState<M>>,
     recv: BTreeMap<ProcessId, RecvState<M>>,
     stats: LinkStats,
+    /// splitmix64 state for backoff jitter, seeded per endpoint so peers
+    /// desynchronize but identical runs replay identically.
+    jitter: u64,
+}
+
+/// One splitmix64 step: advances `state` and returns the next draw.
+/// Deterministic — the link stays a pure state machine and chaos replays
+/// remain byte-identical for a given seed.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 impl<M: Clone> ReliableLink<M> {
@@ -195,6 +214,7 @@ impl<M: Clone> ReliableLink<M> {
             senders: BTreeMap::new(),
             recv: BTreeMap::new(),
             stats: LinkStats::default(),
+            jitter: 0x6d6f_635f_6c69_6e6b ^ ((me.as_u32() as u64) << 32) ^ n as u64,
         }
     }
 
@@ -328,10 +348,17 @@ impl<M: Clone> ReliableLink<M> {
 
     /// Retransmits every overdue unacked frame. Call at (or after) the
     /// time reported by [`ReliableLink::next_deadline`].
+    ///
+    /// Each retry re-arms the timer with a *decorrelated-jitter* backoff
+    /// (`rto′ = uniform[rto_ns, min(max_rto_ns, 3·rto)]`): the expected
+    /// timeout still grows geometrically toward the cap, but endpoints
+    /// that lost traffic at the same instant spread their retries instead
+    /// of retransmitting in lockstep storms.
     pub fn on_tick(&mut self, now_ns: u64, wire: &mut Vec<(ProcessId, LinkMsg<M>)>) {
         if !self.cfg.retransmit {
             return;
         }
+        let base = self.cfg.rto_ns;
         let max_rto = self.cfg.max_rto_ns;
         for (&peer, s) in self.senders.iter_mut() {
             let Some(deadline) = s.deadline else { continue };
@@ -348,7 +375,12 @@ impl<M: Clone> ReliableLink<M> {
                 ));
                 self.stats.retransmissions += 1;
             }
-            s.rto_ns = (s.rto_ns * 2).min(max_rto);
+            let hi = s.rto_ns.saturating_mul(3).min(max_rto);
+            s.rto_ns = if hi <= base {
+                base
+            } else {
+                base + splitmix64(&mut self.jitter) % (hi - base + 1)
+            };
             s.deadline = Some(now_ns + s.rto_ns);
         }
     }
@@ -501,23 +533,88 @@ mod tests {
         let mut wire: Wire = Vec::new();
         a.send(pid(1), 7, 0, &mut wire);
         wire.clear(); // the network eats the first copy
-        assert_eq!(a.next_deadline(), Some(100));
+        assert_eq!(a.next_deadline(), Some(100), "first send arms the base rto");
         a.on_tick(100, &mut wire);
         assert_eq!(wire.len(), 1, "one retransmission");
         assert_eq!(a.stats().retransmissions, 1);
-        assert_eq!(a.next_deadline(), Some(300), "rto doubled to 200");
+        // Decorrelated jitter: the re-armed rto is a draw from
+        // [base, min(cap, 3·prev)] — bounded, not an exact double.
+        let d1 = a.next_deadline().expect("timer still armed");
+        assert!(
+            (200..=400).contains(&d1),
+            "rto in [100, 300], got {}",
+            d1 - 100
+        );
         wire.clear();
-        a.on_tick(300, &mut wire);
-        assert_eq!(a.next_deadline(), Some(700), "rto capped at 400");
+        a.on_tick(d1, &mut wire);
+        let d2 = a.next_deadline().expect("timer still armed");
+        let rto2 = d2 - d1;
+        assert!((100..=400).contains(&rto2), "rto capped at 400, got {rto2}");
         // The retransmission finally lands: delivered once, then acked.
         let (_, m) = wire.pop().unwrap();
         let mut acks: Wire = Vec::new();
-        let got = b.on_wire(pid(0), m, 700, &mut acks);
+        let got = b.on_wire(pid(0), m, d2, &mut acks);
         assert_eq!(got, vec![7]);
         let (_, ack) = acks.pop().unwrap();
-        a.on_wire(pid(1), ack, 710, &mut Vec::new());
+        a.on_wire(pid(1), ack, d2 + 10, &mut Vec::new());
         assert_eq!(a.unacked(), 0);
         assert_eq!(a.next_deadline(), None);
+    }
+
+    /// Collects the sequence of re-armed RTOs an endpoint draws when a
+    /// frame to `to` is never acknowledged.
+    fn backoff_trace(me: u32, to: u32, n: usize, cfg: LinkConfig, retries: usize) -> Vec<u64> {
+        let mut link: ReliableLink<u32> = ReliableLink::new(pid(me), n, cfg);
+        let mut wire: Wire = Vec::new();
+        link.send(pid(to), 1, 0, &mut wire);
+        let mut trace = Vec::new();
+        let mut prev = 0;
+        for _ in 0..retries {
+            let d = link
+                .next_deadline()
+                .expect("unacked data keeps the timer armed");
+            wire.clear();
+            link.on_tick(d, &mut wire);
+            assert_eq!(wire.len(), 1, "exactly one frame per retry");
+            let next = link.next_deadline().expect("re-armed");
+            trace.push(next - d);
+            assert!(next > prev, "deadlines advance monotonically");
+            prev = next;
+        }
+        trace
+    }
+
+    #[test]
+    fn backoff_jitter_is_deterministic_bounded_and_decorrelated() {
+        let cfg = LinkConfig {
+            rto_ns: 100,
+            max_rto_ns: 400,
+            ..LinkConfig::default()
+        };
+        // Deterministic: the same endpoint replays the same draw sequence.
+        let t0 = backoff_trace(0, 1, 3, cfg, 12);
+        assert_eq!(
+            t0,
+            backoff_trace(0, 1, 3, cfg, 12),
+            "seeded jitter must replay"
+        );
+        // Bounded: every draw stays within [rto_ns, max_rto_ns].
+        for &rto in &t0 {
+            assert!((100..=400).contains(&rto), "draw {rto} outside [100, 400]");
+        }
+        // Decorrelated: distinct endpoints that lost traffic at the same
+        // instant do not fire in lockstep (a pure exponential backoff
+        // would give every endpoint the identical 200, 400, 400, ... run).
+        let t1 = backoff_trace(1, 2, 3, cfg, 12);
+        let t2 = backoff_trace(2, 0, 3, cfg, 12);
+        assert_ne!(t0, t1, "endpoints 0 and 1 must not synchronize");
+        assert_ne!(t0, t2, "endpoints 0 and 2 must not synchronize");
+        assert_ne!(t1, t2, "endpoints 1 and 2 must not synchronize");
+        // Spread, not degenerate: the trace actually varies.
+        for t in [&t0, &t1, &t2] {
+            let distinct: std::collections::BTreeSet<u64> = t.iter().copied().collect();
+            assert!(distinct.len() > 2, "jitter should spread draws, got {t:?}");
+        }
     }
 
     #[test]

@@ -428,6 +428,12 @@ impl<T: Clone + fmt::Debug + Footprinted> Abcast<T> for ShardedAbcast<T> {
         Some(self.channel_trace.clone())
     }
 
+    fn private_channel(&self) -> Option<u32> {
+        // Armed only once a commute plan unlocks read-only self-delivery;
+        // without one the pseudo-channel can never carry an entry.
+        self.commute.as_ref().map(|_| self.local_channel())
+    }
+
     fn transcript(&self) -> Vec<String> {
         self.channels
             .iter()

@@ -185,9 +185,15 @@ fn run_schedule(n: usize, actions: &[(u8, u32)]) {
         }
     }
 
-    // Recovery: everyone restarts; deliver everything and keep ticking
-    // past the suspicion cap until all submissions are delivered
-    // everywhere. Must converge in a bounded number of rounds.
+    recover_and_check(c);
+}
+
+/// Recovery phase shared by every schedule runner: everyone restarts;
+/// deliver everything and keep ticking past the suspicion cap until all
+/// submissions are delivered everywhere (bounded rounds), then check the
+/// three broadcast properties.
+fn recover_and_check(mut c: Cluster) {
+    let n = c.n();
     c.restart();
     let total: u64 = c.sent.iter().sum();
     let mut converged = false;
@@ -239,6 +245,54 @@ fn run_schedule(n: usize, actions: &[(u8, u32)]) {
     }
 }
 
+/// Crashes the *incoming* leader mid view-change handshake: the initial
+/// leader dies, survivors open the change toward the next view, and after
+/// only a prefix of the handshake frames (ViewChange/Collect/NewView) has
+/// been delivered, the leader that change is trying to install dies too.
+/// The eventual recovery must still yield no-fork/no-loss/exactly-once —
+/// the handshake state the dead incoming leader collected must not be
+/// able to fork or swallow submissions.
+fn run_incoming_leader_crash(n: usize, seed_submits: usize, partial: usize, post: &[(u8, u32)]) {
+    let mut c = Cluster::new(n);
+    // Seed traffic so the handshake has unordered state to merge.
+    for i in 0..seed_submits {
+        c.submit(i % n);
+    }
+    // Crash the initial leader; tick past suspicion so survivors start
+    // the view change (handshake frames are now in flight).
+    let old = c.apparent_leader();
+    c.crash(old);
+    for _ in 0..16 {
+        c.now += 1_000;
+        c.tick_all();
+    }
+    // Free the single-failure budget: the old leader restarts (it will
+    // catch up as a follower) while handshake frames are still queued.
+    c.restart();
+    // Deliver only a prefix of the in-flight handshake...
+    for i in 0..partial {
+        c.deliver_one(i);
+    }
+    // ...then kill the leader the in-flight change is trying to install.
+    let v = c.nodes.iter().map(|a| a.view()).max().unwrap_or(0);
+    let incoming = if (v % n as u64) as usize == old {
+        ((v + 1) % n as u64) as usize
+    } else {
+        (v % n as u64) as usize
+    };
+    c.crash(incoming);
+    // A few more adversarial steps with the incoming leader dead.
+    for &(kind, pick) in post {
+        c.now += 500;
+        match kind % 8 {
+            0..=4 => c.deliver_one(pick as usize),
+            5 | 6 => c.tick_all(),
+            _ => c.submit(pick as usize % n),
+        }
+    }
+    recover_and_check(c);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -265,5 +319,17 @@ proptest! {
         ),
     ) {
         run_schedule(n, &actions);
+    }
+
+    /// The incoming leader dies mid-handshake (see
+    /// [`run_incoming_leader_crash`]).
+    #[test]
+    fn incoming_leader_crash_mid_handshake_preserves_order(
+        n in 3usize..5,
+        seed_submits in 1usize..5,
+        partial in 0usize..12,
+        post in proptest::collection::vec((any::<u8>(), any::<u32>()), 0..60),
+    ) {
+        run_incoming_leader_crash(n, seed_submits, partial, &post);
     }
 }

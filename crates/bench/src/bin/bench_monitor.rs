@@ -1,0 +1,23 @@
+//! `cargo run -p moc-bench --bin bench_monitor --release`
+//!
+//! Measures the streaming consistency sentinel: wall-clock ingest
+//! throughput, completion-to-verdict latency percentiles (virtual stream
+//! time) and — the bounded-memory claim — peak live records versus stream
+//! length as the same base history is tiled 1×..32×. Under m-lin the
+//! retiring serial stream keeps the peak flat; under m-SC the
+//! non-retiring concurrent-writer stream presses on the live-node cap and
+//! the sentinel degrades instead of growing. Prints the comparison table
+//! and writes the machine-readable results to `BENCH_monitor.json` at the
+//! repository root.
+
+use moc_bench::{experiment_monitor, monitor_bench_json, monitor_bench_table};
+
+fn main() {
+    let rows = experiment_monitor(&[1, 2, 4, 8, 16, 32]);
+    println!("{}", monitor_bench_table(&rows));
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_monitor.json");
+    let doc = monitor_bench_json(&rows) + "\n";
+    std::fs::write(out, doc).expect("write BENCH_monitor.json");
+    println!("wrote {out}");
+}

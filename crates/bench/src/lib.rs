@@ -1563,6 +1563,209 @@ pub fn chaos_bench_table(rows: &[ChaosBenchRow]) -> Table {
     t
 }
 
+/// One row of the streaming-sentinel benchmark: a base history tiled
+/// `tiles`-fold and replayed through the monitor as a live event stream.
+#[derive(Debug, Clone)]
+pub struct MonitorBenchRow {
+    /// Condition the sentinel decided ("m-SC" / "m-lin").
+    pub condition: String,
+    /// Base workload shape ("serial" retiring / "writers" non-retiring).
+    pub workload: String,
+    /// Tile multiplier applied to the base history.
+    pub tiles: usize,
+    /// m-operations in the tiled stream.
+    pub mops: usize,
+    /// Events ingested (invocations + completions).
+    pub events: u64,
+    /// Wall-clock ingest rate, events per second.
+    pub ingest_eps: u64,
+    /// Median completion-to-verdict latency in virtual stream time (ns).
+    pub verdict_p50_ns: u64,
+    /// 99th-percentile completion-to-verdict latency (ns).
+    pub verdict_p99_ns: u64,
+    /// Peak live (unsettled) records the sentinel ever held.
+    pub peak_live_nodes: usize,
+    /// Window checks performed.
+    pub windows_checked: u64,
+    /// Rolling certificates emitted.
+    pub certs: u64,
+    /// Records force-dropped at the live-set cap.
+    pub force_dropped: u64,
+    /// Whether the sentinel ended the run in degraded mode.
+    pub degraded: bool,
+}
+
+impl MonitorBenchRow {
+    /// The row as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("condition".into(), jstr(self.condition.clone())),
+            ("workload".into(), jstr(self.workload.clone())),
+            ("tiles".into(), num(self.tiles as i64)),
+            ("mops".into(), num(self.mops as i64)),
+            ("events".into(), num(self.events as i64)),
+            ("ingest_events_per_s".into(), num(self.ingest_eps as i64)),
+            (
+                "verdict_ns".into(),
+                Json::Obj(vec![
+                    ("p50".into(), num(self.verdict_p50_ns as i64)),
+                    ("p99".into(), num(self.verdict_p99_ns as i64)),
+                ]),
+            ),
+            ("peak_live_nodes".into(), num(self.peak_live_nodes as i64)),
+            ("windows_checked".into(), num(self.windows_checked as i64)),
+            ("certs".into(), num(self.certs as i64)),
+            ("force_dropped".into(), num(self.force_dropped as i64)),
+            ("degraded".into(), Json::Bool(self.degraded)),
+        ])
+    }
+}
+
+/// E-monitor — what streaming incremental checking costs and holds: the
+/// same base history tiled 1×..K× and replayed through the sentinel.
+/// Shape to reproduce: under m-lin the serial stream retires at every
+/// quiescence point, so `peak_live_nodes` stays FLAT while the stream
+/// grows K-fold (sublinear live state — the bounded-memory claim); under
+/// m-SC the concurrent-writer tiles never fully retire, so the capped
+/// sentinel force-drops and degrades instead of growing without bound.
+pub fn experiment_monitor(tile_counts: &[usize]) -> Vec<MonitorBenchRow> {
+    use moc_checker::conditions::Condition;
+    use moc_monitor::{replay, MonitorConfig, MonitorMode, OnlineMonitor};
+    use moc_workload::histories::{serial_history, tile_history, HistorySpec};
+
+    const WINDOW: usize = 4;
+    const CAP: usize = 24;
+
+    let spec = HistorySpec {
+        processes: 3,
+        ops_per_process: 6,
+        num_objects: 4,
+        update_fraction: 0.6,
+        max_span: 2,
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let serial = serial_history(&spec, &mut rng);
+    let mut rng = StdRng::seed_from_u64(7);
+    let writers = concurrent_writers_history(3, 3, &mut rng);
+
+    let mut rows = Vec::new();
+    let cases: [(&str, &str, &History, Condition, Option<usize>); 2] = [
+        (
+            "m-lin",
+            "serial",
+            &serial,
+            Condition::MLinearizability,
+            None,
+        ),
+        (
+            "m-SC",
+            "writers",
+            &writers,
+            Condition::MSequentialConsistency,
+            Some(CAP),
+        ),
+    ];
+    for (cond_name, wl_name, base, condition, cap) in cases {
+        for &tiles in tile_counts {
+            let h = tile_history(base, tiles);
+            let mut cfg = MonitorConfig::new(condition).with_window(WINDOW);
+            if let Some(cap) = cap {
+                cfg = cfg.with_max_live_nodes(cap);
+            }
+            let start = Instant::now();
+            let summary = replay(&h, OnlineMonitor::new(h.num_objects(), cfg));
+            let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+            let stats = &summary.stats;
+            let events = stats.invocations + stats.completions;
+            // Completion-to-verdict latency in virtual stream time: each
+            // record in a certified window got its verdict when the cert
+            // was emitted.
+            let mut verdict_ns: Vec<u64> = summary
+                .certs
+                .iter()
+                .flat_map(|rc| {
+                    rc.window
+                        .records()
+                        .iter()
+                        .map(|r| rc.emitted_at_ns.saturating_sub(r.responded_at.as_nanos()))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            verdict_ns.sort_unstable();
+            rows.push(MonitorBenchRow {
+                condition: cond_name.to_string(),
+                workload: wl_name.to_string(),
+                tiles,
+                mops: h.len(),
+                events,
+                ingest_eps: (events as f64 / elapsed) as u64,
+                verdict_p50_ns: percentile(&verdict_ns, 50.0),
+                verdict_p99_ns: percentile(&verdict_ns, 99.0),
+                peak_live_nodes: stats.peak_live_nodes,
+                windows_checked: stats.windows_checked,
+                certs: stats.certs_emitted,
+                force_dropped: stats.force_dropped,
+                degraded: matches!(summary.mode, MonitorMode::Degraded { .. }),
+            });
+        }
+    }
+    rows
+}
+
+/// Renders the monitor rows as a comparison table.
+pub fn monitor_bench_table(rows: &[MonitorBenchRow]) -> Table {
+    let mut t = Table::new(
+        "E-monitor — streaming sentinel: live state stays bounded as the stream grows",
+        &[
+            "condition",
+            "workload",
+            "tiles",
+            "mops",
+            "events",
+            "ingest ev/s",
+            "verdict p50",
+            "verdict p99",
+            "peak live",
+            "checks",
+            "certs",
+            "dropped",
+            "mode",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.condition.clone(),
+            r.workload.clone(),
+            r.tiles.to_string(),
+            r.mops.to_string(),
+            r.events.to_string(),
+            r.ingest_eps.to_string(),
+            us(r.verdict_p50_ns as f64),
+            us(r.verdict_p99_ns as f64),
+            r.peak_live_nodes.to_string(),
+            r.windows_checked.to_string(),
+            r.certs.to_string(),
+            r.force_dropped.to_string(),
+            if r.degraded { "DEGRADED" } else { "healthy" }.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The monitor rows as a machine-readable JSON document
+/// (`BENCH_monitor.json`).
+pub fn monitor_bench_json(rows: &[MonitorBenchRow]) -> String {
+    Json::Obj(vec![
+        ("bench".into(), jstr("monitor")),
+        ("version".into(), num(1)),
+        (
+            "rows".into(),
+            Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+        ),
+    ])
+    .render()
+}
+
 /// The chaos and failover rows as a machine-readable JSON document
 /// (`BENCH_chaos.json`). Version 2 added `failover_rows`.
 pub fn chaos_bench_json(rows: &[ChaosBenchRow], failover: &[FailoverBenchRow]) -> String {
@@ -1613,6 +1816,46 @@ mod tests {
         assert_eq!(t.rows[0][3], "0");
         assert_ne!(t.rows[1][3], "0");
         assert_eq!(t.rows[2][3], "0");
+    }
+
+    #[test]
+    fn monitor_bench_live_state_is_sublinear_and_capped() {
+        let rows = experiment_monitor(&[1, 4, 8]);
+        assert_eq!(rows.len(), 6, "2 cases × 3 tile counts");
+        let mlin: Vec<_> = rows.iter().filter(|r| r.condition == "m-lin").collect();
+        let msc: Vec<_> = rows.iter().filter(|r| r.condition == "m-SC").collect();
+        // The retiring stream's live state must not scale with the
+        // stream: 8× the m-operations, same peak (sublinear by a wide
+        // margin — this is the bounded-memory claim).
+        assert_eq!(mlin[2].mops, 8 * mlin[0].mops, "tiling scales the stream");
+        assert!(
+            mlin[2].peak_live_nodes <= 2 * mlin[0].peak_live_nodes,
+            "peak grew with the stream: {} tiles at peak {} vs 1 tile at {}",
+            mlin[2].tiles,
+            mlin[2].peak_live_nodes,
+            mlin[0].peak_live_nodes
+        );
+        for r in &mlin {
+            assert!(!r.degraded, "retiring stream should stay healthy");
+            assert!(r.certs > 0, "no rolling certs emitted");
+        }
+        // The non-retiring stream must hit the cap and degrade, never
+        // exceed it.
+        for r in &msc {
+            assert!(
+                r.peak_live_nodes <= 24,
+                "cap breached: {}",
+                r.peak_live_nodes
+            );
+        }
+        assert!(
+            msc.iter().any(|r| r.degraded && r.force_dropped > 0),
+            "the capped non-retiring stream never degraded"
+        );
+        let doc = monitor_bench_json(&rows);
+        assert!(doc.contains("\"bench\": \"monitor\"") || doc.contains("\"bench\":\"monitor\""));
+        let s = monitor_bench_table(&rows).to_string();
+        assert!(s.contains("E-monitor"));
     }
 
     #[test]

@@ -170,6 +170,20 @@ USAGE:
       crash families. With --sabotage the link's dedup/retransmission are
       disabled and the sweep must instead find an audited refutation.
       See docs/CHAOS.md.
+  moc monitor <file|-> [--condition sc|lin|normal] [--window N]
+             [--max-live-nodes N] [--tiles K] [--sabotage]
+      Replay a history through the streaming consistency sentinel as a
+      live event stream: incremental window checks at quiescence points,
+      a rolling certificate per window (each one self-audited on the
+      spot), retirement of settled prefixes, and a hard bound on live
+      state — crossing --max-live-nodes force-drops the oldest live
+      records and reports Degraded instead of growing without bound
+      (the peak-vs-cap self-check exits 1 if the bound ever slipped).
+      --tiles K stretches the stream K-fold (object/time-shifted copies)
+      to exercise bounded memory on long streams. --sabotage splices an
+      inadmissible store-buffering gadget mid-stream as a negative
+      control: the sentinel must latch it (exit 0 on detection, 1 on a
+      miss). See docs/MONITOR.md.
   moc synth  [--smoke] [--seeds N] [--seed-base S] [--max-nodes N]
              [--out DIR] [--verify DIR] [--list] [--family NAME]
       Grammar-driven adversarial synthesis: enumerate the shared
@@ -209,9 +223,12 @@ USAGE:
 
 EXIT CODES:
   0  clean (no Error-severity findings; certificate valid; chaos sweep
-     passed)
+     passed; sentinel healthy — or, under --sabotage, the planted
+     violation was caught)
   1  the analysis report contains Error-severity findings, the audited
-     certificate was rejected, or the chaos sweep failed
+     certificate was rejected, the chaos sweep failed, or the sentinel
+     latched a violation / overran its live-node bound (under
+     --sabotage: the planted violation was missed)
   2  invalid input or usage
 
 Histories use the `history v1` text format (moc_core::codec).";
@@ -256,6 +273,10 @@ pub fn dispatch_with_status(raw: &[String], stdin: &str) -> (Result<String, Stri
             Err(e) => Err(e),
         },
         "chaos" => match cmd_chaos(&args) {
+            Ok((out, code)) => return (Ok(out), code),
+            Err(e) => Err(e),
+        },
+        "monitor" => match cmd_monitor(&args, stdin) {
             Ok((out, code)) => return (Ok(out), code),
             Err(e) => Err(e),
         },
@@ -1080,6 +1101,216 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
     Ok((out, if failures.is_empty() { 0 } else { 1 }))
 }
 
+/// Splices the store-buffering gadget into a history: two fresh
+/// processes on two fresh objects, each writing its own object and
+/// reading the other as unwritten, with overlapping intervals mid-stream.
+/// Inadmissible under m-SC and m-lin no matter what the host history
+/// does — the sentinel must latch it.
+fn splice_sabotage(h: &History) -> Result<History, String> {
+    use moc_core::mop::{EventTime, MOpClass, MOpRecord};
+    use moc_core::{MOpId, ObjectId, ProcessId};
+
+    let horizon = h
+        .records()
+        .iter()
+        .map(|r| r.responded_at.as_nanos())
+        .max()
+        .unwrap_or(0);
+    let next_process = h
+        .records()
+        .iter()
+        .map(|r| r.id.process.index() + 1)
+        .max()
+        .unwrap_or(0) as u32;
+    let t0 = horizon / 2;
+    let x = ObjectId::new(h.num_objects() as u32);
+    let y = ObjectId::new(h.num_objects() as u32 + 1);
+    let a_id = MOpId::new(ProcessId::new(next_process), 0);
+    let b_id = MOpId::new(ProcessId::new(next_process + 1), 0);
+    let mk = |id: MOpId, own: ObjectId, other: ObjectId| MOpRecord {
+        id,
+        invoked_at: EventTime::from_nanos(t0),
+        responded_at: EventTime::from_nanos(t0 + 10),
+        ops: vec![
+            moc_core::op::CompletedOp::write(own, 1, id, 1),
+            moc_core::op::CompletedOp::read(other, 0, MOpId::INITIAL, 0),
+        ],
+        outputs: vec![0],
+        treated_as: MOpClass::Update,
+        label: "sabotage".to_string(),
+    };
+    let mut records = h.records().to_vec();
+    records.push(mk(a_id, x, y));
+    records.push(mk(b_id, y, x));
+    History::new(h.num_objects() + 2, records)
+        .map_err(|e| format!("sabotage splice broke the history: {e}"))
+}
+
+fn cmd_monitor(args: &Args, stdin: &str) -> Result<(String, i32), String> {
+    use moc_monitor::{replay, MonitorConfig, MonitorMode, OnlineMonitor};
+    use moc_workload::histories::tile_history;
+    use std::fmt::Write as _;
+
+    let condition = match args
+        .options
+        .get("condition")
+        .map(String::as_str)
+        .unwrap_or("sc")
+    {
+        "sc" => Condition::MSequentialConsistency,
+        "lin" => Condition::MLinearizability,
+        "normal" => Condition::MNormality,
+        other => return Err(format!("unknown condition {other:?} (sc|lin|normal)")),
+    };
+    let window = args.get_usize("window", 4)?;
+    let tiles = args.get_usize("tiles", 1)?;
+    let sabotage = args.flag("sabotage");
+    if tiles < 1 {
+        return Err("--tiles must be at least 1".into());
+    }
+    if sabotage && condition == Condition::MNormality {
+        return Err("the --sabotage gadget targets sc|lin (store buffering is m-normal)".into());
+    }
+
+    let mut history = load_history(args, stdin)?;
+    if tiles > 1 {
+        history = tile_history(&history, tiles);
+    }
+    if sabotage {
+        history = splice_sabotage(&history)?;
+    }
+
+    let mut cfg = MonitorConfig::new(condition).with_window(window);
+    let cap = match args.options.get("max-live-nodes") {
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| "--max-live-nodes needs a number".to_string())?;
+            cfg = cfg.with_max_live_nodes(n);
+            Some(cfg.max_live_nodes)
+        }
+        None => None,
+    };
+
+    let summary = replay(&history, OnlineMonitor::new(history.num_objects(), cfg));
+    let stats = &summary.stats;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "streaming sentinel: condition={condition}, window={window}, {} m-operation(s) ({} events)",
+        history.len(),
+        stats.invocations + stats.completions,
+    );
+
+    // Every rolling certificate self-audits on the spot: the window it
+    // certifies travels with it, so the independent auditor can re-accept
+    // the cert with no access to the monitor's internals.
+    let mut audit_rejections = 0u64;
+    for rc in &summary.certs {
+        let verdict = match moc_audit::audit(&rc.window, &rc.cert_text) {
+            Ok(_) => "audit ACCEPTED",
+            Err(_) => {
+                audit_rejections += 1;
+                "audit REJECTED"
+            }
+        };
+        let _ = writeln!(
+            out,
+            "  cert v{} base={} window={} at={}ns {} — {}",
+            rc.version,
+            rc.base,
+            rc.window_len,
+            rc.emitted_at_ns,
+            if rc.admissible {
+                "admissible"
+            } else {
+                "INADMISSIBLE"
+            },
+            verdict,
+        );
+    }
+
+    let mut bound_exceeded = false;
+    match summary.mode {
+        MonitorMode::Healthy => {
+            let _ = writeln!(out, "mode: healthy (full coverage)");
+        }
+        MonitorMode::Degraded { dropped_prefix } => {
+            let _ = writeln!(
+                out,
+                "mode: DEGRADED — force-dropped {dropped_prefix} oldest live record(s) at the cap; \
+                 verdicts cover the retained suffix only",
+            );
+        }
+    }
+    let _ = writeln!(
+        out,
+        "stats: {} completions, {} window check(s), {} cert(s), {} retired, \
+         {} force-dropped, {} backpressure event(s), peak live nodes {}",
+        stats.completions,
+        stats.windows_checked,
+        stats.certs_emitted,
+        stats.retired,
+        stats.force_dropped,
+        stats.backpressure_events,
+        stats.peak_live_nodes,
+    );
+    if let Some(cap) = cap {
+        if stats.peak_live_nodes > cap {
+            bound_exceeded = true;
+            let _ = writeln!(
+                out,
+                "BOUND EXCEEDED: peak live nodes {} > cap {cap}",
+                stats.peak_live_nodes
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "bound respected: peak live nodes {} <= cap {cap}",
+                stats.peak_live_nodes
+            );
+        }
+    }
+
+    if let Some(v) = &summary.violation {
+        let culprit = match v.culprit {
+            Some(p) => format!("process {p}"),
+            None => "unattributed".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "VIOLATION at {}ns ({}ns after the offending event, culprit {culprit}): {}",
+            v.at_ns, v.detection_latency_ns, v.detail,
+        );
+        if let Some(rc) = &v.cert {
+            let verdict = match moc_audit::audit(&rc.window, &rc.cert_text) {
+                Ok(_) => "audit ACCEPTED",
+                Err(_) => {
+                    audit_rejections += 1;
+                    "audit REJECTED"
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  evidence: refutation cert v{} over {} record(s) — {}",
+                rc.version, rc.window_len, verdict,
+            );
+        }
+    }
+
+    let detected = summary.violation.is_some();
+    let clean = !detected && audit_rejections == 0 && !bound_exceeded;
+    if sabotage {
+        if detected && audit_rejections == 0 {
+            out.push_str("SABOTAGE CONFIRMED: the sentinel latched the spliced gadget\n");
+            return Ok((out, 0));
+        }
+        out.push_str("SABOTAGE FAILED: the sentinel never latched the spliced gadget\n");
+        return Ok((out, 1));
+    }
+    Ok((out, i32::from(!clean)))
+}
+
 fn cmd_synth(args: &Args) -> Result<(String, i32), String> {
     // Replay one pinned registry family.
     if let Some(name) = args.options.get("family") {
@@ -1876,5 +2107,85 @@ mod tests {
         assert!(a.flag("flag"));
         assert!(a.flag("tail"));
         assert_eq!(a.options.get("key").unwrap(), "v");
+    }
+
+    #[test]
+    fn monitor_clean_run_exits_0_with_audited_certs() {
+        let text = dispatch(&sv(&["gen", "--kind", "serial", "--seed", "3"]), "").unwrap();
+        let (out, code) = dispatch_with_status(
+            &sv(&["monitor", "-", "--condition", "lin", "--window", "2"]),
+            &text,
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("mode: healthy"), "{out}");
+        assert!(out.contains("audit ACCEPTED"), "{out}");
+        assert!(!out.contains("audit REJECTED"), "{out}");
+        assert!(!out.contains("VIOLATION"), "{out}");
+    }
+
+    #[test]
+    fn monitor_sabotage_is_caught_and_exits_0() {
+        let text = dispatch(&sv(&["gen", "--kind", "serial", "--seed", "4"]), "").unwrap();
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "monitor",
+                "-",
+                "--condition",
+                "sc",
+                "--window",
+                "2",
+                "--sabotage",
+            ]),
+            &text,
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("VIOLATION"), "{out}");
+        assert!(out.contains("SABOTAGE CONFIRMED"), "{out}");
+    }
+
+    #[test]
+    fn monitor_tiled_stream_stays_bounded_and_degrades() {
+        // Concurrent-writer tiles never fully retire under m-SC's
+        // closed-relation peeling, so a long tiled stream presses on the
+        // cap: the sentinel must degrade, never grow past the bound.
+        let text = dispatch(&sv(&["gen", "--kind", "writers", "--k", "3"]), "").unwrap();
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "monitor",
+                "-",
+                "--condition",
+                "sc",
+                "--window",
+                "4",
+                "--tiles",
+                "12",
+                "--max-live-nodes",
+                "8",
+            ]),
+            &text,
+        );
+        let out = out.unwrap();
+        assert!(out.contains("bound respected"), "{out}");
+        assert!(!out.contains("BOUND EXCEEDED"), "{out}");
+        assert!(!out.contains("VIOLATION"), "{out}");
+        assert_eq!(code, 0, "{out}");
+    }
+
+    #[test]
+    fn monitor_rejects_bad_condition_and_sabotaged_normal() {
+        let (result, code) = dispatch_with_status(
+            &sv(&["monitor", "-", "--condition", "weird"]),
+            "history v1\n",
+        );
+        assert!(result.unwrap_err().contains("unknown condition"));
+        assert_eq!(code, 2);
+        let (result, code) = dispatch_with_status(
+            &sv(&["monitor", "-", "--condition", "normal", "--sabotage"]),
+            "history v1\n",
+        );
+        assert!(result.unwrap_err().contains("sabotage"));
+        assert_eq!(code, 2);
     }
 }

@@ -153,6 +153,26 @@ impl<A: Abcast<MOperation>> ReplicaProtocol for AggregateReplica<A> {
     fn abcast_transcript(&self) -> Vec<String> {
         self.abcast.transcript()
     }
+
+    fn set_shard_plan(&mut self, plan: moc_core::shard::ShardPlan) {
+        self.abcast.set_shard_plan(plan);
+    }
+
+    fn set_commute_plan(&mut self, plan: moc_core::commute::CommutePlan) {
+        self.abcast.set_commute_plan(plan);
+    }
+
+    fn commute_fast_applied(&self) -> u64 {
+        self.abcast.commute_fast_applied()
+    }
+
+    fn channel_logs(&self) -> Vec<Vec<moc_core::ids::MOpId>> {
+        crate::split_channel_logs(&self.delivery_log, self.abcast.delivery_channels())
+    }
+
+    fn private_channel(&self) -> Option<u32> {
+        self.abcast.private_channel()
+    }
 }
 
 #[cfg(test)]

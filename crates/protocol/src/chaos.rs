@@ -27,13 +27,17 @@
 //! non-quiescence are all recorded in [`ChaosAnomalies`] instead of
 //! tripping asserts.
 
+use std::cell::RefCell;
 use std::collections::VecDeque;
+use std::rc::Rc;
 
 pub use moc_abcast::{LinkConfig, LinkStats};
 use moc_abcast::{LinkMsg, Outbox, ReliableLink};
 use moc_core::history::History;
 use moc_core::ids::{MOpId, ProcessId};
 use moc_core::mop::{EventTime, MOpClass, MOpRecord};
+use moc_monitor::OnlineMonitor;
+pub use moc_monitor::{MonitorConfig, MonitorRunSummary};
 use moc_sim::{Context, FaultPlan, NetworkConfig, Node, RunStats, TimerId, World};
 
 use crate::harness::{ClientScript, OpSpec};
@@ -68,6 +72,11 @@ pub struct ChaosConfig {
     /// broadcast before the run, if set. Ignored by broadcasts without
     /// commutativity fast paths.
     pub commute_plan: Option<moc_core::commute::CommutePlan>,
+    /// When set, an [`OnlineMonitor`] sentinel rides along: every
+    /// invocation and completion is streamed into it as it happens (in
+    /// simulated time), and the run report carries the rolling
+    /// certificates, verdict timeline and any latched violation.
+    pub monitor: Option<MonitorConfig>,
 }
 
 impl ChaosConfig {
@@ -83,6 +92,7 @@ impl ChaosConfig {
             failover_timeouts: None,
             shard_plan: None,
             commute_plan: None,
+            monitor: None,
         }
     }
 
@@ -131,6 +141,13 @@ impl ChaosConfig {
         self.commute_plan = Some(plan);
         self
     }
+
+    /// Attaches an online consistency sentinel to the run (see
+    /// [`ChaosRunReport::monitor`]).
+    pub fn with_monitor(mut self, monitor: MonitorConfig) -> Self {
+        self.monitor = Some(monitor);
+        self
+    }
 }
 
 /// Irregularities observed during a chaos run. All zero/false on a
@@ -153,6 +170,15 @@ pub struct ChaosAnomalies {
     /// conflicting writers routed to different shard channels) surfaces
     /// even when every individual channel's order is agreed.
     pub store_divergence: bool,
+    /// Entries on a replica-private read-only fast-path channel that
+    /// violated its contract: issued by another process, never completed
+    /// at the owning replica, or — the dangerous case — containing a
+    /// write that bypassed the agreed order. The private channel is
+    /// excluded from [`ChaosAnomalies::delivery_divergence`] (its
+    /// contents legitimately differ per replica), so this counter is
+    /// what keeps a misbehaving commute fast path from slipping past
+    /// the harness.
+    pub fast_path_violations: u64,
     /// The run exhausted its event budget before quiescing.
     pub stalled: bool,
 }
@@ -190,6 +216,12 @@ pub struct ChaosRunReport {
     /// [`crate::ReplicaProtocol::channel_logs`]). One entry — the whole
     /// log — for single-order broadcasts.
     pub channel_logs: Vec<Vec<MOpId>>,
+    /// Per-replica logs of the replica-private read-only fast-path
+    /// channel (empty when no broadcast arms one). These legitimately
+    /// differ across replicas; the harness verifies each entry's
+    /// contract instead of comparing them (see
+    /// [`ChaosAnomalies::fast_path_violations`]).
+    pub private_fast_logs: Vec<Vec<MOpId>>,
     /// Irregularities observed during the run.
     pub anomalies: ChaosAnomalies,
     /// Per-replica broadcast transcripts (view changes, failover events).
@@ -199,6 +231,10 @@ pub struct ChaosRunReport {
     /// Per-replica count of deliveries the broadcast applied through a
     /// commute fast path (all zero without a commute plan installed).
     pub commute_fast_applied: Vec<u64>,
+    /// The online sentinel's run summary — rolling certificates, verdict
+    /// timeline, and any latched violation with its detection latency —
+    /// when [`ChaosConfig::monitor`] was set. `None` otherwise.
+    pub monitor: Option<MonitorRunSummary>,
 }
 
 impl ChaosRunReport {
@@ -275,6 +311,9 @@ struct ChaosNode<R: ReplicaProtocol> {
     /// The earliest link deadline a tick timer is armed for.
     tick_deadline: Option<u64>,
     orphan_completions: u64,
+    /// The run-wide online sentinel, shared by every node (the simulator
+    /// is single-threaded, so a `Rc<RefCell<..>>` suffices).
+    monitor: Option<Rc<RefCell<OnlineMonitor>>>,
 }
 
 impl<R: ReplicaProtocol> ChaosNode<R> {
@@ -321,6 +360,9 @@ impl<R: ReplicaProtocol> ChaosNode<R> {
         let id = MOpId::new(self.me, self.next_seq);
         self.next_seq += 1;
         self.inflight = Some((id, ctx.now().as_nanos()));
+        if let Some(m) = &self.monitor {
+            m.borrow_mut().on_invoke(id, ctx.now().as_nanos());
+        }
         let mop = MOperation::new(id, spec.program, spec.args);
         let mut out = Outbox::new(self.n);
         self.replica.invoke(mop, &mut out);
@@ -335,7 +377,7 @@ impl<R: ReplicaProtocol> ChaosNode<R> {
                 Some((id, invoked_ns)) if c.id == id => {
                     self.inflight = None;
                     let now = ctx.now().as_nanos();
-                    self.records.push(MOpRecord {
+                    let record = MOpRecord {
                         id,
                         invoked_at: EventTime::from_nanos(invoked_ns),
                         responded_at: EventTime::from_nanos(now),
@@ -343,8 +385,12 @@ impl<R: ReplicaProtocol> ChaosNode<R> {
                         outputs: c.outputs,
                         treated_as: c.treated_as,
                         label: c.label,
-                    });
-                    self.latencies.push((c.treated_as, now - invoked_ns));
+                    };
+                    if let Some(m) = &self.monitor {
+                        m.borrow_mut().on_complete(record.clone(), now);
+                    }
+                    self.latencies.push((record.treated_as, now - invoked_ns));
+                    self.records.push(record);
                     if !self.script.is_empty() {
                         self.think_timer = Some(ctx.set_timer(self.think_ns.max(1)));
                     }
@@ -432,6 +478,48 @@ impl<R: ReplicaProtocol> Node for ChaosNode<R> {
     }
 }
 
+/// Splits one replica's channel logs into the shared (wire-agreed)
+/// channels and the log of its private read-only fast-path channel, if
+/// the broadcast arms one.
+fn split_private_channel<R: ReplicaProtocol>(node: &ChaosNode<R>) -> (Vec<Vec<MOpId>>, Vec<MOpId>) {
+    let mut logs = node.replica.channel_logs();
+    let mut private_log = Vec::new();
+    if let Some(c) = node.replica.private_channel() {
+        let c = c as usize;
+        if c < logs.len() {
+            private_log = std::mem::take(&mut logs[c]);
+            while logs.last().is_some_and(|l| l.is_empty()) {
+                logs.pop();
+            }
+        }
+    }
+    (logs, private_log)
+}
+
+/// Verifies one replica's private fast-path channel log against its
+/// contract: every entry must have been issued by the owning replica
+/// itself and must correspond to a completed m-operation that performed
+/// no writes (a write applied outside the agreed order is exactly the
+/// corruption the fast path must never introduce). Returns the number of
+/// violating entries.
+fn private_channel_violations(me: ProcessId, log: &[MOpId], records: &[MOpRecord]) -> u64 {
+    log.iter()
+        .map(|id| {
+            if id.process != me {
+                return 1;
+            }
+            match records.iter().find(|r| r.id == *id) {
+                None => 1,
+                Some(r) => u64::from(
+                    r.ops
+                        .iter()
+                        .any(|op| op.kind == moc_core::op::OpKind::Write),
+                ),
+            }
+        })
+        .sum()
+}
+
 /// Runs protocol `R` over `scripts` (one per process) on the
 /// fault-injecting simulator with the reliable link in between, and
 /// reports everything observed. Never panics on protocol misbehavior —
@@ -442,6 +530,10 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
 ) -> ChaosRunReport {
     let n = scripts.len();
     assert!(n > 0, "need at least one process");
+    let sentinel = config
+        .monitor
+        .clone()
+        .map(|mc| Rc::new(RefCell::new(OnlineMonitor::new(config.num_objects, mc))));
     let nodes: Vec<ChaosNode<R>> = scripts
         .into_iter()
         .enumerate()
@@ -472,6 +564,7 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
             think_timer: None,
             tick_deadline: None,
             orphan_completions: 0,
+            monitor: sentinel.clone(),
         })
         .collect();
     let mut world = World::with_faults(nodes, config.network, config.faults.clone(), config.seed);
@@ -496,11 +589,19 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
     // one channel (the whole log, so this is the old whole-log check);
     // sharded broadcasts may legitimately interleave commuting channels
     // differently per replica, but each channel's log must be identical.
-    let reference_channels = nodes[0].replica.channel_logs();
+    // The replica-private read-only fast-path channel is split off first:
+    // its contents never cross the wire and legitimately differ per
+    // replica, so it is verified entry-by-entry instead of compared.
+    let (reference_channels, _) = split_private_channel(&nodes[0]);
+    let mut private_fast_logs = Vec::with_capacity(nodes.len());
     for node in &nodes {
-        if node.replica.channel_logs() != reference_channels {
+        let (shared, private_log) = split_private_channel(node);
+        if shared != reference_channels {
             anomalies.delivery_divergence = true;
         }
+        anomalies.fast_path_violations +=
+            private_channel_violations(node.me, &private_log, &node.records);
+        private_fast_logs.push(private_log);
         if node.replica.store() != nodes[0].replica.store() {
             anomalies.store_divergence = true;
         }
@@ -511,9 +612,13 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
     let mut link_stats = Vec::new();
     let mut view_transcripts = Vec::new();
     let mut commute_fast_applied = Vec::new();
+    let mut end_ns = 0u64;
     for node in nodes {
         anomalies.orphan_completions += node.orphan_completions;
         anomalies.unfinished_ops += node.script.len() as u64 + u64::from(node.inflight.is_some());
+        for r in &node.records {
+            end_ns = end_ns.max(r.responded_at.as_nanos());
+        }
         records.extend(node.records);
         latencies.extend(node.latencies);
         replica_metrics.push(node.replica.metrics());
@@ -522,6 +627,15 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
         commute_fast_applied.push(node.replica.commute_fast_applied());
     }
     let history = History::new(config.num_objects, records).map_err(|e| e.to_string());
+    // All node clones of the sentinel were dropped when the nodes were
+    // consumed above, so the unwrap cannot fail.
+    let monitor = sentinel.map(|m| {
+        let mut mon = Rc::try_unwrap(m)
+            .unwrap_or_else(|_| unreachable!("nodes consumed"))
+            .into_inner();
+        mon.flush(end_ns + 1);
+        mon.into_summary()
+    });
     ChaosRunReport {
         protocol: R::protocol_name(),
         history,
@@ -531,9 +645,11 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
         sim,
         update_order,
         channel_logs: reference_channels,
+        private_fast_logs,
         anomalies,
         view_transcripts,
         commute_fast_applied,
+        monitor,
     }
 }
 
@@ -736,5 +852,163 @@ mod tests {
             }
         }
         assert!(saw_orphans, "sabotage never produced a double application");
+    }
+
+    /// Contract check for the private fast-path channel, in isolation: a
+    /// foreign id, a never-completed id, and a write-carrying entry are
+    /// each one violation; a locally completed read-only entry is none.
+    #[test]
+    fn private_channel_contract_flags_foreign_missing_and_writing_entries() {
+        use moc_core::op::CompletedOp;
+        let me = ProcessId::new(1);
+        let x = ObjectId::new(0);
+        let mk_rec = |id: MOpId, ops: Vec<CompletedOp>| MOpRecord {
+            id,
+            invoked_at: EventTime::from_nanos(0),
+            responded_at: EventTime::from_nanos(1),
+            ops,
+            outputs: vec![],
+            treated_as: MOpClass::Query,
+            label: "t".to_string(),
+        };
+        let mine_ro = MOpId::new(me, 0);
+        let mine_w = MOpId::new(me, 1);
+        let foreign = MOpId::new(ProcessId::new(2), 0);
+        let missing = MOpId::new(me, 9);
+        let records = vec![
+            mk_rec(mine_ro, vec![CompletedOp::read(x, 0, MOpId::INITIAL, 0)]),
+            mk_rec(mine_w, vec![CompletedOp::write(x, 5, mine_w, 1)]),
+        ];
+        assert_eq!(private_channel_violations(me, &[mine_ro], &records), 0);
+        assert_eq!(
+            private_channel_violations(me, &[foreign], &records),
+            1,
+            "an entry issued elsewhere cannot be a local self-delivery"
+        );
+        assert_eq!(
+            private_channel_violations(me, &[missing], &records),
+            1,
+            "an entry with no completion record is unaccounted for"
+        );
+        assert_eq!(
+            private_channel_violations(me, &[mine_w], &records),
+            1,
+            "a write smuggled past the agreed order is the critical case"
+        );
+        assert_eq!(
+            private_channel_violations(me, &[mine_ro, foreign, mine_w], &records),
+            2
+        );
+    }
+
+    /// Live exercise of the private-channel verification: the aggregate
+    /// baseline over the conflict-sharded broadcast *broadcasts its
+    /// queries*, so with a certified commute plan installed they take the
+    /// replica-private read-only fast path. The harness must treat those
+    /// replica-local logs as legitimate (no divergence false-positive)
+    /// while still verifying every entry's read-only contract.
+    #[test]
+    fn aggregate_fast_path_queries_are_verified_not_flagged() {
+        use crate::AggregateOverSharded;
+        let write_y = || {
+            let mut b = ProgramBuilder::new("wy");
+            b.write(ObjectId::new(1), moc_core::program::arg(0))
+                .ret(vec![]);
+            Arc::new(b.build().unwrap())
+        };
+        let read_y = || {
+            let mut b = ProgramBuilder::new("ry");
+            b.read(ObjectId::new(1), 0).ret(vec![reg(0)]);
+            Arc::new(b.build().unwrap())
+        };
+        let programs = [write_x(), write_y(), read_x(), read_y()];
+        let refs: Vec<&moc_core::program::Program> = programs.iter().map(|p| p.as_ref()).collect();
+        let shard_plan = moc_core::shard::ShardPlan::new(vec![0, 1]).unwrap();
+        let analysis = moc_analyze::commute_set(&refs, 2);
+        let commute_plan = analysis.cert.delivery_plan(&shard_plan);
+        let scripts = vec![
+            ClientScript::new(vec![
+                OpSpec::new(write_x(), vec![5]),
+                OpSpec::new(read_y(), vec![]),
+            ]),
+            ClientScript::new(vec![
+                OpSpec::new(write_y(), vec![7]),
+                OpSpec::new(read_x(), vec![]),
+            ]),
+            ClientScript::new(vec![
+                OpSpec::new(read_x(), vec![]),
+                OpSpec::new(read_y(), vec![]),
+            ]),
+        ];
+        let cfg = ChaosConfig::new(2, 41)
+            .with_shard_plan(shard_plan)
+            .with_commute_plan(commute_plan);
+        let report = run_chaos_cluster::<AggregateOverSharded>(&cfg, scripts);
+        assert!(report.anomalies.is_clean(), "{:?}", report.anomalies);
+        let h = report.history.as_ref().expect("valid history");
+        assert_eq!(h.len(), 6, "every scripted op completed");
+        assert!(
+            report.commute_fast_applied.iter().sum::<u64>() >= 4,
+            "every broadcast query should self-deliver: {:?}",
+            report.commute_fast_applied
+        );
+        let private_entries: usize = report.private_fast_logs.iter().map(|l| l.len()).sum();
+        assert!(
+            private_entries >= 4,
+            "private logs must surface the fast-path deliveries: {:?}",
+            report.private_fast_logs
+        );
+        for (p, log) in report.private_fast_logs.iter().enumerate() {
+            assert!(
+                log.iter().all(|id| id.process.index() == p),
+                "replica {p} private log must be self-issued: {log:?}"
+            );
+        }
+    }
+
+    /// The online sentinel rides along on a faulty-but-recoverable run:
+    /// the stream must stay clean (no latched violation), emit at least
+    /// one rolling certificate, and its verdict timeline must cover the
+    /// whole run (every completion was ingested).
+    #[test]
+    fn monitored_chaos_run_reports_clean_timeline() {
+        use moc_checker::Condition;
+        let cfg = ChaosConfig::new(1, 23)
+            .with_network(NetworkConfig::with_delay(DelayModel::Uniform {
+                lo: 50,
+                hi: 2_000,
+            }))
+            .with_faults(FaultPlan::lossy(0.25).with_dup(0.15))
+            .with_link(LinkConfig {
+                rto_ns: 10_000,
+                max_rto_ns: 160_000,
+                ..LinkConfig::default()
+            })
+            .with_monitor(MonitorConfig::new(Condition::MSequentialConsistency).with_window(2));
+        let report = run_chaos_cluster::<MscOverSequencer>(&cfg, scripts());
+        assert!(report.anomalies.is_clean(), "{:?}", report.anomalies);
+        let summary = report.monitor.as_ref().expect("sentinel attached");
+        assert!(
+            summary.violation.is_none(),
+            "clean run latched: {:?}",
+            summary.violation
+        );
+        assert_eq!(summary.stats.completions, 5, "every completion streamed");
+        assert_eq!(summary.stats.invocations, 5);
+        assert!(
+            !summary.certs.is_empty(),
+            "quiescence points must emit rolling certificates"
+        );
+        assert!(summary.certs.iter().all(|c| c.admissible));
+        // Monitored and unmonitored runs are the same execution: the
+        // sentinel only observes.
+        let bare = run_chaos_cluster::<MscOverSequencer>(
+            &ChaosConfig {
+                monitor: None,
+                ..cfg.clone()
+            },
+            scripts(),
+        );
+        assert_eq!(report.fingerprint(), bare.fingerprint());
     }
 }

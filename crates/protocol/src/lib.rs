@@ -299,6 +299,39 @@ pub trait ReplicaProtocol {
     fn channel_logs(&self) -> Vec<Vec<MOpId>> {
         vec![self.delivery_log().to_vec()]
     }
+
+    /// The index of the underlying broadcast's replica-private read-only
+    /// fast-path channel, when one is armed (see
+    /// [`moc_abcast::Abcast::private_channel`]). Harnesses must exclude
+    /// this channel from cross-replica agreement checks and instead
+    /// verify each entry is locally issued and write-free.
+    fn private_channel(&self) -> Option<u32> {
+        None
+    }
+}
+
+/// Splits a merged delivery log by per-delivery channel tags (the shape
+/// [`moc_abcast::Abcast::delivery_channels`] reports), trimming trailing
+/// empty channels. `None` tags mean a single global channel.
+pub(crate) fn split_channel_logs(log: &[MOpId], channels: Option<Vec<u32>>) -> Vec<Vec<MOpId>> {
+    match channels {
+        None => vec![log.to_vec()],
+        Some(channels) => {
+            debug_assert_eq!(channels.len(), log.len());
+            let mut logs: Vec<Vec<MOpId>> = Vec::new();
+            for (id, c) in log.iter().zip(channels) {
+                let c = c as usize;
+                if logs.len() <= c {
+                    logs.resize(c + 1, Vec::new());
+                }
+                logs[c].push(*id);
+            }
+            while logs.last().is_some_and(|l| l.is_empty()) {
+                logs.pop();
+            }
+            logs
+        }
+    }
 }
 
 /// Convenience alias: Figure 4 over the fixed-sequencer broadcast.
@@ -314,6 +347,11 @@ pub type MlinOverIsis = MlinReplica<moc_abcast::IsisAbcast<MOperation>>;
 pub type MlinRelevantOverSequencer = mlin::MlinRelevant<moc_abcast::SequencerAbcast<MOperation>>;
 /// Convenience alias: the aggregate-object baseline over the sequencer.
 pub type AggregateOverSequencer = AggregateReplica<moc_abcast::SequencerAbcast<MOperation>>;
+/// Convenience alias: the aggregate baseline over the conflict-sharded
+/// broadcast. With a commute plan installed its broadcast queries take
+/// the replica-private read-only fast path — the live exercise of the
+/// harness's private-channel verification.
+pub type AggregateOverSharded = AggregateReplica<moc_abcast::ShardedAbcast<MOperation>>;
 /// Convenience alias: Figure 4 over the conflict-sharded broadcast, which
 /// routes single-shard updates through shard-local sequencers (install a
 /// certified partition with [`ReplicaProtocol::set_shard_plan`]).

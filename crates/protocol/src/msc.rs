@@ -178,24 +178,11 @@ impl<A: Abcast<MOperation>> ReplicaProtocol for MscReplica<A> {
     }
 
     fn channel_logs(&self) -> Vec<Vec<moc_core::ids::MOpId>> {
-        match self.abcast.delivery_channels() {
-            None => vec![self.delivery_log.clone()],
-            Some(channels) => {
-                debug_assert_eq!(channels.len(), self.delivery_log.len());
-                let mut logs: Vec<Vec<moc_core::ids::MOpId>> = Vec::new();
-                for (id, c) in self.delivery_log.iter().zip(channels) {
-                    let c = c as usize;
-                    if logs.len() <= c {
-                        logs.resize(c + 1, Vec::new());
-                    }
-                    logs[c].push(*id);
-                }
-                while logs.last().is_some_and(|l| l.is_empty()) {
-                    logs.pop();
-                }
-                logs
-            }
-        }
+        crate::split_channel_logs(&self.delivery_log, self.abcast.delivery_channels())
+    }
+
+    fn private_channel(&self) -> Option<u32> {
+        self.abcast.private_channel()
     }
 }
 

@@ -43,6 +43,7 @@
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -54,6 +55,8 @@ use moc_core::ids::{MOpId, ProcessId};
 use moc_core::mop::{EventTime, MOpClass, MOpRecord};
 use moc_core::program::Program;
 use moc_core::value::Value;
+use moc_monitor::OnlineMonitor;
+pub use moc_monitor::{MonitorConfig, MonitorRunSummary};
 use moc_protocol::{MOperation, ReplicaProtocol};
 use moc_sim::DelayModel;
 use parking_lot::Mutex;
@@ -169,6 +172,35 @@ pub struct RuntimeReport {
     pub replica_metrics: Vec<moc_protocol::ReplicaMetrics>,
 }
 
+/// Rejection returned by [`LiveCluster::try_invoke`] once the online
+/// sentinel has quarantined a process: the containment hook fail-stops
+/// further traffic from the offending replica (mirroring the fixed
+/// sequencer's halt-on-restart negative control) instead of letting a
+/// detected inconsistency spread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quarantined {
+    /// The process whose traffic is fenced off.
+    pub process: ProcessId,
+}
+
+impl std::fmt::Display for Quarantined {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "process {} is quarantined by the consistency sentinel",
+            self.process
+        )
+    }
+}
+
+impl std::error::Error for Quarantined {}
+
+/// Events streamed from the replica threads to the sentinel thread.
+enum MonitorEvent {
+    Invoke(MOpId, u64),
+    Complete(Box<MOpRecord>, u64),
+}
+
 enum Input<M> {
     Net {
         from: ProcessId,
@@ -204,6 +236,11 @@ pub struct LiveCluster<R: ReplicaProtocol> {
     net_handle: JoinHandle<()>,
     invoke_locks: Vec<Mutex<()>>,
     num_objects: usize,
+    /// Per-process containment flags, set by the sentinel thread when a
+    /// violation latches. All-false without a monitor attached.
+    quarantine: Arc<Vec<AtomicBool>>,
+    monitor_tx: Option<Sender<MonitorEvent>>,
+    monitor_handle: Option<JoinHandle<MonitorRunSummary>>,
 }
 
 struct ReplicaExit {
@@ -218,11 +255,42 @@ where
 {
     /// Spawns `n` replica threads and the network thread.
     pub fn start(n: usize, config: RuntimeConfig) -> Self {
+        Self::start_inner(n, config, None)
+    }
+
+    /// Like [`LiveCluster::start`], but with an online consistency
+    /// sentinel riding along: a dedicated monitor thread is fed every
+    /// invocation and completion event from the replica threads, checks
+    /// windows incrementally, and — on a latched violation — quarantines
+    /// the culprit process so [`LiveCluster::try_invoke`] refuses its
+    /// further traffic. Retrieve the verdicts and rolling certificates
+    /// with [`LiveCluster::shutdown_with_monitor`].
+    pub fn start_with_monitor(n: usize, config: RuntimeConfig, monitor: MonitorConfig) -> Self {
+        Self::start_inner(n, config, Some(monitor))
+    }
+
+    fn start_inner(n: usize, config: RuntimeConfig, monitor: Option<MonitorConfig>) -> Self {
         assert!(n > 0, "need at least one process");
         let epoch = Instant::now();
         let (net_tx, net_rx) = unbounded::<NetCmd<LinkMsg<R::Msg>>>();
         let mut inputs = Vec::with_capacity(n);
         let mut replica_handles = Vec::with_capacity(n);
+        let quarantine: Arc<Vec<AtomicBool>> =
+            Arc::new((0..n).map(|_| AtomicBool::new(false)).collect());
+
+        let (monitor_tx, monitor_handle) = match monitor {
+            None => (None, None),
+            Some(mcfg) => {
+                let (tx, rx) = unbounded::<MonitorEvent>();
+                let flags = Arc::clone(&quarantine);
+                let num_objects = config.num_objects;
+                let handle = std::thread::Builder::new()
+                    .name("sentinel".into())
+                    .spawn(move || monitor_main(num_objects, mcfg, rx, flags))
+                    .expect("spawn sentinel thread");
+                (Some(tx), Some(handle))
+            }
+        };
 
         for p in 0..n {
             let me = ProcessId::new(p as u32);
@@ -232,11 +300,22 @@ where
             let num_objects = config.num_objects;
             let link_cfg = config.link;
             let failover = config.failover_timeouts;
+            let sentinel = monitor_tx.clone();
             replica_handles.push(
                 std::thread::Builder::new()
                     .name(format!("replica-{p}"))
                     .spawn(move || {
-                        replica_main::<R>(me, n, num_objects, link_cfg, failover, epoch, rx, net_tx)
+                        replica_main::<R>(
+                            me,
+                            n,
+                            num_objects,
+                            link_cfg,
+                            failover,
+                            epoch,
+                            rx,
+                            net_tx,
+                            sentinel,
+                        )
                     })
                     .expect("spawn replica thread"),
             );
@@ -261,6 +340,9 @@ where
             net_handle,
             invoke_locks: (0..n).map(|_| Mutex::new(())).collect(),
             num_objects: config.num_objects,
+            quarantine,
+            monitor_tx,
+            monitor_handle,
         }
     }
 
@@ -276,9 +358,27 @@ where
     ///
     /// # Panics
     ///
-    /// Panics if the cluster is shutting down underneath the call.
+    /// Panics if the cluster is shutting down underneath the call, or if
+    /// the sentinel has quarantined `process` (use
+    /// [`LiveCluster::try_invoke`] to handle containment gracefully).
     pub fn invoke(&self, process: ProcessId, program: Arc<Program>, args: Vec<Value>) -> Reply {
+        self.try_invoke(process, program, args)
+            .expect("process not quarantined")
+    }
+
+    /// Like [`LiveCluster::invoke`], but refuses — instead of panicking —
+    /// when the online sentinel has quarantined `process` after latching
+    /// a consistency violation it attributes to that replica.
+    pub fn try_invoke(
+        &self,
+        process: ProcessId,
+        program: Arc<Program>,
+        args: Vec<Value>,
+    ) -> Result<Reply, Quarantined> {
         let _guard = self.invoke_locks[process.index()].lock();
+        if self.quarantined(process) {
+            return Err(Quarantined { process });
+        }
         let (reply_tx, reply_rx) = bounded(1);
         self.inputs[process.index()]
             .send(Input::Invoke {
@@ -287,12 +387,26 @@ where
                 reply: reply_tx,
             })
             .expect("replica thread alive");
-        reply_rx.recv().expect("replica answers every invocation")
+        Ok(reply_rx.recv().expect("replica answers every invocation"))
+    }
+
+    /// Whether the sentinel has fenced off `process` (always `false`
+    /// without a monitor attached).
+    pub fn quarantined(&self, process: ProcessId) -> bool {
+        self.quarantine[process.index()].load(Ordering::SeqCst)
     }
 
     /// Stops the cluster: flushes in-flight messages, joins all threads and
     /// assembles the recorded history.
     pub fn shutdown(self) -> RuntimeReport {
+        self.shutdown_with_monitor().0
+    }
+
+    /// Like [`LiveCluster::shutdown`], additionally returning the
+    /// sentinel's run summary — rolling certificates, verdict timeline,
+    /// any latched violation — when the cluster was started with
+    /// [`LiveCluster::start_with_monitor`] (`None` otherwise).
+    pub fn shutdown_with_monitor(self) -> (RuntimeReport, Option<MonitorRunSummary>) {
         // The network flushes its delay queue, then tells the replicas to
         // exit; anything a replica sends after that is dropped.
         self.net_tx
@@ -309,13 +423,68 @@ where
             records.extend(exit.records);
             replica_metrics.push(exit.metrics);
         }
+        // Every replica-held sender is gone once the threads are joined;
+        // dropping ours disconnects the sentinel, which flushes and exits.
+        drop(self.monitor_tx);
+        let monitor = self
+            .monitor_handle
+            .map(|h| h.join().expect("sentinel thread panicked"));
         let history =
             History::new(self.num_objects, records).expect("runtime produced an invalid history");
-        RuntimeReport {
-            history,
-            replica_metrics,
+        (
+            RuntimeReport {
+                history,
+                replica_metrics,
+            },
+            monitor,
+        )
+    }
+}
+
+/// The sentinel thread: drains the event stream into an
+/// [`OnlineMonitor`], and sets the containment flag of the culprit
+/// process (all processes when the violation has no attributable
+/// culprit) the moment a violation latches. Exits — flushing a final
+/// window — when every event sender is gone.
+fn monitor_main(
+    num_objects: usize,
+    cfg: MonitorConfig,
+    rx: Receiver<MonitorEvent>,
+    quarantine: Arc<Vec<AtomicBool>>,
+) -> MonitorRunSummary {
+    let mut mon = OnlineMonitor::new(num_objects, cfg);
+    let mut last_ns = 0u64;
+    let mut contained = false;
+    while let Ok(ev) = rx.recv() {
+        match ev {
+            MonitorEvent::Invoke(id, at_ns) => {
+                last_ns = last_ns.max(at_ns);
+                mon.on_invoke(id, at_ns);
+            }
+            MonitorEvent::Complete(record, at_ns) => {
+                last_ns = last_ns.max(at_ns);
+                mon.on_complete(*record, at_ns);
+            }
+        }
+        if contained {
+            continue;
+        }
+        if let Some(v) = mon.violation() {
+            contained = true;
+            match v.culprit {
+                Some(p) if p.index() < quarantine.len() => {
+                    quarantine[p.index()].store(true, Ordering::SeqCst);
+                }
+                _ => {
+                    for flag in quarantine.iter() {
+                        flag.store(true, Ordering::SeqCst);
+                    }
+                }
+            }
         }
     }
+    mon.flush(last_ns + 1);
+    mon.into_summary()
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -328,6 +497,7 @@ fn replica_main<R: ReplicaProtocol>(
     epoch: Instant,
     rx: Receiver<Input<LinkMsg<R::Msg>>>,
     net_tx: Sender<NetCmd<LinkMsg<R::Msg>>>,
+    sentinel: Option<Sender<MonitorEvent>>,
 ) -> ReplicaExit {
     let mut replica = R::new(me, n, num_objects);
     replica.set_failover_timeouts(failover.0, failover.1);
@@ -371,7 +541,11 @@ fn replica_main<R: ReplicaProtocol>(
                 let id = MOpId::new(me, next_seq);
                 next_seq += 1;
                 assert!(inflight.is_none(), "process invoked while one is pending");
-                inflight = Some((id, now(epoch), reply));
+                let invoked_at = now(epoch);
+                inflight = Some((id, invoked_at, reply));
+                if let Some(tx) = &sentinel {
+                    let _ = tx.send(MonitorEvent::Invoke(id, invoked_at.as_nanos()));
+                }
                 replica.invoke(MOperation::new(id, program, args), &mut out);
             }
             Some(Input::Shutdown) => break,
@@ -396,10 +570,32 @@ fn replica_main<R: ReplicaProtocol>(
             });
         }
         for c in replica.drain_completions() {
-            let (id, invoked_at, reply) = inflight.take().expect("completion matches invocation");
-            assert_eq!(c.id, id);
+            let matched = inflight.as_ref().is_some_and(|(id, _, _)| *id == c.id);
+            if !matched {
+                // A completion with no (or the wrong) pending invocation:
+                // a double-applied broadcast frame slipping past a
+                // sabotaged link. The healthy stack never produces one;
+                // instead of crashing the replica, surface it to the
+                // sentinel (a re-completion of a settled id latches its
+                // duplicate-completion violation) and drop it.
+                if let Some(tx) = &sentinel {
+                    let at = now(epoch);
+                    let record = MOpRecord {
+                        id: c.id,
+                        invoked_at: at,
+                        responded_at: at,
+                        ops: c.ops,
+                        outputs: c.outputs,
+                        treated_as: c.treated_as,
+                        label: c.label,
+                    };
+                    let _ = tx.send(MonitorEvent::Complete(Box::new(record), at.as_nanos()));
+                }
+                continue;
+            }
+            let (id, invoked_at, reply) = inflight.take().expect("matched above");
             let responded_at = now(epoch);
-            records.push(MOpRecord {
+            let record = MOpRecord {
                 id,
                 invoked_at,
                 responded_at,
@@ -407,7 +603,14 @@ fn replica_main<R: ReplicaProtocol>(
                 outputs: c.outputs.clone(),
                 treated_as: c.treated_as,
                 label: c.label,
-            });
+            };
+            if let Some(tx) = &sentinel {
+                let _ = tx.send(MonitorEvent::Complete(
+                    Box::new(record.clone()),
+                    responded_at.as_nanos(),
+                ));
+            }
+            records.push(record);
             let _ = reply.send(Reply {
                 id,
                 outputs: c.outputs,
@@ -739,6 +942,125 @@ mod tests {
         assert_eq!(report.history.len(), 12, "every invocation completed");
         let lin = check(&report.history, Condition::MLinearizability, Strategy::Auto).unwrap();
         assert!(lin.satisfied, "{:?}", lin.reason);
+    }
+
+    #[test]
+    fn monitored_cluster_emits_rolling_certs() {
+        let cluster: LiveCluster<MlinOverSequencer> = LiveCluster::start_with_monitor(
+            2,
+            RuntimeConfig::new(1),
+            MonitorConfig::new(Condition::MLinearizability).with_window(2),
+        );
+        for i in 0..4 {
+            cluster.invoke(ProcessId::new(i % 2), wx(i as i64), vec![]);
+            cluster.invoke(ProcessId::new((i + 1) % 2), rx(), vec![]);
+        }
+        assert!(!cluster.quarantined(ProcessId::new(0)));
+        let (report, monitor) = cluster.shutdown_with_monitor();
+        assert_eq!(report.history.len(), 8, "every invocation completed");
+        let summary = monitor.expect("sentinel attached");
+        assert!(summary.violation.is_none(), "{:?}", summary.violation);
+        assert_eq!(summary.stats.completions, 8, "every completion streamed");
+        assert!(
+            !summary.certs.is_empty(),
+            "quiescence points must emit rolling certificates"
+        );
+        for cert in &summary.certs {
+            assert!(cert.admissible);
+            let batch = check(&cert.window, Condition::MLinearizability, Strategy::Auto).unwrap();
+            assert!(batch.satisfied, "streaming and batch verdicts agree");
+        }
+    }
+
+    /// The sentinel thread end-to-end on a poisoned event stream: the
+    /// classic store-buffering outcome (both m-operations read the
+    /// initial value even though both writes happened) is inadmissible
+    /// under m-SC, so the violation must latch and the containment flag
+    /// of the attributed culprit must be set.
+    #[test]
+    fn sentinel_latches_violation_and_quarantines_culprit() {
+        use moc_core::op::CompletedOp;
+        let (tx, rx) = unbounded::<MonitorEvent>();
+        let flags: Arc<Vec<AtomicBool>> =
+            Arc::new((0..2).map(|_| AtomicBool::new(false)).collect());
+        let cfg = MonitorConfig::new(Condition::MSequentialConsistency).with_window(1);
+        let handle = {
+            let flags = Arc::clone(&flags);
+            std::thread::spawn(move || monitor_main(2, cfg, rx, flags))
+        };
+        let x = ObjectId::new(0);
+        let y = ObjectId::new(1);
+        let a_id = MOpId::new(ProcessId::new(0), 0);
+        let b_id = MOpId::new(ProcessId::new(1), 0);
+        let mk = |id: MOpId, ops: Vec<CompletedOp>| MOpRecord {
+            id,
+            invoked_at: EventTime::from_nanos(0),
+            responded_at: EventTime::from_nanos(10),
+            ops,
+            outputs: vec![],
+            treated_as: MOpClass::Update,
+            label: "sb".to_string(),
+        };
+        let a = mk(
+            a_id,
+            vec![
+                CompletedOp::write(x, 1, a_id, 1),
+                CompletedOp::read(y, 0, MOpId::INITIAL, 0),
+            ],
+        );
+        let b = mk(
+            b_id,
+            vec![
+                CompletedOp::write(y, 1, b_id, 1),
+                CompletedOp::read(x, 0, MOpId::INITIAL, 0),
+            ],
+        );
+        tx.send(MonitorEvent::Invoke(a_id, 0)).unwrap();
+        tx.send(MonitorEvent::Invoke(b_id, 0)).unwrap();
+        tx.send(MonitorEvent::Complete(Box::new(a), 10)).unwrap();
+        tx.send(MonitorEvent::Complete(Box::new(b), 10)).unwrap();
+        drop(tx);
+        let summary = handle.join().unwrap();
+        let v = summary.violation.as_ref().expect("violation latched");
+        assert!(
+            flags.iter().any(|f| f.load(Ordering::SeqCst)),
+            "containment flag set"
+        );
+        if let Some(p) = v.culprit {
+            assert!(flags[p.index()].load(Ordering::SeqCst), "culprit fenced");
+        }
+    }
+
+    /// The containment hook at the invocation boundary: a quarantined
+    /// process's traffic is refused while the rest of the cluster keeps
+    /// operating.
+    #[test]
+    fn quarantined_process_is_fenced() {
+        let cluster: LiveCluster<MscOverSequencer> = LiveCluster::start_with_monitor(
+            2,
+            RuntimeConfig::new(1),
+            MonitorConfig::new(Condition::MSequentialConsistency),
+        );
+        cluster.invoke(ProcessId::new(0), wx(1), vec![]);
+        // Containment decision, as the sentinel thread would make it.
+        cluster.quarantine[1].store(true, Ordering::SeqCst);
+        let err = cluster
+            .try_invoke(ProcessId::new(1), wx(2), vec![])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            Quarantined {
+                process: ProcessId::new(1)
+            }
+        );
+        assert!(cluster.quarantined(ProcessId::new(1)));
+        assert!(
+            cluster.try_invoke(ProcessId::new(0), rx(), vec![]).is_ok(),
+            "unaffected processes keep working"
+        );
+        let (report, monitor) = cluster.shutdown_with_monitor();
+        assert_eq!(report.history.len(), 2, "the fenced invocation never ran");
+        assert!(monitor.expect("sentinel attached").violation.is_none());
     }
 
     #[test]

@@ -25,7 +25,9 @@ use moc_audit::audit;
 use moc_checker::admissible::SearchLimits;
 use moc_checker::certificate::check_certified;
 use moc_checker::conditions::Condition;
-use moc_protocol::chaos::{run_chaos_cluster, ChaosConfig, ChaosRunReport, LinkConfig};
+use moc_protocol::chaos::{
+    run_chaos_cluster, ChaosConfig, ChaosRunReport, LinkConfig, MonitorConfig,
+};
 use moc_protocol::{
     ClientScript, MlinOverSequencer, MlinOverView, MscOverSequencer, MscOverView, ReplicaProtocol,
 };
@@ -54,10 +56,14 @@ fn run_one<R: ReplicaProtocol + 'static>(
     family: FaultFamily,
     wl: WorkloadFamily,
     seed: u64,
+    condition: Condition,
 ) -> ChaosRunReport {
     let (num_objects, s) = sweep_scripts(wl, seed);
-    let config =
-        ChaosConfig::new(num_objects, seed).with_faults(family.plan(PROCESSES, HORIZON_NS));
+    let config = ChaosConfig::new(num_objects, seed)
+        .with_faults(family.plan(PROCESSES, HORIZON_NS))
+        // The online sentinel rides along on every sweep run, so the
+        // whole sweep doubles as streaming/batch cross-validation.
+        .with_monitor(MonitorConfig::new(condition).with_window(3));
     run_chaos_cluster::<R>(&config, s)
 }
 
@@ -99,6 +105,54 @@ fn verify_masked(
     );
     audit(history, &cert.to_text())
         .unwrap_or_else(|e| panic!("{tuple}: auditor rejected the certificate: {e}"));
+    // 5. The online sentinel that watched the same run must agree with
+    //    the batch verdict: no latched violation, every completion
+    //    ingested, and every rolling certificate (a) re-checkable by the
+    //    batch checker on its self-contained window and (b) re-accepted
+    //    by the independent auditor.
+    let summary = report
+        .monitor
+        .as_ref()
+        .expect("sweep runs attach the sentinel");
+    assert!(
+        summary.violation.is_none(),
+        "{tuple}: sentinel latched a violation on a clean run: {:?}",
+        summary.violation
+    );
+    assert_eq!(
+        summary.stats.completions as usize,
+        history.len(),
+        "{tuple}: sentinel missed completions"
+    );
+    assert!(
+        !summary.certs.is_empty(),
+        "{tuple}: no rolling certificates emitted"
+    );
+    for rc in &summary.certs {
+        assert!(
+            rc.admissible,
+            "{tuple}: inadmissible rolling cert v{} on a clean run",
+            rc.version
+        );
+        let (batch, _) = check_certified(&rc.window, condition, SearchLimits::default())
+            .unwrap_or_else(|e| {
+                panic!(
+                    "{tuple}: batch re-check error on window v{}: {e}",
+                    rc.version
+                )
+            });
+        assert!(
+            batch.satisfied,
+            "{tuple}: batch checker disagrees with rolling cert v{}",
+            rc.version
+        );
+        audit(&rc.window, &rc.cert_text).unwrap_or_else(|e| {
+            panic!(
+                "{tuple}: auditor rejected rolling cert v{}: {e}",
+                rc.version
+            )
+        });
+    }
 }
 
 /// ≥200 (seed, fault-plan) pairs through the Figure 4 protocol: every
@@ -110,7 +164,8 @@ fn msc_conformance_sweep() {
         for s in 0..SEEDS_PER_FAMILY {
             let seed = s * FaultFamily::ALL.len() as u64 + i as u64;
             let wl = WorkloadFamily::ALL[(seed as usize) % WorkloadFamily::ALL.len()];
-            let report = run_one::<MscOverSequencer>(family, wl, seed);
+            let report =
+                run_one::<MscOverSequencer>(family, wl, seed, Condition::MSequentialConsistency);
             verify_masked(&report, Condition::MSequentialConsistency, family, wl, seed);
             pairs += 1;
         }
@@ -127,7 +182,8 @@ fn mlin_conformance_sweep() {
         for s in 0..SEEDS_PER_FAMILY {
             let seed = 100_000 + s * FaultFamily::ALL.len() as u64 + i as u64;
             let wl = WorkloadFamily::ALL[(seed as usize) % WorkloadFamily::ALL.len()];
-            let report = run_one::<MlinOverSequencer>(family, wl, seed);
+            let report =
+                run_one::<MlinOverSequencer>(family, wl, seed, Condition::MLinearizability);
             verify_masked(&report, Condition::MLinearizability, family, wl, seed);
             pairs += 1;
         }
@@ -157,7 +213,8 @@ fn sabotaged_link_yields_an_audited_refutation() {
         let s = scripts(&spec, &mut rng);
         let config = ChaosConfig::new(1, seed)
             .with_faults(FaultPlan::default().with_dup(0.5))
-            .with_link(LinkConfig::sabotaged());
+            .with_link(LinkConfig::sabotaged())
+            .with_monitor(MonitorConfig::new(Condition::MSequentialConsistency).with_window(3));
         let report = run_chaos_cluster::<MscOverSequencer>(&config, s);
         if !report.anomalies.is_clean() {
             corrupted_runs += 1;
@@ -178,6 +235,20 @@ fn sabotaged_link_yields_an_audited_refutation() {
         if !verdict.satisfied {
             audit(history, &cert.to_text())
                 .unwrap_or_else(|e| panic!("seed {seed}: auditor rejected the refutation: {e}"));
+            // The sentinel streamed the same run: the corruption the
+            // batch checker refutes must already have latched online,
+            // and its refutation certificate (when the latch came from a
+            // window check rather than structural damage) must survive
+            // the independent auditor too.
+            let summary = report.monitor.as_ref().expect("sentinel attached");
+            let v = summary.violation.as_ref().unwrap_or_else(|| {
+                panic!("seed {seed}: batch refuted but the sentinel never latched")
+            });
+            if let Some(rc) = &v.cert {
+                audit(&rc.window, &rc.cert_text).unwrap_or_else(|e| {
+                    panic!("seed {seed}: sentinel refutation cert rejected: {e}")
+                });
+            }
             refuted = true;
             break;
         }
@@ -202,6 +273,7 @@ fn run_leader_one<R: ReplicaProtocol + 'static>(
     family: FaultFamily,
     wl: WorkloadFamily,
     seed: u64,
+    condition: Condition,
 ) -> ChaosRunReport {
     let (num_objects, s) = sweep_scripts(wl, seed);
     let s = s
@@ -212,7 +284,11 @@ fn run_leader_one<R: ReplicaProtocol + 'static>(
         .with_faults(family.plan(PROCESSES, LEADER_HORIZON_NS))
         // Suspicion well below the outage lengths, so failover fires
         // inside every crash window instead of waiting out the victim.
-        .with_failover_timeouts(15_000, 120_000);
+        .with_failover_timeouts(15_000, 120_000)
+        // The sentinel observes crash-during-view-change runs too — the
+        // LeaderCrashRepeat family kills the *incoming* leader while its
+        // handshake is still in flight, with the monitor watching.
+        .with_monitor(MonitorConfig::new(condition).with_window(3));
     run_chaos_cluster::<R>(&config, s)
 }
 
@@ -226,7 +302,7 @@ fn leader_crash_sweep<R: ReplicaProtocol + 'static>(condition: Condition, seed_b
         for s in 0..SEEDS_PER_FAMILY {
             let seed = seed_base + s * FaultFamily::LEADER_CRASH.len() as u64 + i as u64;
             let wl = WorkloadFamily::ALL[(seed as usize) % WorkloadFamily::ALL.len()];
-            let report = run_leader_one::<R>(family, wl, seed);
+            let report = run_leader_one::<R>(family, wl, seed, condition);
             verify_masked(&report, condition, family, wl, seed);
             if report
                 .view_transcripts
@@ -311,8 +387,18 @@ fn crashed_fixed_sequencer_is_detected_not_silent() {
 fn leader_crash_replays_identically() {
     for family in FaultFamily::LEADER_CRASH {
         for seed in [7u64, 99] {
-            let a = run_leader_one::<MscOverView>(family, WorkloadFamily::Mixed, seed);
-            let b = run_leader_one::<MscOverView>(family, WorkloadFamily::Mixed, seed);
+            let a = run_leader_one::<MscOverView>(
+                family,
+                WorkloadFamily::Mixed,
+                seed,
+                Condition::MSequentialConsistency,
+            );
+            let b = run_leader_one::<MscOverView>(
+                family,
+                WorkloadFamily::Mixed,
+                seed,
+                Condition::MSequentialConsistency,
+            );
             assert_eq!(a.sim, b.sim, "{}/{seed}: RunStats diverged", family.name());
             assert_eq!(
                 a.fingerprint(),
@@ -340,8 +426,18 @@ fn leader_crash_replays_identically() {
 fn chaos_runs_replay_identically() {
     for family in [FaultFamily::LossyDup, FaultFamily::Storm] {
         for seed in [3u64, 41, 977] {
-            let a = run_one::<MscOverSequencer>(family, WorkloadFamily::Mixed, seed);
-            let b = run_one::<MscOverSequencer>(family, WorkloadFamily::Mixed, seed);
+            let a = run_one::<MscOverSequencer>(
+                family,
+                WorkloadFamily::Mixed,
+                seed,
+                Condition::MSequentialConsistency,
+            );
+            let b = run_one::<MscOverSequencer>(
+                family,
+                WorkloadFamily::Mixed,
+                seed,
+                Condition::MSequentialConsistency,
+            );
             assert_eq!(a.sim, b.sim, "{}/{seed}: RunStats diverged", family.name());
             assert_eq!(
                 a.fingerprint(),
