@@ -105,6 +105,73 @@ impl<M> Outbox<M> {
     }
 }
 
+/// Group-commit tuning for broadcasts that support batched stamping.
+///
+/// A stamping endpoint (the fixed sequencer, a view leader, or a shard
+/// channel's sequencer) assigns every submission its stamp *at arrival* —
+/// so the agreed order is byte-identical to the unbatched protocol — but
+/// defers the fan-out, draining up to `max_batch` stamped items into one
+/// `OrderedBatch` wire message. A partially filled batch is flushed at
+/// most `max_delay_ns` after its first item was stamped (the group-commit
+/// window). One wire frame (and thus one [`ReliableLink`] ack) covers the
+/// whole batch.
+///
+/// `max_batch <= 1` disables batching entirely: every stamp fans out
+/// immediately as a plain `Ordered` message, exactly the pre-batching
+/// protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchConfig {
+    /// Flush as soon as this many stamped items are pending.
+    pub max_batch: usize,
+    /// Flush a non-empty partial batch at most this long (virtual ns)
+    /// after its first item was stamped.
+    pub max_delay_ns: u64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        // Batching off: identical wire behaviour to the classic protocol.
+        BatchConfig {
+            max_batch: 1,
+            max_delay_ns: 0,
+        }
+    }
+}
+
+impl BatchConfig {
+    /// Whether this configuration actually batches.
+    pub fn enabled(&self) -> bool {
+        self.max_batch > 1
+    }
+}
+
+/// Stamping-side batching counters: how many items an endpoint stamped
+/// and how many wire flushes carried them. Occupancy = items / flushes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Items this endpoint stamped (as sequencer/leader).
+    pub items_stamped: u64,
+    /// Ordering fan-outs sent (single `Ordered` or one `OrderedBatch`).
+    pub batches_flushed: u64,
+}
+
+impl BatchStats {
+    /// Mean items per ordering fan-out (1.0 when batching is off).
+    pub fn occupancy(&self) -> f64 {
+        if self.batches_flushed == 0 {
+            0.0
+        } else {
+            self.items_stamped as f64 / self.batches_flushed as f64
+        }
+    }
+
+    /// Accumulates another endpoint's counters.
+    pub fn merge(&mut self, other: BatchStats) {
+        self.items_stamped += other.items_stamped;
+        self.batches_flushed += other.batches_flushed;
+    }
+}
+
 /// One delivered broadcast item.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Delivery<T> {
@@ -203,6 +270,19 @@ pub trait Abcast<T> {
     /// verify instead of comparing the channel for equality.
     fn private_channel(&self) -> Option<u32> {
         None
+    }
+
+    /// Installs a group-commit batching configuration ([`BatchConfig`]).
+    /// Only stamping protocols with a batched fan-out react; the default
+    /// ignores it. Stamps are still assigned at submission arrival, so
+    /// the agreed delivery order is unchanged at any batch size. Must be
+    /// installed uniformly before any traffic flows.
+    fn set_batching(&mut self, _cfg: BatchConfig) {}
+
+    /// Stamping-side batching counters for this endpoint (zeros for
+    /// protocols without batched stamping, and for pure followers).
+    fn batch_stats(&self) -> BatchStats {
+        BatchStats::default()
     }
 
     /// A deterministic, human-readable log of view/configuration changes

@@ -134,6 +134,23 @@ pub struct LinkStats {
     pub rejoins: u64,
 }
 
+impl LinkStats {
+    /// Field-wise sum, for aggregating per-endpoint counters into a
+    /// cluster-wide transport total.
+    pub fn merge(&self, other: &LinkStats) -> LinkStats {
+        LinkStats {
+            data_sent: self.data_sent + other.data_sent,
+            data_received: self.data_received + other.data_received,
+            delivered: self.delivered + other.delivered,
+            duplicates_discarded: self.duplicates_discarded + other.duplicates_discarded,
+            retransmissions: self.retransmissions + other.retransmissions,
+            acks_sent: self.acks_sent + other.acks_sent,
+            acks_received: self.acks_received + other.acks_received,
+            rejoins: self.rejoins + other.rejoins,
+        }
+    }
+}
+
 /// Outbound state for one peer: the sent-but-unacked window and its
 /// retransmission timer.
 #[derive(Debug, Clone)]
@@ -683,5 +700,37 @@ mod tests {
         assert!(acks.is_empty(), "sabotaged link does not ack");
         a.on_tick(1_000_000, &mut wire);
         assert!(wire.is_empty(), "sabotaged link does not retransmit");
+    }
+
+    #[test]
+    fn one_batch_frame_costs_one_data_frame_and_one_ack() {
+        // The link is payload-agnostic, so a group-committed abcast batch
+        // rides a single Data frame and a single cumulative Ack covers it
+        // — the framing economy the batching layer is built on.
+        use crate::sequencer::SequencerMsg;
+        type Batch = SequencerMsg<u64>;
+        let mut a: ReliableLink<Batch> = ReliableLink::new(pid(0), 2, LinkConfig::default());
+        let mut b: ReliableLink<Batch> = ReliableLink::new(pid(1), 2, LinkConfig::default());
+        let batch = SequencerMsg::OrderedBatch {
+            first_seq: 0,
+            items: (0..16).map(|i| (pid(0), i)).collect(),
+        };
+        let mut wire: Vec<(ProcessId, LinkMsg<Batch>)> = Vec::new();
+        a.send(pid(1), batch, 0, &mut wire);
+        assert_eq!(wire.len(), 1, "sixteen stamps, one Data frame");
+        assert_eq!(a.stats().data_sent, 1);
+        let mut acks: Vec<(ProcessId, LinkMsg<Batch>)> = Vec::new();
+        let mut got = Vec::new();
+        for (_, m) in wire {
+            got.extend(b.on_wire(pid(0), m, 5, &mut acks));
+        }
+        assert_eq!(got.len(), 1, "delivered as one payload");
+        assert!(matches!(&got[0], SequencerMsg::OrderedBatch { items, .. } if items.len() == 16));
+        assert_eq!(acks.len(), 1, "one ack covers the whole batch");
+        assert_eq!(b.stats().acks_sent, 1);
+        for (_, m) in acks {
+            a.on_wire(pid(1), m, 10, &mut Vec::new());
+        }
+        assert_eq!(a.unacked(), 0, "batch fully acked in one round trip");
     }
 }

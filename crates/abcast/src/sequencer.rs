@@ -11,7 +11,7 @@ use std::collections::BTreeMap;
 
 use moc_core::ids::ProcessId;
 
-use crate::{Abcast, Delivery, Outbox};
+use crate::{Abcast, BatchConfig, BatchStats, Delivery, Outbox};
 
 /// Wire messages of the sequencer protocol.
 #[derive(Debug, Clone)]
@@ -31,6 +31,17 @@ pub enum SequencerMsg<T> {
         origin: ProcessId,
         /// The ordered item.
         item: T,
+    },
+    /// Sequencer → everyone: a group-committed run of consecutively
+    /// stamped items (`items[i]` carries stamp `first_seq + i`). One wire
+    /// frame — and therefore one reliable-link ack — covers the whole
+    /// batch. Stamps were assigned at submission arrival, so the carried
+    /// order is identical to what per-item `Ordered` fan-out would agree.
+    OrderedBatch {
+        /// Stamp of `items[0]`.
+        first_seq: u64,
+        /// `(origin, item)` pairs in stamp order.
+        items: Vec<(ProcessId, T)>,
     },
 }
 
@@ -53,6 +64,26 @@ pub struct SequencerAbcast<T> {
     /// counter is volatile, so a restarted sequencer must stop stamping
     /// (see [`Abcast::on_restart`]) instead of silently forking the order.
     halted: bool,
+    /// Group-commit configuration (meaningful only at the sequencer).
+    batch: BatchConfig,
+    /// Stamped-but-unflushed items; `pending[i]` carries stamp
+    /// `pending_first + i` (stamps are consecutive by construction).
+    pending: Vec<(ProcessId, T)>,
+    /// Stamp of `pending[0]`.
+    pending_first: u64,
+    /// Absolute flush time for the current partial batch, once armed.
+    batch_deadline: Option<u64>,
+    /// Last time observed via `on_tick` (drives deadline arming).
+    now: u64,
+    /// Stamping-side batching counters.
+    stats: BatchStats,
+    /// Stamps assigned since the last [`SequencerAbcast::take_newly_stamped`]
+    /// call. Lets a wrapping layer observe stamp *assignment* (which
+    /// happens at submission arrival) independently of fan-out (which
+    /// batching may defer) — the conflict-sharded merge keys its barrier
+    /// broadcasts off this so barrier positions do not move with the
+    /// batch size.
+    newly_stamped: Vec<u64>,
 }
 
 impl<T> SequencerAbcast<T> {
@@ -82,6 +113,12 @@ impl<T> SequencerAbcast<T> {
         self.halted
     }
 
+    /// Drains the stamps this endpoint assigned (as sequencer) since the
+    /// last call, in assignment order.
+    pub fn take_newly_stamped(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.newly_stamped)
+    }
+
     fn pump(&mut self) {
         while let Some(entry) = self.buffer.remove(&self.next_to_deliver) {
             let (origin, item) = entry;
@@ -93,6 +130,23 @@ impl<T> SequencerAbcast<T> {
             self.next_to_deliver += 1;
             self.delivered_count += 1;
         }
+    }
+
+    /// Fans the pending stamped run out as one `OrderedBatch` frame.
+    fn flush_batch(&mut self, out: &mut Outbox<SequencerMsg<T>>)
+    where
+        T: Clone,
+    {
+        if self.pending.is_empty() {
+            return;
+        }
+        let items = std::mem::take(&mut self.pending);
+        self.batch_deadline = None;
+        self.stats.batches_flushed += 1;
+        out.send_all(SequencerMsg::OrderedBatch {
+            first_seq: self.pending_first,
+            items,
+        });
     }
 }
 
@@ -109,6 +163,13 @@ impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
             delivered: Vec::new(),
             delivered_count: 0,
             halted: false,
+            batch: BatchConfig::default(),
+            pending: Vec::new(),
+            pending_first: 0,
+            batch_deadline: None,
+            now: 0,
+            stats: BatchStats::default(),
+            newly_stamped: Vec::new(),
         }
     }
 
@@ -137,7 +198,24 @@ impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
                 }
                 let seq = self.next_to_assign;
                 self.next_to_assign += 1;
-                out.send_all(SequencerMsg::Ordered { seq, origin, item });
+                self.stats.items_stamped += 1;
+                self.newly_stamped.push(seq);
+                if self.batch.enabled() {
+                    // Stamp now, ship later: the item joins the pending
+                    // group-commit run (its stamp is fixed regardless of
+                    // when the run flushes, so the agreed order is
+                    // unaffected by batching).
+                    if self.pending.is_empty() {
+                        self.pending_first = seq;
+                    }
+                    self.pending.push((origin, item));
+                    if self.pending.len() >= self.batch.max_batch {
+                        self.flush_batch(out);
+                    }
+                } else {
+                    self.stats.batches_flushed += 1;
+                    out.send_all(SequencerMsg::Ordered { seq, origin, item });
+                }
             }
             SequencerMsg::Ordered { seq, origin, item } => {
                 // A stamp below the delivery frontier is a duplicate of an
@@ -150,6 +228,15 @@ impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
                     self.pump();
                 }
             }
+            SequencerMsg::OrderedBatch { first_seq, items } => {
+                for (i, (origin, item)) in items.into_iter().enumerate() {
+                    let seq = first_seq + i as u64;
+                    if seq >= self.next_to_deliver {
+                        self.buffer.insert(seq, (origin, item));
+                    }
+                }
+                self.pump();
+            }
         }
     }
 
@@ -161,6 +248,51 @@ impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
         self.delivered_count
     }
 
+    fn next_deadline(&self) -> Option<u64> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            // A pending partial batch either has a flush deadline armed,
+            // or wants an immediate tick so one can be armed against the
+            // host's clock (the state machine never reads time itself).
+            Some(
+                self.batch_deadline
+                    .unwrap_or_else(|| self.now.saturating_add(1)),
+            )
+        }
+    }
+
+    fn on_tick(&mut self, now_ns: u64, out: &mut Outbox<Self::Msg>) {
+        self.now = self.now.max(now_ns);
+        if self.pending.is_empty() {
+            return;
+        }
+        match self.batch_deadline {
+            None => {
+                let d = self.now.saturating_add(self.batch.max_delay_ns);
+                if d <= self.now {
+                    self.flush_batch(out);
+                } else {
+                    self.batch_deadline = Some(d);
+                }
+            }
+            Some(d) if self.now >= d => self.flush_batch(out),
+            Some(_) => {}
+        }
+    }
+
+    fn set_batching(&mut self, cfg: BatchConfig) {
+        debug_assert!(
+            self.next_to_assign == 0 && self.delivered_count == 0,
+            "batching must be configured before any traffic"
+        );
+        self.batch = cfg;
+    }
+
+    fn batch_stats(&self) -> BatchStats {
+        self.stats
+    }
+
     fn on_restart(&mut self, _now_ns: u64, _out: &mut Outbox<Self::Msg>) {
         // Fail-stop semantics for the single point of failure: a real
         // sequencer's assignment counter would not survive a crash, and
@@ -169,6 +301,10 @@ impl<T: Clone + std::fmt::Debug> Abcast<T> for SequencerAbcast<T> {
         // already stamped; new submissions go unanswered — detectably.
         if self.is_sequencer() {
             self.halted = true;
+            // Stamped-but-unflushed items died with the crash, exactly
+            // like in-flight wire frames would have.
+            self.pending.clear();
+            self.batch_deadline = None;
         }
     }
 
@@ -300,6 +436,114 @@ mod tests {
         // of the agreed order, rebuilt gap-free from stamps).
         follower.on_restart(500_000, &mut out);
         assert!(!follower.is_halted());
+    }
+
+    /// Size-triggered group commit: stamps are assigned per submission,
+    /// but the fan-out is one `OrderedBatch` frame covering the run, and
+    /// followers deliver the identical order the unbatched path agrees.
+    #[test]
+    fn size_threshold_flushes_one_batch_frame() {
+        let n = 2;
+        let mut seqr: SequencerAbcast<u8> = SequencerAbcast::new(pid(0), n);
+        seqr.set_batching(BatchConfig {
+            max_batch: 3,
+            max_delay_ns: 1_000_000,
+        });
+        let mut follower: SequencerAbcast<u8> = SequencerAbcast::new(pid(1), n);
+        let mut out = Outbox::new(n);
+        for item in [10, 20] {
+            seqr.on_message(
+                pid(1),
+                SequencerMsg::Submit {
+                    origin: pid(1),
+                    item,
+                },
+                &mut out,
+            );
+        }
+        assert!(out.is_empty(), "below threshold: nothing on the wire");
+        assert!(seqr.next_deadline().is_some(), "partial batch wants a tick");
+        seqr.on_message(
+            pid(1),
+            SequencerMsg::Submit {
+                origin: pid(1),
+                item: 30,
+            },
+            &mut out,
+        );
+        let msgs: Vec<_> = out.drain();
+        assert_eq!(msgs.len(), n, "one frame per process, not per item");
+        assert_eq!(seqr.next_deadline(), None, "flushed: timer disarmed");
+        let stats = seqr.batch_stats();
+        assert_eq!((stats.items_stamped, stats.batches_flushed), (3, 1));
+        assert!(stats.occupancy() > 1.0);
+        let mut out2 = Outbox::new(n);
+        for (to, m) in msgs {
+            if to == pid(1) {
+                follower.on_message(pid(0), m, &mut out2);
+            }
+        }
+        let got: Vec<_> = follower
+            .drain_delivered()
+            .into_iter()
+            .map(|d| (d.global_seq, d.item))
+            .collect();
+        assert_eq!(got, vec![(0, 10), (1, 20), (2, 30)]);
+    }
+
+    /// Deadline-triggered group commit: a partial batch flushes once the
+    /// group-commit window expires, via the immediate-tick arming idiom.
+    #[test]
+    fn partial_batch_flushes_at_the_deadline() {
+        let n = 2;
+        let mut seqr: SequencerAbcast<u8> = SequencerAbcast::new(pid(0), n);
+        seqr.set_batching(BatchConfig {
+            max_batch: 64,
+            max_delay_ns: 500,
+        });
+        let mut out = Outbox::new(n);
+        seqr.on_message(
+            pid(1),
+            SequencerMsg::Submit {
+                origin: pid(1),
+                item: 7,
+            },
+            &mut out,
+        );
+        assert!(out.is_empty());
+        // First tick arms the window against the host clock...
+        let d0 = seqr.next_deadline().expect("pending batch wants a tick");
+        seqr.on_tick(d0, &mut out);
+        assert!(out.is_empty(), "window not yet expired");
+        let d1 = seqr.next_deadline().expect("window armed");
+        assert_eq!(d1, d0 + 500);
+        // ...and the tick at the window boundary flushes.
+        seqr.on_tick(d1, &mut out);
+        assert_eq!(out.len(), n);
+        assert!(matches!(
+            out.drain()[0].1,
+            SequencerMsg::OrderedBatch { first_seq: 0, .. }
+        ));
+        assert_eq!(seqr.next_deadline(), None);
+    }
+
+    /// A duplicated batch frame (e.g. a link retransmission that slipped
+    /// through) re-inserts already-delivered stamps, which the gap-free
+    /// frontier discipline discards idempotently.
+    #[test]
+    fn duplicate_batch_frames_are_idempotent() {
+        let n = 2;
+        let mut follower: SequencerAbcast<u8> = SequencerAbcast::new(pid(1), n);
+        let batch = SequencerMsg::OrderedBatch {
+            first_seq: 0,
+            items: vec![(pid(1), 10), (pid(1), 20)],
+        };
+        let mut out = Outbox::new(n);
+        follower.on_message(pid(0), batch.clone(), &mut out);
+        assert_eq!(follower.drain_delivered().len(), 2);
+        follower.on_message(pid(0), batch, &mut out);
+        assert!(follower.drain_delivered().is_empty(), "duplicate ignored");
+        assert_eq!(follower.delivered_count(), 2);
     }
 
     #[test]

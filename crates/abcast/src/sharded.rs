@@ -82,7 +82,7 @@ use moc_core::ids::{ObjectId, ProcessId};
 use moc_core::shard::{Footprinted, Route, ShardPlan};
 
 use crate::sequencer::{SequencerAbcast, SequencerMsg};
-use crate::{Abcast, Delivery, Outbox};
+use crate::{Abcast, BatchConfig, BatchStats, Delivery, Outbox};
 
 /// Items carried inside a shard channel: real payloads and the barrier
 /// markers that pin global items into the shard's order.
@@ -133,6 +133,9 @@ pub struct ShardedAbcast<T> {
     merged_count: u64,
     /// Channel index of each merged delivery, cumulatively.
     channel_trace: Vec<u32>,
+    /// Group-commit configuration, propagated into every ordering
+    /// channel (including channels created by a later shard plan).
+    batch: BatchConfig,
 }
 
 impl<T: Clone + fmt::Debug + Footprinted> ShardedAbcast<T> {
@@ -171,20 +174,13 @@ impl<T: Clone + fmt::Debug + Footprinted> ShardedAbcast<T> {
         self.channels.len() - 1
     }
 
-    /// Drains `inner`, tagging messages with `channel`; returns the
-    /// distinct stamps of any `Ordered` messages that were emitted (the
-    /// sign that this endpoint, as the channel's sequencer, just stamped
-    /// those items).
+    /// Drains `inner`, tagging messages with `channel`.
     fn relay(
         channel: usize,
         inner: &mut Outbox<SequencerMsg<ShardItem<T>>>,
         out: &mut Outbox<ShardedMsg<T>>,
-    ) -> Vec<u64> {
-        let mut stamped = Vec::new();
+    ) {
         for (to, msg) in inner.drain() {
-            if let SequencerMsg::Ordered { seq, .. } = &msg {
-                stamped.push(*seq);
-            }
             out.send(
                 to,
                 ShardedMsg {
@@ -193,9 +189,25 @@ impl<T: Clone + fmt::Debug + Footprinted> ShardedAbcast<T> {
                 },
             );
         }
-        stamped.sort_unstable();
-        stamped.dedup();
-        stamped
+    }
+
+    /// Post-step bookkeeping for channel `c`: if this endpoint (as the
+    /// global sequencer) just *stamped* global items, pin each of them
+    /// into every shard channel with a `Barrier(k)` submission. Keyed off
+    /// stamp assignment — not fan-out — so group-commit batching never
+    /// moves a barrier's agreed slot relative to the unbatched protocol.
+    fn after_step(&mut self, c: usize, out: &mut Outbox<ShardedMsg<T>>) {
+        let stamped = self.channels[c].take_newly_stamped();
+        if c == self.num_shards() {
+            for k in stamped {
+                for s in 0..self.num_shards() {
+                    let mut b = Outbox::new(out.num_processes());
+                    self.channels[s].broadcast(ShardItem::Barrier(k), &mut b);
+                    Self::relay(s, &mut b, out);
+                }
+            }
+        }
+        self.collect_delivered(c);
     }
 
     fn collect_delivered(&mut self, channel: usize) {
@@ -319,6 +331,7 @@ impl<T: Clone + fmt::Debug + Footprinted> Abcast<T> for ShardedAbcast<T> {
             merged: Vec::new(),
             merged_count: 0,
             channel_trace: Vec::new(),
+            batch: BatchConfig::default(),
         }
     }
 
@@ -328,6 +341,7 @@ impl<T: Clone + fmt::Debug + Footprinted> Abcast<T> for ShardedAbcast<T> {
             "shard plan must be installed before any traffic"
         );
         let shards = plan.num_shards() as usize;
+        let batch = self.batch;
         self.channels = (0..=shards)
             .map(|c| {
                 let seqr = if c == shards {
@@ -335,7 +349,9 @@ impl<T: Clone + fmt::Debug + Footprinted> Abcast<T> for ShardedAbcast<T> {
                 } else {
                     ProcessId::new(((c + 1) % self.n) as u32)
                 };
-                SequencerAbcast::new(self.me, self.n).with_sequencer(seqr)
+                let mut ch = SequencerAbcast::new(self.me, self.n).with_sequencer(seqr);
+                ch.set_batching(batch);
+                ch
             })
             .collect();
         self.pending = (0..=shards).map(|_| VecDeque::new()).collect();
@@ -391,21 +407,45 @@ impl<T: Clone + fmt::Debug + Footprinted> Abcast<T> for ShardedAbcast<T> {
         }
         let mut inner = Outbox::new(out.num_processes());
         self.channels[c].on_message(from, msg.msg, &mut inner);
-        let stamped = Self::relay(c, &mut inner, out);
-        // If we just stamped global items, pin them into every shard
-        // channel: one Barrier(k) per shard, submitted through the shard's
-        // own sequencer so it lands at an agreed slot in the shard order.
-        if c == self.num_shards() {
-            for k in stamped {
-                for s in 0..self.num_shards() {
-                    let mut b = Outbox::new(out.num_processes());
-                    self.channels[s].broadcast(ShardItem::Barrier(k), &mut b);
-                    Self::relay(s, &mut b, out);
-                }
-            }
-        }
-        self.collect_delivered(c);
+        Self::relay(c, &mut inner, out);
+        // If we just stamped global items, `after_step` pins them into
+        // every shard channel: one Barrier(k) per shard, submitted through
+        // the shard's own sequencer so it lands at an agreed slot in the
+        // shard order.
+        self.after_step(c, out);
         self.merge();
+    }
+
+    fn next_deadline(&self) -> Option<u64> {
+        self.channels
+            .iter()
+            .filter_map(|ch| ch.next_deadline())
+            .min()
+    }
+
+    fn on_tick(&mut self, now_ns: u64, out: &mut Outbox<Self::Msg>) {
+        for c in 0..self.channels.len() {
+            let mut inner = Outbox::new(out.num_processes());
+            self.channels[c].on_tick(now_ns, &mut inner);
+            Self::relay(c, &mut inner, out);
+            self.after_step(c, out);
+        }
+        self.merge();
+    }
+
+    fn set_batching(&mut self, cfg: BatchConfig) {
+        self.batch = cfg;
+        for ch in &mut self.channels {
+            ch.set_batching(cfg);
+        }
+    }
+
+    fn batch_stats(&self) -> BatchStats {
+        let mut total = BatchStats::default();
+        for ch in &self.channels {
+            total.merge(ch.batch_stats());
+        }
+        total
     }
 
     fn drain_delivered(&mut self) -> Vec<Delivery<T>> {
@@ -421,7 +461,9 @@ impl<T: Clone + fmt::Debug + Footprinted> Abcast<T> for ShardedAbcast<T> {
             let mut inner = Outbox::new(out.num_processes());
             self.channels[c].on_restart(now_ns, &mut inner);
             Self::relay(c, &mut inner, out);
+            self.after_step(c, out);
         }
+        self.merge();
     }
 
     fn delivery_channels(&self) -> Option<Vec<u32>> {

@@ -52,7 +52,7 @@ use std::fmt;
 
 use moc_core::ids::ProcessId;
 
-use crate::{Abcast, Delivery, Outbox};
+use crate::{Abcast, BatchConfig, BatchStats, Delivery, Outbox};
 
 /// Failover-timing knobs (virtual or real nanoseconds — the protocol
 /// only compares them against the host-provided clock).
@@ -178,6 +178,19 @@ pub enum ViewMsg<T> {
         /// The full adopted log.
         entries: Vec<(u64, SlotEntry<T>)>,
     },
+    /// Leader of `view` → followers: a group-committed run of
+    /// consecutively stamped slots (`payloads[i]` binds slot
+    /// `first_slot + i`). Slots were assigned at submission arrival, so
+    /// the carried order is identical to per-slot `Ordered` fan-out; one
+    /// wire frame (one reliable-link ack) covers the whole run.
+    OrderedBatch {
+        /// The stamping view.
+        view: u64,
+        /// Slot bound by `payloads[0]`.
+        first_slot: u64,
+        /// The bound payloads in slot order.
+        payloads: Vec<SlotPayload<T>>,
+    },
 }
 
 /// One process's endpoint of the view-based failover broadcast.
@@ -223,6 +236,17 @@ pub struct ViewAbcast<T> {
     backoff_exp: u32,
     watermark: (u64, u64, usize, u64),
     transcript: Vec<String>,
+    /// Group-commit configuration (meaningful only while leading).
+    batch: BatchConfig,
+    /// Stamped-but-unfanned slot run; `fan_pending[i]` binds slot
+    /// `fan_first + i` in the current view (consecutive by construction).
+    fan_pending: Vec<SlotPayload<T>>,
+    /// Slot bound by `fan_pending[0]`.
+    fan_first: u64,
+    /// Absolute flush time for the current partial batch, once armed.
+    batch_deadline: Option<u64>,
+    /// Stamping-side batching counters.
+    batch_stats: BatchStats,
 }
 
 impl<T: Clone + fmt::Debug> ViewAbcast<T> {
@@ -349,19 +373,66 @@ impl<T: Clone + fmt::Debug> ViewAbcast<T> {
                 payload: payload.clone(),
             },
         );
+        self.batch_stats.items_stamped += 1;
+        if self.batch.enabled() {
+            // Slot assigned now, fan-out deferred: the binding joins the
+            // pending group-commit run. The agreed order is fixed by the
+            // slot number, so batching cannot reorder anything.
+            if self.fan_pending.is_empty() {
+                self.fan_first = slot;
+            }
+            self.fan_pending.push(payload);
+            if self.fan_pending.len() >= self.batch.max_batch {
+                self.flush_fan(out);
+            }
+        } else {
+            self.batch_stats.batches_flushed += 1;
+            for p in 0..self.n {
+                if p != self.me.index() {
+                    out.send(
+                        ProcessId::new(p as u32),
+                        ViewMsg::Ordered {
+                            view: self.view,
+                            slot,
+                            payload: payload.clone(),
+                        },
+                    );
+                }
+            }
+        }
+        self.pump(out);
+    }
+
+    /// Fans the pending stamped slot run out as one `OrderedBatch` frame
+    /// per follower.
+    fn flush_fan(&mut self, out: &mut Outbox<ViewMsg<T>>) {
+        if self.fan_pending.is_empty() {
+            return;
+        }
+        let payloads = std::mem::take(&mut self.fan_pending);
+        self.batch_deadline = None;
+        self.batch_stats.batches_flushed += 1;
         for p in 0..self.n {
             if p != self.me.index() {
                 out.send(
                     ProcessId::new(p as u32),
-                    ViewMsg::Ordered {
+                    ViewMsg::OrderedBatch {
                         view: self.view,
-                        slot,
-                        payload: payload.clone(),
+                        first_slot: self.fan_first,
+                        payloads: payloads.clone(),
                     },
                 );
             }
         }
-        self.pump(out);
+    }
+
+    /// Abandons the pending fan-out run across a view transition. The
+    /// bindings stay in our log (and hence in our view-change report);
+    /// if the transition loses them anyway they were unacked — thus
+    /// undelivered anywhere — and their origins re-propose them.
+    fn drop_fan(&mut self) {
+        self.fan_pending.clear();
+        self.batch_deadline = None;
     }
 
     /// Builds this process's view-change report for `target`.
@@ -385,6 +456,7 @@ impl<T: Clone + fmt::Debug> ViewAbcast<T> {
         }
         self.promised = self.promised.max(target);
         self.vc_target = Some(target);
+        self.drop_fan();
         let elect = self.leader_of(target);
         self.transcript.push(format!(
             "P{}: suspect v{} -> propose v{} (leader-elect P{})",
@@ -488,6 +560,7 @@ impl<T: Clone + fmt::Debug> ViewAbcast<T> {
         acks[self.me.index()] = 0;
 
         // Install locally.
+        self.drop_fan();
         self.log = adopted;
         self.rebuild_stamped();
         self.view = target;
@@ -536,6 +609,7 @@ impl<T: Clone + fmt::Debug> ViewAbcast<T> {
         if v < self.promised || v <= self.view {
             return;
         }
+        self.drop_fan();
         // Keep the immutable delivered prefix, replace everything above.
         self.log.retain(|slot, _| *slot < self.next_to_deliver);
         for (slot, entry) in entries {
@@ -628,6 +702,11 @@ impl<T: Clone + fmt::Debug> Abcast<T> for ViewAbcast<T> {
             backoff_exp: 0,
             watermark: (0, 0, 0, 0),
             transcript: Vec::new(),
+            batch: BatchConfig::default(),
+            fan_pending: Vec::new(),
+            fan_first: 0,
+            batch_deadline: None,
+            batch_stats: BatchStats::default(),
         }
     }
 
@@ -727,6 +806,25 @@ impl<T: Clone + fmt::Debug> Abcast<T> for ViewAbcast<T> {
             ViewMsg::NewView { view, entries } => {
                 self.adopt(view, entries, out);
             }
+            ViewMsg::OrderedBatch {
+                view,
+                first_slot,
+                payloads,
+            } => {
+                if view != self.view || self.vc_target.is_some() {
+                    return;
+                }
+                for (i, payload) in payloads.into_iter().enumerate() {
+                    let slot = first_slot + i as u64;
+                    if slot >= self.next_to_deliver {
+                        if let Some((p, o)) = payload.identity() {
+                            self.stamped.insert((p.as_u32(), o));
+                        }
+                        self.log.insert(slot, SlotEntry { view, payload });
+                    }
+                }
+                self.pump(out);
+            }
         }
     }
 
@@ -739,7 +837,7 @@ impl<T: Clone + fmt::Debug> Abcast<T> for ViewAbcast<T> {
     }
 
     fn next_deadline(&self) -> Option<u64> {
-        if let Some(d) = self.deadline {
+        let suspicion = if let Some(d) = self.deadline {
             Some(d)
         } else if self.business_pending() {
             // Not yet armed: ask the host for an immediate tick so the
@@ -747,11 +845,39 @@ impl<T: Clone + fmt::Debug> Abcast<T> for ViewAbcast<T> {
             Some(self.now.saturating_add(1))
         } else {
             None
+        };
+        let flush = if self.fan_pending.is_empty() {
+            None
+        } else {
+            Some(
+                self.batch_deadline
+                    .unwrap_or_else(|| self.now.saturating_add(1)),
+            )
+        };
+        match (suspicion, flush) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
         }
     }
 
     fn on_tick(&mut self, now_ns: u64, out: &mut Outbox<Self::Msg>) {
         self.now = self.now.max(now_ns);
+        // Group-commit window first: arm it on the first tick after a
+        // partial batch appeared, flush it once it expires.
+        if !self.fan_pending.is_empty() {
+            match self.batch_deadline {
+                None => {
+                    let d = self.now.saturating_add(self.batch.max_delay_ns);
+                    if d <= self.now {
+                        self.flush_fan(out);
+                    } else {
+                        self.batch_deadline = Some(d);
+                    }
+                }
+                Some(d) if self.now >= d => self.flush_fan(out),
+                Some(_) => {}
+            }
+        }
         if !self.business_pending() {
             self.deadline = None;
             return;
@@ -788,8 +914,24 @@ impl<T: Clone + fmt::Debug> Abcast<T> for ViewAbcast<T> {
         self.now = self.now.max(now_ns);
         self.deadline = None;
         self.backoff_exp = 0;
+        // An unfanned stamped run died with the crash, like in-flight
+        // wire frames; the bindings stay in our log and the suspicion
+        // machinery recovers them via the next view change if needed.
+        self.drop_fan();
         self.transcript
             .push(format!("P{}: restart in v{}", self.me.as_u32(), self.view));
+    }
+
+    fn set_batching(&mut self, cfg: BatchConfig) {
+        debug_assert!(
+            self.next_slot == 0 && self.delivered_count == 0 && self.next_oseq == 0,
+            "batching must be configured before any traffic"
+        );
+        self.batch = cfg;
+    }
+
+    fn batch_stats(&self) -> BatchStats {
+        self.batch_stats
     }
 
     fn set_failover_timeouts(&mut self, base_ns: u64, max_ns: u64) {
@@ -1046,5 +1188,75 @@ mod tests {
         now = 310;
         a.on_tick(now, &mut out); // fire: propose v2, re-arm capped
         assert_eq!(a.next_deadline(), Some(310 + 350));
+    }
+
+    #[test]
+    fn leader_batches_fan_out_into_one_frame() {
+        let (mut nodes, mut net) = cluster(2);
+        nodes[0].set_batching(BatchConfig {
+            max_batch: 2,
+            max_delay_ns: 1_000_000,
+        });
+        // First submission stamps a slot but defers the fan-out.
+        let mut out = Outbox::new(2);
+        nodes[0].broadcast(10, &mut out);
+        assert!(out.is_empty(), "sub-threshold batch stays off the wire");
+        // Second submission hits the threshold: exactly one frame to P1.
+        let mut out = Outbox::new(2);
+        nodes[0].broadcast(20, &mut out);
+        let framed = out.drain();
+        assert_eq!(framed.len(), 1, "one frame covers the whole batch");
+        match &framed[0] {
+            (
+                to,
+                ViewMsg::OrderedBatch {
+                    first_slot,
+                    payloads,
+                    ..
+                },
+            ) => {
+                assert_eq!(*to, pid(1));
+                assert_eq!(*first_slot, 0);
+                assert_eq!(payloads.len(), 2);
+            }
+            other => panic!("expected OrderedBatch, got {other:?}"),
+        }
+        for (to, m) in framed {
+            net.queues[0][to.index()].push_back(m);
+        }
+        net.settle(&mut nodes);
+        let mut seqs: Vec<Vec<u64>> = vec![Vec::new(); 2];
+        for (p, node) in nodes.iter_mut().enumerate() {
+            delivered_items(node, &mut seqs[p]);
+        }
+        assert_eq!(seqs[0], vec![10, 20], "ack-gated leader delivery");
+        assert_eq!(seqs[1], vec![10, 20], "follower delivers in slot order");
+        assert!(nodes[0].batch_stats().occupancy() > 1.0);
+    }
+
+    #[test]
+    fn partial_fan_flushes_at_the_deadline() {
+        let (mut nodes, mut net) = cluster(2);
+        nodes[0].set_batching(BatchConfig {
+            max_batch: 8,
+            max_delay_ns: 500,
+        });
+        submit(&mut nodes, &mut net, 0, 10);
+        assert_eq!(net.settle(&mut nodes), 0, "batch pends, wire is quiet");
+        net.tick_all(&mut nodes, 100); // arms the flush window
+        assert_eq!(
+            nodes[0].next_deadline(),
+            Some(600),
+            "flush before suspicion"
+        );
+        net.tick_all(&mut nodes, 600); // window expires: flush
+        net.settle(&mut nodes);
+        let mut seqs: Vec<Vec<u64>> = vec![Vec::new(); 2];
+        for (p, node) in nodes.iter_mut().enumerate() {
+            delivered_items(node, &mut seqs[p]);
+        }
+        assert_eq!(seqs[0], vec![10]);
+        assert_eq!(seqs[1], vec![10]);
+        assert_eq!(nodes[0].batch_stats().batches_flushed, 1);
     }
 }

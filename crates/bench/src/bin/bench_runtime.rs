@@ -1,0 +1,47 @@
+//! `cargo run -p moc-bench --bin bench_runtime --release`
+//!
+//! End-to-end throughput of the live thread runtime: N client threads
+//! released from a barrier drive a [`moc_runtime::LiveCluster`] in
+//! closed- and open-loop modes with seed-deterministic uniform/zipfian
+//! key skew, for every batching/pipelining toggle combination. Prints the
+//! comparison table, the headline closed-loop QPS speedups of the fully
+//! optimized configuration, and writes the machine-readable results to
+//! `BENCH_runtime.json` at the repository root.
+//!
+//! `--smoke` runs the bounded CI gate instead: three configurations whose
+//! deterministic counters (group-commit occupancy, pipeline depth, zero
+//! dropped replies) must hold; wall-clock numbers are printed but not
+//! gated, and no JSON is written. Exits nonzero on a gate failure.
+
+use moc_bench::{
+    experiment_runtime, runtime_bench_json, runtime_bench_table, runtime_optimized_speedups,
+    runtime_smoke,
+};
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    if smoke {
+        match runtime_smoke() {
+            Ok(rows) => {
+                println!("{}", runtime_bench_table(&rows));
+                println!("runtime smoke gate: PASS");
+            }
+            Err(failures) => {
+                eprintln!("runtime smoke gate: FAIL\n{failures}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let rows = experiment_runtime(100, 42);
+    println!("{}", runtime_bench_table(&rows));
+    for (skew, speedup) in runtime_optimized_speedups(&rows) {
+        println!("closed-loop qps speedup, optimized vs baseline ({skew}): {speedup:.2}x");
+    }
+
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    let doc = runtime_bench_json(&rows) + "\n";
+    std::fs::write(out, doc).expect("write BENCH_runtime.json");
+    println!("wrote {out}");
+}

@@ -1126,11 +1126,10 @@ pub fn checker_bench_json(rows: &[CheckerBenchRow]) -> String {
                 .unwrap_or(0.0)
                 .total_cmp(&b.node_speedup.unwrap_or(0.0))
         });
-    let cpus = std::thread::available_parallelism().map_or(1, |n| n.get());
     let mut fields = vec![
         ("bench".into(), jstr("checker")),
         ("version".into(), num(4)),
-        ("cpus".into(), num(cpus as i64)),
+        ("cpus".into(), num(bench_cpus())),
         (
             "rows".into(),
             Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
@@ -1752,12 +1751,19 @@ pub fn monitor_bench_table(rows: &[MonitorBenchRow]) -> Table {
     t
 }
 
+/// The parallelism stamp shared by every bench document.
+fn bench_cpus() -> i64 {
+    std::thread::available_parallelism().map_or(1, |n| n.get()) as i64
+}
+
 /// The monitor rows as a machine-readable JSON document
-/// (`BENCH_monitor.json`).
+/// (`BENCH_monitor.json`). Version 2 aligned the envelope with
+/// `BENCH_checker.json` (`bench`/`version`/`cpus` header).
 pub fn monitor_bench_json(rows: &[MonitorBenchRow]) -> String {
     Json::Obj(vec![
         ("bench".into(), jstr("monitor")),
-        ("version".into(), num(1)),
+        ("version".into(), num(2)),
+        ("cpus".into(), num(bench_cpus())),
         (
             "rows".into(),
             Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
@@ -1767,11 +1773,14 @@ pub fn monitor_bench_json(rows: &[MonitorBenchRow]) -> String {
 }
 
 /// The chaos and failover rows as a machine-readable JSON document
-/// (`BENCH_chaos.json`). Version 2 added `failover_rows`.
+/// (`BENCH_chaos.json`). Version 2 added `failover_rows`; version 3
+/// aligned the envelope with `BENCH_checker.json`
+/// (`bench`/`version`/`cpus` header).
 pub fn chaos_bench_json(rows: &[ChaosBenchRow], failover: &[FailoverBenchRow]) -> String {
     Json::Obj(vec![
         ("bench".into(), jstr("chaos")),
-        ("version".into(), num(2)),
+        ("version".into(), num(3)),
+        ("cpus".into(), num(bench_cpus())),
         (
             "rows".into(),
             Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
@@ -1782,6 +1791,532 @@ pub fn chaos_bench_json(rows: &[ChaosBenchRow], failover: &[FailoverBenchRow]) -
         ),
     ])
     .render()
+}
+
+/// How a load-harness client issues its operations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Closed loop: the next operation is issued as soon as the pipeline
+    /// window admits it (window 1 ⇒ strictly after the previous reply).
+    Closed,
+    /// Open loop: operations are issued on a fixed schedule, one every
+    /// `interval_ns`, regardless of completions — latency then includes
+    /// the queueing the offered rate induces. The pipeline window still
+    /// bounds in-flight operations; a saturated window blocks the
+    /// schedule.
+    Open {
+        /// Inter-arrival gap per client.
+        interval_ns: u64,
+    },
+}
+
+impl LoadMode {
+    fn label(&self) -> &'static str {
+        match self {
+            LoadMode::Closed => "closed",
+            LoadMode::Open { .. } => "open",
+        }
+    }
+}
+
+/// One configuration of the end-to-end runtime load harness: a live
+/// [`moc_runtime::LiveCluster`] with one client thread per process, all
+/// released from a barrier together.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeLoadSpec {
+    /// Closed- or open-loop issue discipline.
+    pub mode: LoadMode,
+    /// Number of processes = number of client threads.
+    pub clients: usize,
+    /// m-operations each client issues.
+    pub ops_per_client: usize,
+    /// Size of the shared-object universe.
+    pub num_objects: usize,
+    /// Key-popularity profile (seed-deterministic per thread).
+    pub skew: moc_workload::skew::KeySkew,
+    /// Probability an operation is a single-key write (the rest are
+    /// single-key reads, which gate on the process's pending updates).
+    pub update_fraction: f64,
+    /// Seed for the key and class streams.
+    pub seed: u64,
+    /// Group-commit batching for the ordering layer; `None` = off.
+    pub batching: Option<moc_abcast::BatchConfig>,
+    /// Client pipeline window; 1 = blocking (pipelining off).
+    pub window: usize,
+}
+
+/// One row of `BENCH_runtime.json`: a [`RuntimeLoadSpec`] run to
+/// completion, with wall-clock throughput/latency plus the deterministic
+/// transport and pipeline counters the CI smoke gate checks.
+#[derive(Debug, Clone)]
+pub struct RuntimeBenchRow {
+    /// `closed` or `open`.
+    pub mode: String,
+    /// Client thread count.
+    pub clients: usize,
+    /// Key-skew label (`uniform`, `zipfian`, `normal`).
+    pub skew: String,
+    /// Whether group-commit batching was on.
+    pub batching: bool,
+    /// Whether the clients pipelined (window above 1).
+    pub pipelining: bool,
+    /// Pipeline window used.
+    pub window: usize,
+    /// Total operations completed.
+    pub ops: u64,
+    /// Aggregate completed operations per wall-clock second.
+    pub qps: u64,
+    /// Invoke-to-reply latency percentiles (wall-clock ns).
+    pub p50_ns: u64,
+    /// 99th percentile.
+    pub p99_ns: u64,
+    /// 99.9th percentile.
+    pub p999_ns: u64,
+    /// Mean items per flushed ordering batch (0 when batching never
+    /// flushed).
+    pub batch_occupancy: f64,
+    /// Deepest replica pipeline observed.
+    pub peak_depth: u64,
+    /// Completions that overtook invocation order (retired FIFO).
+    pub out_of_order: u64,
+    /// Replies with no waiting client — must be zero.
+    pub dropped_replies: u64,
+    /// First-hand link data frames sent cluster-wide.
+    pub data_frames: u64,
+    /// Link-layer retransmissions cluster-wide.
+    pub retransmissions: u64,
+}
+
+impl RuntimeBenchRow {
+    /// The row as a JSON object (`BENCH_runtime.json` version 1 schema).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("mode".into(), jstr(self.mode.clone())),
+            ("clients".into(), num(self.clients as i64)),
+            ("skew".into(), jstr(self.skew.clone())),
+            ("batching".into(), Json::Bool(self.batching)),
+            ("pipelining".into(), Json::Bool(self.pipelining)),
+            ("window".into(), num(self.window as i64)),
+            ("ops".into(), num(self.ops as i64)),
+            ("qps".into(), num(self.qps as i64)),
+            (
+                "latency_ns".into(),
+                Json::Obj(vec![
+                    ("p50".into(), num(self.p50_ns as i64)),
+                    ("p99".into(), num(self.p99_ns as i64)),
+                    ("p999".into(), num(self.p999_ns as i64)),
+                ]),
+            ),
+            ("batch_occupancy".into(), Json::Num(self.batch_occupancy)),
+            ("peak_depth".into(), num(self.peak_depth as i64)),
+            ("out_of_order".into(), num(self.out_of_order as i64)),
+            ("dropped_replies".into(), num(self.dropped_replies as i64)),
+            ("data_frames".into(), num(self.data_frames as i64)),
+            ("retransmissions".into(), num(self.retransmissions as i64)),
+        ])
+    }
+}
+
+/// The consolidated transport/runtime counters of one load run: the
+/// cluster-wide reliable-link totals, the merged replica pipeline
+/// metrics and the merged group-commit batch statistics. `moc load`
+/// prints these as one block so a single command surfaces what the
+/// network and the replicas actually did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RuntimeCounters {
+    /// Field-wise sum of every node's [`moc_abcast::LinkStats`].
+    pub link: moc_abcast::LinkStats,
+    /// Merged per-replica pipeline metrics (sums; peak depth is a max).
+    pub pipeline: moc_runtime::PipelineMetrics,
+    /// Merged group-commit batch statistics.
+    pub batch: moc_abcast::BatchStats,
+}
+
+/// Runs one load-harness configuration against a live
+/// [`moc_runtime::LiveCluster`] of the Figure 4 protocol over the
+/// sequencer broadcast, and reduces it to a [`RuntimeBenchRow`].
+///
+/// Every client thread owns one process via a pipelined session, draws
+/// its keys from its own seed-deterministic skew stream, and records the
+/// true invoke-to-reply time of every operation. The run panics if any
+/// invocation goes unanswered — the harness refuses to report a lossy
+/// run as a result.
+pub fn run_runtime_load(spec: &RuntimeLoadSpec) -> RuntimeBenchRow {
+    run_runtime_load_counters(spec).0
+}
+
+/// [`run_runtime_load`] plus the full [`RuntimeCounters`] the row
+/// condenses — the `moc load` entry point.
+pub fn run_runtime_load_counters(spec: &RuntimeLoadSpec) -> (RuntimeBenchRow, RuntimeCounters) {
+    use moc_runtime::{LiveCluster, RuntimeConfig};
+    use moc_workload::skew::{KeyPicker, SkewRng};
+    use moc_workload::{query_program, write_program};
+    use std::sync::Barrier;
+
+    assert!(spec.clients > 0 && spec.ops_per_client > 0 && spec.window >= 1);
+    let mut cfg = RuntimeConfig::new(spec.num_objects);
+    if let Some(batch) = spec.batching {
+        cfg = cfg.with_batching(batch);
+    }
+    let cluster: std::sync::Arc<LiveCluster<MscOverSequencer>> =
+        std::sync::Arc::new(LiveCluster::start(spec.clients, cfg));
+    // One write and one read program per key, prebuilt so the measured
+    // path is the protocol, not program construction.
+    let writes: Vec<_> = (0..spec.num_objects)
+        .map(|k| write_program(&[ObjectId::new(k as u32)]))
+        .collect();
+    let reads: Vec<_> = (0..spec.num_objects)
+        .map(|k| query_program(&[ObjectId::new(k as u32)]))
+        .collect();
+    let writes = std::sync::Arc::new(writes);
+    let reads = std::sync::Arc::new(reads);
+    let barrier = std::sync::Arc::new(Barrier::new(spec.clients + 1));
+
+    let mut joins = Vec::new();
+    for t in 0..spec.clients {
+        let cluster = std::sync::Arc::clone(&cluster);
+        let writes = std::sync::Arc::clone(&writes);
+        let reads = std::sync::Arc::clone(&reads);
+        let barrier = std::sync::Arc::clone(&barrier);
+        let spec = *spec;
+        joins.push(std::thread::spawn(move || {
+            let mut keys = KeyPicker::new(spec.skew, spec.num_objects, spec.seed, t);
+            // The class stream is its own deterministic generator so key
+            // and class choices never perturb each other.
+            let mut class = SkewRng::new(spec.seed ^ 0xc1a5_55ed ^ ((t as u64) << 17));
+            let mut session = cluster.pipelined(ProcessId::new(t as u32), spec.window);
+            let mut lat: Vec<u64> = Vec::with_capacity(spec.ops_per_client);
+            barrier.wait();
+            let start = Instant::now();
+            for i in 0..spec.ops_per_client {
+                if let LoadMode::Open { interval_ns } = spec.mode {
+                    let due = std::time::Duration::from_nanos(interval_ns * i as u64);
+                    let elapsed = start.elapsed();
+                    if elapsed < due {
+                        std::thread::sleep(due - elapsed);
+                    }
+                }
+                let k = keys.next_key() as usize;
+                let (program, args) = if class.next_f64() < spec.update_fraction {
+                    (writes[k].clone(), vec![i as i64])
+                } else {
+                    (reads[k].clone(), vec![])
+                };
+                let retired = session
+                    .invoke(program, args)
+                    .expect("load harness runs unquarantined");
+                if let Some(r) = retired {
+                    lat.push(r.responded_at.as_nanos() - r.invoked_at.as_nanos());
+                }
+            }
+            for r in session.drain() {
+                lat.push(r.responded_at.as_nanos() - r.invoked_at.as_nanos());
+            }
+            lat
+        }));
+    }
+    barrier.wait();
+    let start = Instant::now();
+    let mut lat: Vec<u64> = Vec::new();
+    for j in joins {
+        lat.extend(j.join().expect("client thread panicked"));
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let cluster = std::sync::Arc::try_unwrap(cluster).unwrap_or_else(|_| panic!("refs remain"));
+    let report = cluster.shutdown();
+
+    let total_ops = (spec.clients * spec.ops_per_client) as u64;
+    assert_eq!(lat.len() as u64, total_ops, "every invocation replied");
+    assert_eq!(report.history.len() as u64, total_ops, "history complete");
+    lat.sort_unstable();
+    let pipe = report.total_pipeline();
+    let link = report.total_link_stats();
+    let batch = report.total_batch_stats();
+    let row = RuntimeBenchRow {
+        mode: spec.mode.label().to_string(),
+        clients: spec.clients,
+        skew: spec.skew.label().to_string(),
+        batching: spec.batching.is_some(),
+        pipelining: spec.window > 1,
+        window: spec.window,
+        ops: total_ops,
+        qps: (total_ops as f64 / elapsed) as u64,
+        p50_ns: percentile(&lat, 50.0),
+        p99_ns: percentile(&lat, 99.0),
+        p999_ns: percentile(&lat, 99.9),
+        batch_occupancy: batch.occupancy(),
+        peak_depth: pipe.peak_depth,
+        out_of_order: pipe.out_of_order_completions,
+        dropped_replies: pipe.dropped_replies,
+        data_frames: link.data_sent,
+        retransmissions: link.retransmissions,
+    };
+    (
+        row,
+        RuntimeCounters {
+            link,
+            pipeline: pipe,
+            batch,
+        },
+    )
+}
+
+/// Batching profile used by the bench rows: ordering frames group up to
+/// 16 submissions, flushing a partial batch after 100µs so a trickling
+/// workload is never stalled for long.
+pub const BENCH_BATCH: moc_abcast::BatchConfig = moc_abcast::BatchConfig {
+    max_batch: 16,
+    max_delay_ns: 100_000,
+};
+
+/// Pipeline window used by the bench rows.
+pub const BENCH_WINDOW: usize = 16;
+
+/// E-runtime — end-to-end throughput of the live cluster under every
+/// optimization toggle. Closed-loop rows sweep 1/2/4 clients on uniform
+/// and zipfian key skew, with the full batching×pipelining toggle matrix
+/// at 4 clients; open-loop rows offer a fixed schedule and report the
+/// latency it induces for baseline vs fully optimized. Shape to
+/// reproduce: the fully optimized configuration beats the baseline on
+/// aggregate closed-loop QPS (pipelining overlaps the ordering round
+/// trips; batching amortizes the sequencer's fan-out into multi-item
+/// frames).
+pub fn experiment_runtime(ops_per_client: usize, seed: u64) -> Vec<RuntimeBenchRow> {
+    use moc_workload::skew::KeySkew;
+    let skews = [KeySkew::Uniform, KeySkew::Zipfian { theta: 0.99 }];
+    let base = RuntimeLoadSpec {
+        mode: LoadMode::Closed,
+        clients: 4,
+        ops_per_client,
+        num_objects: 16,
+        skew: KeySkew::Uniform,
+        update_fraction: 0.9,
+        seed,
+        batching: None,
+        window: 1,
+    };
+    let toggle = |on: bool, pipelined: bool| {
+        (
+            if on { Some(BENCH_BATCH) } else { None },
+            if pipelined { BENCH_WINDOW } else { 1 },
+        )
+    };
+    let mut rows = Vec::new();
+    for skew in skews {
+        for clients in [1usize, 2, 4] {
+            // Baseline and fully optimized at every scale; the individual
+            // toggles at the largest.
+            let combos: &[(bool, bool)] = if clients == 4 {
+                &[(false, false), (true, false), (false, true), (true, true)]
+            } else {
+                &[(false, false), (true, true)]
+            };
+            for &(batch_on, pipe_on) in combos {
+                let (batching, window) = toggle(batch_on, pipe_on);
+                rows.push(run_runtime_load(&RuntimeLoadSpec {
+                    mode: LoadMode::Closed,
+                    clients,
+                    skew,
+                    batching,
+                    window,
+                    ..base
+                }));
+            }
+            // Open loop: a 10k ops/s-per-client schedule, baseline vs
+            // optimized.
+            for &(batch_on, pipe_on) in &[(false, false), (true, true)] {
+                let (batching, window) = toggle(batch_on, pipe_on);
+                rows.push(run_runtime_load(&RuntimeLoadSpec {
+                    mode: LoadMode::Open {
+                        interval_ns: 100_000,
+                    },
+                    clients,
+                    skew,
+                    batching,
+                    window,
+                    ..base
+                }));
+            }
+        }
+    }
+    rows
+}
+
+/// The closed-loop aggregate-QPS speedup of the fully optimized
+/// configuration over the baseline at the largest client count, per
+/// skew profile — the headline number of the runtime bench.
+pub fn runtime_optimized_speedups(rows: &[RuntimeBenchRow]) -> Vec<(String, f64)> {
+    let max_clients = rows
+        .iter()
+        .filter(|r| r.mode == "closed")
+        .map(|r| r.clients)
+        .max()
+        .unwrap_or(0);
+    let mut out = Vec::new();
+    let skews: Vec<String> = {
+        let mut s: Vec<String> = rows.iter().map(|r| r.skew.clone()).collect();
+        s.sort();
+        s.dedup();
+        s
+    };
+    for skew in skews {
+        let find = |batching: bool, pipelining: bool| {
+            rows.iter().find(|r| {
+                r.mode == "closed"
+                    && r.clients == max_clients
+                    && r.skew == skew
+                    && r.batching == batching
+                    && r.pipelining == pipelining
+            })
+        };
+        if let (Some(base), Some(opt)) = (find(false, false), find(true, true)) {
+            out.push((skew.clone(), opt.qps as f64 / base.qps.max(1) as f64));
+        }
+    }
+    out
+}
+
+/// Renders the runtime rows as a comparison table.
+pub fn runtime_bench_table(rows: &[RuntimeBenchRow]) -> Table {
+    let mut t = Table::new(
+        "E-runtime — live-cluster load: batched stamping and pipelined clients vs the baseline",
+        &[
+            "mode",
+            "clients",
+            "skew",
+            "batch",
+            "pipe",
+            "ops",
+            "qps",
+            "p50 µs",
+            "p99 µs",
+            "p999 µs",
+            "occupancy",
+            "depth",
+            "ooo",
+            "rexmit",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.mode.clone(),
+            r.clients.to_string(),
+            r.skew.clone(),
+            if r.batching { "on" } else { "off" }.into(),
+            if r.pipelining {
+                format!("w{}", r.window)
+            } else {
+                "off".into()
+            },
+            r.ops.to_string(),
+            r.qps.to_string(),
+            us(r.p50_ns as f64),
+            us(r.p99_ns as f64),
+            us(r.p999_ns as f64),
+            format!("{:.1}", r.batch_occupancy),
+            r.peak_depth.to_string(),
+            r.out_of_order.to_string(),
+            r.retransmissions.to_string(),
+        ]);
+    }
+    t
+}
+
+/// The runtime rows as the `BENCH_runtime.json` version 1 document,
+/// stamped — like every bench document — with the schema version and the
+/// parallelism the machine offered.
+pub fn runtime_bench_json(rows: &[RuntimeBenchRow]) -> String {
+    let mut fields = vec![
+        ("bench".into(), jstr("runtime")),
+        ("version".into(), num(1)),
+        ("cpus".into(), num(bench_cpus())),
+        (
+            "rows".into(),
+            Json::Arr(rows.iter().map(|r| r.to_json()).collect()),
+        ),
+    ];
+    let speedups = runtime_optimized_speedups(rows);
+    if !speedups.is_empty() {
+        fields.push((
+            "headline".into(),
+            Json::Obj(
+                speedups
+                    .into_iter()
+                    .map(|(skew, s)| (format!("qps_speedup_{skew}"), Json::Num(s)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::Obj(fields).render()
+}
+
+/// CI perf-smoke gate for the runtime: three bounded configurations whose
+/// *deterministic* counters must hold — the batched+pipelined row must
+/// group-commit (occupancy above one), every pipelined row must actually
+/// overlap operations (peak depth above one), and no configuration may
+/// drop a reply. Wall-clock numbers are reported but never gated.
+pub fn runtime_smoke() -> Result<Vec<RuntimeBenchRow>, String> {
+    use moc_workload::skew::KeySkew;
+    let base = RuntimeLoadSpec {
+        mode: LoadMode::Closed,
+        clients: 2,
+        ops_per_client: 40,
+        num_objects: 16,
+        skew: KeySkew::Zipfian { theta: 0.99 },
+        update_fraction: 0.9,
+        seed: 42,
+        batching: None,
+        window: 1,
+    };
+    let rows = vec![
+        run_runtime_load(&base),
+        run_runtime_load(&RuntimeLoadSpec {
+            skew: KeySkew::Uniform,
+            window: 8,
+            ..base
+        }),
+        run_runtime_load(&RuntimeLoadSpec {
+            clients: 1,
+            // The window bounds in-flight submissions, so a batch
+            // threshold equal to the window flushes the moment the full
+            // burst lands; the long delay cap only covers stragglers.
+            batching: Some(moc_abcast::BatchConfig {
+                max_batch: 8,
+                max_delay_ns: 50_000_000,
+            }),
+            window: 8,
+            ..base
+        }),
+    ];
+    let mut failures = Vec::new();
+    for r in &rows {
+        if r.dropped_replies != 0 {
+            failures.push(format!(
+                "{}/{}c/batch={} dropped {} replies",
+                r.mode, r.clients, r.batching, r.dropped_replies
+            ));
+        }
+        if r.pipelining && r.peak_depth <= 1 {
+            failures.push(format!(
+                "{}/{}c window {} never overlapped (peak depth {})",
+                r.mode, r.clients, r.window, r.peak_depth
+            ));
+        }
+        if r.batching && r.batch_occupancy <= 1.0 {
+            failures.push(format!(
+                "{}/{}c batching never grouped (occupancy {:.2})",
+                r.mode, r.clients, r.batch_occupancy
+            ));
+        }
+    }
+    if !rows.iter().any(|r| r.batching) || !rows.iter().any(|r| r.pipelining) {
+        failures.push("smoke matrix must cover batching and pipelining".into());
+    }
+    if failures.is_empty() {
+        Ok(rows)
+    } else {
+        Err(failures.join("\n"))
+    }
 }
 
 #[cfg(test)]
@@ -1874,9 +2409,58 @@ mod tests {
         let doc = chaos_bench_json(&[], &rows);
         assert!(doc.contains("\"failover_rows\""), "{doc}");
         assert!(
-            doc.contains("\"version\": 2") || doc.contains("\"version\":2"),
+            doc.contains("\"version\": 3") || doc.contains("\"version\":3"),
             "{doc}"
         );
+    }
+
+    /// Every bench document shares the `bench`/`version`/`cpus`/`rows`
+    /// envelope, so downstream tooling can dispatch on one schema.
+    #[test]
+    fn bench_json_envelopes_share_schema() {
+        let docs = [
+            ("checker", checker_bench_json(&[])),
+            ("chaos", chaos_bench_json(&[], &[])),
+            ("monitor", monitor_bench_json(&[])),
+            ("runtime", runtime_bench_json(&[])),
+        ];
+        for (name, doc) in docs {
+            let d = moc_core::json::parse(&doc).expect(name);
+            assert_eq!(d.get("bench").and_then(Json::as_str), Some(name));
+            assert!(
+                d.get("version").and_then(Json::as_u64).unwrap_or(0) >= 1,
+                "{name}: missing version"
+            );
+            assert!(
+                d.get("cpus").and_then(Json::as_u64).unwrap_or(0) >= 1,
+                "{name}: missing cpus"
+            );
+            assert!(
+                d.get("rows").and_then(Json::as_arr).is_some(),
+                "{name}: missing rows"
+            );
+        }
+    }
+
+    /// The runtime load harness end to end, via the CI smoke gate: the
+    /// deterministic counters (group-commit occupancy, pipeline depth,
+    /// zero dropped replies) must hold on a bounded run.
+    #[test]
+    fn runtime_smoke_gate_passes() {
+        let rows = runtime_smoke().expect("runtime smoke counters hold");
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.ops == r.clients as u64 * 40));
+        let doc = moc_core::json::parse(&runtime_bench_json(&rows)).unwrap();
+        assert_eq!(
+            doc.get("rows").and_then(Json::as_arr).map(|a| a.len()),
+            Some(3)
+        );
+        let first = &doc.get("rows").and_then(Json::as_arr).unwrap()[0];
+        assert!(first
+            .get("latency_ns")
+            .and_then(|l| l.get("p999"))
+            .is_some());
+        assert!(first.get("qps").is_some());
     }
 
     #[test]

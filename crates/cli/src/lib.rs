@@ -157,6 +157,7 @@ USAGE:
              all|leader-crash|LIST] [--workloads mixed|read-heavy|
              write-heavy|hot-spot|all|LIST] [--seeds N] [--seed-base S]
              [--processes N] [--ops K] [--objects M] [--sabotage]
+             [--batch N] [--batch-delay-us U]
       Sweep seeds × fault plans × workloads through the protocols on the
       fault-injecting simulator (reliable-link sublayer on the wire),
       checking every run's history with a certificate and re-validating
@@ -169,7 +170,25 @@ USAGE:
       original families); `leader-crash` selects the three coordinator-
       crash families. With --sabotage the link's dedup/retransmission are
       disabled and the sweep must instead find an audited refutation.
-      See docs/CHAOS.md.
+      --batch N turns on group-commit stamping in the ordering layer
+      (N submissions per ordering frame, partial batches flushed after
+      --batch-delay-us, default 100): the sweep must stay just as clean,
+      and the consolidated transport/runtime counter block printed after
+      the sweep shows the frames it saved. See docs/CHAOS.md and
+      docs/RUNTIME-PERF.md.
+  moc load   [--mode closed|open] [--clients N] [--ops K] [--objects M]
+             [--skew uniform|zipfian|normal] [--update-frac F] [--seed S]
+             [--batch N] [--batch-delay-us U] [--window W]
+             [--interval-us U]
+      Drive a live thread-per-process cluster (Figure 4 protocol over
+      the sequencer broadcast) with N client threads released from one
+      barrier: closed loop (next op as soon as the pipeline window
+      admits it) or open loop (one op per --interval-us, default 100).
+      Keys come from the named seed-deterministic skew stream; --batch
+      enables group-commit stamping and --window > 1 enables client
+      pipelining. Prints the throughput/latency row and the same
+      consolidated transport/runtime counter block as `moc chaos`.
+      Exits 1 if any reply was dropped. See docs/RUNTIME-PERF.md.
   moc monitor <file|-> [--condition sc|lin|normal] [--window N]
              [--max-live-nodes N] [--tiles K] [--sabotage]
       Replay a history through the streaming consistency sentinel as a
@@ -273,6 +292,10 @@ pub fn dispatch_with_status(raw: &[String], stdin: &str) -> (Result<String, Stri
             Err(e) => Err(e),
         },
         "chaos" => match cmd_chaos(&args) {
+            Ok((out, code)) => return (Ok(out), code),
+            Err(e) => Err(e),
+        },
+        "load" => match cmd_load(&args) {
             Ok((out, code)) => return (Ok(out), code),
             Err(e) => Err(e),
         },
@@ -856,6 +879,10 @@ struct ChaosOutcome {
     audited_refutation: bool,
     /// Human-readable diagnosis when not clean.
     detail: String,
+    /// Cluster-wide reliable-link totals for the run.
+    link: moc_abcast::LinkStats,
+    /// Merged group-commit batch statistics for the run.
+    batch: moc_abcast::BatchStats,
 }
 
 fn chaos_run_one<R: moc_protocol::ReplicaProtocol + 'static>(
@@ -864,12 +891,16 @@ fn chaos_run_one<R: moc_protocol::ReplicaProtocol + 'static>(
     scripts_in: Vec<moc_protocol::ClientScript>,
 ) -> ChaosOutcome {
     let report = moc_protocol::chaos::run_chaos_cluster::<R>(config, scripts_in);
+    let link = report.total_link_stats();
+    let batch = report.total_batch_stats();
     let expected_sabotage = !config.link.dedup || !config.link.retransmit;
     if !report.anomalies.is_clean() && !expected_sabotage {
         return ChaosOutcome {
             clean: false,
             audited_refutation: false,
             detail: format!("anomalies: {:?}", report.anomalies),
+            link,
+            batch,
         };
     }
     let history = match &report.history {
@@ -879,6 +910,8 @@ fn chaos_run_one<R: moc_protocol::ReplicaProtocol + 'static>(
                 clean: false,
                 audited_refutation: false,
                 detail: format!("invalid history: {e}"),
+                link,
+                batch,
             }
         }
     };
@@ -890,30 +923,81 @@ fn chaos_run_one<R: moc_protocol::ReplicaProtocol + 'static>(
                 clean: false,
                 audited_refutation: false,
                 detail: format!("checker error: {e}"),
+                link,
+                batch,
             }
         }
     };
     let audit = moc_audit::audit(history, &cert.to_text());
-    match (verdict.satisfied, audit) {
-        (true, Ok(_)) => ChaosOutcome {
-            clean: true,
-            audited_refutation: false,
-            detail: String::new(),
-        },
-        (false, Ok(_)) => ChaosOutcome {
-            clean: false,
-            audited_refutation: true,
-            detail: format!(
+    let (clean, audited_refutation, detail) = match (verdict.satisfied, audit) {
+        (true, Ok(_)) => (true, false, String::new()),
+        (false, Ok(_)) => (
+            false,
+            true,
+            format!(
                 "condition VIOLATED (audited): {}",
                 verdict.reason.unwrap_or_default()
             ),
-        },
-        (_, Err(reject)) => ChaosOutcome {
-            clean: false,
-            audited_refutation: false,
-            detail: format!("certificate rejected by auditor: {reject}"),
-        },
+        ),
+        (_, Err(reject)) => (
+            false,
+            false,
+            format!("certificate rejected by auditor: {reject}"),
+        ),
+    };
+    ChaosOutcome {
+        clean,
+        audited_refutation,
+        detail,
+        link,
+        batch,
     }
+}
+
+/// Renders the consolidated transport/runtime counter block shared by
+/// `moc chaos` and `moc load`: reliable-link totals, group-commit batch
+/// statistics, and (when the host runs pipelined clients) the merged
+/// replica pipeline metrics.
+fn counter_block(
+    runs: u64,
+    link: &moc_abcast::LinkStats,
+    batch: &moc_abcast::BatchStats,
+    pipeline: Option<&moc_runtime::PipelineMetrics>,
+) -> String {
+    let mut out = format!(
+        "transport/runtime counters ({runs} run{}):\n  link:     {} data frames sent, {} received, {} delivered, {} dup-discarded, {} retransmissions, {} acks sent, {} acks received, {} rejoins\n  ordering: {} submissions stamped in {} batches (occupancy {:.2})\n",
+        if runs == 1 { "" } else { "s" },
+        link.data_sent,
+        link.data_received,
+        link.delivered,
+        link.duplicates_discarded,
+        link.retransmissions,
+        link.acks_sent,
+        link.acks_received,
+        link.rejoins,
+        batch.items_stamped,
+        batch.batches_flushed,
+        batch.occupancy(),
+    );
+    if let Some(p) = pipeline {
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!(
+                "  pipeline: {} invocations, {} retired, peak depth {}, {} out-of-order completions, {:.1} µs mean queue residency, {} dropped replies\n",
+                p.invocations,
+                p.retired,
+                p.peak_depth,
+                p.out_of_order_completions,
+                if p.retired == 0 {
+                    0.0
+                } else {
+                    p.queue_residency_ns as f64 / p.retired as f64 / 1_000.0
+                },
+                p.dropped_replies,
+            ),
+        );
+    }
+    out
 }
 
 fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
@@ -930,6 +1014,15 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
     if processes < 2 {
         return Err("--processes must be at least 2 (faults need a remote hop)".into());
     }
+    let max_batch = args.get_usize("batch", 1)?;
+    let batch_delay_us = args.get_u64("batch-delay-us", 100)?;
+    if max_batch == 0 {
+        return Err("--batch must be at least 1 (1 = batching off)".into());
+    }
+    let batching = (max_batch > 1).then(|| moc_abcast::BatchConfig {
+        max_batch,
+        max_delay_ns: batch_delay_us.saturating_mul(1_000),
+    });
 
     let protocols: Vec<&str> = match args
         .options
@@ -983,6 +1076,8 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
     let mut total = 0u64;
     let mut failures: Vec<String> = Vec::new();
     let mut audited_refutations = 0u64;
+    let mut sweep_link = moc_abcast::LinkStats::default();
+    let mut sweep_batch = moc_abcast::BatchStats::default();
 
     for proto in &protocols {
         let condition = match *proto {
@@ -1022,6 +1117,9 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
                     let mut config = ChaosConfig::new(spec.num_objects, seed)
                         .with_faults(plan)
                         .with_link(link);
+                    if let Some(batch) = batching {
+                        config = config.with_batching(batch);
+                    }
                     if abcast == "view" {
                         // Suspicion well below the leader-crash windows
                         // (which are fractions of the horizon), so
@@ -1040,6 +1138,8 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
                         (_, "view") => chaos_run_one::<MlinOverView>(condition, &config, s),
                         _ => chaos_run_one::<MlinOverSequencer>(condition, &config, s),
                     };
+                    sweep_link = sweep_link.merge(&outcome.link);
+                    sweep_batch.merge(outcome.batch);
                     if outcome.audited_refutation {
                         audited_refutations += 1;
                     }
@@ -1073,6 +1173,7 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
         }
     }
 
+    out.push_str(&counter_block(total, &sweep_link, &sweep_batch, None));
     if sabotage {
         let _ = std::fmt::Write::write_fmt(
             &mut out,
@@ -1099,6 +1200,86 @@ fn cmd_chaos(args: &Args) -> Result<(String, i32), String> {
         ),
     );
     Ok((out, if failures.is_empty() { 0 } else { 1 }))
+}
+
+fn cmd_load(args: &Args) -> Result<(String, i32), String> {
+    use moc_bench::{run_runtime_load_counters, runtime_bench_table, LoadMode, RuntimeLoadSpec};
+    use moc_workload::skew::KeySkew;
+
+    let clients = args.get_usize("clients", 4)?;
+    let ops = args.get_usize("ops", 50)?;
+    let objects = args.get_usize("objects", 16)?;
+    let seed = args.get_u64("seed", 42)?;
+    let update_fraction = args.get_f64("update-frac", 0.5)?;
+    let window = args.get_usize("window", 8)?;
+    let max_batch = args.get_usize("batch", 1)?;
+    let batch_delay_us = args.get_u64("batch-delay-us", 100)?;
+    let interval_us = args.get_u64("interval-us", 100)?;
+    if clients == 0 || ops == 0 {
+        return Err("--clients and --ops must be at least 1".into());
+    }
+    if window == 0 {
+        return Err("--window must be at least 1 (1 = pipelining off)".into());
+    }
+    if max_batch == 0 {
+        return Err("--batch must be at least 1 (1 = batching off)".into());
+    }
+    if !(0.0..=1.0).contains(&update_fraction) {
+        return Err("--update-frac must be in [0, 1]".into());
+    }
+    let mode = match args
+        .options
+        .get("mode")
+        .map(String::as_str)
+        .unwrap_or("closed")
+    {
+        "closed" => LoadMode::Closed,
+        "open" => LoadMode::Open {
+            interval_ns: interval_us.saturating_mul(1_000).max(1),
+        },
+        other => return Err(format!("unknown mode {other:?} (closed|open)")),
+    };
+    let skew_name = args
+        .options
+        .get("skew")
+        .map(String::as_str)
+        .unwrap_or("uniform");
+    let skew = KeySkew::parse(skew_name)
+        .ok_or_else(|| format!("unknown skew {skew_name:?} (uniform|zipfian|normal)"))?;
+
+    let spec = RuntimeLoadSpec {
+        mode,
+        clients,
+        ops_per_client: ops,
+        num_objects: objects.max(1),
+        skew,
+        update_fraction,
+        seed,
+        batching: (max_batch > 1).then(|| moc_abcast::BatchConfig {
+            max_batch,
+            max_delay_ns: batch_delay_us.saturating_mul(1_000),
+        }),
+        window,
+    };
+    let (row, counters) = run_runtime_load_counters(&spec);
+    let dropped = counters.pipeline.dropped_replies;
+    let mut out = runtime_bench_table(std::slice::from_ref(&row)).to_string();
+    out.push('\n');
+    out.push_str(&counter_block(
+        1,
+        &counters.link,
+        &counters.batch,
+        Some(&counters.pipeline),
+    ));
+    if dropped > 0 {
+        let _ = std::fmt::Write::write_fmt(
+            &mut out,
+            format_args!("LOAD FAILED: {dropped} replies dropped\n"),
+        );
+        return Ok((out, 1));
+    }
+    out.push_str("load run complete: every invocation replied\n");
+    Ok((out, 0))
 }
 
 /// Splices the store-buffering gadget into a history: two fresh
@@ -2042,6 +2223,114 @@ mod tests {
             sv(&["chaos", "--faults", "nope"]),
             sv(&["chaos", "--workloads", "nope"]),
             sv(&["chaos", "--processes", "1"]),
+            sv(&["chaos", "--batch", "0"]),
+        ] {
+            let (result, code) = dispatch_with_status(&bad, "");
+            assert!(result.is_err(), "{bad:?}");
+            assert_eq!(code, 2);
+        }
+    }
+
+    #[test]
+    fn chaos_with_batching_stays_clean_and_prints_counters() {
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "chaos",
+                "--protocol",
+                "msc",
+                "--faults",
+                "lossy",
+                "--workloads",
+                "write-heavy",
+                "--seeds",
+                "2",
+                "--ops",
+                "4",
+                "--batch",
+                "4",
+            ]),
+            "",
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("2/2 clean"), "{out}");
+        assert!(
+            out.contains("transport/runtime counters (2 runs):"),
+            "{out}"
+        );
+        assert!(out.contains("submissions stamped"), "{out}");
+        // Group commit actually grouped: more items than batches.
+        let ordering = out
+            .lines()
+            .find(|l| l.contains("submissions stamped"))
+            .unwrap();
+        assert!(!ordering.contains("0 submissions stamped"), "{ordering}");
+    }
+
+    #[test]
+    fn load_batched_pipelined_run_replies_to_everything() {
+        let (out, code) = dispatch_with_status(
+            &sv(&[
+                "load",
+                "--clients",
+                "2",
+                "--ops",
+                "20",
+                "--window",
+                "8",
+                "--batch",
+                "8",
+                "--batch-delay-us",
+                "200",
+            ]),
+            "",
+        );
+        let out = out.unwrap();
+        assert_eq!(code, 0, "{out}");
+        assert!(out.contains("load run complete"), "{out}");
+        assert!(out.contains("transport/runtime counters (1 run):"), "{out}");
+        assert!(
+            out.contains("pipeline: 40 invocations, 40 retired"),
+            "{out}"
+        );
+        assert!(out.contains("0 dropped replies"), "{out}");
+    }
+
+    #[test]
+    fn load_open_loop_and_skews_run_clean() {
+        for skew in ["uniform", "zipfian", "normal"] {
+            let (out, code) = dispatch_with_status(
+                &sv(&[
+                    "load",
+                    "--mode",
+                    "open",
+                    "--interval-us",
+                    "50",
+                    "--clients",
+                    "2",
+                    "--ops",
+                    "10",
+                    "--skew",
+                    skew,
+                ]),
+                "",
+            );
+            let out = out.unwrap();
+            assert_eq!(code, 0, "{skew}: {out}");
+            assert!(out.contains(skew), "{out}");
+            assert!(out.contains("\nopen "), "{out}");
+        }
+    }
+
+    #[test]
+    fn load_bad_flags_exit_2() {
+        for bad in [
+            sv(&["load", "--mode", "nope"]),
+            sv(&["load", "--skew", "nope"]),
+            sv(&["load", "--window", "0"]),
+            sv(&["load", "--batch", "0"]),
+            sv(&["load", "--clients", "0"]),
+            sv(&["load", "--update-frac", "1.5"]),
         ] {
             let (result, code) = dispatch_with_status(&bad, "");
             assert!(result.is_err(), "{bad:?}");

@@ -166,6 +166,14 @@ impl<A: Abcast<MOperation>> ReplicaProtocol for AggregateReplica<A> {
         self.abcast.commute_fast_applied()
     }
 
+    fn set_batching(&mut self, cfg: moc_abcast::BatchConfig) {
+        self.abcast.set_batching(cfg);
+    }
+
+    fn batch_stats(&self) -> moc_abcast::BatchStats {
+        self.abcast.batch_stats()
+    }
+
     fn channel_logs(&self) -> Vec<Vec<moc_core::ids::MOpId>> {
         crate::split_channel_logs(&self.delivery_log, self.abcast.delivery_channels())
     }

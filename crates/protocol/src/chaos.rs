@@ -72,6 +72,10 @@ pub struct ChaosConfig {
     /// broadcast before the run, if set. Ignored by broadcasts without
     /// commutativity fast paths.
     pub commute_plan: Option<moc_core::commute::CommutePlan>,
+    /// A group-commit batching configuration installed on every replica's
+    /// broadcast before the run, if set. Ignored by broadcasts without
+    /// batched stamping.
+    pub batching: Option<moc_abcast::BatchConfig>,
     /// When set, an [`OnlineMonitor`] sentinel rides along: every
     /// invocation and completion is streamed into it as it happens (in
     /// simulated time), and the run report carries the rolling
@@ -92,6 +96,7 @@ impl ChaosConfig {
             failover_timeouts: None,
             shard_plan: None,
             commute_plan: None,
+            batching: None,
             monitor: None,
         }
     }
@@ -139,6 +144,13 @@ impl ChaosConfig {
     /// broadcast (see [`crate::ReplicaProtocol::set_commute_plan`]).
     pub fn with_commute_plan(mut self, plan: moc_core::commute::CommutePlan) -> Self {
         self.commute_plan = Some(plan);
+        self
+    }
+
+    /// Installs a group-commit batching configuration on every replica's
+    /// broadcast (see [`crate::ReplicaProtocol::set_batching`]).
+    pub fn with_batching(mut self, cfg: moc_abcast::BatchConfig) -> Self {
+        self.batching = Some(cfg);
         self
     }
 
@@ -231,6 +243,9 @@ pub struct ChaosRunReport {
     /// Per-replica count of deliveries the broadcast applied through a
     /// commute fast path (all zero without a commute plan installed).
     pub commute_fast_applied: Vec<u64>,
+    /// Per-replica group-commit counters from the broadcast (all zero
+    /// without batching installed).
+    pub batch_stats: Vec<moc_abcast::BatchStats>,
     /// The online sentinel's run summary — rolling certificates, verdict
     /// timeline, and any latched violation with its detection latency —
     /// when [`ChaosConfig::monitor`] was set. `None` otherwise.
@@ -258,6 +273,15 @@ impl ChaosRunReport {
         xs.sort_unstable();
         let rank = ((p / 100.0) * (xs.len() - 1) as f64).round() as usize;
         Some(xs[rank.min(xs.len() - 1)])
+    }
+
+    /// Aggregated group-commit counters across all replicas.
+    pub fn total_batch_stats(&self) -> moc_abcast::BatchStats {
+        let mut t = moc_abcast::BatchStats::default();
+        for s in &self.batch_stats {
+            t.merge(*s);
+        }
+        t
     }
 
     /// Aggregated link counters across all replicas.
@@ -551,6 +575,9 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
                 if let Some(plan) = &config.commute_plan {
                     r.set_commute_plan(plan.clone());
                 }
+                if let Some(cfg) = config.batching {
+                    r.set_batching(cfg);
+                }
                 r
             },
             link: ReliableLink::new(ProcessId::new(p as u32), n, config.link),
@@ -612,6 +639,7 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
     let mut link_stats = Vec::new();
     let mut view_transcripts = Vec::new();
     let mut commute_fast_applied = Vec::new();
+    let mut batch_stats = Vec::new();
     let mut end_ns = 0u64;
     for node in nodes {
         anomalies.orphan_completions += node.orphan_completions;
@@ -625,6 +653,7 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
         link_stats.push(node.link.stats());
         view_transcripts.push(node.replica.abcast_transcript());
         commute_fast_applied.push(node.replica.commute_fast_applied());
+        batch_stats.push(node.replica.batch_stats());
     }
     let history = History::new(config.num_objects, records).map_err(|e| e.to_string());
     // All node clones of the sentinel were dropped when the nodes were
@@ -649,6 +678,7 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
         anomalies,
         view_transcripts,
         commute_fast_applied,
+        batch_stats,
         monitor,
     }
 }
@@ -656,7 +686,7 @@ pub fn run_chaos_cluster<R: ReplicaProtocol + 'static>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{MlinOverSequencer, MscOverSequencer, MscOverView};
+    use crate::{MlinOverSequencer, MscOverSequencer, MscOverSharded, MscOverView};
     use moc_core::ids::ObjectId;
     use moc_core::program::{reg, ProgramBuilder};
     use moc_sim::DelayModel;
@@ -1010,5 +1040,107 @@ mod tests {
             scripts(),
         );
         assert_eq!(report.fingerprint(), bare.fingerprint());
+    }
+
+    /// Three clients, two writes each: an update burst that gives the
+    /// group-commit window something to group.
+    fn update_scripts() -> Vec<ClientScript> {
+        (0..3i64)
+            .map(|p| {
+                ClientScript::new(vec![
+                    OpSpec::new(write_x(), vec![p * 10 + 1]),
+                    OpSpec::new(write_x(), vec![p * 10 + 2]),
+                ])
+            })
+            .collect()
+    }
+
+    /// The monitored conformance sweep with group-commit batching on:
+    /// every backend must finish every scripted op with a clean anomaly
+    /// tally, a violation-free sentinel timeline, admissible rolling
+    /// certificates, and batches that actually group (occupancy > 1).
+    #[test]
+    fn monitored_chaos_sweep_passes_with_batching_enabled() {
+        use moc_checker::Condition;
+        // The 5µs group-commit window exceeds the 50ns..2µs network
+        // spread, so the initial burst of submissions lands in one batch.
+        let batch = moc_abcast::BatchConfig {
+            max_batch: 4,
+            max_delay_ns: 5_000,
+        };
+        let cfg_for = |seed: u64| {
+            ChaosConfig::new(1, seed)
+                .with_network(NetworkConfig::with_delay(DelayModel::Uniform {
+                    lo: 50,
+                    hi: 2_000,
+                }))
+                .with_faults(FaultPlan::lossy(0.15).with_dup(0.1))
+                .with_link(LinkConfig {
+                    rto_ns: 10_000,
+                    max_rto_ns: 160_000,
+                    ..LinkConfig::default()
+                })
+                .with_batching(batch)
+                .with_monitor(MonitorConfig::new(Condition::MSequentialConsistency).with_window(2))
+        };
+        let check = |report: &ChaosRunReport| {
+            assert!(
+                report.anomalies.is_clean(),
+                "{}: {:?}",
+                report.protocol,
+                report.anomalies
+            );
+            let h = report.history.as_ref().expect("valid history");
+            assert_eq!(
+                h.len(),
+                6,
+                "{}: every scripted op completed",
+                report.protocol
+            );
+            let summary = report.monitor.as_ref().expect("sentinel attached");
+            assert!(
+                summary.violation.is_none(),
+                "{}: clean run latched: {:?}",
+                report.protocol,
+                summary.violation
+            );
+            assert_eq!(summary.stats.completions, 6);
+            assert!(summary.certs.iter().all(|c| c.admissible));
+            let stats = report.total_batch_stats();
+            assert_eq!(stats.items_stamped, 6, "{}: {stats:?}", report.protocol);
+            assert!(
+                stats.occupancy() > 1.0,
+                "{}: batches must group: {:?}",
+                report.protocol,
+                stats
+            );
+        };
+        for seed in [23u64, 51, 87] {
+            check(&run_chaos_cluster::<MscOverSequencer>(
+                &cfg_for(seed),
+                update_scripts(),
+            ));
+            check(&run_chaos_cluster::<MscOverView>(
+                &cfg_for(seed),
+                update_scripts(),
+            ));
+        }
+        // The sharded backend batches per ordering channel.
+        for seed in [23u64, 51] {
+            let cfg = ChaosConfig::new(1, seed)
+                .with_batching(batch)
+                .with_shard_plan(moc_core::shard::ShardPlan::new(vec![0]).unwrap())
+                .with_monitor(MonitorConfig::new(Condition::MSequentialConsistency).with_window(2));
+            let report = run_chaos_cluster::<MscOverSharded>(&cfg, update_scripts());
+            assert!(report.anomalies.is_clean(), "{:?}", report.anomalies);
+            let h = report.history.as_ref().expect("valid history");
+            assert_eq!(h.len(), 6);
+            let summary = report.monitor.as_ref().expect("sentinel attached");
+            assert!(summary.violation.is_none(), "{:?}", summary.violation);
+            assert!(summary.certs.iter().all(|c| c.admissible));
+            let stats = report.total_batch_stats();
+            assert_eq!(stats.items_stamped, 6, "{stats:?}");
+            assert!(stats.occupancy() > 1.0, "{stats:?}");
+        }
     }
 }

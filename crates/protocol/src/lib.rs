@@ -291,6 +291,17 @@ pub trait ReplicaProtocol {
         0
     }
 
+    /// Installs a group-commit batching configuration on the underlying
+    /// broadcast. Must be called before any traffic; broadcasts without
+    /// batched stamping ignore it.
+    fn set_batching(&mut self, _cfg: moc_abcast::BatchConfig) {}
+
+    /// Group-commit counters from the underlying broadcast (zeroed for
+    /// broadcasts without batched stamping).
+    fn batch_stats(&self) -> moc_abcast::BatchStats {
+        moc_abcast::BatchStats::default()
+    }
+
     /// The delivery log split by ordering channel, trailing empty
     /// channels trimmed. Single-order protocols report one channel (the
     /// whole log); sharded protocols report one log per channel. Within

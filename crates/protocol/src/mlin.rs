@@ -273,6 +273,14 @@ impl<A: Abcast<MOperation>> ReplicaProtocol for MlinReplica<A> {
         self.abcast.set_failover_timeouts(base_ns, max_ns);
     }
 
+    fn set_batching(&mut self, cfg: moc_abcast::BatchConfig) {
+        self.abcast.set_batching(cfg);
+    }
+
+    fn batch_stats(&self) -> moc_abcast::BatchStats {
+        self.abcast.batch_stats()
+    }
+
     fn abcast_transcript(&self) -> Vec<String> {
         self.abcast.transcript()
     }
@@ -335,6 +343,14 @@ impl<A: Abcast<MOperation>> ReplicaProtocol for MlinRelevant<A> {
 
     fn set_failover_timeouts(&mut self, base_ns: u64, max_ns: u64) {
         self.0.set_failover_timeouts(base_ns, max_ns);
+    }
+
+    fn set_batching(&mut self, cfg: moc_abcast::BatchConfig) {
+        self.0.set_batching(cfg);
+    }
+
+    fn batch_stats(&self) -> moc_abcast::BatchStats {
+        self.0.batch_stats()
     }
 
     fn abcast_transcript(&self) -> Vec<String> {

@@ -42,7 +42,7 @@
 //! ```
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -96,6 +96,11 @@ pub struct RuntimeConfig {
     /// suspicions are safe but churn views. Ignored by broadcasts
     /// without failover.
     pub failover_timeouts: (u64, u64),
+    /// Group-commit batching installed on every replica's broadcast
+    /// before traffic starts (see
+    /// [`moc_protocol::ReplicaProtocol::set_batching`]). `None` keeps
+    /// one-fan-out-per-stamp ordering.
+    pub batching: Option<moc_abcast::BatchConfig>,
 }
 
 impl RuntimeConfig {
@@ -113,7 +118,16 @@ impl RuntimeConfig {
                 ..LinkConfig::default()
             },
             failover_timeouts: (20_000_000, 500_000_000),
+            batching: None,
         }
+    }
+
+    /// Enables group-commit batching on every replica's broadcast: pending
+    /// submissions accumulate until `cfg.max_batch` items or
+    /// `cfg.max_delay_ns` elapse, then stamp as one ordering frame.
+    pub fn with_batching(mut self, cfg: moc_abcast::BatchConfig) -> Self {
+        self.batching = Some(cfg);
+        self
     }
 
     /// Overrides the failover suspicion timeouts (base and backoff cap).
@@ -170,6 +184,76 @@ pub struct RuntimeReport {
     pub history: History,
     /// Per-replica message metrics.
     pub replica_metrics: Vec<moc_protocol::ReplicaMetrics>,
+    /// Per-replica reliable-link transport counters.
+    pub link_stats: Vec<moc_abcast::LinkStats>,
+    /// Per-replica invocation-pipeline counters.
+    pub pipeline: Vec<PipelineMetrics>,
+    /// Per-replica broadcast group-commit counters (all zero unless the
+    /// cluster ran with [`RuntimeConfig::with_batching`]).
+    pub batch_stats: Vec<moc_abcast::BatchStats>,
+}
+
+impl RuntimeReport {
+    /// Cluster-wide transport counters (sum over replicas).
+    pub fn total_link_stats(&self) -> moc_abcast::LinkStats {
+        self.link_stats
+            .iter()
+            .fold(moc_abcast::LinkStats::default(), |a, s| a.merge(s))
+    }
+
+    /// Cluster-wide pipeline counters (sums; peak depth is the max).
+    pub fn total_pipeline(&self) -> PipelineMetrics {
+        self.pipeline
+            .iter()
+            .fold(PipelineMetrics::default(), |a, p| a.merge(p))
+    }
+
+    /// Cluster-wide group-commit counters (sum over replicas).
+    pub fn total_batch_stats(&self) -> moc_abcast::BatchStats {
+        let mut total = moc_abcast::BatchStats::default();
+        for b in &self.batch_stats {
+            total.merge(*b);
+        }
+        total
+    }
+}
+
+/// Counters describing one replica thread's invocation pipeline: how
+/// deep the in-flight window got, how long admissions waited behind the
+/// read-your-writes gate, and whether any reply went unclaimed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineMetrics {
+    /// Invocations accepted by the replica thread.
+    pub invocations: u64,
+    /// Invocations retired (reply generated).
+    pub retired: u64,
+    /// Peak of admitted-but-uncompleted plus gate-queued invocations.
+    pub peak_depth: u64,
+    /// Completions that arrived before an earlier invocation of the same
+    /// process finished (retired strictly FIFO via the stash).
+    pub out_of_order_completions: u64,
+    /// Total time invocations spent queued behind the admission gate
+    /// before reaching the protocol.
+    pub queue_residency_ns: u64,
+    /// Replies whose client had gone away by retirement. A healthy
+    /// harness never drops one.
+    pub dropped_replies: u64,
+}
+
+impl PipelineMetrics {
+    /// Combines counters from two replicas: sums, except `peak_depth`,
+    /// which takes the max.
+    pub fn merge(&self, other: &PipelineMetrics) -> PipelineMetrics {
+        PipelineMetrics {
+            invocations: self.invocations + other.invocations,
+            retired: self.retired + other.retired,
+            peak_depth: self.peak_depth.max(other.peak_depth),
+            out_of_order_completions: self.out_of_order_completions
+                + other.out_of_order_completions,
+            queue_residency_ns: self.queue_residency_ns + other.queue_residency_ns,
+            dropped_replies: self.dropped_replies + other.dropped_replies,
+        }
+    }
 }
 
 /// Rejection returned by [`LiveCluster::try_invoke`] once the online
@@ -246,6 +330,9 @@ pub struct LiveCluster<R: ReplicaProtocol> {
 struct ReplicaExit {
     records: Vec<MOpRecord>,
     metrics: moc_protocol::ReplicaMetrics,
+    link_stats: moc_abcast::LinkStats,
+    pipeline: PipelineMetrics,
+    batch: moc_abcast::BatchStats,
 }
 
 impl<R> LiveCluster<R>
@@ -300,6 +387,7 @@ where
             let num_objects = config.num_objects;
             let link_cfg = config.link;
             let failover = config.failover_timeouts;
+            let batching = config.batching;
             let sentinel = monitor_tx.clone();
             replica_handles.push(
                 std::thread::Builder::new()
@@ -311,6 +399,7 @@ where
                             num_objects,
                             link_cfg,
                             failover,
+                            batching,
                             epoch,
                             rx,
                             net_tx,
@@ -390,6 +479,24 @@ where
         Ok(reply_rx.recv().expect("replica answers every invocation"))
     }
 
+    /// Opens a pipelined invocation session for `process`: up to `window`
+    /// m-operations may be in flight before
+    /// [`PipelinedSession::invoke`] blocks. The session holds the
+    /// process's invocation lock, so it is the process's sole thread of
+    /// control until dropped; the replica preserves program order and
+    /// read-your-writes (a query drains the pipeline before running).
+    pub fn pipelined(&self, process: ProcessId, window: usize) -> PipelinedSession<'_, R> {
+        assert!(window >= 1, "window must be at least 1");
+        let guard = self.invoke_locks[process.index()].lock();
+        PipelinedSession {
+            cluster: self,
+            process,
+            window,
+            outstanding: VecDeque::new(),
+            _guard: guard,
+        }
+    }
+
     /// Whether the sentinel has fenced off `process` (always `false`
     /// without a monitor attached).
     pub fn quarantined(&self, process: ProcessId) -> bool {
@@ -418,10 +525,16 @@ where
         }
         let mut records = Vec::new();
         let mut replica_metrics = Vec::new();
+        let mut link_stats = Vec::new();
+        let mut pipeline = Vec::new();
+        let mut batch_stats = Vec::new();
         for h in self.replica_handles {
             let exit = h.join().expect("replica thread panicked");
             records.extend(exit.records);
             replica_metrics.push(exit.metrics);
+            link_stats.push(exit.link_stats);
+            pipeline.push(exit.pipeline);
+            batch_stats.push(exit.batch);
         }
         // Every replica-held sender is gone once the threads are joined;
         // dropping ours disconnects the sentinel, which flushes and exits.
@@ -435,9 +548,88 @@ where
             RuntimeReport {
                 history,
                 replica_metrics,
+                link_stats,
+                pipeline,
+                batch_stats,
             },
             monitor,
         )
+    }
+}
+
+/// A window of in-flight invocations for one process, created by
+/// [`LiveCluster::pipelined`]. Replaces the one-at-a-time blocking
+/// [`LiveCluster::invoke`] discipline with a bounded pipeline: new
+/// invocations are sent without waiting for earlier replies until
+/// `window` are outstanding, then each further invocation retires (and
+/// returns) the oldest reply first.
+///
+/// Replies always come back in invocation order. Dropping the session
+/// drains any outstanding replies, so no invocation is abandoned.
+pub struct PipelinedSession<'a, R: ReplicaProtocol> {
+    cluster: &'a LiveCluster<R>,
+    process: ProcessId,
+    window: usize,
+    outstanding: VecDeque<Receiver<Reply>>,
+    _guard: parking_lot::MutexGuard<'a, ()>,
+}
+
+impl<R> PipelinedSession<'_, R>
+where
+    R: ReplicaProtocol + Send + 'static,
+    R::Msg: Send + 'static,
+{
+    /// Sends `program(args)` as the process's next m-operation without
+    /// waiting for its reply. If the window was full, first blocks for —
+    /// and returns — the oldest outstanding reply. Refuses (leaving the
+    /// pipeline intact) once the sentinel has quarantined the process.
+    pub fn invoke(
+        &mut self,
+        program: Arc<Program>,
+        args: Vec<Value>,
+    ) -> Result<Option<Reply>, Quarantined> {
+        if self.cluster.quarantined(self.process) {
+            return Err(Quarantined {
+                process: self.process,
+            });
+        }
+        let retired = if self.outstanding.len() >= self.window {
+            let rx = self.outstanding.pop_front().expect("window is full");
+            Some(rx.recv().expect("replica answers every invocation"))
+        } else {
+            None
+        };
+        let (reply_tx, reply_rx) = bounded(1);
+        self.cluster.inputs[self.process.index()]
+            .send(Input::Invoke {
+                program,
+                args,
+                reply: reply_tx,
+            })
+            .expect("replica thread alive");
+        self.outstanding.push_back(reply_rx);
+        Ok(retired)
+    }
+
+    /// Number of invocations currently awaiting replies.
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Blocks for every outstanding reply, in invocation order.
+    pub fn drain(&mut self) -> Vec<Reply> {
+        self.outstanding
+            .drain(..)
+            .map(|rx| rx.recv().expect("replica answers every invocation"))
+            .collect()
+    }
+}
+
+impl<R: ReplicaProtocol> Drop for PipelinedSession<'_, R> {
+    fn drop(&mut self) {
+        for rx in self.outstanding.drain(..) {
+            let _ = rx.recv();
+        }
     }
 }
 
@@ -487,6 +679,22 @@ fn monitor_main(
     mon.into_summary()
 }
 
+/// An invocation waiting behind the admission gate: classified but not
+/// yet handed to the protocol.
+struct QueuedInvoke {
+    mop: MOperation,
+    invoked_at: EventTime,
+    reply: Sender<Reply>,
+    is_update: bool,
+}
+
+/// An invocation the protocol is working on, awaiting its completion.
+struct PendingInvoke {
+    id: MOpId,
+    invoked_at: EventTime,
+    reply: Sender<Reply>,
+}
+
 #[allow(clippy::too_many_arguments)]
 fn replica_main<R: ReplicaProtocol>(
     me: ProcessId,
@@ -494,6 +702,7 @@ fn replica_main<R: ReplicaProtocol>(
     num_objects: usize,
     link_cfg: LinkConfig,
     failover: (u64, u64),
+    batching: Option<moc_abcast::BatchConfig>,
     epoch: Instant,
     rx: Receiver<Input<LinkMsg<R::Msg>>>,
     net_tx: Sender<NetCmd<LinkMsg<R::Msg>>>,
@@ -501,16 +710,40 @@ fn replica_main<R: ReplicaProtocol>(
 ) -> ReplicaExit {
     let mut replica = R::new(me, n, num_objects);
     replica.set_failover_timeouts(failover.0, failover.1);
+    if let Some(cfg) = batching {
+        replica.set_batching(cfg);
+    }
     let mut link: ReliableLink<R::Msg> = ReliableLink::new(me, n, link_cfg);
     let mut next_seq = 0u32;
-    let mut inflight: Option<(MOpId, EventTime, Sender<Reply>)> = None;
     let mut records = Vec::new();
+    // The invocation pipeline. `admission` holds invocations the gate has
+    // not yet let through; `pending` holds invocations the protocol is
+    // working on, in invocation (FIFO) order. Completions may surface out
+    // of that order (e.g. ops on disjoint broadcast channels); they park
+    // in `stash` and retire strictly FIFO so per-process records stay
+    // sequential.
+    let mut admission: VecDeque<QueuedInvoke> = VecDeque::new();
+    let mut pending: VecDeque<PendingInvoke> = VecDeque::new();
+    let mut stash: HashMap<MOpId, moc_protocol::Completion> = HashMap::new();
+    let mut pending_updates_only = true;
+    // High-water mark of recorded response times: pipelined invocations
+    // overlap in real time, but the model's processes are sequential, so
+    // recorded intervals are clamped to start no earlier than the
+    // previous retirement. Client replies keep the true wall-clock times.
+    let mut last_retired = EventTime::ZERO;
+    let mut pipeline = PipelineMetrics::default();
+    // Reused across iterations: the replica's outbox and the framed-wire
+    // buffer, so steady-state message handling does not allocate them
+    // per input.
+    let mut out = Outbox::new(n);
+    let mut wire = Vec::new();
 
     let now = |epoch: Instant| EventTime::from_nanos(epoch.elapsed().as_nanos() as u64);
 
     loop {
         // Wake for the next input or the earliest pending deadline —
-        // link retransmission or failover suspicion — whichever first.
+        // link retransmission, failover suspicion, or a group-commit
+        // flush — whichever first.
         let deadline = match (link.next_deadline(), replica.abcast_deadline()) {
             (Some(a), Some(b)) => Some(a.min(b)),
             (a, b) => a.or(b),
@@ -524,8 +757,6 @@ fn replica_main<R: ReplicaProtocol>(
             Err(RecvTimeoutError::Timeout) => None,
             Err(RecvTimeoutError::Disconnected) => break,
         };
-        let mut out = Outbox::new(n);
-        let mut wire = Vec::new();
         match input {
             Some(Input::Net { from, msg }) => {
                 let ready = link.on_wire(from, msg, now(epoch).as_nanos(), &mut wire);
@@ -540,13 +771,22 @@ fn replica_main<R: ReplicaProtocol>(
             }) => {
                 let id = MOpId::new(me, next_seq);
                 next_seq += 1;
-                assert!(inflight.is_none(), "process invoked while one is pending");
                 let invoked_at = now(epoch);
-                inflight = Some((id, invoked_at, reply));
                 if let Some(tx) = &sentinel {
                     let _ = tx.send(MonitorEvent::Invoke(id, invoked_at.as_nanos()));
                 }
-                replica.invoke(MOperation::new(id, program, args), &mut out);
+                let mop = MOperation::new(id, program, args);
+                let is_update = mop.is_update();
+                admission.push_back(QueuedInvoke {
+                    mop,
+                    invoked_at,
+                    reply,
+                    is_update,
+                });
+                pipeline.invocations += 1;
+                pipeline.peak_depth = pipeline
+                    .peak_depth
+                    .max((pending.len() + admission.len()) as u64);
             }
             Some(Input::Shutdown) => break,
             // A deadline was reached: run both tick hooks (each only acts
@@ -556,73 +796,138 @@ fn replica_main<R: ReplicaProtocol>(
                 replica.on_abcast_tick(now(epoch).as_nanos(), &mut out);
             }
         }
+        // Retire completions and admit queued invocations until neither
+        // makes progress. Admission can complete synchronously (a local
+        // query) and retirement can open the gate for the next admission,
+        // so the two interleave to a fixpoint.
+        loop {
+            let mut progress = false;
+            for c in replica.drain_completions() {
+                progress = true;
+                let in_pipeline = pending.iter().any(|p| p.id == c.id);
+                if !in_pipeline || stash.contains_key(&c.id) {
+                    // A completion with no pending invocation (or a second
+                    // completion of one): a double-applied broadcast frame
+                    // slipping past a sabotaged link. The healthy stack
+                    // never produces one; instead of crashing the replica,
+                    // surface it to the sentinel (a re-completion of a
+                    // settled id latches its duplicate-completion
+                    // violation) and drop it.
+                    if let Some(tx) = &sentinel {
+                        let at = now(epoch);
+                        let record = MOpRecord {
+                            id: c.id,
+                            invoked_at: at,
+                            responded_at: at,
+                            ops: c.ops,
+                            outputs: c.outputs,
+                            treated_as: c.treated_as,
+                            label: c.label,
+                        };
+                        let _ = tx.send(MonitorEvent::Complete(Box::new(record), at.as_nanos()));
+                    }
+                    continue;
+                }
+                if pending.front().is_some_and(|p| p.id != c.id) {
+                    pipeline.out_of_order_completions += 1;
+                }
+                stash.insert(c.id, c);
+            }
+            while let Some(front) = pending.front() {
+                let Some(c) = stash.remove(&front.id) else {
+                    break;
+                };
+                progress = true;
+                let p = pending.pop_front().expect("front exists");
+                if pending.is_empty() {
+                    pending_updates_only = true;
+                }
+                let responded_at = now(epoch);
+                let invoked_rec = p.invoked_at.max(last_retired);
+                let responded_rec = responded_at.max(invoked_rec);
+                last_retired = responded_rec;
+                let record = MOpRecord {
+                    id: p.id,
+                    invoked_at: invoked_rec,
+                    responded_at: responded_rec,
+                    ops: c.ops,
+                    outputs: c.outputs.clone(),
+                    treated_as: c.treated_as,
+                    label: c.label,
+                };
+                if let Some(tx) = &sentinel {
+                    let _ = tx.send(MonitorEvent::Complete(
+                        Box::new(record.clone()),
+                        responded_rec.as_nanos(),
+                    ));
+                }
+                records.push(record);
+                pipeline.retired += 1;
+                if p.reply
+                    .send(Reply {
+                        id: p.id,
+                        outputs: c.outputs,
+                        treated_as: c.treated_as,
+                        invoked_at: p.invoked_at,
+                        responded_at,
+                    })
+                    .is_err()
+                {
+                    pipeline.dropped_replies += 1;
+                }
+            }
+            // The gate: an invocation is admitted while earlier ones are
+            // still in flight only when it and everything in flight are
+            // updates. A query waits for the pipeline to drain, so it
+            // observes every earlier update of its own process
+            // (read-your-writes); nothing is admitted past a pending
+            // query.
+            while let Some(head) = admission.front() {
+                let open = pending.is_empty() || (head.is_update && pending_updates_only);
+                if !open {
+                    break;
+                }
+                let q = admission.pop_front().expect("head exists");
+                progress = true;
+                pending_updates_only = if pending.is_empty() {
+                    q.is_update
+                } else {
+                    pending_updates_only && q.is_update
+                };
+                pipeline.queue_residency_ns += now(epoch)
+                    .as_nanos()
+                    .saturating_sub(q.invoked_at.as_nanos());
+                pending.push_back(PendingInvoke {
+                    id: q.mop.id,
+                    invoked_at: q.invoked_at,
+                    reply: q.reply,
+                });
+                replica.invoke(q.mop, &mut out);
+            }
+            if !progress {
+                break;
+            }
+        }
         // Frame the replica's sends through the link, then route. After
         // shutdown began the network may be gone — those messages have no
         // waiting client, so dropping them is safe.
         for (to, msg) in out.drain() {
             link.send(to, msg, now(epoch).as_nanos(), &mut wire);
         }
-        for (to, frame) in wire {
+        for (to, frame) in wire.drain(..) {
             let _ = net_tx.send(NetCmd::Route {
                 from: me,
                 to,
                 msg: frame,
             });
         }
-        for c in replica.drain_completions() {
-            let matched = inflight.as_ref().is_some_and(|(id, _, _)| *id == c.id);
-            if !matched {
-                // A completion with no (or the wrong) pending invocation:
-                // a double-applied broadcast frame slipping past a
-                // sabotaged link. The healthy stack never produces one;
-                // instead of crashing the replica, surface it to the
-                // sentinel (a re-completion of a settled id latches its
-                // duplicate-completion violation) and drop it.
-                if let Some(tx) = &sentinel {
-                    let at = now(epoch);
-                    let record = MOpRecord {
-                        id: c.id,
-                        invoked_at: at,
-                        responded_at: at,
-                        ops: c.ops,
-                        outputs: c.outputs,
-                        treated_as: c.treated_as,
-                        label: c.label,
-                    };
-                    let _ = tx.send(MonitorEvent::Complete(Box::new(record), at.as_nanos()));
-                }
-                continue;
-            }
-            let (id, invoked_at, reply) = inflight.take().expect("matched above");
-            let responded_at = now(epoch);
-            let record = MOpRecord {
-                id,
-                invoked_at,
-                responded_at,
-                ops: c.ops,
-                outputs: c.outputs.clone(),
-                treated_as: c.treated_as,
-                label: c.label,
-            };
-            if let Some(tx) = &sentinel {
-                let _ = tx.send(MonitorEvent::Complete(
-                    Box::new(record.clone()),
-                    responded_at.as_nanos(),
-                ));
-            }
-            records.push(record);
-            let _ = reply.send(Reply {
-                id,
-                outputs: c.outputs,
-                treated_as: c.treated_as,
-                invoked_at,
-                responded_at,
-            });
-        }
     }
     ReplicaExit {
         records,
         metrics: replica.metrics(),
+        link_stats: link.stats(),
+        pipeline,
+        batch: replica.batch_stats(),
     }
 }
 
@@ -686,20 +991,22 @@ fn network_main<M: Send + Clone>(
                 if remote && drop_prob > 0.0 && fault_rng.gen_bool(drop_prob) {
                     continue;
                 }
-                let copies = if remote && dup_prob > 0.0 && fault_rng.gen_bool(dup_prob) {
-                    2
+                // Duplication is the only path that clones the payload;
+                // the primary copy moves.
+                let dup = if remote && dup_prob > 0.0 && fault_rng.gen_bool(dup_prob) {
+                    Some(msg.clone())
                 } else {
-                    1
+                    None
                 };
-                for _ in 0..copies {
+                for m in dup.into_iter().chain(std::iter::once(msg)) {
                     match delay {
-                        None => forward(&nodes, from, to, msg.clone()),
+                        None => forward(&nodes, from, to, m),
                         Some(model) => {
                             let d = Duration::from_nanos(model.sample(&mut rng));
                             let id = next_id;
                             next_id += 1;
                             heap.push(Reverse((Instant::now() + d, id)));
-                            payloads.insert(id, (from, to, msg.clone()));
+                            payloads.insert(id, (from, to, m));
                         }
                     }
                 }
@@ -1061,6 +1368,121 @@ mod tests {
         let (report, monitor) = cluster.shutdown_with_monitor();
         assert_eq!(report.history.len(), 2, "the fenced invocation never ran");
         assert!(monitor.expect("sentinel attached").violation.is_none());
+    }
+
+    /// A pipelined session keeps several updates in flight at once: the
+    /// replica's peak depth must exceed one, every reply must come back
+    /// in invocation order with true (overlapping) wall-clock times, and
+    /// the recorded history must still be sequential per process and
+    /// m-sequentially consistent.
+    #[test]
+    fn pipelined_updates_overlap_and_stay_consistent() {
+        let cluster: LiveCluster<MscOverSequencer> = LiveCluster::start(2, RuntimeConfig::new(1));
+        let p = ProcessId::new(1);
+        let mut replies = Vec::new();
+        {
+            let mut session = cluster.pipelined(p, 8);
+            for i in 0..8 {
+                if let Some(r) = session.invoke(wx(i), vec![]).unwrap() {
+                    replies.push(r);
+                }
+            }
+            assert!(session.in_flight() > 0, "window admits without blocking");
+            replies.extend(session.drain());
+        }
+        assert_eq!(replies.len(), 8, "every pipelined invocation replied");
+        for (i, r) in replies.iter().enumerate() {
+            assert_eq!(r.id.seq, i as u32, "replies retire in invocation order");
+            assert!(r.invoked_at <= r.responded_at);
+        }
+        let report = cluster.shutdown();
+        assert_eq!(report.history.len(), 8);
+        let pipe = report.total_pipeline();
+        assert_eq!(pipe.invocations, 8);
+        assert_eq!(pipe.retired, 8);
+        assert!(pipe.peak_depth > 1, "updates overlapped: {pipe:?}");
+        assert_eq!(pipe.dropped_replies, 0);
+        let sc = check(
+            &report.history,
+            Condition::MSequentialConsistency,
+            Strategy::Auto,
+        )
+        .unwrap();
+        assert!(sc.satisfied, "{:?}", sc.reason);
+    }
+
+    /// The admission gate: a query entering a pipeline of the process's
+    /// own updates waits for them to apply, so it observes its own writes
+    /// even on the local-query msc protocol.
+    #[test]
+    fn pipelined_query_reads_own_writes() {
+        let cluster: LiveCluster<MscOverSequencer> = LiveCluster::start(2, RuntimeConfig::new(1));
+        let p = ProcessId::new(1);
+        let mut session = cluster.pipelined(p, 4);
+        session.invoke(wx(41), vec![]).unwrap();
+        session.invoke(wx(42), vec![]).unwrap();
+        session.invoke(rx(), vec![]).unwrap();
+        let replies = session.drain();
+        assert_eq!(replies.len(), 3);
+        assert_eq!(
+            replies[2].outputs,
+            vec![42],
+            "query gated behind the process's pending updates"
+        );
+        drop(session);
+        let report = cluster.shutdown();
+        assert_eq!(report.history.len(), 3);
+    }
+
+    /// Batching and pipelining together, with the sentinel attached: a
+    /// burst of pipelined updates group-commits into multi-item ordering
+    /// frames (occupancy above one), the monitor sees no violation, and
+    /// the final history checks out.
+    #[test]
+    fn batched_pipelined_cluster_stays_clean_under_monitor() {
+        let cluster: LiveCluster<MscOverSequencer> = LiveCluster::start_with_monitor(
+            3,
+            RuntimeConfig::new(1).with_batching(moc_abcast::BatchConfig {
+                max_batch: 4,
+                max_delay_ns: 50_000_000,
+            }),
+            MonitorConfig::new(Condition::MSequentialConsistency).with_window(2),
+        );
+        let cluster = Arc::new(cluster);
+        let mut joins = Vec::new();
+        for p in 1..3u32 {
+            let c = Arc::clone(&cluster);
+            joins.push(std::thread::spawn(move || {
+                let mut session = c.pipelined(ProcessId::new(p), 4);
+                for i in 0..6 {
+                    session.invoke(wx(p as i64 * 100 + i), vec![]).unwrap();
+                }
+                session.drain();
+            }));
+        }
+        for j in joins {
+            j.join().unwrap();
+        }
+        let cluster = Arc::try_unwrap(cluster).unwrap_or_else(|_| panic!("refs remain"));
+        let (report, monitor) = cluster.shutdown_with_monitor();
+        assert_eq!(report.history.len(), 12, "every invocation completed");
+        let summary = monitor.expect("sentinel attached");
+        assert!(summary.violation.is_none(), "{:?}", summary.violation);
+        assert_eq!(summary.stats.completions, 12);
+        let batch = report.total_batch_stats();
+        assert_eq!(batch.items_stamped, 12, "every update went through a batch");
+        assert!(
+            batch.occupancy() > 1.0,
+            "pipelined burst group-commits: {batch:?}"
+        );
+        assert_eq!(report.total_pipeline().dropped_replies, 0);
+        let sc = check(
+            &report.history,
+            Condition::MSequentialConsistency,
+            Strategy::Auto,
+        )
+        .unwrap();
+        assert!(sc.satisfied, "{:?}", sc.reason);
     }
 
     #[test]

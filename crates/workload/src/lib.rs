@@ -24,6 +24,7 @@ use rand::Rng;
 pub mod arb;
 pub mod chaos;
 pub mod histories;
+pub mod skew;
 pub mod synth;
 
 /// Parameters of a randomized protocol workload.
